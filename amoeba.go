@@ -1,0 +1,130 @@
+// Package amoeba is a Go implementation of the Amoeba group communication
+// system (Kaashoek & Tanenbaum, "An Evaluation of the Amoeba Group
+// Communication System", ICDCS 1996): reliable, totally-ordered group
+// multicast built on a per-group sequencer with negative acknowledgements
+// and user-selectable fault tolerance.
+//
+// # Model
+//
+// A Kernel is the Amoeba kernel's communication stand-in: one per machine
+// (or per process in a single-machine deployment), attached to a Network.
+// Processes create or join named groups through their kernel and then
+// exchange messages with the paper's Table 1 primitives:
+//
+//	Paper primitive    This API
+//	CreateGroup        Kernel.CreateGroup
+//	JoinGroup          Kernel.JoinGroup
+//	LeaveGroup         Group.Leave
+//	SendToGroup        Group.Send
+//	ReceiveFromGroup   Group.Receive
+//	ResetGroup         Group.Reset
+//	GetInfoGroup       Group.Info
+//	ForwardRequest     RPCServer handler returning a forward address
+//
+// All primitives are blocking, as in Amoeba; obtain concurrency by calling
+// them from multiple goroutines (the paper's "parallelism through
+// multithreading"). Every member of a group observes the same totally
+// ordered stream of messages and membership events: if one process sends
+// while another joins, either everyone sees the join first or everyone sees
+// the message first.
+//
+// # Fault tolerance
+//
+// Groups are created with a resilience degree r (GroupOptions.Resilience).
+// A Send does not return until the message is sequenced and — for r > 0 —
+// stored by r other members, so any r simultaneous crashes lose no completed
+// send. After a failure the group is rebuilt with Group.Reset (or
+// automatically, with GroupOptions.AutoReset); survivors agree on the full
+// message sequence. With r = 0, messages held only by a crashed sequencer
+// may be lost, exactly as the paper specifies.
+//
+// # Quickstart
+//
+//	net := amoeba.NewMemoryNetwork()
+//	defer net.Close()
+//
+//	k1, _ := net.NewKernel("machine-1")
+//	k2, _ := net.NewKernel("machine-2")
+//
+//	g1, _ := k1.CreateGroup(ctx, "workers", amoeba.GroupOptions{})
+//	g2, _ := k2.JoinGroup(ctx, "workers", amoeba.GroupOptions{})
+//
+//	go g1.Send(ctx, []byte("hello, group"))
+//	msg, _ := g2.Receive(ctx)       // totally ordered at every member
+package amoeba
+
+import (
+	"fmt"
+
+	"amoeba/internal/netw/memnet"
+	"amoeba/internal/netw/udpnet"
+)
+
+// MemoryNetworkConfig tunes the in-memory network's fault injection; the
+// zero value is a reliable network.
+type MemoryNetworkConfig struct {
+	// DropRate is the probability in [0,1) that a frame is lost.
+	DropRate float64
+	// DupRate is the probability that a frame is duplicated.
+	DupRate float64
+	// CorruptRate is the probability that a frame is corrupted in
+	// transit (detected and discarded by the FLIP checksum).
+	CorruptRate float64
+	// Seed makes fault injection reproducible.
+	Seed int64
+}
+
+// MemoryNetwork is an in-process network fabric: kernels attached to it
+// exchange frames through channels, with per-receiver FIFO delivery and
+// optional fault injection. It plays the role of the paper's 10 Mbit/s
+// Ethernet for tests, examples, and native benchmarks. (The calibrated
+// performance model of that Ethernet lives in the experiment harness; see
+// cmd/amoeba-bench.)
+type MemoryNetwork struct {
+	net *memnet.Network
+}
+
+// NewMemoryNetwork returns a reliable in-memory network.
+func NewMemoryNetwork() *MemoryNetwork {
+	return NewMemoryNetworkWithFaults(MemoryNetworkConfig{})
+}
+
+// NewMemoryNetworkWithFaults returns an in-memory network with fault
+// injection, for exercising the protocol's recovery paths.
+func NewMemoryNetworkWithFaults(cfg MemoryNetworkConfig) *MemoryNetwork {
+	return &MemoryNetwork{net: memnet.New(memnet.Config{
+		DropRate:    cfg.DropRate,
+		DupRate:     cfg.DupRate,
+		CorruptRate: cfg.CorruptRate,
+		Seed:        cfg.Seed,
+	})}
+}
+
+// Close shuts down the network and every kernel attached to it.
+func (n *MemoryNetwork) Close() { n.net.Close() }
+
+// UDPNetwork is a network fabric over real UDP sockets on the loopback
+// interface: kernels exchange genuine datagrams, with the loss, duplication,
+// and reordering that real networks provide. Use it to exercise the full
+// stack under an operating-system network; for cross-process or cross-host
+// deployments, see internal/netw/udpnet's static-peer configuration.
+type UDPNetwork struct {
+	net *udpnet.Network
+}
+
+// NewUDPNetwork returns a UDP network on the loopback interface.
+func NewUDPNetwork() *UDPNetwork {
+	return &UDPNetwork{net: udpnet.New()}
+}
+
+// NewKernel attaches a kernel on its own UDP socket.
+func (n *UDPNetwork) NewKernel(name string) (*Kernel, error) {
+	station, err := n.net.Attach(name)
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: attaching UDP kernel %q: %w", name, err)
+	}
+	return newKernel(name, station), nil
+}
+
+// Close shuts down every kernel's socket.
+func (n *UDPNetwork) Close() { n.net.Close() }

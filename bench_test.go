@@ -1,0 +1,298 @@
+package amoeba
+
+// Benchmarks, one per table/figure of the paper plus native-transport
+// microbenchmarks.
+//
+// The Benchmark*_Sim benches drive the calibrated discrete-event simulator
+// (the substrate that reproduces the paper's numbers) and report the
+// simulated metric via b.ReportMetric: sim-ms/op is virtual milliseconds of
+// delay, sim-msg/s virtual throughput. ns/op for those benches measures how
+// fast the simulator itself runs. The Native benches measure this library's
+// real performance over the in-memory transport on the host machine.
+//
+// The full parameter sweeps behind each figure live in cmd/amoeba-bench;
+// each bench here pins the figure's headline configuration.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"amoeba/internal/core"
+	"amoeba/internal/experiments"
+	"amoeba/internal/netsim"
+)
+
+// simDelay runs one delay configuration per iteration and reports the
+// simulated delay.
+func simDelay(b *testing.B, members, size, resilience int, method core.Method) {
+	b.Helper()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.NewSimGroup(experiments.GroupParams{
+			Members: members, Resilience: resilience, Method: method,
+			Model: netsim.DefaultCostModel(), Seed: 1,
+		})
+		if err != nil {
+			b.Fatalf("NewSimGroup: %v", err)
+		}
+		total += g.MeasureDelay(1, size, 20) // mean over 20 sends
+	}
+	b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "sim-ms/op")
+}
+
+// simThroughput runs one throughput configuration per iteration.
+func simThroughput(b *testing.B, members, size, resilience int, method core.Method) {
+	b.Helper()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.NewSimGroup(experiments.GroupParams{
+			Members: members, Resilience: resilience, Method: method,
+			Model: netsim.DefaultCostModel(), Seed: 1,
+		})
+		if err != nil {
+			b.Fatalf("NewSimGroup: %v", err)
+		}
+		total += g.MeasureThroughput(size, time.Second)
+	}
+	b.ReportMetric(total/float64(b.N), "sim-msg/s")
+}
+
+// BenchmarkTable3_Breakdown reproduces Table 3's measured total: the 0-byte
+// PB critical path for a group of 2 (paper: 2740 µs).
+func BenchmarkTable3_Breakdown(b *testing.B) {
+	simDelay(b, 2, 0, 0, core.MethodPB)
+}
+
+// BenchmarkFig1_DelayPB pins Figure 1's headline point: 0-byte PB delay to a
+// group of 30 (paper: 2.8 ms).
+func BenchmarkFig1_DelayPB(b *testing.B) {
+	simDelay(b, 30, 0, 0, core.MethodPB)
+}
+
+// BenchmarkFig1_DelayPB8K is Figure 1's large-message point (paper: ≈+20 ms
+// over the 0-byte delay).
+func BenchmarkFig1_DelayPB8K(b *testing.B) {
+	simDelay(b, 2, 8000, 0, core.MethodPB)
+}
+
+// BenchmarkFig3_DelayBB pins Figure 3: the BB method's large-message
+// advantage (payload crosses the wire once).
+func BenchmarkFig3_DelayBB(b *testing.B) {
+	simDelay(b, 2, 8000, 0, core.MethodBB)
+}
+
+// BenchmarkFig4_ThroughputPB pins Figure 4's maximum: 0-byte PB throughput,
+// all members sending (paper: 815 msg/s, sequencer-bound).
+func BenchmarkFig4_ThroughputPB(b *testing.B) {
+	simThroughput(b, 4, 0, 0, core.MethodPB)
+}
+
+// BenchmarkFig5_ThroughputBB is the BB equivalent at 1 KB, where BB's single
+// wire transit pays off.
+func BenchmarkFig5_ThroughputBB(b *testing.B) {
+	simThroughput(b, 4, 1024, 0, core.MethodBB)
+}
+
+// BenchmarkFig6_ParallelGroups reproduces Figure 6's peak: five disjoint
+// 2-member groups on one Ethernet (paper: 3175 msg/s aggregate).
+func BenchmarkFig6_ParallelGroups(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.ParallelGroupsPoint(netsim.DefaultCostModel(), 5, 2)
+		if err != nil {
+			b.Fatalf("ParallelGroupsPoint: %v", err)
+		}
+		total += tbl
+	}
+	b.ReportMetric(total/float64(b.N), "sim-msg/s")
+}
+
+// BenchmarkFig7_ResilienceDelay pins Figure 7's endpoint: r=15 in a group of
+// 16 (paper: 12.9 ms, ≈600 µs per acknowledgement).
+func BenchmarkFig7_ResilienceDelay(b *testing.B) {
+	simDelay(b, 16, 0, 15, core.MethodPB)
+}
+
+// BenchmarkFig8_ResilienceThroughput pins Figure 8: throughput with
+// resilience (r = members−1 = 3), all members sending.
+func BenchmarkFig8_ResilienceThroughput(b *testing.B) {
+	simThroughput(b, 4, 0, 3, core.MethodPB)
+}
+
+// BenchmarkRPCComparison reproduces the §4 RPC comparison (paper: the null
+// group send is ≈0.1 ms faster than the null RPC).
+func BenchmarkRPCComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RPCComparison(netsim.DefaultCostModel()); err != nil {
+			b.Fatalf("RPCComparison: %v", err)
+		}
+	}
+}
+
+// BenchmarkCMComparison reproduces the §6 Chang–Maxemchuk comparison
+// (paper: CM needs 2–3 messages and 2(n−1) interrupts per broadcast versus
+// Amoeba's 2 and n).
+func BenchmarkCMComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CMComparison(netsim.DefaultCostModel()); err != nil {
+			b.Fatalf("CMComparison: %v", err)
+		}
+	}
+}
+
+// BenchmarkUserSpaceAblation reproduces the §5 kernel-vs-user-space
+// discussion (Oey et al.: 32% processing penalty, small end-to-end effect).
+func BenchmarkUserSpaceAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.UserSpaceAblation(netsim.DefaultCostModel()); err != nil {
+			b.Fatalf("UserSpaceAblation: %v", err)
+		}
+	}
+}
+
+// BenchmarkSequencerPlacement quantifies the §5 co-location observation
+// behind migrating sequencers: one multicast instead of request+broadcast.
+func BenchmarkSequencerPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SequencerPlacement(netsim.DefaultCostModel()); err != nil {
+			b.Fatalf("SequencerPlacement: %v", err)
+		}
+	}
+}
+
+// BenchmarkProcessingScaling supports the paper's conclusion 1: throughput
+// is bounded by per-message processing time, not the protocol.
+func BenchmarkProcessingScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ProcessingScaling(netsim.DefaultCostModel()); err != nil {
+			b.Fatalf("ProcessingScaling: %v", err)
+		}
+	}
+}
+
+// --- Native performance of this library (no simulator) ----------------------
+
+func nativeGroup(b *testing.B, members int, opts GroupOptions) []*Group {
+	b.Helper()
+	ctx := context.Background()
+	net := NewMemoryNetwork()
+	b.Cleanup(net.Close)
+	groups := make([]*Group, members)
+	for i := 0; i < members; i++ {
+		k, err := net.NewKernel(fmt.Sprintf("bench-%d", i))
+		if err != nil {
+			b.Fatalf("kernel: %v", err)
+		}
+		if i == 0 {
+			groups[i], err = k.CreateGroup(ctx, "bench", opts)
+		} else {
+			groups[i], err = k.JoinGroup(ctx, "bench", opts)
+		}
+		if err != nil {
+			b.Fatalf("member %d: %v", i, err)
+		}
+	}
+	return groups
+}
+
+// BenchmarkNativeSendLatency measures a blocking Send round trip (member →
+// sequencer → ordered broadcast back) on the in-memory transport.
+func BenchmarkNativeSendLatency(b *testing.B) {
+	groups := nativeGroup(b, 3, GroupOptions{})
+	ctx := context.Background()
+	payload := []byte("native-benchmark-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := groups[1].Send(ctx, payload); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// BenchmarkNativeSendLatency8K is the large-message variant (fragmented).
+func BenchmarkNativeSendLatency8K(b *testing.B) {
+	groups := nativeGroup(b, 3, GroupOptions{})
+	ctx := context.Background()
+	payload := make([]byte, 8000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := groups[1].Send(ctx, payload); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// BenchmarkNativeResilientSend measures Send with resilience 1 (tentative →
+// ack → accept).
+func BenchmarkNativeResilientSend(b *testing.B) {
+	groups := nativeGroup(b, 3, GroupOptions{Resilience: 1})
+	ctx := context.Background()
+	payload := []byte("resilient")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := groups[1].Send(ctx, payload); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+}
+
+// BenchmarkNativeDeliveryThroughput measures end-to-end ordered delivery:
+// one sender streaming, one member consuming.
+func BenchmarkNativeDeliveryThroughput(b *testing.B) {
+	groups := nativeGroup(b, 2, GroupOptions{})
+	ctx := context.Background()
+	payload := []byte("stream")
+	done := make(chan error, 1)
+	go func() {
+		for {
+			m, err := groups[1].Receive(ctx)
+			if err != nil {
+				done <- err
+				return
+			}
+			if m.Kind == Data && string(m.Payload) == "stop" {
+				done <- nil
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := groups[0].Send(ctx, payload); err != nil {
+			b.Fatalf("send: %v", err)
+		}
+	}
+	if err := groups[0].Send(ctx, []byte("stop")); err != nil {
+		b.Fatalf("stop: %v", err)
+	}
+	if err := <-done; err != nil {
+		b.Fatalf("receiver: %v", err)
+	}
+}
+
+// BenchmarkNativeRPC measures a null RPC on the in-memory transport.
+func BenchmarkNativeRPC(b *testing.B) {
+	ctx := context.Background()
+	net := NewMemoryNetwork()
+	b.Cleanup(net.Close)
+	ks, _ := net.NewKernel("server")
+	kc, _ := net.NewKernel("client")
+	srv, err := ks.NewRPCServer(0, func(req []byte) ([]byte, Addr) { return req, 0 })
+	if err != nil {
+		b.Fatalf("server: %v", err)
+	}
+	b.Cleanup(srv.Close)
+	cl, err := kc.NewRPCClient()
+	if err != nil {
+		b.Fatalf("client: %v", err)
+	}
+	b.Cleanup(cl.Close)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Call(ctx, srv.Addr(), nil); err != nil {
+			b.Fatalf("call: %v", err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Parallel branch-and-bound: the paper's "parallel computations" use case
+// (§5).
+//
+// Workers solve a traveling-salesman instance by branch and bound. Whenever
+// a worker finds a better complete tour, it broadcasts the new bound to the
+// group; everyone prunes against the best bound seen. Total ordering makes
+// the bound stream identical at every worker, so no worker ever prunes
+// against a stale-but-better bound another worker already retracted — the
+// exact programming model ("processes running in lockstep") the paper's §2.2
+// advertises. Parallel applications run with resilience 0 and are simply
+// restarted on failure, as the paper reports its users did.
+//
+//	go run ./examples/parallel-search
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amoeba"
+)
+
+const (
+	cities  = 12
+	workers = 4
+)
+
+// dist is the symmetric distance matrix of the TSP instance.
+type matrix [cities][cities]int
+
+func instance(seed int64) matrix {
+	rng := rand.New(rand.NewSource(seed))
+	var m matrix
+	for i := 0; i < cities; i++ {
+		for j := i + 1; j < cities; j++ {
+			d := 10 + rng.Intn(90)
+			m[i][j], m[j][i] = d, d
+		}
+	}
+	return m
+}
+
+// worker explores all tours whose second city ≡ its index (a static split of
+// the search tree), pruning against the shared bound.
+type worker struct {
+	id    int
+	m     matrix
+	group *amoeba.Group
+	bound atomic.Int64 // best tour cost seen anywhere
+
+	nodes    int64 // search nodes expanded
+	improved int   // bounds this worker announced
+}
+
+// announce broadcasts a new bound.
+func (w *worker) announce(ctx context.Context, cost int) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(cost))
+	return w.group.Send(ctx, buf[:])
+}
+
+// listen applies the totally-ordered bound stream.
+func (w *worker) listen(ctx context.Context) {
+	for {
+		m, err := w.group.Receive(ctx)
+		if err != nil {
+			return
+		}
+		if m.Kind != amoeba.Data || len(m.Payload) != 8 {
+			continue
+		}
+		c := int64(binary.BigEndian.Uint64(m.Payload))
+		// The stream is ordered, but apply monotonically anyway:
+		// an older in-flight announcement must not loosen the bound.
+		for {
+			cur := w.bound.Load()
+			if c >= cur || w.bound.CompareAndSwap(cur, c) {
+				break
+			}
+		}
+	}
+}
+
+// search runs depth-first branch and bound from a fixed first edge.
+func (w *worker) search(ctx context.Context) {
+	visited := [cities]bool{}
+	tour := [cities]int{}
+	visited[0] = true
+	tour[0] = 0
+	// Static split: worker w owns second cities w.id+1, w.id+1+workers, …
+	for second := w.id + 1; second < cities; second += workers {
+		visited[second] = true
+		tour[1] = second
+		w.dfs(ctx, tour[:], visited[:], 2, w.m[0][second])
+		visited[second] = false
+	}
+}
+
+func (w *worker) dfs(ctx context.Context, tour []int, visited []bool, depth, cost int) {
+	w.nodes++
+	bound := int(w.bound.Load())
+	if cost >= bound {
+		return // prune: no tour through this prefix can win
+	}
+	if depth == cities {
+		total := cost + w.m[tour[cities-1]][0]
+		if total < bound {
+			w.improved++
+			if err := w.announce(ctx, total); err != nil {
+				log.Fatalf("worker %d announce: %v", w.id, err)
+			}
+		}
+		return
+	}
+	last := tour[depth-1]
+	for next := 1; next < cities; next++ {
+		if visited[next] {
+			continue
+		}
+		visited[next] = true
+		tour[depth] = next
+		w.dfs(ctx, tour, visited, depth+1, cost+w.m[last][next])
+		visited[next] = false
+	}
+}
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+
+	m := instance(42)
+	ws := make([]*worker, workers)
+	for i := 0; i < workers; i++ {
+		k, err := network.NewKernel(fmt.Sprintf("worker-%d", i))
+		if err != nil {
+			log.Fatalf("kernel: %v", err)
+		}
+		var g *amoeba.Group
+		if i == 0 {
+			g, err = k.CreateGroup(ctx, "tsp-bounds", amoeba.GroupOptions{})
+		} else {
+			g, err = k.JoinGroup(ctx, "tsp-bounds", amoeba.GroupOptions{})
+		}
+		if err != nil {
+			log.Fatalf("worker %d: %v", i, err)
+		}
+		ws[i] = &worker{id: i, m: m, group: g}
+		ws[i].bound.Store(1 << 30)
+	}
+
+	listenCtx, stopListen := context.WithCancel(ctx)
+	for _, w := range ws {
+		go w.listen(listenCtx)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.search(ctx)
+		}()
+	}
+	wg.Wait()
+	// Let the final bound announcements drain to everyone.
+	time.Sleep(100 * time.Millisecond)
+	stopListen()
+
+	var nodes int64
+	for _, w := range ws {
+		nodes += w.nodes
+		fmt.Printf("worker %d: expanded %8d nodes, announced %d improved bounds\n",
+			w.id, w.nodes, w.improved)
+	}
+	best := ws[0].bound.Load()
+	for _, w := range ws {
+		if w.bound.Load() != best {
+			log.Fatalf("workers disagree on the optimum: %d vs %d", w.bound.Load(), best)
+		}
+	}
+	fmt.Printf("optimal %d-city tour cost: %d (%d nodes in %v)\n",
+		cities, best, nodes, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,246 @@
+package amoeba
+
+import (
+	"context"
+	"sync"
+
+	"amoeba/internal/core"
+)
+
+// MsgKind labels what a received Message represents.
+type MsgKind int
+
+// Message kinds. Data messages carry application payload; the rest are
+// membership events, delivered in the same total order at every member.
+const (
+	Data MsgKind = iota + 1
+	// Join reports a member (possibly this one) joining.
+	Join
+	// Leave reports a member leaving.
+	Leave
+	// Reset reports a completed recovery: the group was rebuilt after a
+	// failure.
+	Reset
+	// Expelled reports that THIS member was removed from the group by a
+	// recovery it did not participate in; the group handle is dead.
+	Expelled
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	case Reset:
+		return "reset"
+	case Expelled:
+		return "expelled"
+	default:
+		return "unknown"
+	}
+}
+
+func kindOf(k core.MsgKind) MsgKind {
+	switch k {
+	case core.KindData:
+		return Data
+	case core.KindJoin:
+		return Join
+	case core.KindLeave:
+		return Leave
+	case core.KindReset:
+		return Reset
+	case core.KindExpelled:
+		return Expelled
+	default:
+		return 0
+	}
+}
+
+// Message is one totally-ordered delivery from a group.
+type Message struct {
+	// Kind is Data for application messages, or a membership event.
+	Kind MsgKind
+	// Seq is the message's global sequence number; consecutive at every
+	// member (recoveries in resilience-0 groups may skip lost numbers).
+	Seq uint32
+	// Sender is the member id of the sender (for membership events, the
+	// member that joined or left).
+	Sender int
+	// Payload is the application data; nil for membership events. The
+	// receiver owns it.
+	Payload []byte
+	// Members is the group size after this event.
+	Members int
+}
+
+// GroupInfo is a GetInfoGroup snapshot.
+type GroupInfo struct {
+	// Name is the group's name.
+	Name string
+	// Self is this process's member id.
+	Self int
+	// Sequencer is the current sequencer's member id.
+	Sequencer int
+	// IsSequencer reports whether this process sequences the group.
+	IsSequencer bool
+	// Members is the current group size.
+	Members int
+	// MemberIDs lists member ids in ascending order.
+	MemberIDs []int
+	// Resilience is the group's fault-tolerance degree.
+	Resilience int
+	// Incarnation counts recoveries survived.
+	Incarnation uint32
+}
+
+// Group is one process's membership in a group. Methods are safe for
+// concurrent use; Send and Receive block, per the paper's primitive design.
+type Group struct {
+	kernel *Kernel
+	name   string
+	tr     *core.FLIPTransport
+	ep     *core.Endpoint
+	queue  *deliveryQueue
+}
+
+// Name returns the group's name.
+func (g *Group) Name() string { return g.name }
+
+// Send broadcasts payload to the group — the paper's SendToGroup. It blocks
+// until the message is totally ordered (and, with resilience r, stored by r
+// other members). Sends from one Group handle are delivered FIFO.
+func (g *Group) Send(ctx context.Context, payload []byte) error {
+	return waitCtx(ctx, func(done func(error)) { g.ep.Send(payload, done) })
+}
+
+// Receive blocks until the next totally-ordered message — the paper's
+// ReceiveFromGroup. Every member receives the same sequence of Messages,
+// data and membership events interleaved identically.
+func (g *Group) Receive(ctx context.Context) (Message, error) {
+	return g.queue.pop(ctx)
+}
+
+// Leave departs the group in total order — the paper's LeaveGroup. It blocks
+// until the departure is sequenced; afterwards the handle is dead.
+func (g *Group) Leave(ctx context.Context) error {
+	err := waitCtx(ctx, func(done func(error)) { g.ep.Leave(done) })
+	if err == nil {
+		g.tr.Unbind()
+	}
+	return err
+}
+
+// Reset rebuilds the group after a suspected failure — the paper's
+// ResetGroup. It blocks until a new view with at least minAlive members is
+// installed, retrying (and keeping the group blocked) while fewer survive.
+// This process becomes the new sequencer.
+func (g *Group) Reset(ctx context.Context, minAlive int) error {
+	return waitCtx(ctx, func(done func(error)) { g.ep.Reset(minAlive, done) })
+}
+
+// Info returns a snapshot of the group's state — the paper's GetInfoGroup.
+func (g *Group) Info() GroupInfo {
+	info := g.ep.Info()
+	ids := make([]int, 0, len(info.Members))
+	for _, m := range info.Members {
+		ids = append(ids, int(m.ID))
+	}
+	return GroupInfo{
+		Name:        g.name,
+		Self:        int(info.Self),
+		Sequencer:   int(info.Sequencer),
+		IsSequencer: info.IsSequencer,
+		Members:     len(info.Members),
+		MemberIDs:   ids,
+		Resilience:  info.Resilience,
+		Incarnation: info.Incarnation,
+	}
+}
+
+// Close abandons the membership without protocol interaction — to the rest
+// of the group, this member has crashed. Prefer Leave for orderly exits.
+func (g *Group) Close() {
+	g.ep.Close()
+	g.tr.Unbind()
+	g.queue.close()
+}
+
+// deliveryQueue buffers ordered deliveries between the protocol goroutines
+// and blocking Receive calls.
+type deliveryQueue struct {
+	mu     sync.Mutex
+	msgs   []Message
+	notify chan struct{}
+	closed bool
+}
+
+func newDeliveryQueue(size int) *deliveryQueue {
+	if size <= 0 {
+		size = 1024
+	}
+	return &deliveryQueue{notify: make(chan struct{}, 1)}
+}
+
+func (q *deliveryQueue) push(d core.Delivery) {
+	m := Message{
+		Kind:    kindOf(d.Kind),
+		Seq:     d.Seq,
+		Sender:  int(d.Sender),
+		Payload: d.Payload,
+		Members: d.Members,
+	}
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.msgs = append(q.msgs, m)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (q *deliveryQueue) pop(ctx context.Context) (Message, error) {
+	for {
+		q.mu.Lock()
+		if len(q.msgs) > 0 {
+			m := q.msgs[0]
+			q.msgs = q.msgs[1:]
+			more := len(q.msgs) > 0
+			q.mu.Unlock()
+			if more {
+				select {
+				case q.notify <- struct{}{}:
+				default:
+				}
+			}
+			return m, nil
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return Message{}, ErrNotMember
+		}
+		select {
+		case <-q.notify:
+		case <-ctx.Done():
+			return Message{}, ctx.Err()
+		}
+	}
+}
+
+func (q *deliveryQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"time"
+
+	"amoeba/internal/cost"
+	"amoeba/internal/flip"
+	"amoeba/internal/sim"
+)
+
+// Method selects the broadcast wire strategy.
+type Method uint8
+
+// Broadcast methods. MethodPB sends the payload point-to-point to the
+// sequencer, which multicasts it: two network transits of the data, one
+// interrupt per receiver. MethodBB multicasts the payload directly and the
+// sequencer multicasts a short accept: one transit of the data, two
+// interrupts per receiver. MethodAuto switches on message size, as the
+// Amoeba implementation does: small messages use PB (bandwidth is cheap,
+// interrupts are not), large messages use BB (halving the bandwidth
+// dominates).
+const (
+	MethodAuto Method = iota
+	MethodPB
+	MethodBB
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodPB:
+		return "PB"
+	case MethodBB:
+		return "BB"
+	default:
+		return "method(?)"
+	}
+}
+
+// Transport is the sending half of the endpoint's world: point-to-point and
+// group multicast FLIP service. Delivery of inbound packets happens through
+// Endpoint.HandlePacket.
+type Transport interface {
+	// Send transmits a group-protocol packet to the process address dst.
+	Send(dst flip.Address, payload []byte) error
+	// Multicast transmits a group-protocol packet to every group member,
+	// including the local one (loopback).
+	Multicast(payload []byte) error
+}
+
+// Delivery is one totally-ordered message handed to the application.
+// Deliveries arrive in strictly increasing Seq order, identically at every
+// member of the group.
+type Delivery struct {
+	// Kind is KindData for application messages or a membership event.
+	Kind MsgKind
+	// Seq is the global sequence number.
+	Seq uint32
+	// Sender is the member that sent the message (for membership events,
+	// the member that joined or left).
+	Sender MemberID
+	// SenderAddr is the FLIP address of the sender.
+	SenderAddr flip.Address
+	// Payload is the application data (KindData only). The receiver owns
+	// it.
+	Payload []byte
+	// Members is the group size after applying this event.
+	Members int
+}
+
+// Info is a GetInfoGroup snapshot.
+type Info struct {
+	// Group is the group's FLIP address.
+	Group flip.Address
+	// Incarnation counts recoveries survived.
+	Incarnation uint32
+	// Self is this endpoint's member id.
+	Self MemberID
+	// Sequencer is the current sequencer's member id.
+	Sequencer MemberID
+	// IsSequencer reports whether this endpoint sequences the group.
+	IsSequencer bool
+	// Members lists the current membership sorted by id.
+	Members []Member
+	// NextSeq is the next sequence number this endpoint expects to
+	// deliver.
+	NextSeq uint32
+	// Resilience is the group's configured resilience degree.
+	Resilience int
+}
+
+// Config assembles an Endpoint. Group, Self, Transport, and Clock are
+// required; zero timeouts take the defaults noted on each field.
+type Config struct {
+	// Group is the group's FLIP address.
+	Group flip.Address
+	// Self is this member's FLIP process address.
+	Self flip.Address
+	// Transport sends packets; inbound packets must be fed to
+	// Endpoint.HandlePacket.
+	Transport Transport
+	// Clock drives every protocol timer.
+	Clock sim.Clock
+	// Meter accounts per-layer processing; nil disables accounting.
+	Meter cost.Meter
+
+	// Resilience is the group's resilience degree r: SendToGroup does not
+	// complete until r other members have stored the message, and any r
+	// member crashes lose no completed message.
+	Resilience int
+	// Method selects PB, BB, or automatic switching.
+	Method Method
+	// BBThreshold is the payload size at or above which MethodAuto uses
+	// BB. Default 1024 bytes.
+	BBThreshold int
+	// HistorySize bounds the history buffer. Default 128, as in the
+	// paper's experiments.
+	HistorySize int
+	// MaxMessage bounds application payloads. Default 64 KiB (the paper
+	// measures up to 8000 bytes but the protocol handles more).
+	MaxMessage int
+
+	// RetryInterval spaces sender retransmissions of unacknowledged
+	// requests and joins. Default 50 ms.
+	RetryInterval time.Duration
+	// MaxRetries bounds request retransmissions before the sequencer is
+	// suspected dead. Default 10.
+	MaxRetries int
+	// NakDelay is how long a member waits after detecting a sequence gap
+	// before sending a retransmission request, allowing in-flight packets
+	// to settle. Default 2 ms.
+	NakDelay time.Duration
+	// SyncInterval is the idle sequencer's watermark multicast period,
+	// letting members discover missed trailing messages. Default 500 ms.
+	SyncInterval time.Duration
+	// StatusTimeout bounds a member's response to a status request before
+	// the sequencer suspects it dead. Default 100 ms.
+	StatusTimeout time.Duration
+	// StatusRetries is how many unanswered status requests (the paper's
+	// "certain number of trials") declare a member dead. Default 3.
+	StatusRetries int
+	// ResetTimeout bounds each wait during recovery (votes, fetches,
+	// acks) before retrying or declaring non-responders dead. Default
+	// 100 ms.
+	ResetTimeout time.Duration
+	// ResetRetries bounds invite/result retransmissions per recovery
+	// round. Default 3.
+	ResetRetries int
+	// AutoReset makes the endpoint start recovery on its own when it
+	// suspects the sequencer has failed (send retries exhausted). When
+	// false, suspicion is surfaced as ErrSequencerDead and the
+	// application decides whether to call Reset — the paper's
+	// "user-requested" recovery.
+	AutoReset bool
+	// MinSurvivors is the quorum recovery requires before installing a
+	// new view; recovery retries until it can gather this many members.
+	// Default 1.
+	MinSurvivors int
+
+	// OnDeliver receives ordered messages. Called strictly in Seq order,
+	// never concurrently, and never while internal locks are held (the
+	// handler may call back into the endpoint).
+	OnDeliver func(Delivery)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Meter == nil {
+		c.Meter = cost.NopMeter{}
+	}
+	if c.BBThreshold <= 0 {
+		c.BBThreshold = 1024
+	}
+	if c.HistorySize <= 0 {
+		c.HistorySize = 128
+	}
+	if c.MaxMessage <= 0 {
+		c.MaxMessage = 64 << 10
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 50 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 10
+	}
+	if c.NakDelay <= 0 {
+		c.NakDelay = 2 * time.Millisecond
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 500 * time.Millisecond
+	}
+	if c.StatusTimeout <= 0 {
+		c.StatusTimeout = 100 * time.Millisecond
+	}
+	if c.StatusRetries <= 0 {
+		c.StatusRetries = 3
+	}
+	if c.ResetTimeout <= 0 {
+		c.ResetTimeout = 100 * time.Millisecond
+	}
+	if c.ResetRetries <= 0 {
+		c.ResetRetries = 3
+	}
+	if c.MinSurvivors <= 0 {
+		c.MinSurvivors = 1
+	}
+}

@@ -1,0 +1,560 @@
+// Package core implements the Amoeba group communication protocol: reliable,
+// totally-ordered multicast built on a per-group sequencer, negative
+// acknowledgements, piggybacked acknowledgement state, and a user-selectable
+// resilience degree.
+//
+// One Endpoint is one group member's protocol state machine. Endpoints are
+// event-driven: inbound packets arrive through HandlePacket, timers fire
+// through the configured Clock, and applications invoke the Table 1
+// primitives (Send, Leave, Reset, Info). The same code runs unchanged over
+// the in-memory transport (goroutines, wall-clock timers) and under the
+// calibrated discrete-event simulator (virtual time, per-layer CPU
+// accounting) — the only difference is the Transport, Clock, and Meter
+// supplied in Config.
+//
+// Protocol summary (paper §2–3): a member sends by forwarding its message to
+// the group's sequencer (PB method) or multicasting it and waiting for the
+// sequencer's short accept (BB method); the sequencer assigns a global
+// sequence number. Receivers detect gaps in the sequence numbers and request
+// retransmission from the sequencer's history buffer — there are no
+// per-message positive acknowledgements; instead every packet piggybacks the
+// sender's highest contiguously received sequence number, which lets the
+// sequencer prune history. With resilience degree r, the sequencer first
+// multicasts the message as tentative; the r lowest-numbered members buffer
+// it and acknowledge; only then is the short accept multicast and the message
+// deliverable, so any r crashes lose no completed send. Joins, leaves, and
+// recovery from member or sequencer failure are ordered in the same stream
+// as data.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"amoeba/internal/cost"
+	"amoeba/internal/flip"
+	"amoeba/internal/sim"
+)
+
+// Errors surfaced to applications.
+var (
+	// ErrTooLarge reports a payload above Config.MaxMessage.
+	ErrTooLarge = errors.New("core: message exceeds maximum size")
+	// ErrSequencerDead reports exhausted retries talking to the
+	// sequencer; the application should invoke Reset (or enable
+	// AutoReset).
+	ErrSequencerDead = errors.New("core: sequencer not responding")
+	// ErrNotMember reports an operation on an endpoint that has left,
+	// been expelled, or never joined.
+	ErrNotMember = errors.New("core: not a group member")
+	// ErrJoinFailed reports that no sequencer answered a join request.
+	ErrJoinFailed = errors.New("core: join failed: no sequencer found")
+	// ErrResetFailed reports a recovery that could not gather the
+	// required survivors.
+	ErrResetFailed = errors.New("core: reset failed: not enough survivors")
+	// ErrClosed reports an operation on a closed endpoint.
+	ErrClosed = errors.New("core: endpoint closed")
+)
+
+// state is the endpoint lifecycle.
+type state uint8
+
+const (
+	stJoining state = iota + 1
+	stNormal
+	stRecovering   // voted in a recovery epoch, frozen
+	stCoordinating // running a recovery as coordinator
+	stDead         // left, expelled, or closed
+)
+
+// Stats counts protocol events on one endpoint.
+type Stats struct {
+	Sent           uint64 // application sends completed
+	Delivered      uint64 // deliveries to the application
+	NaksSent       uint64
+	Retransmitted  uint64 // retransmissions served (sequencer/holder side)
+	RequestRetries uint64 // sender-side request retransmissions
+	Ordered        uint64 // messages assigned a seqno (sequencer side)
+	DroppedFull    uint64 // requests refused because history was full
+	AcksSent       uint64 // resilience acks sent
+	Resets         uint64 // recoveries completed
+	LostGaps       uint64 // sequence numbers lost to failures (r=0 only)
+}
+
+// sendOp is one queued application send.
+type sendOp struct {
+	localID uint32
+	payload []byte
+	method  Method
+	retries int
+	done    func(error)
+	active  bool
+}
+
+// Endpoint is one member's group-protocol instance.
+type Endpoint struct {
+	cfg Config
+
+	mu       sync.Mutex
+	st       state
+	self     MemberID
+	view     view // membership as of the delivery point
+	pending  view // membership including ordered-but-undelivered changes (sequencer)
+	isSeq    bool
+	stats    Stats
+	closed   bool
+	draining bool
+	actions  []func()
+
+	// Receiving.
+	hist        *history // ordered messages: pending delivery + recovery store
+	nextDeliver uint32   // next seqno to hand to the application
+	maxSeen     uint32   // highest seqno known to exist
+	bbCache     map[bbKey][]byte
+	nakTimer    sim.Timer
+	nakBackoff  time.Duration
+
+	// Sending.
+	nextLocalID uint32
+	sendQ       []*sendOp
+	sendTimer   sim.Timer
+
+	// Sequencer.
+	globalSeq       uint32 // highest assigned seqno
+	lastRecv        map[MemberID]uint32
+	dedup           map[MemberID]dedupEntry
+	syncTimer       sim.Timer
+	tentTimer       sim.Timer
+	statusProbe     map[MemberID]*probe
+	leaveSeq        uint32              // seqno of own ordered leave (handoff pending), 0 if none
+	leavers         map[MemberID]uint32 // departed members still owed retransmissions, by leave seqno
+	joinAcks        map[flip.Address]joinAck
+	pendingJoinAcks map[uint32]flip.Address // join acks gated on resilience acceptance
+
+	// Leaving.
+	leaveDone []func(error)
+
+	// Joining.
+	joinTimer   sim.Timer
+	joinRetries int
+	joinDone    []func(error)
+
+	// Recovery.
+	rec          *recovery
+	resetWaiters []func(error)
+}
+
+type bbKey struct {
+	sender  MemberID
+	localID uint32
+}
+
+type dedupEntry struct {
+	localID uint32
+	seq     uint32
+}
+
+type probe struct {
+	tries int
+	timer sim.Timer
+}
+
+// NewCreator builds the endpoint for CreateGroup: the caller becomes member 0
+// and the group's first sequencer. Call Start after binding the transport.
+func NewCreator(cfg Config) (*Endpoint, error) {
+	ep, err := newEndpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ep.st = stNormal
+	ep.self = 0
+	ep.isSeq = true
+	ep.view = view{incarnation: 1, members: []Member{{ID: 0, Addr: cfg.Self}}, sequencer: 0}
+	ep.pending = ep.view.clone()
+	ep.lastRecv = map[MemberID]uint32{0: 0}
+	ep.dedup = make(map[MemberID]dedupEntry)
+	return ep, nil
+}
+
+// NewJoiner builds an endpoint for JoinGroup. done is called once the join
+// concludes. Call Start after binding the transport to begin locating the
+// sequencer.
+func NewJoiner(cfg Config, done func(error)) (*Endpoint, error) {
+	ep, err := newEndpoint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ep.st = stJoining
+	ep.self = noMember
+	if done != nil {
+		ep.joinDone = append(ep.joinDone, done)
+	}
+	return ep, nil
+}
+
+// Start boots the endpoint's protocol activity: the creator orders its own
+// join (so the stream begins with a membership event, exactly as later joins
+// appear to existing members) and a joiner begins soliciting the sequencer.
+// Call exactly once, after the transport delivers inbound packets to
+// HandlePacket.
+func (ep *Endpoint) Start() {
+	ep.mu.Lock()
+	switch {
+	case ep.closed:
+	case ep.isSeq && ep.globalSeq == 0:
+		ep.orderLocked(KindJoin, 0, 0, encodeView(ep.pending, 1))
+		ep.armSyncLocked()
+	case ep.st == stJoining:
+		ep.sendJoinReqLocked()
+	}
+	ep.mu.Unlock()
+	ep.drain()
+}
+
+func newEndpoint(cfg Config) (*Endpoint, error) {
+	if cfg.Group == 0 || cfg.Self == 0 {
+		return nil, errors.New("core: Group and Self addresses are required")
+	}
+	if cfg.Transport == nil || cfg.Clock == nil {
+		return nil, errors.New("core: Transport and Clock are required")
+	}
+	cfg.applyDefaults()
+	return &Endpoint{
+		cfg:         cfg,
+		hist:        newHistory(cfg.HistorySize),
+		bbCache:     make(map[bbKey][]byte),
+		nextDeliver: 1, // seqnos start at 1; a joiner re-bases at its join
+	}, nil
+}
+
+// --- Locking and upcall discipline -----------------------------------------
+//
+// Handlers mutate state under ep.mu and enqueue side effects (transport
+// sends, deliveries, call completions) as actions. Actions run outside the
+// lock, in enqueue order, by a single drainer at a time; this keeps
+// deliveries totally ordered while letting action code (including FLIP
+// loopback, which re-enters HandlePacket synchronously) call back into the
+// endpoint freely.
+
+// enqueue records a side effect. Caller holds ep.mu.
+func (ep *Endpoint) enqueue(f func()) { ep.actions = append(ep.actions, f) }
+
+// drain runs queued actions. Caller must NOT hold ep.mu.
+func (ep *Endpoint) drain() {
+	ep.mu.Lock()
+	for {
+		if ep.draining || len(ep.actions) == 0 {
+			ep.mu.Unlock()
+			return
+		}
+		ep.draining = true
+		acts := ep.actions
+		ep.actions = nil
+		ep.mu.Unlock()
+		for _, a := range acts {
+			a()
+		}
+		ep.mu.Lock()
+		ep.draining = false
+	}
+}
+
+// after arms a timer whose callback runs under ep.mu followed by a drain.
+func (ep *Endpoint) after(d time.Duration, fn func()) sim.Timer {
+	return ep.cfg.Clock.AfterFunc(d, func() {
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		fn()
+		ep.mu.Unlock()
+		ep.drain()
+	})
+}
+
+// sendPkt enqueues a point-to-point packet send. Caller holds ep.mu.
+func (ep *Endpoint) sendPkt(dst flip.Address, p packet) {
+	p.view = ep.view.incarnation
+	if stampsSender(p.typ) {
+		p.sender = ep.self
+	}
+	p.lastRecv = ep.nextDeliver - 1
+	buf := p.encode()
+	ep.enqueue(func() { _ = ep.cfg.Transport.Send(dst, buf) })
+}
+
+// multicastPkt enqueues a group multicast. Caller holds ep.mu.
+func (ep *Endpoint) multicastPkt(p packet) {
+	p.view = ep.view.incarnation
+	if stampsSender(p.typ) {
+		p.sender = ep.self
+	}
+	p.lastRecv = ep.nextDeliver - 1
+	buf := p.encode()
+	ep.enqueue(func() { _ = ep.cfg.Transport.Multicast(buf) })
+}
+
+// --- Application API --------------------------------------------------------
+
+// Send submits payload for totally-ordered broadcast. done is invoked exactly
+// once, after the send completes (for resilience 0, when the message has been
+// sequenced; for resilience r, when r other members have stored it) or fails.
+// Sends from one endpoint are sequenced FIFO.
+func (ep *Endpoint) Send(payload []byte, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	ep.mu.Lock()
+	if ep.closed || ep.st == stDead {
+		ep.mu.Unlock()
+		done(ErrNotMember)
+		return
+	}
+	if len(payload) > ep.cfg.MaxMessage {
+		ep.mu.Unlock()
+		done(fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(payload), ep.cfg.MaxMessage))
+		return
+	}
+	ep.cfg.Meter.Charge(cost.UserSend, len(payload))
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	ep.nextLocalID++
+	op := &sendOp{localID: ep.nextLocalID, payload: p, method: ep.resolveMethod(len(p)), done: done}
+	ep.sendQ = append(ep.sendQ, op)
+	ep.pumpSendLocked()
+	ep.mu.Unlock()
+	ep.drain()
+}
+
+// resolveMethod picks PB or BB for a payload. Resilience forces PB: the
+// tentative/accept exchange is defined over the sequencer-relayed path
+// (paper §3.1 describes it for PB; the BB variant is noted as possible but
+// Amoeba used PB, as do we).
+func (ep *Endpoint) resolveMethod(size int) Method {
+	if ep.cfg.Resilience > 0 {
+		return MethodPB
+	}
+	switch ep.cfg.Method {
+	case MethodPB:
+		return MethodPB
+	case MethodBB:
+		return MethodBB
+	default:
+		if size >= ep.cfg.BBThreshold {
+			return MethodBB
+		}
+		return MethodPB
+	}
+}
+
+// Leave requests an ordered departure from the group. done is invoked once
+// every member has observed the leave (or on failure).
+func (ep *Endpoint) Leave(done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	ep.mu.Lock()
+	if ep.closed || ep.st == stDead {
+		ep.mu.Unlock()
+		done(ErrNotMember)
+		return
+	}
+	ep.leaveDone = append(ep.leaveDone, done)
+	if len(ep.leaveDone) == 1 {
+		ep.startLeaveLocked()
+	}
+	ep.mu.Unlock()
+	ep.drain()
+}
+
+// Reset initiates recovery (the paper's ResetGroup): rebuild the group from
+// reachable members, electing this endpoint as the new sequencer. minAlive is
+// the minimum surviving membership required; recovery retries until it can
+// assemble that many. done is invoked when a new view is installed.
+func (ep *Endpoint) Reset(minAlive int, done func(error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	ep.mu.Lock()
+	if ep.closed || ep.st == stDead || ep.st == stJoining {
+		ep.mu.Unlock()
+		done(ErrNotMember)
+		return
+	}
+	ep.resetWaiters = append(ep.resetWaiters, done)
+	ep.initiateResetLocked(minAlive)
+	ep.mu.Unlock()
+	ep.drain()
+}
+
+// Info returns a GetInfoGroup snapshot.
+func (ep *Endpoint) Info() Info {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	v := ep.view.clone()
+	return Info{
+		Group:       ep.cfg.Group,
+		Incarnation: v.incarnation,
+		Self:        ep.self,
+		Sequencer:   v.sequencer,
+		IsSequencer: ep.isSeq,
+		Members:     v.members,
+		NextSeq:     ep.nextDeliver,
+		Resilience:  ep.cfg.Resilience,
+	}
+}
+
+// Stats returns a snapshot of the endpoint's protocol counters.
+func (ep *Endpoint) Stats() Stats {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.stats
+}
+
+// Close abandons the endpoint without protocol interaction (a crash, from
+// the group's point of view). Pending calls fail with ErrClosed.
+func (ep *Endpoint) Close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	ep.st = stDead
+	ep.stopTimersLocked()
+	for _, op := range ep.sendQ {
+		op := op
+		ep.enqueue(func() { op.done(ErrClosed) })
+	}
+	ep.sendQ = nil
+	for _, d := range ep.joinDone {
+		d := d
+		ep.enqueue(func() { d(ErrClosed) })
+	}
+	ep.joinDone = nil
+	for _, d := range ep.leaveDone {
+		d := d
+		ep.enqueue(func() { d(ErrClosed) })
+	}
+	ep.leaveDone = nil
+	for _, d := range ep.resetWaiters {
+		d := d
+		ep.enqueue(func() { d(ErrClosed) })
+	}
+	ep.resetWaiters = nil
+	ep.mu.Unlock()
+	ep.drain()
+}
+
+func (ep *Endpoint) stopTimersLocked() {
+	for _, t := range []sim.Timer{ep.nakTimer, ep.sendTimer, ep.syncTimer,
+		ep.tentTimer, ep.joinTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	ep.nakTimer, ep.sendTimer, ep.syncTimer, ep.tentTimer, ep.joinTimer = nil, nil, nil, nil, nil
+	for _, pr := range ep.statusProbe {
+		if pr.timer != nil {
+			pr.timer.Stop()
+		}
+	}
+	ep.statusProbe = nil
+	if ep.rec != nil {
+		ep.rec.stopTimersLocked()
+	}
+}
+
+// --- Packet dispatch ---------------------------------------------------------
+
+// HandlePacket feeds one inbound FLIP message (unicast or group multicast)
+// into the state machine. The hosting runtime calls this from its FLIP
+// handlers.
+func (ep *Endpoint) HandlePacket(m flip.Message) {
+	p, err := decodePacket(m.Payload)
+	if err != nil {
+		return // garbled beyond the FLIP checksum: ignore
+	}
+	ep.mu.Lock()
+	if ep.closed || ep.st == stDead {
+		ep.mu.Unlock()
+		return
+	}
+	switch p.typ {
+	case ptBcast, ptAccept, ptTentative:
+		// The sequencer hears these only as loopback of its own
+		// relayed sends (network multicast excludes the sender); the
+		// message is already sequenced and in history, so no group
+		// input processing happens.
+		if ep.isSeq {
+			break
+		}
+		if p.typ == ptAccept {
+			ep.cfg.Meter.Charge(cost.CtrlIn, 0)
+		} else {
+			ep.cfg.Meter.Charge(cost.GroupIn, 0)
+		}
+	case ptReq, ptBBData, ptRetrans:
+		ep.cfg.Meter.Charge(cost.GroupIn, 0)
+	default:
+		ep.cfg.Meter.Charge(cost.CtrlIn, 0)
+	}
+	// Piggybacked acknowledgement state feeds the sequencer's pruning.
+	if ep.isSeq && p.sender != noMember && carriesPiggyback(p.typ) {
+		ep.noteLastRecvLocked(p.sender, p.lastRecv)
+	}
+	switch p.typ {
+	// Sequencer side.
+	case ptReq:
+		ep.handleReq(p, m.Src)
+	case ptAck:
+		ep.handleAck(p)
+	case ptNak:
+		ep.handleNak(p, m.Src)
+	case ptStatus:
+		ep.handleStatus(p)
+	case ptJoinReq:
+		ep.handleJoinReq(p, m.Src)
+	case ptLeaveReq:
+		ep.handleLeaveReq(p, m.Src)
+	// Member side.
+	case ptBcast:
+		ep.handleBcast(p, false)
+	case ptRetrans:
+		ep.handleBcast(p, true)
+	case ptBBData:
+		ep.handleBBData(p)
+	case ptAccept:
+		ep.handleAccept(p)
+	case ptTentative:
+		ep.handleTentative(p)
+	case ptSync:
+		ep.handleSync(p)
+	case ptLost:
+		ep.handleLost(p)
+	case ptStatusReq:
+		ep.handleStatusReq(p, m.Src)
+	case ptJoinAck:
+		ep.handleJoinAck(p)
+	case ptStale:
+		ep.handleStale(p)
+	case ptHandoff:
+		ep.handleHandoff(p)
+	// Recovery.
+	case ptResetInvite:
+		ep.handleResetInvite(p, m.Src)
+	case ptResetVote:
+		ep.handleResetVote(p, m.Src)
+	case ptResetFetch:
+		ep.handleResetFetch(p, m.Src)
+	case ptResetResult:
+		ep.handleResetResult(p, m.Src)
+	case ptResetAck:
+		ep.handleResetAck(p, m.Src)
+	}
+	ep.mu.Unlock()
+	ep.drain()
+}

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"amoeba/internal/netw/memnet"
+)
+
+// blockingCall wraps a callback API into a blocking wait.
+func await(t *testing.T, what string, start func(done func(error))) error {
+	t.Helper()
+	ch := make(chan error, 1)
+	start(func(e error) { ch <- e })
+	select {
+	case e := <-ch:
+		return e
+	case <-time.After(testTimeout):
+		t.Fatalf("%s timed out", what)
+		return nil
+	}
+}
+
+func TestMemberLeaveIsOrderedEverywhere(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, nil)
+	if err := await(t, "leave", func(d func(error)) { g.nodes[1].ep.Leave(d) }); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// Leave occupies seq 4 (after 3 joins); both survivors must see it.
+	for _, i := range []int{0, 2} {
+		ds := g.nodes[i].waitForSeq(4)
+		last := ds[len(ds)-1]
+		if last.Kind != KindLeave || last.Sender != 1 || last.Members != 2 {
+			t.Fatalf("node %d saw %+v", i, last)
+		}
+		info := g.nodes[i].ep.Info()
+		if len(info.Members) != 2 {
+			t.Fatalf("node %d has %d members", i, len(info.Members))
+		}
+	}
+	// The leaver saw its own leave as its final delivery.
+	ds := g.nodes[1].waitForSeq(4)
+	if ds[len(ds)-1].Kind != KindLeave || ds[len(ds)-1].Sender != 1 {
+		t.Fatalf("leaver saw %+v", ds[len(ds)-1])
+	}
+	// And can no longer send.
+	if err := await(t, "post-leave send", func(d func(error)) { g.nodes[1].ep.Send([]byte("x"), d) }); err == nil {
+		t.Fatal("send after leave succeeded")
+	}
+	// The survivors still can.
+	if err := g.send(2, []byte("after-leave")); err != nil {
+		t.Fatalf("survivor send: %v", err)
+	}
+	g.nodes[0].waitData(1)
+}
+
+func TestSequencerLeaveHandsOff(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, nil)
+	if err := await(t, "sequencer leave", func(d func(error)) { g.nodes[0].ep.Leave(d) }); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// Node 1 (lowest survivor) must take over sequencing.
+	deadline := time.After(testTimeout)
+	for !g.nodes[1].ep.Info().IsSequencer {
+		select {
+		case <-deadline:
+			t.Fatal("successor never became sequencer")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The group remains fully operational under the new sequencer.
+	for i := 0; i < 5; i++ {
+		if err := g.send(2, []byte(fmt.Sprintf("post-handoff-%d", i))); err != nil {
+			t.Fatalf("send %d after handoff: %v", i, err)
+		}
+	}
+	d1 := g.nodes[1].waitData(5)
+	d2 := g.nodes[2].waitData(5)
+	for i := range d1 {
+		if err := sameDelivery(d1[i], d2[i]); err != nil {
+			t.Fatalf("post-handoff divergence at %d: %v", i, err)
+		}
+	}
+	info := g.nodes[2].ep.Info()
+	if info.Sequencer != 1 || len(info.Members) != 2 {
+		t.Fatalf("info after handoff: %+v", info)
+	}
+}
+
+func TestLastMemberLeaveDissolvesGroup(t *testing.T) {
+	g := newGroup(t, 1, memnet.Config{}, nil)
+	if err := await(t, "last leave", func(d func(error)) { g.nodes[0].ep.Leave(d) }); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	ds := g.nodes[0].waitDeliveries(2)
+	if ds[1].Kind != KindLeave || ds[1].Members != 0 {
+		t.Fatalf("dissolution delivery = %+v", ds[1])
+	}
+}
+
+func TestResetAfterSequencerCrash(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, nil)
+	// Establish some pre-crash traffic.
+	for i := 0; i < 3; i++ {
+		if err := g.send(1, []byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	g.nodes[2].waitData(3)
+	g.nodes[0].crash()
+
+	if err := await(t, "reset", func(d func(error)) { g.nodes[1].ep.Reset(2, d) }); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	info := g.nodes[1].ep.Info()
+	if !info.IsSequencer || len(info.Members) != 2 {
+		t.Fatalf("post-reset info: %+v", info)
+	}
+	if info.Incarnation < 2 {
+		t.Fatalf("incarnation did not advance: %+v", info)
+	}
+	// Both survivors observe the reset event in-stream.
+	for _, i := range []int{1, 2} {
+		nd := g.nodes[i]
+		nd.mu.Lock()
+		var sawReset bool
+		for _, d := range nd.deliveries {
+			if d.Kind == KindReset {
+				sawReset = true
+			}
+		}
+		nd.mu.Unlock()
+		if !sawReset {
+			deadline := time.After(testTimeout)
+			for !sawReset {
+				select {
+				case <-nd.notify:
+					nd.mu.Lock()
+					for _, d := range nd.deliveries {
+						if d.Kind == KindReset {
+							sawReset = true
+						}
+					}
+					nd.mu.Unlock()
+				case <-deadline:
+					t.Fatalf("node %d never delivered the reset event", i)
+				}
+			}
+		}
+	}
+	// Pre-crash messages were not lost or reordered.
+	for _, i := range []int{1, 2} {
+		data := g.nodes[i].waitData(3)
+		for j := 0; j < 3; j++ {
+			if string(data[j].Payload) != fmt.Sprintf("pre-%d", j) {
+				t.Fatalf("node %d data[%d] = %q", i, j, data[j].Payload)
+			}
+		}
+	}
+	// And the rebuilt group still works.
+	if err := g.send(2, []byte("post-reset")); err != nil {
+		t.Fatalf("post-reset send: %v", err)
+	}
+	d1 := g.nodes[1].waitData(4)
+	d2 := g.nodes[2].waitData(4)
+	if string(d1[3].Payload) != "post-reset" || string(d2[3].Payload) != "post-reset" {
+		t.Fatalf("post-reset delivery: %q / %q", d1[3].Payload, d2[3].Payload)
+	}
+}
+
+func TestAutoResetRecoversInFlightSend(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.AutoReset = true
+		c.MinSurvivors = 2
+		c.MaxRetries = 3
+	})
+	g.nodes[0].crash()
+	// The send hits retry exhaustion, triggers recovery automatically,
+	// and then completes under the new sequencer.
+	if err := g.send(1, []byte("survives-crash")); err != nil {
+		t.Fatalf("send across crash: %v", err)
+	}
+	data := g.nodes[2].waitData(1)
+	if string(data[0].Payload) != "survives-crash" {
+		t.Fatalf("delivery = %q", data[0].Payload)
+	}
+}
+
+func TestResilienceSurvivesSequencerCrash(t *testing.T) {
+	// r=1: every completed send is stored by at least one member besides
+	// the sequencer, so a sequencer crash loses nothing.
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.Resilience = 1
+	})
+	const msgs = 5
+	for i := 0; i < msgs; i++ {
+		if err := g.send(1, []byte(fmt.Sprintf("r1-%d", i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	g.nodes[0].crash()
+	if err := await(t, "reset", func(d func(error)) { g.nodes[1].ep.Reset(2, d) }); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	for _, i := range []int{1, 2} {
+		data := g.nodes[i].waitData(msgs)
+		for j := 0; j < msgs; j++ {
+			if string(data[j].Payload) != fmt.Sprintf("r1-%d", j) {
+				t.Fatalf("node %d lost or reordered: data[%d]=%q", i, j, data[j].Payload)
+			}
+		}
+	}
+	// The survivors continue with resilience intact (now degree capped by
+	// group size).
+	if err := g.send(2, []byte("after")); err != nil {
+		t.Fatalf("post-reset resilient send: %v", err)
+	}
+	g.nodes[1].waitData(msgs + 1)
+}
+
+func TestResilientSendBlocksUntilReset(t *testing.T) {
+	// With r=1 and the only other member crashed, a send from the
+	// sequencer cannot complete: no surviving member can store it. The
+	// group blocks (paper §2.1) until recovery rebuilds it, after which
+	// the message — anointed by the reset — completes.
+	g := newGroup(t, 2, memnet.Config{}, func(c *Config) { c.Resilience = 1 })
+	g.nodes[1].crash()
+	done := g.sendAsync(0, []byte("needs-ack"))
+	select {
+	case err := <-done:
+		t.Fatalf("resilient send completed without acker: %v", err)
+	case <-time.After(300 * time.Millisecond):
+		// Blocked, as required.
+	}
+	if err := await(t, "reset", func(d func(error)) { g.nodes[0].ep.Reset(1, d) }); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("send failed after reset: %v", err)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("send never completed after reset")
+	}
+	// The anointed message was delivered at the survivor.
+	var found bool
+	for _, d := range g.nodes[0].waitDeliveries(1) {
+		if d.Kind == KindData && string(d.Payload) == "needs-ack" {
+			found = true
+		}
+	}
+	if !found {
+		deadline := time.After(testTimeout)
+		for !found {
+			select {
+			case <-g.nodes[0].notify:
+			case <-deadline:
+				t.Fatal("anointed message never delivered")
+			}
+			g.nodes[0].mu.Lock()
+			for _, d := range g.nodes[0].deliveries {
+				if d.Kind == KindData && string(d.Payload) == "needs-ack" {
+					found = true
+				}
+			}
+			g.nodes[0].mu.Unlock()
+		}
+	}
+}
+
+func TestResetWithInsufficientSurvivorsBlocksThenRecovers(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, nil)
+	g.nodes[0].crash()
+	g.nodes[2].crash()
+	// Survivor demands 2 alive members; only itself remains, so reset
+	// must not complete...
+	done := make(chan error, 1)
+	g.nodes[1].ep.Reset(2, func(e error) { done <- e })
+	select {
+	case err := <-done:
+		t.Fatalf("reset completed without quorum: %v", err)
+	case <-time.After(400 * time.Millisecond):
+	}
+	// ...until another member appears. (A recovered processor would
+	// rejoin; here a fresh member joining is impossible while blocked, so
+	// this test just documents the blocking behaviour.)
+	g.nodes[1].ep.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked reset ended with %v, want ErrClosed", err)
+	}
+}
+
+func TestSoloResetSucceeds(t *testing.T) {
+	g := newGroup(t, 2, memnet.Config{}, nil)
+	g.nodes[0].crash()
+	if err := await(t, "solo reset", func(d func(error)) { g.nodes[1].ep.Reset(1, d) }); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	info := g.nodes[1].ep.Info()
+	if !info.IsSequencer || len(info.Members) != 1 {
+		t.Fatalf("solo info: %+v", info)
+	}
+	// A group of one still totally orders its own sends.
+	if err := g.send(1, []byte("alone")); err != nil {
+		t.Fatalf("solo send: %v", err)
+	}
+}
+
+func TestConcurrentResetsConverge(t *testing.T) {
+	g := newGroup(t, 4, memnet.Config{}, nil)
+	g.nodes[0].crash()
+	// All three survivors start recovery simultaneously; precedence must
+	// pick exactly one winner and everyone must land in the same view.
+	dones := make([]chan error, 3)
+	for i := 1; i <= 3; i++ {
+		ch := make(chan error, 1)
+		dones[i-1] = ch
+		g.nodes[i].ep.Reset(3, func(e error) { ch <- e })
+	}
+	for i, ch := range dones {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("reset %d: %v", i+1, err)
+			}
+		case <-time.After(testTimeout):
+			t.Fatalf("reset %d timed out", i+1)
+		}
+	}
+	// Reset completion is transport-level; the new view lands at each
+	// member when its KindReset delivery catches up. Poll for
+	// convergence.
+	deadline := time.After(testTimeout)
+	for {
+		infos := make([]Info, 3)
+		for i := 1; i <= 3; i++ {
+			infos[i-1] = g.nodes[i].ep.Info()
+		}
+		converged := true
+		seqCount := 0
+		for _, inf := range infos {
+			if inf.Incarnation != infos[0].Incarnation ||
+				inf.Sequencer != infos[0].Sequencer ||
+				len(inf.Members) != 3 {
+				converged = false
+			}
+			if inf.IsSequencer {
+				seqCount++
+			}
+		}
+		if converged {
+			if seqCount != 1 {
+				t.Fatalf("%d sequencers after convergence", seqCount)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("views never converged: %+v", infos)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// The converged group functions.
+	if err := g.send(2, []byte("converged")); err != nil {
+		t.Fatalf("post-convergence send: %v", err)
+	}
+	g.nodes[3].waitData(1)
+}
+
+func TestCrashedMemberExpelledOnReset(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, nil)
+	// Node 2 does not crash, but is cut off: its station closes so it
+	// cannot vote.
+	g.nodes[2].tr.Unbind()
+	if err := await(t, "reset", func(d func(error)) { g.nodes[0].ep.Reset(2, d) }); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	info := g.nodes[0].ep.Info()
+	if len(info.Members) != 2 {
+		t.Fatalf("members after expulsion = %d", len(info.Members))
+	}
+	for _, m := range info.Members {
+		if m.Addr == g.nodes[2].addr {
+			t.Fatal("cut-off member still in view")
+		}
+	}
+}
+
+func TestGroupBlocksWhenMemberDiesWithoutReset(t *testing.T) {
+	// Without AutoReset and without an application Reset, a dead member
+	// eventually pins the history buffer and the sequencer refuses new
+	// messages — the documented blocking behaviour.
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.HistorySize = 8
+		c.MaxRetries = 2
+		c.RetryInterval = 20 * time.Millisecond
+	})
+	g.nodes[2].crash()
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = g.send(1, []byte{byte(i)}); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("sends kept succeeding past a full history pinned by a dead member")
+	}
+	if !errors.Is(err, ErrSequencerDead) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	st := g.nodes[0].ep.Stats()
+	if st.DroppedFull == 0 {
+		t.Fatal("sequencer never exercised history backpressure")
+	}
+}
+
+func TestJoinFailsWithNoGroup(t *testing.T) {
+	net := memnet.New(memnet.Config{})
+	t.Cleanup(net.Close)
+	station, _ := net.Attach("loner")
+	stack := newTestStack(t, station)
+	self := stack.AllocAddress()
+	groupAddr := flipAddr("no-such-group")
+	tr := NewFLIPTransport(stack, self, groupAddr)
+	done := make(chan error, 1)
+	ep, err := NewJoiner(Config{
+		Group: groupAddr, Self: self, Transport: tr, Clock: newTestClock(),
+		RetryInterval: 10 * time.Millisecond, MaxRetries: 3,
+	}, func(e error) { done <- e })
+	if err != nil {
+		t.Fatalf("NewJoiner: %v", err)
+	}
+	tr.Bind(ep)
+	ep.Start()
+	select {
+	case e := <-done:
+		if !errors.Is(e, ErrJoinFailed) {
+			t.Fatalf("join ended with %v, want ErrJoinFailed", e)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("join never failed")
+	}
+}
+
+func TestRejoinAfterLeave(t *testing.T) {
+	g := newGroup(t, 2, memnet.Config{}, nil)
+	if err := await(t, "leave", func(d func(error)) { g.nodes[1].ep.Leave(d) }); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// The same process joins again with a fresh endpoint (new address).
+	nd := g.addNode(false)
+	info := nd.ep.Info()
+	if len(info.Members) != 2 {
+		t.Fatalf("rejoin membership = %d", len(info.Members))
+	}
+	if err := g.send(0, []byte("welcome-back")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	data := nd.waitData(1)
+	if string(data[0].Payload) != "welcome-back" {
+		t.Fatalf("rejoined member got %q", data[0].Payload)
+	}
+}

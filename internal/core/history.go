@@ -1,0 +1,103 @@
+package core
+
+// entry is one ordered message retained in a history buffer.
+type entry struct {
+	seq     uint32
+	kind    MsgKind
+	sender  MemberID
+	localID uint32
+	payload []byte
+	// tentative marks a resilience-degree message that has not yet been
+	// accepted (sequencer side: still collecting acks; member side:
+	// buffered awaiting the accept).
+	tentative bool
+	// acks counts resilience acknowledgements received (sequencer only).
+	acks int
+	// acked records which members acked, to ignore duplicates.
+	acked map[MemberID]bool
+}
+
+// history is the bounded buffer of recently ordered messages kept by the
+// sequencer — and, in this implementation as in Amoeba's, by every member —
+// to serve retransmissions and to survive recovery. The paper's experiments
+// use a capacity of 128 messages.
+//
+// Entries are stored for a contiguous range (floor, top]: floor is the
+// highest pruned seqno, top the highest stored. The sequencer refuses to
+// order new messages when the buffer is full until acknowledgement state
+// (piggybacked lastRecv values) lets it prune.
+type history struct {
+	cap     int
+	floor   uint32 // everything ≤ floor has been pruned
+	entries map[uint32]*entry
+}
+
+func newHistory(capacity int) *history {
+	return &history{cap: capacity, entries: make(map[uint32]*entry)}
+}
+
+// add stores an entry. It reports false when the buffer is full.
+func (h *history) add(e *entry) bool {
+	if len(h.entries) >= h.cap {
+		return false
+	}
+	h.entries[e.seq] = e
+	return true
+}
+
+// full reports whether the buffer cannot accept another entry.
+func (h *history) full() bool { return len(h.entries) >= h.cap }
+
+// get returns the entry for seq, if retained.
+func (h *history) get(seq uint32) (*entry, bool) {
+	e, ok := h.entries[seq]
+	return e, ok
+}
+
+// pruneTo discards entries with seq ≤ upTo, raising the floor.
+func (h *history) pruneTo(upTo uint32) {
+	if upTo <= h.floor {
+		return
+	}
+	// Iterate whichever is smaller: the seq range or the stored set (a
+	// joiner raising its floor by millions must not spin).
+	if int(upTo-h.floor) <= len(h.entries) {
+		for s := h.floor + 1; s <= upTo; s++ {
+			delete(h.entries, s)
+		}
+	} else {
+		for s := range h.entries {
+			if s <= upTo {
+				delete(h.entries, s)
+			}
+		}
+	}
+	h.floor = upTo
+}
+
+// truncateAbove discards entries with seq > top. Recovery uses it to drop
+// messages ordered by a deposed sequencer beyond the new view's starting
+// point.
+func (h *history) truncateAbove(top uint32) {
+	for s := range h.entries {
+		if s > top {
+			delete(h.entries, s)
+		}
+	}
+}
+
+// contiguousTop returns the highest seq such that every entry in
+// (floor, seq] is present. Recovery votes report this value: it is the range
+// the member can redistribute.
+func (h *history) contiguousTop() uint32 {
+	top := h.floor
+	for {
+		if _, ok := h.entries[top+1]; !ok {
+			return top
+		}
+		top++
+	}
+}
+
+// len reports the number of retained entries.
+func (h *history) len() int { return len(h.entries) }

@@ -1,0 +1,583 @@
+package core
+
+import (
+	"time"
+
+	"amoeba/internal/cost"
+)
+
+// This file is the member (non-sequencer) side of the protocol: the send
+// pump with retries, receiving ordered messages, gap detection with negative
+// acknowledgements, and the in-order delivery loop.
+
+// pumpSendLocked activates the head of the send queue if idle.
+func (ep *Endpoint) pumpSendLocked() {
+	if len(ep.sendQ) == 0 || ep.st != stNormal {
+		return
+	}
+	op := ep.sendQ[0]
+	if op.active {
+		return
+	}
+	op.active = true
+	op.retries = 0
+	ep.transmitOpLocked(op)
+}
+
+// transmitOpLocked puts the active send on the wire.
+func (ep *Endpoint) transmitOpLocked(op *sendOp) {
+	ep.cfg.Meter.Charge(cost.GroupOut, 0)
+	if ep.isSeq {
+		// The sequencer's own sends are ordered directly: one multicast
+		// total. (The paper notes heavy senders were co-located with the
+		// sequencer for exactly this reason.) Re-activation after a
+		// recovery or handoff must not re-order an already-sequenced
+		// message.
+		if d, ok := ep.dedup[ep.self]; ok && d.localID == op.localID {
+			if e, ok := ep.hist.get(d.seq); ok && !e.tentative {
+				ep.finishSendLocked(op, nil)
+			}
+			// Still tentative: acceptance will complete it.
+			return
+		}
+		if !ep.orderLocked(KindData, ep.self, op.localID, op.payload) {
+			ep.armSendRetryLocked() // history full: retry later
+		}
+		return
+	}
+	seqAddr := ep.view.sequencerAddr()
+	if seqAddr == 0 {
+		ep.armSendRetryLocked()
+		return
+	}
+	switch op.method {
+	case MethodBB:
+		// Multicast the payload; the sequencer answers with a short
+		// accept. Loopback stores our own copy in the BB cache.
+		ep.multicastPkt(packet{typ: ptBBData, kind: KindData, localID: op.localID, payload: op.payload})
+	default:
+		ep.sendPkt(seqAddr, packet{typ: ptReq, kind: KindData, localID: op.localID, payload: op.payload})
+	}
+	ep.armSendRetryLocked()
+}
+
+// armSendRetryLocked (re)arms the active-send retry timer.
+func (ep *Endpoint) armSendRetryLocked() {
+	if ep.sendTimer != nil {
+		ep.sendTimer.Stop()
+	}
+	ep.sendTimer = ep.after(ep.cfg.RetryInterval, func() {
+		ep.sendTimer = nil
+		ep.retrySendLocked()
+	})
+}
+
+// retrySendLocked retransmits the active send or gives up on the sequencer.
+func (ep *Endpoint) retrySendLocked() {
+	if len(ep.sendQ) == 0 || ep.st != stNormal {
+		return
+	}
+	op := ep.sendQ[0]
+	if !op.active {
+		return
+	}
+	op.retries++
+	ep.stats.RequestRetries++
+	if op.retries > ep.cfg.MaxRetries {
+		// The sequencer is not responding: the paper's failure
+		// detector has spoken.
+		if ep.cfg.AutoReset && !ep.isSeq {
+			op.active = false // re-pumped after recovery
+			ep.initiateResetLocked(ep.cfg.MinSurvivors)
+			return
+		}
+		ep.finishSendLocked(op, ErrSequencerDead)
+		return
+	}
+	ep.transmitOpLocked(op)
+}
+
+// finishSendLocked completes the active send and pumps the next.
+func (ep *Endpoint) finishSendLocked(op *sendOp, err error) {
+	if len(ep.sendQ) == 0 || ep.sendQ[0] != op {
+		return
+	}
+	ep.sendQ = ep.sendQ[1:]
+	if ep.sendTimer != nil {
+		ep.sendTimer.Stop()
+		ep.sendTimer = nil
+	}
+	if err == nil {
+		ep.stats.Sent++
+	}
+	done := op.done
+	ep.enqueue(func() { done(err) })
+	ep.pumpSendLocked()
+}
+
+// completeSendIfOursLocked completes the active send when its ordering
+// becomes visible (our own broadcast or accept arriving back).
+func (ep *Endpoint) completeSendIfOursLocked(sender MemberID, localID uint32) {
+	if sender != ep.self || len(ep.sendQ) == 0 {
+		return
+	}
+	op := ep.sendQ[0]
+	if !op.active || op.localID != localID {
+		return
+	}
+	ep.finishSendLocked(op, nil)
+}
+
+// --- Receiving ordered messages ---------------------------------------------
+
+// handleBcast stores a sequenced message (PB broadcast or a retransmission).
+func (ep *Endpoint) handleBcast(p packet, retrans bool) {
+	if retrans {
+		// Retransmissions also feed a recovering coordinator's fetch
+		// and a frozen voter's catch-up.
+		if ep.st != stNormal && ep.st != stRecovering && ep.st != stCoordinating {
+			return
+		}
+	} else {
+		if ep.st != stNormal || p.view != ep.view.incarnation {
+			return
+		}
+	}
+	origin := p.sender
+	if retrans {
+		origin = MemberID(p.aux2)
+	}
+	ep.noteSyncLocked(p.seq, p.aux)
+	if p.seq > ep.maxSeen {
+		ep.maxSeen = p.seq
+	}
+	if p.seq < ep.nextDeliver {
+		// Already delivered — but a duplicate or retransmission may
+		// still be the sender's first proof that its message was
+		// sequenced.
+		ep.completeSendIfOursLocked(origin, p.localID)
+		return
+	}
+	if _, ok := ep.hist.get(p.seq); !ok {
+		if ep.hist.full() {
+			return // refetch later via NAK once space frees
+		}
+		pl := make([]byte, len(p.payload))
+		copy(pl, p.payload)
+		ep.hist.add(&entry{seq: p.seq, kind: p.kind, sender: origin, localID: p.localID, payload: pl})
+	}
+	ep.completeSendIfOursLocked(origin, p.localID)
+	ep.deliverReadyLocked()
+	ep.checkGapLocked()
+}
+
+// handleBBData caches an unordered BB payload until its accept arrives.
+func (ep *Endpoint) handleBBData(p packet) {
+	if ep.st != stNormal || p.view != ep.view.incarnation {
+		return
+	}
+	key := bbKey{sender: p.sender, localID: p.localID}
+	if _, ok := ep.bbCache[key]; ok {
+		return
+	}
+	// Bound the cache: a slot per history entry is plenty; beyond that the
+	// accept path will fetch from the sequencer instead.
+	if len(ep.bbCache) >= ep.cfg.HistorySize {
+		return
+	}
+	pl := make([]byte, len(p.payload))
+	copy(pl, p.payload)
+	ep.bbCache[key] = pl
+
+	if ep.isSeq {
+		// The sequencer orders a BB message the moment it sees the
+		// data.
+		delete(ep.bbCache, key)
+		m, ok := ep.pending.find(p.sender)
+		if !ok {
+			return
+		}
+		_ = m
+		if d, ok := ep.dedup[p.sender]; ok && p.localID <= d.localID {
+			// Duplicate BB data for something already ordered: the
+			// accept was lost at the sender; re-announce it.
+			if e, ok := ep.hist.get(d.seq); ok && p.localID == d.localID {
+				ep.multicastPkt(packet{
+					typ: ptAccept, kind: e.kind, seq: e.seq,
+					localID: e.localID, aux: ep.hist.floor,
+					aux2: uint32(e.sender),
+				})
+			}
+			return
+		}
+		ep.orderBBLocked(p.sender, p.localID, p.kind, pl)
+	}
+}
+
+// handleAccept processes the sequencer's short accept: either the ordering
+// of a BB message (aux2 = sender id) or the finalisation of a tentative
+// message (aux2 = noMember).
+func (ep *Endpoint) handleAccept(p packet) {
+	if ep.st != stNormal || p.view != ep.view.incarnation {
+		return
+	}
+	ep.noteSyncLocked(p.seq, p.aux)
+	if p.seq > ep.maxSeen {
+		ep.maxSeen = p.seq
+	}
+	if MemberID(p.aux2) == noMember {
+		// Tentative finalisation.
+		if e, ok := ep.hist.get(p.seq); ok {
+			e.tentative = false
+		}
+		// If we never got the tentative itself, the gap logic will
+		// NAK it as a plain missing message.
+		ep.completeSendIfOursLocked(senderOfTentative(ep, p.seq), p.localID)
+		ep.deliverReadyLocked()
+		ep.checkGapLocked()
+		return
+	}
+	// BB ordering.
+	sender := MemberID(p.aux2)
+	if p.seq < ep.nextDeliver {
+		return
+	}
+	if _, ok := ep.hist.get(p.seq); !ok && !ep.hist.full() {
+		key := bbKey{sender: sender, localID: p.localID}
+		pl, have := ep.bbCache[key]
+		if have {
+			delete(ep.bbCache, key)
+			ep.hist.add(&entry{seq: p.seq, kind: p.kind, sender: sender, localID: p.localID, payload: pl})
+		}
+		// Data missing: leave the slot empty; the gap logic NAKs and
+		// the sequencer retransmits the full message.
+	}
+	ep.completeSendIfOursLocked(sender, p.localID)
+	ep.deliverReadyLocked()
+	ep.checkGapLocked()
+}
+
+// senderOfTentative looks up who sent the tentative entry at seq, for send
+// completion; noMember when unknown.
+func senderOfTentative(ep *Endpoint, seq uint32) MemberID {
+	if e, ok := ep.hist.get(seq); ok {
+		return e.sender
+	}
+	return noMember
+}
+
+// handleTentative buffers a resilience-degree message and acknowledges it if
+// this member is one of the r designated ackers (the r lowest-numbered
+// members other than the sequencer).
+func (ep *Endpoint) handleTentative(p packet) {
+	if ep.st != stNormal || p.view != ep.view.incarnation {
+		return
+	}
+	ep.noteSyncLocked(p.seq, p.aux2)
+	if p.seq > ep.maxSeen {
+		ep.maxSeen = p.seq
+	}
+	if ep.isSeq {
+		return // own tentative echoed by loopback
+	}
+	if p.seq >= ep.nextDeliver {
+		if _, ok := ep.hist.get(p.seq); !ok && !ep.hist.full() {
+			pl := make([]byte, len(p.payload))
+			copy(pl, p.payload)
+			ep.hist.add(&entry{
+				seq: p.seq, kind: p.kind, sender: p.sender,
+				localID: p.localID, payload: pl, tentative: true,
+			})
+		}
+	}
+	// Ack duty falls on the r lowest-numbered members; counting skips the
+	// sequencer, which stores everything anyway. Acking requires actually
+	// holding the message — a member that joined after the message was
+	// sent cannot vouch for it in recovery.
+	if _, stored := ep.hist.get(p.seq); stored && ep.ackDutyLocked(int(p.aux)) {
+		ep.stats.AcksSent++
+		ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptAck, seq: p.seq})
+	}
+	ep.checkGapLocked()
+}
+
+// ackDutyLocked reports whether this member is one of the r lowest-numbered
+// non-sequencer members.
+func (ep *Endpoint) ackDutyLocked(r int) bool {
+	count := 0
+	for _, m := range ep.view.members {
+		if m.ID == ep.view.sequencer {
+			continue
+		}
+		if m.ID == ep.self {
+			return count < r
+		}
+		count++
+	}
+	return false
+}
+
+// handleLost records a loss marker: the sequencer cannot recover this
+// sequence number (a resilience-0 message that died with a processor). The
+// slot is filled with a non-delivering entry so the stream moves past it.
+func (ep *Endpoint) handleLost(p packet) {
+	if ep.st != stNormal || p.view != ep.view.incarnation {
+		return
+	}
+	if p.seq < ep.nextDeliver {
+		return
+	}
+	if _, ok := ep.hist.get(p.seq); !ok && !ep.hist.full() {
+		ep.hist.add(&entry{seq: p.seq, kind: KindLost})
+		ep.stats.LostGaps++
+	}
+	ep.deliverReadyLocked()
+	ep.checkGapLocked()
+}
+
+// handleSync folds a watermark broadcast: learn about trailing messages and
+// prune local history. aux2 = 1 demands an explicit status reply.
+func (ep *Endpoint) handleSync(p packet) {
+	if ep.st != stNormal || p.view != ep.view.incarnation {
+		return
+	}
+	ep.noteSyncLocked(p.seq, p.aux)
+	if p.aux2 == 1 && !ep.isSeq {
+		ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptStatus})
+	}
+	ep.checkGapLocked()
+}
+
+// noteSyncLocked updates the high-water mark and prunes member-side history
+// to the sequencer-announced floor.
+func (ep *Endpoint) noteSyncLocked(seq, floor uint32) {
+	if seq > ep.maxSeen {
+		ep.maxSeen = seq
+	}
+	if !ep.isSeq && floor > ep.hist.floor {
+		// Never prune undelivered entries, whatever the announcement
+		// says.
+		limit := floor
+		if ep.nextDeliver != 0 && limit > ep.nextDeliver-1 {
+			limit = ep.nextDeliver - 1
+		}
+		ep.hist.pruneTo(limit)
+	}
+}
+
+// handleStale reacts to the sequencer telling us our membership or view is
+// out of date: adopt the attached view. If we are no longer in it, we have
+// been expelled.
+func (ep *Endpoint) handleStale(p packet) {
+	v, _, err := decodeView(p.payload)
+	if err != nil {
+		return
+	}
+	if v.incarnation < ep.view.incarnation {
+		return
+	}
+	if _, ok := v.findAddr(ep.cfg.Self); !ok {
+		ep.expelledLocked()
+		return
+	}
+	// Redirect: a new sequencer has taken over (graceful handoff).
+	ep.view.sequencer = v.sequencer
+	if m, ok := v.find(v.sequencer); ok {
+		ep.view.add(m) // make sure we can route to it
+	}
+	// Resend the active request to the new sequencer immediately.
+	if len(ep.sendQ) > 0 && ep.sendQ[0].active {
+		ep.transmitOpLocked(ep.sendQ[0])
+	}
+}
+
+// expelledLocked terminates the endpoint after removal from the group.
+func (ep *Endpoint) expelledLocked() {
+	if ep.st == stDead {
+		return
+	}
+	ep.st = stDead
+	ep.stopTimersLocked()
+	ep.deliverLocked(Delivery{Kind: KindExpelled, Sender: ep.self, SenderAddr: ep.cfg.Self})
+	for _, op := range ep.sendQ {
+		op := op
+		ep.enqueue(func() { op.done(ErrNotMember) })
+	}
+	ep.sendQ = nil
+	for _, d := range ep.leaveDone {
+		d := d
+		ep.enqueue(func() { d(nil) }) // out of the group, one way or another
+	}
+	ep.leaveDone = nil
+}
+
+// --- Gap detection and the delivery loop -------------------------------------
+
+// checkGapLocked arms the negative-acknowledgement timer when sequence
+// numbers are known to be missing.
+func (ep *Endpoint) checkGapLocked() {
+	if ep.st != stNormal || ep.isSeq {
+		return
+	}
+	if !ep.hasGapLocked() {
+		ep.nakBackoff = 0
+		return
+	}
+	if ep.nakTimer != nil {
+		return
+	}
+	delay := ep.cfg.NakDelay + ep.nakStaggerLocked()
+	if ep.nakBackoff > 0 {
+		delay = ep.nakBackoff
+	}
+	ep.nakTimer = ep.after(delay, func() {
+		ep.nakTimer = nil
+		ep.fireNakLocked()
+	})
+}
+
+// nakStaggerLocked spreads members' retransmission requests in time. A lost
+// multicast is detected by every member at the same instant; staggering by
+// member id keeps the requests (and the retransmissions they trigger) from
+// arriving as a synchronized burst — the negative-acknowledgement analogue of
+// the paper's argument against ack implosion (§2.2).
+func (ep *Endpoint) nakStaggerLocked() time.Duration {
+	return time.Duration(ep.self%16) * ep.cfg.NakDelay / 2
+}
+
+// hasGapLocked reports whether some seqno in [nextDeliver, maxSeen] is
+// missing or payload-less.
+func (ep *Endpoint) hasGapLocked() bool {
+	for s := ep.nextDeliver; s <= ep.maxSeen; s++ {
+		e, ok := ep.hist.get(s)
+		if !ok {
+			return true
+		}
+		if e.tentative {
+			// Waiting for an accept is not a gap — unless it has
+			// been pending so long the accept is surely lost, which
+			// the NAK turns into a refetch of the (by then
+			// accepted) message.
+			continue
+		}
+	}
+	return false
+}
+
+// fireNakLocked sends a retransmission request covering the missing range.
+func (ep *Endpoint) fireNakLocked() {
+	if ep.st != stNormal || ep.isSeq || !ep.hasGapLocked() {
+		ep.nakBackoff = 0
+		return
+	}
+	lo := ep.nextDeliver
+	for {
+		if e, ok := ep.hist.get(lo); ok && !e.tentative {
+			lo++
+			continue
+		}
+		break
+	}
+	hi := lo
+	for s := lo; s <= ep.maxSeen && s < lo+nakBatch; s++ {
+		if _, ok := ep.hist.get(s); !ok {
+			hi = s
+		}
+	}
+	ep.stats.NaksSent++
+	if ep.nakBackoff >= ep.cfg.RetryInterval {
+		// The sequencer has not answered several requests — it may be
+		// gone (a crash, or a departure we have not yet delivered).
+		// Every member keeps history, so ask the whole group.
+		ep.multicastPkt(packet{typ: ptNak, seq: lo, aux: hi})
+	} else {
+		ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptNak, seq: lo, aux: hi})
+	}
+	// Back off and re-arm until the gap closes.
+	if ep.nakBackoff == 0 {
+		ep.nakBackoff = ep.cfg.NakDelay * 2
+	} else if ep.nakBackoff < ep.cfg.RetryInterval {
+		ep.nakBackoff *= 2
+	}
+	ep.nakTimer = ep.after(ep.nakBackoff, func() {
+		ep.nakTimer = nil
+		ep.fireNakLocked()
+	})
+}
+
+// deliverReadyLocked hands every ready in-order message to the application.
+func (ep *Endpoint) deliverReadyLocked() {
+	for {
+		e, ok := ep.hist.get(ep.nextDeliver)
+		if !ok || e.tentative {
+			return
+		}
+		ep.nextDeliver++
+		ep.applyDeliveryLocked(e)
+		if ep.st == stDead {
+			return
+		}
+	}
+}
+
+// applyDeliveryLocked applies membership side effects and emits the delivery
+// upcall for one entry.
+func (ep *Endpoint) applyDeliveryLocked(e *entry) {
+	if e.kind == KindLost {
+		return // the stream silently skips unrecoverable r=0 losses
+	}
+	d := Delivery{Kind: e.kind, Seq: e.seq, Sender: e.sender}
+	if m, ok := ep.view.find(e.sender); ok {
+		d.SenderAddr = m.Addr
+	}
+	switch e.kind {
+	case KindJoin:
+		v, _, err := decodeView(e.payload)
+		if err == nil {
+			if m, ok := v.find(e.sender); ok {
+				ep.view.add(m)
+				d.SenderAddr = m.Addr
+				if !ep.isSeq {
+					ep.pending = ep.view.clone()
+				}
+			}
+		}
+	case KindLeave:
+		leaver := e.sender
+		wasSequencer := leaver == ep.view.sequencer
+		ep.view.remove(leaver)
+		if !ep.isSeq {
+			ep.pending = ep.view.clone()
+		}
+		if wasSequencer {
+			ep.adoptNewSequencerLocked(MemberID(e.localID))
+		}
+		if leaver == ep.self {
+			ep.leftLocked()
+		}
+	case KindReset:
+		v, _, err := decodeView(e.payload)
+		if err == nil {
+			ep.view = v
+			ep.pending = v.clone()
+		}
+	}
+	d.Members = len(ep.view.members)
+	if e.kind == KindData {
+		pl := make([]byte, len(e.payload))
+		copy(pl, e.payload)
+		d.Payload = pl
+	}
+	ep.deliverLocked(d)
+}
+
+// deliverLocked queues the application upcall.
+func (ep *Endpoint) deliverLocked(d Delivery) {
+	ep.stats.Delivered++
+	ep.cfg.Meter.Charge(cost.UserDeliver, len(d.Payload))
+	if ep.cfg.OnDeliver == nil {
+		return
+	}
+	h := ep.cfg.OnDeliver
+	ep.enqueue(func() { h(d) })
+}

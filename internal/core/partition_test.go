@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"amoeba/internal/netw/memnet"
+)
+
+// These tests exercise the paper's unreliable failure detector with
+// partitions rather than crashes: the "dead" member is alive the whole time,
+// which is exactly the case the paper acknowledges can be misjudged ("some
+// processes may be declared dead although they are functioning fine").
+
+func TestPartitionedSequencerTriggersAutoReset(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.AutoReset = true
+		c.MinSurvivors = 2
+		c.MaxRetries = 3
+		c.RetryInterval = 15 * time.Millisecond
+	})
+	// Cut the sequencer's cable. It is still running.
+	g.net.Isolate(0, true)
+	// A member's send exhausts retries, recovery runs automatically, and
+	// the send completes in the new view.
+	if err := g.send(1, []byte("over-the-partition")); err != nil {
+		t.Fatalf("send across partition: %v", err)
+	}
+	data := g.nodes[2].waitData(1)
+	if string(data[0].Payload) != "over-the-partition" {
+		t.Fatalf("delivery = %q", data[0].Payload)
+	}
+	info := g.nodes[1].ep.Info()
+	if len(info.Members) != 2 {
+		t.Fatalf("view still has %d members", len(info.Members))
+	}
+}
+
+func TestPartitionedMemberLearnsOfExpulsionOnHeal(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.RetryInterval = 15 * time.Millisecond
+	})
+	// Partition member 2, rebuild without it, heal the partition.
+	g.net.Isolate(2, true)
+	if err := await(t, "reset", func(d func(error)) { g.nodes[0].ep.Reset(2, d) }); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if err := g.send(1, []byte("while-partitioned")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	g.net.Isolate(2, false)
+	// The zombie tries to participate; the sequencer's stale reply turns
+	// into a KindExpelled delivery.
+	done := make(chan error, 1)
+	g.nodes[2].ep.Send([]byte("zombie"), func(e error) { done <- e })
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expelled member's send succeeded")
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("expelled member's send never resolved")
+	}
+	deadline := time.After(testTimeout)
+	for {
+		g.nodes[2].mu.Lock()
+		var expelled bool
+		for _, d := range g.nodes[2].deliveries {
+			if d.Kind == KindExpelled {
+				expelled = true
+			}
+		}
+		g.nodes[2].mu.Unlock()
+		if expelled {
+			break
+		}
+		select {
+		case <-g.nodes[2].notify:
+		case <-deadline:
+			t.Fatal("expelled member never delivered KindExpelled")
+		}
+	}
+	// The zombie's message must NOT have been delivered to the group.
+	for _, i := range []int{0, 1} {
+		g.nodes[i].mu.Lock()
+		for _, d := range g.nodes[i].deliveries {
+			if d.Kind == KindData && string(d.Payload) == "zombie" {
+				t.Errorf("member %d delivered the expelled member's message", i)
+			}
+		}
+		g.nodes[i].mu.Unlock()
+	}
+}
+
+func TestTransientPartitionHealsWithoutReset(t *testing.T) {
+	// A short partition is indistinguishable from loss: once healed, NAK
+	// recovery catches the member up without any membership change.
+	g := newGroup(t, 3, memnet.Config{}, nil)
+	g.net.Isolate(2, true)
+	for i := 0; i < 5; i++ {
+		if err := g.send(1, []byte(fmt.Sprintf("gap-%d", i))); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	g.net.Isolate(2, false)
+	// The sequencer's periodic sync exposes the gap; NAKs close it.
+	data := g.nodes[2].waitData(5)
+	for i := range data {
+		if string(data[i].Payload) != fmt.Sprintf("gap-%d", i) {
+			t.Fatalf("data[%d] = %q after heal", i, data[i].Payload)
+		}
+	}
+	if g.nodes[2].ep.Stats().NaksSent == 0 {
+		t.Fatal("member caught up without NAKs: partition never bit")
+	}
+	info := g.nodes[2].ep.Info()
+	if len(info.Members) != 3 || info.Incarnation != 1 {
+		t.Fatalf("membership changed for a transient partition: %+v", info)
+	}
+}
+
+func TestSequencerExpelsSilentMemberUnderHistoryPressure(t *testing.T) {
+	// A partitioned member pins the history buffer; with AutoReset the
+	// sequencer's status probes declare it dead and recovery expels it,
+	// unblocking the group.
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.AutoReset = true
+		c.MinSurvivors = 2
+		c.HistorySize = 8
+		c.StatusTimeout = 15 * time.Millisecond
+		c.StatusRetries = 2
+	})
+	g.net.Isolate(2, true)
+	// Keep sending: the history fills, probes fail, recovery expels the
+	// silent member, and sends keep completing.
+	for i := 0; i < 40; i++ {
+		if err := g.send(1, []byte{byte(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	deadline := time.After(testTimeout)
+	for len(g.nodes[0].ep.Info().Members) != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("silent member never expelled: %+v", g.nodes[0].ep.Info())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestResetFailsCleanlyWhenAllOthersPartitioned(t *testing.T) {
+	g := newGroup(t, 2, memnet.Config{}, nil)
+	g.net.Isolate(1, true)
+	// Reset demanding both members cannot finish while the partition
+	// holds…
+	done := make(chan error, 1)
+	g.nodes[0].ep.Reset(2, func(e error) { done <- e })
+	select {
+	case err := <-done:
+		t.Fatalf("reset completed despite partition: %v", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	// …but completes as soon as it heals (the paper: the group blocks
+	// until enough processors recover).
+	g.net.Isolate(1, false)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("reset after heal: %v", err)
+		}
+	case <-time.After(testTimeout):
+		t.Fatal("reset never completed after heal")
+	}
+	info := g.nodes[0].ep.Info()
+	if len(info.Members) != 2 {
+		t.Fatalf("healed reset lost a member: %+v", info)
+	}
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"amoeba/internal/flip"
+)
+
+// This file is the sequencer side of the protocol: ordering requests,
+// collecting resilience acknowledgements, serving retransmissions, and
+// pruning the history buffer from piggybacked acknowledgement state.
+
+// nakBatch bounds retransmissions served per negative acknowledgement; the
+// member re-asks for the remainder, which keeps a recovering laggard from
+// monopolising the sequencer.
+const nakBatch = 32
+
+// handleReq processes a member's point-to-point ordering request (PB method).
+func (ep *Endpoint) handleReq(p packet, from flip.Address) {
+	if !ep.isSeq || ep.st != stNormal {
+		return
+	}
+	if ep.leaveSeq != 0 {
+		// This sequencer has ordered its own departure: redirect the
+		// sender to the successor.
+		ep.sendPkt(from, packet{typ: ptStale, payload: encodeView(ep.pending, ep.globalSeq+1)})
+		return
+	}
+	m, ok := ep.pending.find(p.sender)
+	if !ok || m.Addr != from {
+		// Not a member (stale after expulsion or leave): tell it.
+		ep.sendPkt(from, packet{typ: ptStale, payload: encodeView(ep.pending, ep.globalSeq+1)})
+		return
+	}
+	// Duplicate suppression: a retried request for something already
+	// ordered is answered by retransmitting the ordered broadcast
+	// point-to-point.
+	if d, ok := ep.dedup[p.sender]; ok {
+		if p.localID == d.localID {
+			if e, ok := ep.hist.get(d.seq); ok && !e.tentative {
+				ep.retransmitLocked(from, e)
+			}
+			// Still tentative: the accept will reach the sender in
+			// due course; sequenced state must not be re-ordered.
+			return
+		}
+		if p.localID < d.localID {
+			return // older duplicate: already completed at the sender
+		}
+	}
+	ep.orderLocked(p.kind, p.sender, p.localID, p.payload)
+}
+
+// orderLocked assigns the next sequence number to a message and transmits it
+// to the group: a full broadcast for PB-path messages (payload present), a
+// short accept for BB-path messages (payload already multicast by the
+// sender), or a tentative broadcast when the group runs with resilience.
+// It reports false when the history buffer is full, in which case the
+// message is NOT ordered and the sender's retry will try again later — the
+// protocol's backpressure.
+func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, payload []byte) bool {
+	if ep.hist.full() {
+		ep.tryPruneLocked()
+		if ep.hist.full() {
+			ep.stats.DroppedFull++
+			ep.solicitStatusLocked()
+			return false
+		}
+	}
+	ep.globalSeq++
+	seq := ep.globalSeq
+	pl := make([]byte, len(payload))
+	copy(pl, payload)
+	e := &entry{seq: seq, kind: kind, sender: sender, localID: localID, payload: pl}
+	ep.hist.add(e)
+	ep.stats.Ordered++
+	ep.dedup[sender] = dedupEntry{localID: localID, seq: seq}
+	if seq > ep.maxSeen {
+		ep.maxSeen = seq
+	}
+
+	if ep.cfg.Resilience > 0 {
+		e.tentative = true
+		e.acked = make(map[MemberID]bool)
+		ep.multicastPkt(packet{
+			typ: ptTentative, kind: kind, seq: seq, localID: localID,
+			aux: uint32(ep.cfg.Resilience), aux2: ep.hist.floor,
+			payload: pl, sender: sender,
+		})
+		// With no other members to ack (tiny group), finalise at once.
+		ep.maybeAcceptLocked(e)
+		ep.armTentativeRetryLocked()
+		return true
+	}
+	ep.multicastPkt(packet{
+		typ: ptBcast, kind: kind, seq: seq, localID: localID,
+		aux: ep.hist.floor, sender: sender, payload: pl,
+	})
+	ep.completeOwnSendLocked(sender, localID, nil)
+	return true
+}
+
+// orderBBLocked sequences a message whose payload arrived by sender
+// multicast (BB method): only the short accept goes out.
+func (ep *Endpoint) orderBBLocked(sender MemberID, localID uint32, kind MsgKind, payload []byte) bool {
+	if ep.hist.full() {
+		ep.tryPruneLocked()
+		if ep.hist.full() {
+			ep.stats.DroppedFull++
+			ep.solicitStatusLocked()
+			return false
+		}
+	}
+	ep.globalSeq++
+	seq := ep.globalSeq
+	pl := make([]byte, len(payload))
+	copy(pl, payload)
+	ep.hist.add(&entry{seq: seq, kind: kind, sender: sender, localID: localID, payload: pl})
+	ep.stats.Ordered++
+	ep.dedup[sender] = dedupEntry{localID: localID, seq: seq}
+	if seq > ep.maxSeen {
+		ep.maxSeen = seq
+	}
+	ep.multicastPkt(packet{
+		typ: ptAccept, kind: kind, seq: seq, localID: localID,
+		aux: ep.hist.floor, aux2: uint32(sender),
+	})
+	ep.completeOwnSendLocked(sender, localID, nil)
+	return true
+}
+
+// handleAck records a resilience acknowledgement for a tentative message.
+func (ep *Endpoint) handleAck(p packet) {
+	if !ep.isSeq {
+		return
+	}
+	e, ok := ep.hist.get(p.seq)
+	if !ok || !e.tentative {
+		return
+	}
+	if e.acked[p.sender] {
+		return
+	}
+	e.acked[p.sender] = true
+	e.acks++
+	ep.maybeAcceptLocked(e)
+}
+
+// maybeAcceptLocked finalises a tentative entry once enough members have
+// stored it. "Enough" is min(r, members-1): a group smaller than r+1 cannot
+// do better than everyone-but-the-sequencer. A join's own subject cannot
+// vouch for it (it is not active until the join is accepted), so it is
+// excluded from the available-acker count.
+func (ep *Endpoint) maybeAcceptLocked(e *entry) {
+	if !e.tentative {
+		return
+	}
+	need := ep.cfg.Resilience
+	avail := len(ep.pending.members) - 1
+	if e.kind == KindJoin && e.sender != ep.self {
+		avail--
+	}
+	if need > avail {
+		need = avail
+	}
+	if need < 0 {
+		need = 0
+	}
+	if e.acks < need {
+		return
+	}
+	e.tentative = false
+	ep.multicastPkt(packet{
+		typ: ptAccept, kind: e.kind, seq: e.seq, localID: e.localID,
+		aux: ep.hist.floor, aux2: uint32(noMember),
+	})
+	ep.completeOwnSendLocked(e.sender, e.localID, nil)
+	if e.kind == KindJoin {
+		ep.sendPendingJoinAckLocked(e.seq)
+	}
+	ep.deliverReadyLocked()
+}
+
+// armTentativeRetryLocked schedules re-multicast of tentative entries whose
+// acknowledgements are slow — without it, one lost tentative packet at an
+// acking member would stall the group.
+func (ep *Endpoint) armTentativeRetryLocked() {
+	if ep.tentTimer != nil {
+		return
+	}
+	ep.tentTimer = ep.after(ep.cfg.RetryInterval, func() {
+		ep.tentTimer = nil
+		if !ep.isSeq {
+			return
+		}
+		resent := false
+		for s := ep.hist.floor + 1; s <= ep.globalSeq; s++ {
+			e, ok := ep.hist.get(s)
+			if !ok || !e.tentative {
+				continue
+			}
+			resent = true
+			ep.multicastPkt(packet{
+				typ: ptTentative, kind: e.kind, seq: e.seq,
+				localID: e.localID, aux: uint32(ep.cfg.Resilience),
+				aux2: ep.hist.floor, payload: e.payload, sender: e.sender,
+			})
+		}
+		if resent {
+			ep.armTentativeRetryLocked()
+		}
+	})
+}
+
+// handleNak serves a retransmission request for [p.seq, p.aux]. A message
+// the sequencer provably cannot recover — below its history floor after a
+// recovery in a resilience-0 group — is answered with an explicit loss
+// marker, so the requester can move past the hole instead of asking forever.
+func (ep *Endpoint) handleNak(p packet, from flip.Address) {
+	lo, hi := p.seq, p.aux
+	if hi < lo {
+		return
+	}
+	if hi-lo >= nakBatch {
+		hi = lo + nakBatch - 1
+	}
+	for s := lo; s <= hi; s++ {
+		e, ok := ep.hist.get(s)
+		if !ok {
+			if ep.isSeq && s <= ep.hist.floor {
+				ep.sendPkt(from, packet{typ: ptLost, seq: s})
+			}
+			continue
+		}
+		if e.tentative {
+			continue
+		}
+		ep.retransmitLocked(from, e)
+	}
+}
+
+// retransmitLocked unicasts one ordered message back to a member.
+func (ep *Endpoint) retransmitLocked(to flip.Address, e *entry) {
+	ep.stats.Retransmitted++
+	ep.sendPkt(to, packet{
+		typ: ptRetrans, kind: e.kind, seq: e.seq, localID: e.localID,
+		aux: ep.hist.floor, aux2: uint32(e.sender), payload: e.payload,
+	})
+}
+
+// noteLastRecvLocked folds a piggybacked acknowledgement into the pruning
+// state.
+func (ep *Endpoint) noteLastRecvLocked(m MemberID, last uint32) {
+	if ep.lastRecv == nil {
+		return
+	}
+	_, isMember := ep.pending.find(m)
+	leaveSeq, isLeaver := ep.leavers[m]
+	if !isMember && !isLeaver {
+		return
+	}
+	if last > ep.lastRecv[m] {
+		ep.lastRecv[m] = last
+		// A member catching up may release a status probe.
+		if pr, ok := ep.statusProbe[m]; ok {
+			if pr.timer != nil {
+				pr.timer.Stop()
+			}
+			delete(ep.statusProbe, m)
+		}
+	}
+	if isLeaver && ep.lastRecv[m] >= leaveSeq {
+		// The leaver has observed its own departure; stop waiting on
+		// it.
+		delete(ep.leavers, m)
+		delete(ep.lastRecv, m)
+	}
+	ep.maybeFinishHandoffLocked()
+}
+
+// tryPruneLocked advances the history floor to the minimum acknowledged
+// sequence number across members (and not-yet-departed leavers).
+func (ep *Endpoint) tryPruneLocked() {
+	if !ep.isSeq || len(ep.pending.members) == 0 {
+		return
+	}
+	min := ep.nextDeliver - 1 // the sequencer's own receipt point
+	for _, m := range ep.pending.members {
+		if m.ID == ep.self {
+			continue
+		}
+		if last := ep.lastRecv[m.ID]; last < min {
+			min = last
+		}
+	}
+	for id := range ep.leavers {
+		if last := ep.lastRecv[id]; last < min {
+			min = last
+		}
+	}
+	ep.hist.pruneTo(min)
+}
+
+// solicitStatusLocked asks the group for fresh acknowledgement state when
+// the history is under pressure, then probes individual laggards.
+func (ep *Endpoint) solicitStatusLocked() {
+	ep.multicastPkt(packet{typ: ptSync, seq: ep.globalSeq, aux: ep.hist.floor, aux2: 1})
+	// Probe members whose acknowledgement state pins the floor.
+	ep.tryPruneLocked()
+	if !ep.hist.full() {
+		return
+	}
+	floor := ep.hist.floor
+	for _, m := range ep.pending.members {
+		if m.ID == ep.self || ep.lastRecv[m.ID] > floor {
+			continue
+		}
+		ep.probeMemberLocked(m)
+	}
+}
+
+// probeMemberLocked starts (or continues) a status probe of one member; the
+// paper's unreliable failure detector. StatusRetries unanswered probes
+// declare the member dead.
+func (ep *Endpoint) probeMemberLocked(m Member) {
+	if ep.statusProbe == nil {
+		ep.statusProbe = make(map[MemberID]*probe)
+	}
+	if _, ok := ep.statusProbe[m.ID]; ok {
+		return // probe in progress
+	}
+	pr := &probe{}
+	ep.statusProbe[m.ID] = pr
+	var fire func()
+	fire = func() {
+		if !ep.isSeq || ep.st != stNormal {
+			return
+		}
+		if _, ok := ep.statusProbe[m.ID]; !ok {
+			return // answered
+		}
+		pr.tries++
+		if pr.tries > ep.cfg.StatusRetries {
+			delete(ep.statusProbe, m.ID)
+			ep.memberSuspectedDeadLocked(m)
+			return
+		}
+		ep.sendPkt(m.Addr, packet{typ: ptStatusReq, seq: ep.globalSeq, aux: ep.hist.floor})
+		pr.timer = ep.after(ep.cfg.StatusTimeout, fire)
+	}
+	fire()
+}
+
+// memberSuspectedDeadLocked reacts to an unresponsive member: with AutoReset
+// the sequencer rebuilds the group without it; otherwise the group stays
+// intact (and possibly blocked on history space) until the application calls
+// Reset — the paper's user-requested recovery.
+func (ep *Endpoint) memberSuspectedDeadLocked(m Member) {
+	if ep.cfg.AutoReset {
+		ep.initiateResetLocked(ep.cfg.MinSurvivors)
+	}
+}
+
+// handleStatus processes a member's explicit status report; the piggyback
+// path in HandlePacket has already recorded p.lastRecv.
+func (ep *Endpoint) handleStatus(p packet) {
+	ep.tryPruneLocked()
+}
+
+// handleStatusReq answers a sequencer's status probe (member side).
+func (ep *Endpoint) handleStatusReq(p packet, from flip.Address) {
+	ep.noteSyncLocked(p.seq, p.aux)
+	ep.sendPkt(from, packet{typ: ptStatus})
+}
+
+// armSyncLocked keeps the idle-sequencer watermark broadcast running.
+func (ep *Endpoint) armSyncLocked() {
+	if ep.syncTimer != nil || ep.cfg.SyncInterval <= 0 {
+		return
+	}
+	ep.syncTimer = ep.after(ep.cfg.SyncInterval, func() {
+		ep.syncTimer = nil
+		if !ep.isSeq || ep.st != stNormal {
+			return
+		}
+		ep.tryPruneLocked()
+		ep.multicastPkt(packet{typ: ptSync, seq: ep.globalSeq, aux: ep.hist.floor})
+		ep.armSyncLocked()
+	})
+}
+
+// completeOwnSendLocked completes the sequencer's own active send once its
+// message is ordered (resilience 0) or accepted (resilience > 0).
+func (ep *Endpoint) completeOwnSendLocked(sender MemberID, localID uint32, err error) {
+	if sender != ep.self || len(ep.sendQ) == 0 {
+		return
+	}
+	op := ep.sendQ[0]
+	if op.localID != localID || !op.active {
+		return
+	}
+	ep.finishSendLocked(op, err)
+}

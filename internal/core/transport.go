@@ -1,0 +1,54 @@
+package core
+
+import (
+	"amoeba/internal/flip"
+)
+
+// FLIPTransport adapts a flip.Stack to the Transport interface and routes the
+// group's inbound packets into an Endpoint. It is the glue every hosting
+// runtime (the public amoeba package, the experiment harnesses, tests) uses
+// to put an endpoint on a network.
+type FLIPTransport struct {
+	stack *flip.Stack
+	self  flip.Address
+	group flip.Address
+	bound bool
+}
+
+var _ Transport = (*FLIPTransport)(nil)
+
+// NewFLIPTransport prepares a transport for one member: self is the member's
+// process address (registered on bind), group the group address (joined on
+// bind).
+func NewFLIPTransport(stack *flip.Stack, self, group flip.Address) *FLIPTransport {
+	return &FLIPTransport{stack: stack, self: self, group: group}
+}
+
+// Bind registers the member and group addresses, delivering inbound messages
+// to ep. Call before creating traffic.
+func (t *FLIPTransport) Bind(ep *Endpoint) {
+	t.bound = true
+	h := func(m flip.Message) { ep.HandlePacket(m) }
+	t.stack.Register(t.self, h)
+	t.stack.JoinGroup(t.group, h)
+}
+
+// Unbind detaches from the FLIP stack; inbound traffic stops.
+func (t *FLIPTransport) Unbind() {
+	if !t.bound {
+		return
+	}
+	t.bound = false
+	t.stack.Unregister(t.self)
+	t.stack.LeaveGroup(t.group)
+}
+
+// Send implements Transport.
+func (t *FLIPTransport) Send(dst flip.Address, payload []byte) error {
+	return t.stack.Send(t.self, dst, payload)
+}
+
+// Multicast implements Transport.
+func (t *FLIPTransport) Multicast(payload []byte) error {
+	return t.stack.Multicast(t.self, t.group, payload)
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"amoeba/internal/core"
+	"amoeba/internal/netsim"
+)
+
+// SequencerPlacement quantifies the §5 observation behind migrating
+// sequencers: Amoeba's users placed the busiest sender on the sequencer's
+// machine, where a send needs one multicast instead of a request plus a
+// broadcast. The gap between the two rows is the benefit a
+// dynamically-migrating sequencer (Horus, Transis) buys for bursty senders.
+func SequencerPlacement(model netsim.CostModel) (*Table, error) {
+	t := &Table{
+		ID:        "§5 sequencer placement",
+		Title:     "sender co-located with the sequencer vs on another machine (0 B, PB)",
+		PaperNote: "heavy senders were placed on the sequencer's kernel; migrating sequencers generalise this",
+		Columns:   []string{"sender", "delay (ms)", "wire frames/msg"},
+	}
+	for _, co := range []bool{false, true} {
+		g, err := NewSimGroup(GroupParams{Members: 4, Method: core.MethodPB, Model: model, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		sender := 1
+		label := "remote member"
+		if co {
+			sender = 0
+			label = "on the sequencer"
+		}
+		framesBefore := totalFrames(g.Stations)
+		d := g.MeasureDelay(sender, 0, DelayRounds)
+		frames := float64(totalFrames(g.Stations)-framesBefore) / DelayRounds
+		t.Rows = append(t.Rows, []string{
+			label,
+			ms(float64(d) / float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", frames),
+		})
+	}
+	return t, nil
+}
+
+// ProcessingScaling supports the paper's first conclusion: "the scalability
+// of our sequencer-based protocols is limited by message processing time".
+// Scaling every per-message processing cost down (the effect of techniques
+// like optimistic active messages, §5) moves the sequencer's throughput
+// ceiling almost proportionally — the protocol itself is not the limit.
+func ProcessingScaling(model netsim.CostModel) (*Table, error) {
+	t := &Table{
+		ID:        "§7 processing-time scaling",
+		Title:     "group throughput as per-message processing cost shrinks (0 B, PB, 4 members)",
+		PaperNote: "conclusion 1: throughput is bounded by processing time, not by the protocol",
+		Columns:   []string{"processing cost", "throughput (msg/s)", "speedup"},
+	}
+	var base float64
+	for _, factor := range []float64{1.0, 0.75, 0.5, 0.25} {
+		m := scaleProcessing(model, factor)
+		g, err := NewSimGroup(GroupParams{Members: 4, Method: core.MethodPB, Model: m, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		tp := g.MeasureThroughput(0, ThroughputWindow)
+		if factor == 1.0 {
+			base = tp
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", factor*100),
+			msgsPerS(tp),
+			fmt.Sprintf("%.2fx", tp/base),
+		})
+	}
+	return t, nil
+}
+
+// scaleProcessing multiplies every CPU cost (protocol layers, interrupts,
+// drivers, context switches) by factor, leaving the wire untouched.
+func scaleProcessing(m netsim.CostModel, factor float64) netsim.CostModel {
+	s := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) * factor)
+	}
+	m.RecvInterrupt = s(m.RecvInterrupt)
+	m.RecvDriver = s(m.RecvDriver)
+	m.SendDriver = s(m.SendDriver)
+	m.FLIPIn = s(m.FLIPIn)
+	m.FLIPOut = s(m.FLIPOut)
+	m.GroupIn = s(m.GroupIn)
+	m.GroupOut = s(m.GroupOut)
+	m.CtrlIn = s(m.CtrlIn)
+	m.UserSend = s(m.UserSend)
+	m.UserDeliver = s(m.UserDeliver)
+	return m
+}

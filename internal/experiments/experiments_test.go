@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"amoeba/internal/netsim"
+)
+
+// Smoke tests for the experiment harnesses that cmd/amoeba-bench runs: each
+// must produce a well-formed table with plausible content. The heavyweight
+// sweeps (Fig 1–8) are covered by the calibration tests that pin their
+// headline points; here we run the comparison/ablation experiments end to
+// end.
+
+func checkTable(t *testing.T, tbl *Table, err error, wantRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("experiment failed: %v", err)
+	}
+	if len(tbl.Rows) < wantRows {
+		t.Fatalf("%s produced %d rows, want ≥ %d", tbl.ID, len(tbl.Rows), wantRows)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, tbl.ID) || !strings.Contains(out, "paper:") {
+		t.Fatalf("table rendering missing header: %q", out)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) && len(row) != len(tbl.Columns)+0 {
+			t.Fatalf("%s row width %d != %d columns", tbl.ID, len(row), len(tbl.Columns))
+		}
+	}
+}
+
+func TestTable3Experiment(t *testing.T) {
+	tbl, err := Table3(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 10)
+	// The measured total is the last row; it must be near the paper's
+	// 2740 µs (the calibration tests assert the tight bound).
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if !strings.Contains(last[1], "measured") {
+		t.Fatalf("last row = %v", last)
+	}
+}
+
+func TestRPCComparisonExperiment(t *testing.T) {
+	tbl, err := RPCComparison(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 3)
+	// Group send must beat RPC (the paper's direction).
+	group, rpc := tbl.Rows[0][1], tbl.Rows[1][1]
+	if group >= rpc {
+		t.Fatalf("group send (%s ms) not faster than RPC (%s ms)", group, rpc)
+	}
+}
+
+func TestCMComparisonExperiment(t *testing.T) {
+	tbl, err := CMComparison(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 2)
+	// Amoeba interrupts ≈ n = 8; CM ≈ 2(n−1) = 14.
+	if tbl.Rows[0][2] != "8.0" {
+		t.Fatalf("Amoeba interrupts/msg = %s, want 8.0", tbl.Rows[0][2])
+	}
+	cmInts := tbl.Rows[1][2]
+	if cmInts < "12" || cmInts > "15" { // lexical compare is fine for #.# here
+		t.Fatalf("CM interrupts/msg = %s, want ≈14", cmInts)
+	}
+}
+
+func TestUserSpaceAblationExperiment(t *testing.T) {
+	tbl, err := UserSpaceAblation(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 2)
+}
+
+func TestSequencerPlacementExperiment(t *testing.T) {
+	tbl, err := SequencerPlacement(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 2)
+	// Co-located sends use exactly one wire frame.
+	if tbl.Rows[1][2] != "1.0" {
+		t.Fatalf("co-located frames/msg = %s, want 1.0", tbl.Rows[1][2])
+	}
+	if tbl.Rows[0][2] != "2.0" {
+		t.Fatalf("remote frames/msg = %s, want 2.0", tbl.Rows[0][2])
+	}
+}
+
+func TestProcessingScalingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window throughput runs")
+	}
+	tbl, err := ProcessingScaling(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 4)
+	if tbl.Rows[0][2] != "1.00x" {
+		t.Fatalf("baseline speedup = %s", tbl.Rows[0][2])
+	}
+}
+
+func TestFig7Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full resilience sweep")
+	}
+	tbl, err := Fig7(netsim.DefaultCostModel())
+	checkTable(t, tbl, err, 8)
+}

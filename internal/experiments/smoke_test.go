@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"amoeba/internal/core"
+	"amoeba/internal/netsim"
+)
+
+func TestSimGroupForms(t *testing.T) {
+	g, err := NewSimGroup(GroupParams{Members: 5, Model: netsim.DefaultCostModel(), Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSimGroup: %v", err)
+	}
+	for i, ep := range g.Eps {
+		info := ep.Info()
+		if len(info.Members) != 5 {
+			t.Fatalf("member %d sees %d members", i, len(info.Members))
+		}
+	}
+}
+
+func TestMeasureDelayBasic(t *testing.T) {
+	g, err := NewSimGroup(GroupParams{Members: 2, Method: core.MethodPB, Model: netsim.DefaultCostModel(), Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSimGroup: %v", err)
+	}
+	d := g.MeasureDelay(1, 0, 20)
+	t.Logf("0-byte PB delay, 2 members: %v", d)
+	if d <= 0 || d > 50*time.Millisecond {
+		t.Fatalf("implausible delay %v", d)
+	}
+}
+
+func TestMeasureThroughputBasic(t *testing.T) {
+	g, err := NewSimGroup(GroupParams{Members: 4, Method: core.MethodPB, Model: netsim.DefaultCostModel(), Seed: 1})
+	if err != nil {
+		t.Fatalf("NewSimGroup: %v", err)
+	}
+	tp := g.MeasureThroughput(0, time.Second)
+	t.Logf("0-byte PB throughput, 4 members: %.0f msg/s", tp)
+	if tp < 50 {
+		t.Fatalf("implausible throughput %.0f", tp)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid whose rows mirror a data
+// series in the paper.
+type Table struct {
+	// ID names the paper artefact, e.g. "Figure 1".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// PaperNote states what the paper reports, for side-by-side reading.
+	PaperNote string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+}
+
+// String renders the table for terminal output.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.PaperNote != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.PaperNote)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// cell formats helpers shared by the experiments.
+func ms(d float64) string       { return fmt.Sprintf("%.2f", d) }
+func msgsPerS(v float64) string { return fmt.Sprintf("%.0f", v) }

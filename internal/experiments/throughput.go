@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"amoeba/internal/core"
+	"amoeba/internal/netsim"
+)
+
+// ThroughputWindow is the virtual measurement duration per configuration
+// (after a 20% warmup).
+const ThroughputWindow = 3 * time.Second
+
+// SenderCounts is the sweep of Figures 4 and 5 (group size = senders).
+var SenderCounts = []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+
+// ThroughputSizes trims the size sweep for throughput runs (the paper plots
+// 0 B–4 KB; at 4 KB and 16 senders the sequencer's 32-frame Lance ring
+// overflows and throughput collapses into retransmission timeouts).
+var ThroughputSizes = []int{0, 1024, 2048, 4096}
+
+// Fig4 reproduces Figure 4: throughput with every member sending, PB method.
+// The paper measures a maximum of 815 0-byte messages/s — bounded by the
+// sequencer's ≈800 µs per-message processing plus scheduling its co-located
+// member — decreasing with message size (copies), and collapsing for 4 KB
+// messages once the receive ring overflows.
+func Fig4(model netsim.CostModel) (*Table, error) {
+	return throughputSweep("Figure 4", core.MethodPB, model,
+		"max 815 msg/s at 0 B (sequencer-bound); 4 KB collapses when the 32-frame ring overflows")
+}
+
+// Fig5 reproduces Figure 5: the same sweep with the BB method. Large
+// messages fare better than PB because the payload crosses the wire once.
+func Fig5(model netsim.CostModel) (*Table, error) {
+	return throughputSweep("Figure 5", core.MethodBB, model,
+		"0 B similar to PB; large messages sustain higher rates (half the wire traffic)")
+}
+
+func throughputSweep(id string, method core.Method, model netsim.CostModel, note string) (*Table, error) {
+	t := &Table{
+		ID:        id,
+		Title:     fmt.Sprintf("throughput, all members sending, %v method, r=0", method),
+		PaperNote: note,
+		Columns:   []string{"senders"},
+	}
+	for _, s := range ThroughputSizes {
+		t.Columns = append(t.Columns, fmt.Sprintf("%dB (msg/s)", s))
+	}
+	for _, senders := range SenderCounts {
+		row := []string{fmt.Sprintf("%d", senders)}
+		for _, size := range ThroughputSizes {
+			g, err := NewSimGroup(GroupParams{
+				Members: senders, Method: method, Model: model, Seed: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, msgsPerS(g.MeasureThroughput(size, ThroughputWindow)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: throughput with resilience degree r (group size
+// = senders = r+1, PB). Each message costs the sequencer 3+r packets, so
+// throughput falls as r grows.
+func Fig8(model netsim.CostModel) (*Table, error) {
+	t := &Table{
+		ID:        "Figure 8",
+		Title:     "throughput with resilience r, all members sending (group size r+1, PB)",
+		PaperNote: "3+r packets per broadcast: throughput falls as r grows",
+		Columns:   []string{"r", "members", "0B (msg/s)", "1024B (msg/s)"},
+	}
+	for _, r := range []int{0, 1, 3, 5, 7, 9, 11, 13, 15} {
+		row := []string{fmt.Sprintf("%d", r), fmt.Sprintf("%d", r+1)}
+		for _, size := range []int{0, 1024} {
+			g, err := NewSimGroup(GroupParams{
+				Members: r + 1, Resilience: r, Model: model, Seed: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, msgsPerS(g.MeasureThroughput(size, ThroughputWindow)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: aggregate throughput of disjoint groups sharing
+// one Ethernet, all members sending 0-byte messages with PB. The paper
+// peaks at 3175 msg/s with 5 groups of 2 (≈61% Ethernet utilisation) and
+// declines beyond as collisions waste the wire; groups of 8 fare worst.
+func Fig6(model netsim.CostModel) (*Table, error) {
+	t := &Table{
+		ID:        "Figure 6",
+		Title:     "aggregate throughput of parallel disjoint groups (0 B, PB)",
+		PaperNote: "peak 3175 msg/s at 5×2 (≈61% utilisation), then collision-driven decline; size 8 poor",
+		Columns:   []string{"groups", "2-member (msg/s)", "4-member (msg/s)", "8-member (msg/s)", "util(2)"},
+	}
+	for _, groups := range []int{1, 2, 3, 4, 5, 6, 7} {
+		row := []string{fmt.Sprintf("%d", groups)}
+		var util2 float64
+		for _, size := range []int{2, 4, 8} {
+			total, util, err := parallelGroups(model, groups, size)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, msgsPerS(total))
+			if size == 2 {
+				util2 = util
+			}
+		}
+		row = append(row, fmt.Sprintf("%.0f%%", util2*100))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ParallelGroupsPoint returns the aggregate throughput of one Figure 6
+// configuration, for benchmarks that pin a single point of the sweep.
+func ParallelGroupsPoint(model netsim.CostModel, groups, size int) (float64, error) {
+	total, _, err := parallelGroups(model, groups, size)
+	return total, err
+}
+
+// parallelGroups runs `groups` disjoint groups of `size` members on one
+// simulated Ethernet, everyone sending 0-byte messages, and returns the
+// aggregate ordered-message rate and the wire utilisation.
+func parallelGroups(model netsim.CostModel, groups, size int) (float64, float64, error) {
+	first, err := NewSimGroup(GroupParams{
+		Members: size, Model: model, Seed: 1, GroupName: "pg-0",
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	sims := []*SimGroup{first}
+	for i := 1; i < groups; i++ {
+		g, err := NewSimGroup(GroupParams{
+			Members: size, Model: model, Seed: 1,
+			Share: first.Net, GroupName: fmt.Sprintf("pg-%d", i),
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		sims = append(sims, g)
+	}
+	for _, g := range sims {
+		g.StartSenders(0)
+	}
+	eng := first.Engine
+	warmup := ThroughputWindow / 5
+	eng.RunUntil(eng.Now() + warmup)
+	starts := make([]uint64, groups)
+	for i, g := range sims {
+		starts[i] = g.Delivered(0)
+	}
+	startTime := eng.Now()
+	eng.RunUntil(startTime + ThroughputWindow)
+	elapsed := eng.Now() - startTime
+
+	var total float64
+	for i, g := range sims {
+		total += float64(g.Delivered(0)-starts[i]) / elapsed.Seconds()
+	}
+	return total, first.Net.Utilization(), nil
+}

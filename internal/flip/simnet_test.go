@@ -1,0 +1,24 @@
+package flip
+
+import (
+	"amoeba/internal/netsim"
+	"amoeba/internal/netw"
+	"amoeba/internal/sim"
+)
+
+// simNet is a tiny helper exposing netsim stations for FLIP's sim-mode tests.
+type simNet struct {
+	net      *netsim.Network
+	stations []*netsim.Station
+}
+
+func newSimNet(engine *sim.Engine) *simNet {
+	n := netsim.New(engine, netsim.DefaultCostModel())
+	s := &simNet{net: n}
+	for i := 0; i < 2; i++ {
+		s.stations = append(s.stations, n.AttachStation("node"))
+	}
+	return s
+}
+
+func (s *simNet) station(i int) netw.Station { return s.stations[i] }

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"time"
+
+	"amoeba/internal/cost"
+)
+
+// CostModel parameterises the simulated hardware: the 10 Mbit/s Ethernet,
+// the Lance NIC, and the per-layer processing costs of a 20-MHz MC68030
+// running the Amoeba kernel. DefaultCostModel reproduces the constants the
+// paper reports (Table 3 and §4); experiments may scale fields to model
+// different hardware (e.g. the user-space ablation).
+type CostModel struct {
+	// BitRate is the wire speed in bits per second.
+	BitRate int
+	// FrameOverheadBytes is added to every frame on the wire: the paper
+	// counts 116 header bytes (14 Ethernet + 2 flow control + 40 FLIP +
+	// 28 group + 32 Amoeba user header).
+	FrameOverheadBytes int
+	// MinFrameBytes is the Ethernet minimum frame size.
+	MinFrameBytes int
+	// SlotTime is the Ethernet backoff quantum (51.2 µs at 10 Mbit/s).
+	SlotTime time.Duration
+	// CollisionWindow is the vulnerable period after a transmission
+	// starts during which another station has not yet sensed carrier: the
+	// propagation delay of the segment (a few µs on one LAN, far less
+	// than the worst-case slot time).
+	CollisionWindow time.Duration
+	// DeferJitter spreads stations' medium re-acquisition after a busy
+	// period, modelling transceiver and interframe processing skew.
+	// Without it every frame boundary would be a guaranteed collision.
+	DeferJitter time.Duration
+	// InterFrameGap separates back-to-back frames (9.6 µs).
+	InterFrameGap time.Duration
+	// MaxBackoffExp caps the binary exponential backoff exponent (10).
+	MaxBackoffExp int
+	// MaxAttempts aborts a frame after this many collisions (16).
+	MaxAttempts int
+	// RingSize is the Lance receive ring: 32 frames buffered before the
+	// interface overflows and drops.
+	RingSize int
+
+	// Receive path, charged per frame on the receiving CPU.
+	RecvInterrupt   time.Duration // taking the interrupt
+	RecvDriver      time.Duration // Lance driver input processing
+	RecvCopyPerByte time.Duration // Lance buffer → kernel (history) copy
+
+	// Send path, charged per frame on the sending CPU.
+	SendDriver      time.Duration // driver output + Lance setup
+	SendCopyPerByte time.Duration // kernel buffer → Lance copy
+	// PerMemberSend models the per-destination cost of a multicast send
+	// (≈4 µs per member in the paper's Figure 1 extrapolation).
+	PerMemberSend time.Duration
+
+	// Protocol layers, charged via cost.Meter by internal/flip and
+	// internal/core.
+	FLIPIn          time.Duration // FLIP input, per packet
+	FLIPOut         time.Duration // FLIP output, per packet
+	GroupIn         time.Duration // group protocol input, per data message
+	GroupOut        time.Duration // group protocol output, per data message
+	CtrlIn          time.Duration // group protocol input, per control message
+	UserSend        time.Duration // context switch + syscall into SendToGroup
+	UserSendPerByte time.Duration // user space → kernel copy
+	UserDeliver     time.Duration // wake + context switch out of ReceiveFromGroup
+	UserDelPerByte  time.Duration // history buffer → user space copy
+
+	// ProtocolFactor scales the FLIP/group layer charges. 1.0 models the
+	// paper's in-kernel implementation; >1 models a user-space
+	// implementation's slower protocol processing (Oey et al., §5).
+	ProtocolFactor float64
+	// UserSpaceCrossing is an extra per-charge cost at every protocol
+	// layer boundary, modelling the user/kernel crossings a user-space
+	// protocol implementation pays on each packet. Zero for the in-kernel
+	// implementation.
+	UserSpaceCrossing time.Duration
+}
+
+// DefaultCostModel returns the model calibrated against the paper's
+// measurements: 0-byte PB delay ≈ 2.7 ms for a group of 2 (Table 3 total
+// 2740 µs, group layer ≈ 740 µs), sequencer-bound throughput ≈ 815 msg/s,
+// ≈ 600 µs per resilience acknowledgement, ≈ 4 µs additional delay per
+// member, and ≈ +20 ms for an 8000-byte PB send.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BitRate:            10_000_000,
+		FrameOverheadBytes: 116,
+		MinFrameBytes:      64,
+		SlotTime:           51200 * time.Nanosecond,
+		CollisionWindow:    5 * time.Microsecond,
+		DeferJitter:        40 * time.Microsecond,
+		InterFrameGap:      9600 * time.Nanosecond,
+		MaxBackoffExp:      10,
+		MaxAttempts:        16,
+		RingSize:           32,
+
+		RecvInterrupt:   100 * time.Microsecond,
+		RecvDriver:      100 * time.Microsecond,
+		RecvCopyPerByte: 100 * time.Nanosecond,
+
+		SendDriver:      100 * time.Microsecond,
+		SendCopyPerByte: 100 * time.Nanosecond,
+		PerMemberSend:   4 * time.Microsecond,
+
+		FLIPIn:          110 * time.Microsecond,
+		FLIPOut:         110 * time.Microsecond,
+		GroupIn:         190 * time.Microsecond,
+		GroupOut:        180 * time.Microsecond,
+		CtrlIn:          150 * time.Microsecond,
+		UserSend:        410 * time.Microsecond,
+		UserSendPerByte: 80 * time.Nanosecond,
+		UserDeliver:     380 * time.Microsecond,
+		UserDelPerByte:  110 * time.Nanosecond,
+
+		ProtocolFactor: 1.0,
+	}
+}
+
+// FrameTime returns the wire occupancy of a frame with the given payload
+// size, including header overhead and the minimum frame size.
+func (m CostModel) FrameTime(payloadBytes int) time.Duration {
+	bytes := payloadBytes + m.FrameOverheadBytes
+	if bytes < m.MinFrameBytes {
+		bytes = m.MinFrameBytes
+	}
+	return time.Duration(int64(bytes) * 8 * int64(time.Second) / int64(m.BitRate))
+}
+
+// chargeFor maps a protocol-layer charge to CPU time under this model.
+func (m CostModel) chargeFor(k cost.Kind, bytes int) time.Duration {
+	f := m.ProtocolFactor
+	if f == 0 {
+		f = 1.0
+	}
+	scale := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d)*f) + m.UserSpaceCrossing
+	}
+	switch k {
+	case cost.UserSend:
+		return m.UserSend + time.Duration(bytes)*m.UserSendPerByte
+	case cost.GroupOut:
+		return scale(m.GroupOut)
+	case cost.GroupIn:
+		return scale(m.GroupIn)
+	case cost.CtrlIn:
+		return scale(m.CtrlIn)
+	case cost.FLIPOut:
+		return scale(m.FLIPOut)
+	case cost.FLIPIn:
+		return scale(m.FLIPIn)
+	case cost.UserDeliver:
+		return m.UserDeliver + time.Duration(bytes)*m.UserDelPerByte
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,335 @@
+package memnet
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"amoeba/internal/netw"
+)
+
+// collector accumulates frames delivered to a station.
+type collector struct {
+	mu     sync.Mutex
+	frames []netw.Frame
+	notify chan struct{}
+}
+
+func newCollector(s netw.Station) *collector {
+	c := &collector{notify: make(chan struct{}, 1024)}
+	s.SetHandler(func(f netw.Frame) {
+		c.mu.Lock()
+		c.frames = append(c.frames, f)
+		c.mu.Unlock()
+		select {
+		case c.notify <- struct{}{}:
+		default:
+		}
+	})
+	return c
+}
+
+func (c *collector) waitFor(t *testing.T, n int) []netw.Frame {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.frames) >= n {
+			out := make([]netw.Frame, len(c.frames))
+			copy(out, c.frames)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		select {
+		case <-c.notify:
+		case <-deadline:
+			c.mu.Lock()
+			got := len(c.frames)
+			c.mu.Unlock()
+			t.Fatalf("timed out waiting for %d frames, have %d", n, got)
+		}
+	}
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.frames)
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	newCollector(a)
+
+	if err := a.Send(b.ID(), []byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	frames := cb.waitFor(t, 1)
+	if frames[0].Src != a.ID() || frames[0].Dst != b.ID() {
+		t.Fatalf("frame addressing = %+v", frames[0])
+	}
+	if !bytes.Equal(frames[0].Payload, []byte("hello")) {
+		t.Fatalf("payload = %q", frames[0].Payload)
+	}
+}
+
+func TestUnicastFIFOPerPair(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send(b.ID(), []byte{byte(i)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	frames := cb.waitFor(t, count)
+	for i := 0; i < count; i++ {
+		if frames[i].Payload[0] != byte(i) {
+			t.Fatalf("frame %d out of order: got %d", i, frames[i].Payload[0])
+		}
+	}
+}
+
+func TestMulticastReachesOnlySubscribers(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	cb := newCollector(b)
+	cc := newCollector(c)
+
+	const ch netw.ChannelID = 7
+	b.Subscribe(ch)
+
+	if err := a.Multicast(ch, []byte("mc")); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	frames := cb.waitFor(t, 1)
+	if frames[0].Dst != netw.Broadcast || frames[0].Channel != ch {
+		t.Fatalf("multicast frame = %+v", frames[0])
+	}
+	// c never subscribed; give the network a moment and confirm nothing
+	// arrived.
+	time.Sleep(20 * time.Millisecond)
+	if cc.count() != 0 {
+		t.Fatalf("unsubscribed station received %d frames", cc.count())
+	}
+}
+
+func TestMulticastExcludesSender(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	ca := newCollector(a)
+	cb := newCollector(b)
+
+	const ch netw.ChannelID = 3
+	a.Subscribe(ch)
+	b.Subscribe(ch)
+
+	if err := a.Multicast(ch, []byte("x")); err != nil {
+		t.Fatalf("Multicast: %v", err)
+	}
+	cb.waitFor(t, 1)
+	time.Sleep(20 * time.Millisecond)
+	if ca.count() != 0 {
+		t.Fatal("sender received its own multicast")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+
+	const ch netw.ChannelID = 9
+	b.Subscribe(ch)
+	_ = a.Multicast(ch, []byte("1"))
+	cb.waitFor(t, 1)
+	b.Unsubscribe(ch)
+	_ = a.Multicast(ch, []byte("2"))
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 1 {
+		t.Fatalf("received %d frames after unsubscribe, want 1", cb.count())
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	big := make([]byte, netw.MTU+1)
+	if err := a.Send(b.ID(), big); err == nil {
+		t.Fatal("oversize Send succeeded")
+	}
+	if err := a.Multicast(1, big); err == nil {
+		t.Fatal("oversize Multicast succeeded")
+	}
+	ok := make([]byte, netw.MTU)
+	if err := a.Send(b.ID(), ok); err != nil {
+		t.Fatalf("MTU-size Send failed: %v", err)
+	}
+}
+
+func TestClosedStationRejectsSendsAndDropsInbound(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := b.Send(a.ID(), []byte("x")); err == nil {
+		t.Fatal("send on closed station succeeded")
+	}
+	_ = a.Send(b.ID(), []byte("y"))
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatal("closed station received a frame")
+	}
+	// Closing twice is fine.
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSendToUnknownStationIsDropped(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	// No station 42: the frame vanishes, like an Ethernet frame to an
+	// absent MAC.
+	if err := a.Send(42, []byte("x")); err != nil {
+		t.Fatalf("Send to absent station returned error: %v", err)
+	}
+}
+
+func TestDropInjection(t *testing.T) {
+	n := New(Config{DropRate: 1.0, Seed: 1})
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	for i := 0; i < 50; i++ {
+		_ = a.Send(b.ID(), []byte("x"))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatalf("DropRate=1 delivered %d frames", cb.count())
+	}
+	if n.Dropped() != 50 {
+		t.Fatalf("Dropped = %d, want 50", n.Dropped())
+	}
+}
+
+func TestDuplicateInjection(t *testing.T) {
+	n := New(Config{DupRate: 1.0, Seed: 1})
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	_ = a.Send(b.ID(), []byte("x"))
+	frames := cb.waitFor(t, 2)
+	if len(frames) < 2 {
+		t.Fatal("duplicate not delivered")
+	}
+}
+
+func TestCorruptInjectionFlipsExactlyOneBit(t *testing.T) {
+	n := New(Config{CorruptRate: 1.0, Seed: 1})
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	_ = a.Send(b.ID(), append([]byte(nil), orig...))
+	frames := cb.waitFor(t, 1)
+	diff := 0
+	for i := range orig {
+		if frames[0].Payload[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bytes, want 1", diff)
+	}
+}
+
+func TestRingOverflowDrops(t *testing.T) {
+	n := New(Config{RingSize: 4, Seed: 1})
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	// No handler on b: install one that blocks until released so the ring
+	// fills.
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	b.SetHandler(func(netw.Frame) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	})
+	for i := 0; i < 20; i++ {
+		_ = a.Send(b.ID(), []byte{byte(i)})
+	}
+	<-started
+	if n.Dropped() == 0 {
+		t.Fatal("no frames dropped despite tiny ring")
+	}
+	close(release)
+	n.Close()
+}
+
+func TestReceiverOwnsPayloadCopy(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	buf := []byte("mutate-me")
+	_ = a.Send(b.ID(), buf)
+	frames := cb.waitFor(t, 1)
+	buf[0] = 'X' // sender reuses its buffer
+	if frames[0].Payload[0] != 'm' {
+		t.Fatal("receiver payload aliases sender buffer")
+	}
+}
+
+func TestConcurrentSendersNoRace(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	recv, _ := n.Attach("recv")
+	cr := newCollector(recv)
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		s, _ := n.Attach("s")
+		newCollector(s)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				_ = s.Send(recv.ID(), []byte{byte(j)})
+			}
+		}()
+	}
+	wg.Wait()
+	cr.waitFor(t, senders*per)
+}

@@ -1,0 +1,120 @@
+package udpnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"amoeba/internal/core"
+	"amoeba/internal/flip"
+	"amoeba/internal/sim"
+)
+
+// udpMember is one group member running the full stack over a UDP station.
+type udpMember struct {
+	ep *core.Endpoint
+
+	mu   sync.Mutex
+	data []string
+	note chan struct{}
+}
+
+func (m *udpMember) send(ctx context.Context, payload []byte) error {
+	done := make(chan error, 1)
+	m.ep.Send(payload, func(e error) { done <- e })
+	select {
+	case e := <-done:
+		return e
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m *udpMember) receiveData(ctx context.Context) (string, error) {
+	for {
+		m.mu.Lock()
+		if len(m.data) > 0 {
+			out := m.data[0]
+			m.data = m.data[1:]
+			m.mu.Unlock()
+			return out, nil
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.note:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+}
+
+type testingT interface {
+	Fatalf(format string, args ...any)
+	Cleanup(func())
+}
+
+// formUDPGroup builds an n-member group over real UDP sockets.
+func formUDPGroup(ctx context.Context, t testingT, net *Network, n int) ([]*udpMember, error) {
+	groupAddr := flip.AddressForName("udp-group")
+	members := make([]*udpMember, 0, n)
+	for i := 0; i < n; i++ {
+		station, err := net.Attach(fmt.Sprintf("udp-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		stack := flip.NewStack(flip.Config{
+			Station:        station,
+			Clock:          sim.NewRealClock(),
+			LocateInterval: 10 * time.Millisecond,
+		})
+		m := &udpMember{note: make(chan struct{}, 256)}
+		cfg := core.Config{
+			Group:         groupAddr,
+			Self:          stack.AllocAddress(),
+			Clock:         sim.NewRealClock(),
+			RetryInterval: 25 * time.Millisecond,
+			OnDeliver: func(d core.Delivery) {
+				if d.Kind != core.KindData {
+					return
+				}
+				m.mu.Lock()
+				m.data = append(m.data, string(d.Payload))
+				m.mu.Unlock()
+				select {
+				case m.note <- struct{}{}:
+				default:
+				}
+			},
+		}
+		tr := core.NewFLIPTransport(stack, cfg.Self, groupAddr)
+		cfg.Transport = tr
+		if i == 0 {
+			m.ep, err = core.NewCreator(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr.Bind(m.ep)
+			m.ep.Start()
+		} else {
+			done := make(chan error, 1)
+			m.ep, err = core.NewJoiner(cfg, func(e error) { done <- e })
+			if err != nil {
+				return nil, err
+			}
+			tr.Bind(m.ep)
+			m.ep.Start()
+			select {
+			case e := <-done:
+				if e != nil {
+					return nil, fmt.Errorf("join %d: %w", i, e)
+				}
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		t.Cleanup(m.ep.Close)
+		members = append(members, m)
+	}
+	return members, nil
+}

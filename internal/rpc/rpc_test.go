@@ -1,0 +1,281 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amoeba/internal/flip"
+	"amoeba/internal/netw/memnet"
+	"amoeba/internal/sim"
+)
+
+func newStack(t *testing.T, net *memnet.Network) *flip.Stack {
+	t.Helper()
+	st, err := net.Attach("node")
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	return flip.NewStack(flip.Config{
+		Station:        st,
+		Clock:          sim.NewRealClock(),
+		LocateInterval: 5 * time.Millisecond,
+	})
+}
+
+func cfg(stack *flip.Stack) Config {
+	return Config{
+		Stack:         stack,
+		Clock:         sim.NewRealClock(),
+		RetryInterval: 15 * time.Millisecond,
+		MaxRetries:    20,
+	}
+}
+
+func TestCallReply(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	srv, err := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) {
+		return append([]byte("echo:"), req...), 0
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	cl, err := NewClient(cfg(cs))
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer cl.Close()
+
+	reply, err := cl.Call(srv.Addr(), []byte("ping"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "echo:ping" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestCallSurvivesLoss(t *testing.T) {
+	net := memnet.New(memnet.Config{DropRate: 0.3, Seed: 5})
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	srv, _ := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) {
+		return req, 0
+	})
+	defer srv.Close()
+	cl, _ := NewClient(cfg(cs))
+	defer cl.Close()
+
+	for i := 0; i < 20; i++ {
+		req := []byte(fmt.Sprintf("r%d", i))
+		reply, err := cl.Call(srv.Addr(), req)
+		if err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+		if !bytes.Equal(reply, req) {
+			t.Fatalf("reply %d = %q", i, reply)
+		}
+	}
+}
+
+func TestAtMostOnceExecution(t *testing.T) {
+	// Heavy duplication: the server must execute each transaction once.
+	net := memnet.New(memnet.Config{DupRate: 0.8, Seed: 9})
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	var mu sync.Mutex
+	counts := map[string]int{}
+	srv, _ := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) {
+		mu.Lock()
+		counts[string(req)]++
+		mu.Unlock()
+		return req, 0
+	})
+	defer srv.Close()
+	cl, _ := NewClient(cfg(cs))
+	defer cl.Close()
+
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Call(srv.Addr(), []byte(fmt.Sprintf("tx%d", i))); err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+	}
+	// Allow trailing duplicates to drain, then verify single execution.
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	for k, n := range counts {
+		if n != 1 {
+			t.Fatalf("request %q executed %d times", k, n)
+		}
+	}
+}
+
+func TestCallTimesOutWithoutServer(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	cs := newStack(t, net)
+	c := cfg(cs)
+	c.MaxRetries = 3
+	cl, _ := NewClient(c)
+	defer cl.Close()
+	if _, err := cl.Call(12345, []byte("void")); err == nil {
+		t.Fatal("call into the void succeeded")
+	}
+}
+
+func TestForwardRequest(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	s1, s2, cs := newStack(t, net), newStack(t, net), newStack(t, net)
+	// Backend actually answers.
+	backend, _ := NewServer(cfg(s2), 0, func(req []byte) ([]byte, flip.Address) {
+		return append([]byte("backend:"), req...), 0
+	})
+	defer backend.Close()
+	// Frontend forwards everything to the backend.
+	front, _ := NewServer(cfg(s1), 0, func(req []byte) ([]byte, flip.Address) {
+		return nil, backend.Addr()
+	})
+	defer front.Close()
+	cl, _ := NewClient(cfg(cs))
+	defer cl.Close()
+
+	reply, err := cl.Call(front.Addr(), []byte("work"))
+	if err != nil {
+		t.Fatalf("forwarded call: %v", err)
+	}
+	if string(reply) != "backend:work" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	srv, _ := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) {
+		return req, 0
+	})
+	defer srv.Close()
+	cl, _ := NewClient(cfg(cs))
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := []byte(fmt.Sprintf("c%d", i))
+			reply, err := cl.Call(srv.Addr(), req)
+			if err == nil && !bytes.Equal(reply, req) {
+				err = fmt.Errorf("reply %q for %q", reply, req)
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClosedClientFailsPending(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	cs := newStack(t, net)
+	cl, _ := NewClient(cfg(cs))
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Call(999, []byte("hang"))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cl.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending call succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call never failed")
+	}
+	if _, err := cl.Call(999, nil); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestServerCloseStopsServing(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	srv, _ := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) { return req, 0 })
+	cl, _ := NewClient(cfg(cs))
+	defer cl.Close()
+	if _, err := cl.Call(srv.Addr(), []byte("a")); err != nil {
+		t.Fatalf("pre-close call: %v", err)
+	}
+	srv.Close()
+	c2 := cfg(cs)
+	_ = c2
+	clFast, _ := NewClient(Config{Stack: cs, Clock: sim.NewRealClock(), RetryInterval: 10 * time.Millisecond, MaxRetries: 3})
+	defer clFast.Close()
+	if _, err := clFast.Call(srv.Addr(), []byte("b")); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+func TestHeaderCodecRoundTrip(t *testing.T) {
+	f := func(typ uint8, txn uint32, replyTo uint64, body []byte) bool {
+		if typ == 0 {
+			typ = 1
+		}
+		h := header{typ: pktType(typ), txn: txn, replyTo: flip.Address(replyTo)}
+		got, payload, err := decode(encode(h, body))
+		if err != nil {
+			return false
+		}
+		return got == h && bytes.Equal(payload, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsShort(t *testing.T) {
+	if _, _, err := decode(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}
+
+func TestLargePayloadRoundTrip(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	srv, _ := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) { return req, 0 })
+	defer srv.Close()
+	cl, _ := NewClient(cfg(cs))
+	defer cl.Close()
+	big := make([]byte, 8000)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	reply, err := cl.Call(srv.Addr(), big)
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !bytes.Equal(reply, big) {
+		t.Fatal("large payload corrupted")
+	}
+}

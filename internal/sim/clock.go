@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Timer is a cancellable pending callback, satisfied by both virtual and
+// wall-clock timers.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Clock abstracts time for protocol code so the same state machines run under
+// the simulator (virtual time) and in real deployments (wall-clock time).
+type Clock interface {
+	// Now returns the time elapsed since the clock's epoch.
+	Now() time.Duration
+	// AfterFunc arranges for fn to run d from now and returns a handle to
+	// cancel it. fn runs on the clock's dispatch context: the simulation
+	// event loop for virtual clocks, a timer goroutine for real clocks.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// EngineClock adapts an Engine to the Clock interface.
+type EngineClock struct {
+	engine *Engine
+}
+
+var _ Clock = (*EngineClock)(nil)
+
+// NewEngineClock returns a Clock driven by the engine's virtual time.
+func NewEngineClock(e *Engine) *EngineClock { return &EngineClock{engine: e} }
+
+// Now returns the engine's virtual time.
+func (c *EngineClock) Now() time.Duration { return c.engine.Now() }
+
+// AfterFunc schedules fn on the engine d from now.
+func (c *EngineClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return c.engine.After(d, fn)
+}
+
+// RealClock is a Clock backed by the wall clock. Its epoch is the moment it
+// is created.
+type RealClock struct {
+	epoch time.Time
+}
+
+var _ Clock = (*RealClock)(nil)
+
+// NewRealClock returns a wall-clock Clock with epoch now.
+func NewRealClock() *RealClock { return &RealClock{epoch: time.Now()} }
+
+// Now returns the wall-clock time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// AfterFunc schedules fn on a timer goroutine d from now.
+func (c *RealClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return &realTimer{t: time.AfterFunc(d, fn)}
+}
+
+type realTimer struct {
+	t *time.Timer
+}
+
+func (t *realTimer) Stop() bool { return t.t.Stop() }
+
+// ManualClock is a Clock advanced explicitly by tests. It dispatches due
+// timers synchronously from Advance, which makes timer-driven protocol paths
+// (retransmission, failure detection) testable without sleeping.
+type ManualClock struct {
+	mu     sync.Mutex
+	now    time.Duration
+	seq    uint64
+	timers []*manualTimer
+}
+
+var _ Clock = (*ManualClock)(nil)
+
+// NewManualClock returns a ManualClock at time zero.
+func NewManualClock() *ManualClock { return &ManualClock{} }
+
+type manualTimer struct {
+	clock   *ManualClock
+	at      time.Duration
+	seq     uint64
+	fn      func()
+	stopped bool
+}
+
+func (t *manualTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Now returns the clock's current time.
+func (c *ManualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc registers fn to run when the clock is advanced past d from now.
+func (c *ManualClock) AfterFunc(d time.Duration, fn func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	t := &manualTimer{clock: c, at: c.now + d, seq: c.seq, fn: fn}
+	c.seq++
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every due timer in time order.
+// Timers scheduled by fired callbacks fire too if they fall within the
+// window.
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	deadline := c.now + d
+	for {
+		idx := -1
+		for i, t := range c.timers {
+			if t.stopped {
+				continue
+			}
+			if t.at > deadline {
+				continue
+			}
+			if idx == -1 || t.at < c.timers[idx].at ||
+				(t.at == c.timers[idx].at && t.seq < c.timers[idx].seq) {
+				idx = i
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		t := c.timers[idx]
+		c.timers = append(c.timers[:idx], c.timers[idx+1:]...)
+		if t.at > c.now {
+			c.now = t.at
+		}
+		c.mu.Unlock()
+		t.fn()
+		c.mu.Lock()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+	c.mu.Unlock()
+}

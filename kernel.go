@@ -1,0 +1,196 @@
+package amoeba
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"amoeba/internal/core"
+	"amoeba/internal/flip"
+	"amoeba/internal/netw"
+	"amoeba/internal/sim"
+)
+
+// Kernel is one machine's communication endpoint: a FLIP protocol stack over
+// a network attachment, hosting group memberships and RPC endpoints — the
+// role the Amoeba kernel plays in the paper's Table 2 layering.
+type Kernel struct {
+	name  string
+	stack *flip.Stack
+	clock sim.Clock
+}
+
+// NewKernel attaches a kernel to the network. The name is used only in
+// diagnostics.
+func (n *MemoryNetwork) NewKernel(name string) (*Kernel, error) {
+	station, err := n.net.Attach(name)
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: attaching kernel %q: %w", name, err)
+	}
+	return newKernel(name, station), nil
+}
+
+// newKernel builds a kernel over any link attachment.
+func newKernel(name string, station netw.Station) *Kernel {
+	clock := sim.NewRealClock()
+	return &Kernel{
+		name: name,
+		stack: flip.NewStack(flip.Config{
+			Station: station,
+			Clock:   clock,
+		}),
+		clock: clock,
+	}
+}
+
+// Close shuts the kernel down. Groups hosted on it stop communicating — the
+// machine has, from the network's point of view, crashed.
+func (k *Kernel) Close() { k.stack.Close() }
+
+// Method selects the group broadcast strategy; see the paper's §3.1.
+type Method int
+
+// Broadcast methods. MethodAuto (the default, and what Amoeba implements)
+// switches per message: small payloads go point-to-point to the sequencer
+// which multicasts them (PB — two transits of the data, one interrupt per
+// receiver), large payloads are multicast by the sender and sequenced with a
+// short accept (BB — one transit, two interrupts per receiver).
+const (
+	MethodAuto Method = iota
+	MethodPB
+	MethodBB
+)
+
+// GroupOptions configures a group membership. The zero value is a sensible
+// default: resilience 0, automatic PB/BB switching, 128-message history.
+type GroupOptions struct {
+	// Resilience is the fault-tolerance degree r: Send returns only after
+	// r other members have stored the message, and any r crashes lose no
+	// completed send. 0 (the default) maximises performance; the paper's
+	// replicated servers ran small groups with small r, its parallel
+	// applications with r = 0.
+	Resilience int
+	// Method forces PB or BB; MethodAuto switches on message size.
+	Method Method
+	// BBThreshold is the size at which MethodAuto switches to BB
+	// (default 1024 bytes).
+	BBThreshold int
+	// HistorySize is the bounded message history kept for retransmission
+	// and recovery (default 128, as in the paper's experiments).
+	HistorySize int
+	// MaxMessage bounds a single message (default 64 KiB).
+	MaxMessage int
+	// AutoReset makes the group rebuild itself when a member or the
+	// sequencer is suspected dead. When false (default, matching
+	// Amoeba), the application decides by calling Reset.
+	AutoReset bool
+	// MinSurvivors is the quorum automatic recovery requires
+	// (default 1).
+	MinSurvivors int
+	// ReceiveBuffer bounds messages queued for Receive before Send-side
+	// backpressure (default 1024).
+	ReceiveBuffer int
+}
+
+func (o GroupOptions) coreConfig() core.Config {
+	return core.Config{
+		Resilience:   o.Resilience,
+		Method:       core.Method(o.Method),
+		BBThreshold:  o.BBThreshold,
+		HistorySize:  o.HistorySize,
+		MaxMessage:   o.MaxMessage,
+		AutoReset:    o.AutoReset,
+		MinSurvivors: o.MinSurvivors,
+	}
+}
+
+// CreateGroup creates the named group with this kernel's process as its
+// first member and sequencer. Creating a group that other processes have
+// already created is not detected (atomic group creation is impossible with
+// unreliable communication; the paper's §5 reports the same limitation) —
+// coordinate creation or use JoinGroup with a retry-then-create pattern.
+func (k *Kernel) CreateGroup(ctx context.Context, name string, opts GroupOptions) (*Group, error) {
+	g, cfg := k.newGroup(name, opts)
+	ep, err := core.NewCreator(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: creating group %q: %w", name, err)
+	}
+	g.ep = ep
+	g.tr.Bind(ep)
+	ep.Start()
+	return g, nil
+}
+
+// JoinGroup joins the named group, blocking until the join is totally
+// ordered and acknowledged by the sequencer. It fails with ErrNoGroup if no
+// sequencer answers.
+func (k *Kernel) JoinGroup(ctx context.Context, name string, opts GroupOptions) (*Group, error) {
+	g, cfg := k.newGroup(name, opts)
+	done := make(chan error, 1)
+	ep, err := core.NewJoiner(cfg, func(e error) { done <- e })
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: joining group %q: %w", name, err)
+	}
+	g.ep = ep
+	g.tr.Bind(ep)
+	ep.Start()
+	select {
+	case err := <-done:
+		if err != nil {
+			g.tr.Unbind()
+			if errors.Is(err, core.ErrJoinFailed) {
+				return nil, fmt.Errorf("amoeba: joining group %q: %w", name, ErrNoGroup)
+			}
+			return nil, fmt.Errorf("amoeba: joining group %q: %w", name, err)
+		}
+		return g, nil
+	case <-ctx.Done():
+		ep.Close()
+		g.tr.Unbind()
+		return nil, ctx.Err()
+	}
+}
+
+func (k *Kernel) newGroup(name string, opts GroupOptions) (*Group, core.Config) {
+	groupAddr := flip.AddressForName(name)
+	self := k.stack.AllocAddress()
+	g := &Group{
+		kernel: k,
+		name:   name,
+		tr:     core.NewFLIPTransport(k.stack, self, groupAddr),
+		queue:  newDeliveryQueue(opts.ReceiveBuffer),
+	}
+	cfg := opts.coreConfig()
+	cfg.Group = groupAddr
+	cfg.Self = self
+	cfg.Transport = g.tr
+	cfg.Clock = k.clock
+	cfg.OnDeliver = g.queue.push
+	return g, cfg
+}
+
+// Sentinel errors returned by the public API.
+var (
+	// ErrNoGroup reports a join with no live sequencer for the name.
+	ErrNoGroup = errors.New("amoeba: no such group")
+	// ErrNotMember reports an operation on a group this process has left
+	// or been expelled from.
+	ErrNotMember = core.ErrNotMember
+	// ErrSequencerDead reports exhausted retries against an unresponsive
+	// sequencer; call Reset (or set GroupOptions.AutoReset).
+	ErrSequencerDead = core.ErrSequencerDead
+)
+
+// waitCtx adapts a callback completion to ctx cancellation.
+func waitCtx(ctx context.Context, start func(func(error))) error {
+	done := make(chan error, 1)
+	start(func(e error) { done <- e })
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// The protocol operation continues in the background; only the
+		// wait is abandoned.
+		return ctx.Err()
+	}
+}

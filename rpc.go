@@ -1,0 +1,88 @@
+package amoeba
+
+import (
+	"context"
+	"fmt"
+
+	"amoeba/internal/flip"
+	"amoeba/internal/rpc"
+)
+
+// Addr names an RPC endpoint on the network. Addresses identify processes,
+// not machines (the FLIP property the paper highlights against IP), so a
+// server keeps its address if it moves kernels.
+type Addr uint64
+
+// AddrForName derives a stable well-known address from a service name.
+func AddrForName(name string) Addr { return Addr(flip.AddressForName(name)) }
+
+// RPCHandler serves one request. Returning a non-zero forward address
+// instead of a reply hands the request to that server — the paper's
+// ForwardRequest primitive; the reply reaches the client from wherever the
+// request lands.
+type RPCHandler func(req []byte) (reply []byte, forward Addr)
+
+// RPCServer answers point-to-point RPCs, Amoeba's other communication
+// primitive and the performance yardstick the paper measures group sends
+// against.
+type RPCServer struct {
+	srv *rpc.Server
+}
+
+// NewRPCServer starts serving at addr (use AddrForName for well-known
+// services, or 0 to allocate a fresh address).
+func (k *Kernel) NewRPCServer(addr Addr, h RPCHandler) (*RPCServer, error) {
+	srv, err := rpc.NewServer(rpc.Config{Stack: k.stack, Clock: k.clock},
+		flip.Address(addr),
+		func(req []byte) ([]byte, flip.Address) {
+			reply, fwd := h(req)
+			return reply, flip.Address(fwd)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: starting RPC server: %w", err)
+	}
+	return &RPCServer{srv: srv}, nil
+}
+
+// Addr returns the server's address.
+func (s *RPCServer) Addr() Addr { return Addr(s.srv.Addr()) }
+
+// Close stops serving.
+func (s *RPCServer) Close() { s.srv.Close() }
+
+// RPCClient issues blocking remote procedure calls.
+type RPCClient struct {
+	cl *rpc.Client
+}
+
+// NewRPCClient creates a client on this kernel.
+func (k *Kernel) NewRPCClient() (*RPCClient, error) {
+	cl, err := rpc.NewClient(rpc.Config{Stack: k.stack, Clock: k.clock})
+	if err != nil {
+		return nil, fmt.Errorf("amoeba: creating RPC client: %w", err)
+	}
+	return &RPCClient{cl: cl}, nil
+}
+
+// Call performs a blocking RPC: request out, reply back, with
+// retransmission on loss and at-most-once execution at the server.
+func (c *RPCClient) Call(ctx context.Context, server Addr, req []byte) ([]byte, error) {
+	type result struct {
+		reply []byte
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		reply, err := c.cl.Call(flip.Address(server), req)
+		done <- result{reply, err}
+	}()
+	select {
+	case r := <-done:
+		return r.reply, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close releases the client; in-flight calls fail.
+func (c *RPCClient) Close() { c.cl.Close() }

@@ -1,0 +1,331 @@
+// Package shared provides replicated state machines with atomic state
+// transfer on top of the group communication system.
+//
+// The paper's §5 reports that building fault-tolerant applications on the
+// raw group primitives was harder than expected for exactly two reasons: no
+// support for atomic group creation, and no support for a process
+// (re)joining a running group — "a library for atomic state transfer as
+// provided in Isis would have simplified building these fault-tolerant
+// programs". This package is that library.
+//
+// A Replica binds an application StateMachine to a group. Commands submitted
+// through any replica are totally ordered by the group and applied to every
+// copy in the same sequence, so the copies never diverge. A replica that
+// joins a running group performs state transfer before applying anything:
+// it fetches a snapshot from an existing member over RPC, tagged with the
+// sequence number it reflects, installs it, discards the already-reflected
+// prefix of its delivery stream, and applies the rest — joining atomically
+// at a well-defined point in the total order.
+package shared
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"amoeba"
+)
+
+// StateMachine is the replicated application state. Apply must be
+// deterministic: given the same command sequence, every copy must reach the
+// same state. The package serialises all calls; implementations need no
+// internal locking.
+type StateMachine interface {
+	// Apply executes one committed command.
+	Apply(cmd []byte)
+	// Snapshot serialises the current state for transfer to a joiner.
+	Snapshot() ([]byte, error)
+	// Restore replaces the state with a snapshot.
+	Restore(snapshot []byte) error
+}
+
+// Errors returned by the package.
+var (
+	// ErrStopped reports use of a closed or expelled replica.
+	ErrStopped = errors.New("shared: replica stopped")
+	// ErrTransferFailed reports that no member could supply a usable
+	// snapshot.
+	ErrTransferFailed = errors.New("shared: state transfer failed")
+)
+
+// Replica is one copy of the replicated state: a group membership plus the
+// state machine it drives.
+type Replica struct {
+	group  *amoeba.Group
+	kernel *amoeba.Kernel
+	name   string
+	xfer   *amoeba.RPCServer
+
+	mu          sync.Mutex
+	sm          StateMachine
+	lastApplied uint32
+	members     int
+	stopped     bool
+
+	done   chan struct{}
+	cancel context.CancelFunc
+}
+
+// Create starts the first replica of a named state machine. The calling
+// process becomes the group's sequencer.
+func Create(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, opts amoeba.GroupOptions) (*Replica, error) {
+	g, err := k.CreateGroup(ctx, name, opts)
+	if err != nil {
+		return nil, fmt.Errorf("shared: creating %q: %w", name, err)
+	}
+	r := newReplica(k, g, name, sm)
+	if err := r.serveTransfers(); err != nil {
+		g.Close()
+		return nil, err
+	}
+	r.start()
+	return r, nil
+}
+
+// Join adds a replica to a running state machine, performing state transfer:
+// when Join returns, sm holds the state as of this replica's position in the
+// total order, and subsequent commands apply on top.
+func Join(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, opts amoeba.GroupOptions) (*Replica, error) {
+	g, err := k.JoinGroup(ctx, name, opts)
+	if err != nil {
+		return nil, fmt.Errorf("shared: joining %q: %w", name, err)
+	}
+	r := newReplica(k, g, name, sm)
+
+	// The first delivery is our own join at seq J: nothing before J will
+	// ever be delivered to us, so the snapshot must reflect at least J.
+	first, err := g.Receive(ctx)
+	if err != nil {
+		g.Close()
+		return nil, fmt.Errorf("shared: joining %q: %w", name, err)
+	}
+	joinSeq := first.Seq
+
+	// Fetch a snapshot from an existing member while buffering whatever
+	// the group delivers meanwhile.
+	var buffered []amoeba.Message
+	snapSeq, snapshot, err := r.fetchSnapshot(ctx, joinSeq, func() error {
+		// Drain without blocking so the receive queue cannot pin the
+		// sender side while we wait on RPC.
+		for {
+			drainCtx, cancel := context.WithTimeout(ctx, time.Millisecond)
+			m, err := g.Receive(drainCtx)
+			cancel()
+			if err != nil {
+				return nil // queue momentarily empty
+			}
+			buffered = append(buffered, m)
+		}
+	})
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	if err := sm.Restore(snapshot); err != nil {
+		g.Close()
+		return nil, fmt.Errorf("shared: restoring snapshot: %w", err)
+	}
+	r.lastApplied = snapSeq
+	r.members = first.Members
+	// Apply the buffered suffix beyond the snapshot.
+	for _, m := range buffered {
+		r.apply(m)
+	}
+	if err := r.serveTransfers(); err != nil {
+		g.Close()
+		return nil, err
+	}
+	r.start()
+	return r, nil
+}
+
+func newReplica(k *amoeba.Kernel, g *amoeba.Group, name string, sm StateMachine) *Replica {
+	return &Replica{
+		group:  g,
+		kernel: k,
+		name:   name,
+		sm:     sm,
+		done:   make(chan struct{}),
+	}
+}
+
+// transferAddr is the well-known RPC address of a member's snapshot service.
+func transferAddr(group string, member int) amoeba.Addr {
+	return amoeba.AddrForName(fmt.Sprintf("shared-xfer/%s/%d", group, member))
+}
+
+// serveTransfers starts this replica's snapshot service.
+func (r *Replica) serveTransfers() error {
+	self := r.group.Info().Self
+	srv, err := r.kernel.NewRPCServer(transferAddr(r.name, self), func(req []byte) ([]byte, amoeba.Addr) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		snap, err := r.sm.Snapshot()
+		if err != nil {
+			return nil, 0 // empty reply: the joiner tries another member
+		}
+		out := make([]byte, 4+len(snap))
+		binary.BigEndian.PutUint32(out, r.lastApplied)
+		copy(out[4:], snap)
+		return out, 0
+	})
+	if err != nil {
+		return fmt.Errorf("shared: starting transfer service: %w", err)
+	}
+	r.xfer = srv
+	return nil
+}
+
+// fetchSnapshot asks existing members for a snapshot reflecting at least
+// minSeq, retrying (members may not have applied our join yet). drain is
+// called between attempts to keep the delivery queue flowing.
+func (r *Replica) fetchSnapshot(ctx context.Context, minSeq uint32, drain func() error) (uint32, []byte, error) {
+	cl, err := r.kernel.NewRPCClient()
+	if err != nil {
+		return 0, nil, fmt.Errorf("shared: transfer client: %w", err)
+	}
+	defer cl.Close()
+
+	info := r.group.Info()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, member := range info.MemberIDs {
+			if member == info.Self {
+				continue
+			}
+			callCtx, cancel := context.WithTimeout(ctx, time.Second)
+			reply, err := cl.Call(callCtx, transferAddr(r.name, member), nil)
+			cancel()
+			if err != nil || len(reply) < 4 {
+				continue
+			}
+			snapSeq := binary.BigEndian.Uint32(reply)
+			if snapSeq < minSeq {
+				continue // donor has not applied our join yet; retry
+			}
+			return snapSeq, reply[4:], nil
+		}
+		if err := drain(); err != nil {
+			return 0, nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return 0, nil, ErrTransferFailed
+}
+
+// start launches the apply loop.
+func (r *Replica) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	go func() {
+		defer close(r.done)
+		for {
+			m, err := r.group.Receive(ctx)
+			if err != nil {
+				r.mu.Lock()
+				r.stopped = true
+				r.mu.Unlock()
+				return
+			}
+			r.apply(m)
+		}
+	}()
+}
+
+// apply folds one delivery into the state machine.
+func (r *Replica) apply(m amoeba.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch m.Kind {
+	case amoeba.Data:
+		if m.Seq <= r.lastApplied {
+			return // already reflected by the snapshot
+		}
+		r.sm.Apply(m.Payload)
+		r.lastApplied = m.Seq
+	case amoeba.Join, amoeba.Leave, amoeba.Reset:
+		r.members = m.Members
+		if m.Seq > r.lastApplied {
+			r.lastApplied = m.Seq
+		}
+	case amoeba.Expelled:
+		r.stopped = true
+	}
+}
+
+// Submit routes a command through the group; when it returns, the command is
+// totally ordered (and, with resilience, stored by r other members). The
+// local state reflects it once the apply loop catches up — use Read for
+// read-your-writes patterns.
+func (r *Replica) Submit(ctx context.Context, cmd []byte) error {
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return ErrStopped
+	}
+	return r.group.Send(ctx, cmd)
+}
+
+// Read runs fn with exclusive, consistent access to the state machine.
+func (r *Replica) Read(fn func(sm StateMachine)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.sm)
+}
+
+// Applied reports the sequence number of the last applied command.
+func (r *Replica) Applied() uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastApplied
+}
+
+// Members reports the current replica-set size.
+func (r *Replica) Members() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members
+}
+
+// Info exposes the underlying group state.
+func (r *Replica) Info() amoeba.GroupInfo { return r.group.Info() }
+
+// Reset rebuilds the replica set after failures; see amoeba.Group.Reset.
+func (r *Replica) Reset(ctx context.Context, minAlive int) error {
+	return r.group.Reset(ctx, minAlive)
+}
+
+// Leave departs the replica set in total order and stops the replica.
+func (r *Replica) Leave(ctx context.Context) error {
+	err := r.group.Leave(ctx)
+	r.Close()
+	return err
+}
+
+// Close stops the replica without protocol goodbye (a crash, to the rest of
+// the replica set).
+func (r *Replica) Close() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	if r.cancel != nil {
+		r.cancel()
+	}
+	r.group.Close()
+	if r.xfer != nil {
+		r.xfer.Close()
+	}
+	<-r.done
+}
