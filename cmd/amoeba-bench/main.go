@@ -51,9 +51,10 @@ func run() int {
 		"userspace":  experiments.UserSpaceAblation,
 		"placement":  experiments.SequencerPlacement,
 		"processing": experiments.ProcessingScaling,
+		"sharded":    experiments.ShardedKV,
 	}
 	order := []string{"table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"rpc", "cm", "userspace", "placement", "processing"}
+		"rpc", "cm", "userspace", "placement", "processing", "sharded"}
 
 	if *list {
 		ids := make([]string, 0, len(exps))

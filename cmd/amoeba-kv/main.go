@@ -1,0 +1,396 @@
+// Command amoeba-kv runs the sharded, replicated key-value service and a
+// matching load generator.
+//
+// Serve mode boots an in-process cluster — N nodes on a memory network, the
+// keyspace consistent-hashed across S shard groups, each group a replicated
+// state machine with its own sequencer — and exposes it over TCP with a
+// line protocol:
+//
+//	PUT <key> <value>            -> OK
+//	GET <key>                    -> VALUE <value> | NOTFOUND   (sequenced read)
+//	LGET <key>                   -> VALUE <value> | NOTFOUND   (local read)
+//	DEL <key>                    -> OK true|false              (existed?)
+//	CAS <key> <old|-> <new>      -> OK true|false              ("-" = expect absent)
+//	MGET <key> <key> ...         -> VALUE <k>=<v> ...
+//	STATS                        -> shards, nodes, members
+//	QUIT                         -> closes the connection
+//
+// Keys and values are single whitespace-free tokens; values may be quoted Go
+// strings (e.g. "two words") and replies quote values that need it.
+//
+// Load mode connects over TCP and hammers the server with a PUT/GET mix,
+// reporting aggregate ops/s. Selftest mode runs the in-process workload
+// (kv.RunLoad) without any TCP, sweeping shard counts.
+//
+// Usage:
+//
+//	amoeba-kv -serve :7070 -shards 4 -nodes 3 -resilience 1
+//	amoeba-kv -load -addr :7070 -clients 8 -duration 5s
+//	amoeba-kv -selftest
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amoeba"
+	"amoeba/kv"
+)
+
+func main() {
+	var (
+		serveAddr  = flag.String("serve", "", "serve the store on this TCP address (e.g. :7070)")
+		load       = flag.Bool("load", false, "run the TCP load generator against -addr")
+		selftest   = flag.Bool("selftest", false, "run the in-process load sweep and exit")
+		addr       = flag.String("addr", "127.0.0.1:7070", "server address for -load")
+		shards     = flag.Int("shards", 4, "shard-group count")
+		nodes      = flag.Int("nodes", 3, "replica nodes")
+		resilience = flag.Int("resilience", 1, "per-shard resilience degree r")
+		clients    = flag.Int("clients", 8, "concurrent load connections")
+		duration   = flag.Duration("duration", 5*time.Second, "load duration")
+		valueSize  = flag.Int("value-size", 64, "load value size in bytes")
+		readFrac   = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
+	)
+	flag.Parse()
+
+	switch {
+	case *selftest:
+		os.Exit(runSelftest(*nodes, *resilience, *duration))
+	case *load:
+		os.Exit(runLoad(*addr, *clients, *duration, *valueSize, *readFrac))
+	default:
+		if *serveAddr == "" {
+			*serveAddr = ":7070"
+		}
+		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience))
+	}
+}
+
+// serve boots the cluster and answers line-protocol connections forever.
+func serve(addr string, shards, nodes, resilience int) int {
+	ctx := context.Background()
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := network.NewKernel(fmt.Sprintf("kv-node-%d", i))
+		if err != nil {
+			log.Printf("amoeba-kv: kernel %d: %v", i, err)
+			return 1
+		}
+		kernels[i] = k
+	}
+	opts := kv.Options{Shards: shards, Group: amoeba.GroupOptions{
+		Resilience:   resilience,
+		AutoReset:    true,
+		MinSurvivors: 1,
+	}}
+	stores, err := kv.Bootstrap(ctx, kernels, "amoeba-kv", opts)
+	if err != nil {
+		log.Printf("amoeba-kv: bootstrap: %v", err)
+		return 1
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("amoeba-kv: listen: %v", err)
+		return 1
+	}
+	defer ln.Close()
+	log.Printf("amoeba-kv: %d shards × %d nodes (r=%d) serving on %s", shards, nodes, resilience, ln.Addr())
+
+	var next atomic.Uint64
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("amoeba-kv: accept: %v", err)
+			return 1
+		}
+		// Spread connections across nodes, as a shard-aware proxy would.
+		s := stores[next.Add(1)%uint64(len(stores))]
+		go handleConn(ctx, conn, s)
+	}
+}
+
+// token renders a value for the wire: quoted only when needed.
+func token(v []byte) string {
+	s := string(v)
+	if s == "" || strings.ContainsAny(s, " \t\"\\") || !strconv.CanBackquote(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// splitLine tokenizes a protocol line, keeping quoted strings (values with
+// spaces) as single tokens.
+func splitLine(line string) ([]string, error) {
+	var out []string
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := i + 1
+			for j < len(line) && line[j] != '"' {
+				if line[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quoted string")
+			}
+			out = append(out, line[i:j+1])
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	return out, nil
+}
+
+// untoken parses a wire token back into a value.
+func untoken(tok string) ([]byte, error) {
+	if strings.HasPrefix(tok, `"`) {
+		s, err := strconv.Unquote(tok)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(s), nil
+	}
+	return []byte(tok), nil
+}
+
+func handleConn(ctx context.Context, conn net.Conn, s *kv.Store) {
+	defer conn.Close()
+	cl := s.NewClient()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) bool {
+		fmt.Fprintf(w, format+"\n", args...)
+		return w.Flush() == nil
+	}
+	for sc.Scan() {
+		fields, err := splitLine(sc.Text())
+		if err != nil {
+			if !reply("ERR %v", err) {
+				return
+			}
+			continue
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		opCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		ok := dispatch(opCtx, cl, s, fields, reply)
+		cancel()
+		if !ok {
+			return
+		}
+	}
+}
+
+func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, fields []string, reply func(string, ...any) bool) bool {
+	fail := func(err error) bool { return reply("ERR %v", err) }
+	switch strings.ToUpper(fields[0]) {
+	case "PUT":
+		if len(fields) != 3 {
+			return reply("ERR usage: PUT key value")
+		}
+		val, err := untoken(fields[2])
+		if err != nil {
+			return fail(err)
+		}
+		if err := cl.Put(ctx, fields[1], val); err != nil {
+			return fail(err)
+		}
+		return reply("OK")
+	case "GET", "LGET":
+		if len(fields) != 2 {
+			return reply("ERR usage: %s key", fields[0])
+		}
+		var (
+			v     []byte
+			found bool
+			err   error
+		)
+		if strings.EqualFold(fields[0], "LGET") {
+			v, found = cl.LocalGet(fields[1])
+		} else {
+			v, found, err = cl.Get(ctx, fields[1])
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if !found {
+			return reply("NOTFOUND")
+		}
+		return reply("VALUE %s", token(v))
+	case "DEL":
+		if len(fields) != 2 {
+			return reply("ERR usage: DEL key")
+		}
+		existed, err := cl.Delete(ctx, fields[1])
+		if err != nil {
+			return fail(err)
+		}
+		return reply("OK %v", existed)
+	case "CAS":
+		if len(fields) != 4 {
+			return reply("ERR usage: CAS key old|- new")
+		}
+		var expect []byte
+		if fields[2] != "-" {
+			var err error
+			if expect, err = untoken(fields[2]); err != nil {
+				return fail(err)
+			}
+			if expect == nil {
+				expect = []byte{}
+			}
+		}
+		val, err := untoken(fields[3])
+		if err != nil {
+			return fail(err)
+		}
+		swapped, err := cl.CAS(ctx, fields[1], expect, val)
+		if err != nil {
+			return fail(err)
+		}
+		return reply("OK %v", swapped)
+	case "MGET":
+		if len(fields) < 2 {
+			return reply("ERR usage: MGET key ...")
+		}
+		got, err := cl.MGet(ctx, fields[1:]...)
+		if err != nil {
+			return fail(err)
+		}
+		parts := make([]string, 0, len(got))
+		for _, k := range fields[1:] {
+			if v, ok := got[k]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%s", k, token(v)))
+			}
+		}
+		return reply("VALUE %s", strings.Join(parts, " "))
+	case "STATS":
+		members := make([]string, s.Shards())
+		for i := range members {
+			members[i] = strconv.Itoa(s.Members(i))
+		}
+		return reply("STATS shards=%d members=[%s]", s.Shards(), strings.Join(members, " "))
+	case "QUIT":
+		reply("BYE")
+		return false
+	default:
+		return reply("ERR unknown command %q", fields[0])
+	}
+}
+
+// runLoad drives a running server over TCP.
+func runLoad(addr string, clients int, duration time.Duration, valueSize int, readFrac float64) int {
+	value := token(make([]byte, valueSize))
+	var (
+		ops  atomic.Uint64
+		errs atomic.Uint64
+		wg   sync.WaitGroup
+	)
+	stop := time.Now().Add(duration)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				log.Printf("amoeba-kv: client %d: %v", c, err)
+				errs.Add(1)
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			w := bufio.NewWriter(conn)
+			n := 0
+			for time.Now().Before(stop) {
+				key := fmt.Sprintf("load-%d-%04d", c, n%512)
+				var cmd string
+				if float64(n%100)/100 < readFrac {
+					cmd = "GET " + key
+				} else {
+					cmd = "PUT " + key + " " + value
+				}
+				fmt.Fprintln(w, cmd)
+				if err := w.Flush(); err != nil || !sc.Scan() {
+					errs.Add(1)
+					return
+				}
+				line := sc.Text()
+				if strings.HasPrefix(line, "ERR") {
+					errs.Add(1)
+				} else {
+					ops.Add(1)
+				}
+				n++
+			}
+		}()
+	}
+	wg.Wait()
+	total := ops.Load()
+	fmt.Printf("amoeba-kv load: %d clients, %v: %d ops = %.0f ops/s (%d errors)\n",
+		clients, duration, total, float64(total)/duration.Seconds(), errs.Load())
+	if total == 0 {
+		return 1
+	}
+	return 0
+}
+
+// runSelftest sweeps shard counts with the in-process workload.
+func runSelftest(nodes, resilience int, duration time.Duration) int {
+	if duration <= 0 || duration > 2*time.Second {
+		duration = time.Second
+	}
+	ctx := context.Background()
+	fmt.Println("in-process load sweep (aggregate ops/s; single host, so this measures protocol overhead):")
+	for _, shards := range []int{1, 2, 4, 8} {
+		rep, err := kv.RunLoad(ctx, kv.LoadOptions{
+			Shards:   shards,
+			Nodes:    nodes,
+			Duration: duration,
+			Group: amoeba.GroupOptions{
+				Resilience:   resilience,
+				AutoReset:    true,
+				MinSurvivors: 1,
+			},
+		})
+		if err != nil {
+			log.Printf("amoeba-kv: selftest shards=%d: %v", shards, err)
+			return 1
+		}
+		fmt.Printf("  %s\n", rep)
+	}
+	return 0
+}

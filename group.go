@@ -95,6 +95,11 @@ type GroupInfo struct {
 	Resilience int
 	// Incarnation counts recoveries survived.
 	Incarnation uint32
+	// State names the membership's protocol state: "joining", "normal",
+	// "recovering", "coordinating", or "dead".
+	State string
+	// NextSeq is the next sequence number this member expects to deliver.
+	NextSeq uint32
 }
 
 // Group is one process's membership in a group. Methods are safe for
@@ -158,6 +163,8 @@ func (g *Group) Info() GroupInfo {
 		MemberIDs:   ids,
 		Resilience:  info.Resilience,
 		Incarnation: info.Incarnation,
+		State:       info.State,
+		NextSeq:     info.NextSeq,
 	}
 }
 
@@ -225,6 +232,12 @@ func (q *deliveryQueue) pop(ctx context.Context) (Message, error) {
 		closed := q.closed
 		q.mu.Unlock()
 		if closed {
+			// Cascade the wakeup: close() sends a single token, so each
+			// exiting popper re-arms it for the next blocked one.
+			select {
+			case q.notify <- struct{}{}:
+			default:
+			}
 			return Message{}, ErrNotMember
 		}
 		select {
@@ -244,3 +257,7 @@ func (q *deliveryQueue) close() {
 	default:
 	}
 }
+
+// Debug renders the membership's internal protocol state for diagnostics.
+// The format is unstable; log it, do not parse it.
+func (g *Group) Debug() string { return g.ep.DebugSnapshot() }

@@ -88,6 +88,10 @@ type Info struct {
 	NextSeq uint32
 	// Resilience is the group's configured resilience degree.
 	Resilience int
+	// State names the endpoint's protocol state: "joining", "normal",
+	// "recovering" (frozen, voted in a recovery), "coordinating" (running
+	// a recovery), or "dead".
+	State string
 }
 
 // Config assembles an Endpoint. Group, Self, Transport, and Clock are

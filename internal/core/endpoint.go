@@ -69,6 +69,23 @@ const (
 	stDead         // left, expelled, or closed
 )
 
+func (s state) String() string {
+	switch s {
+	case stJoining:
+		return "joining"
+	case stNormal:
+		return "normal"
+	case stRecovering:
+		return "recovering"
+	case stCoordinating:
+		return "coordinating"
+	case stDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
 // Stats counts protocol events on one endpoint.
 type Stats struct {
 	Sent           uint64 // application sends completed
@@ -127,6 +144,8 @@ type Endpoint struct {
 	dedup           map[MemberID]dedupEntry
 	syncTimer       sim.Timer
 	tentTimer       sim.Timer
+	tentStallSeq    uint32 // oldest tentative seq at the last retry round
+	tentStallRounds int    // consecutive retry rounds it has survived
 	statusProbe     map[MemberID]*probe
 	leaveSeq        uint32              // seqno of own ordered leave (handoff pending), 0 if none
 	leavers         map[MemberID]uint32 // departed members still owed retransmissions, by leave seqno
@@ -404,6 +423,7 @@ func (ep *Endpoint) Info() Info {
 		Members:     v.members,
 		NextSeq:     ep.nextDeliver,
 		Resilience:  ep.cfg.Resilience,
+		State:       ep.st.String(),
 	}
 }
 
@@ -557,4 +577,27 @@ func (ep *Endpoint) HandlePacket(m flip.Message) {
 	}
 	ep.mu.Unlock()
 	ep.drain()
+}
+
+// DebugSnapshot renders the endpoint's ordering state for diagnostics: the
+// protocol state, view, history bounds, and any tentative entries.
+func (ep *Endpoint) DebugSnapshot() string {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	var tent []uint32
+	held := 0
+	for s := ep.hist.floor + 1; s <= ep.maxSeen; s++ {
+		e, ok := ep.hist.get(s)
+		if !ok {
+			continue
+		}
+		held++
+		if e.tentative {
+			tent = append(tent, s)
+		}
+	}
+	return fmt.Sprintf("st=%s inc=%d self=%d seq=%d isSeq=%v members=%d pending=%d floor=%d next=%d global=%d maxSeen=%d held=%d tentative=%v",
+		ep.st, ep.view.incarnation, ep.self, ep.view.sequencer, ep.isSeq,
+		len(ep.view.members), len(ep.pending.members), ep.hist.floor,
+		ep.nextDeliver, ep.globalSeq, ep.maxSeen, held, tent)
 }

@@ -45,6 +45,13 @@ func (h *history) add(e *entry) bool {
 	return true
 }
 
+// forceAdd stores an entry even when the buffer is full. Recovery uses it
+// for the KindReset entry that anchors a new epoch: the cap exists to
+// backpressure data traffic, but dropping the reset entry would leave its
+// holder unable to ever deliver past startSeq — a full history must not be
+// able to wedge a recovery.
+func (h *history) forceAdd(e *entry) { h.entries[e.seq] = e }
+
 // full reports whether the buffer cannot accept another entry.
 func (h *history) full() bool { return len(h.entries) >= h.cap }
 

@@ -53,12 +53,16 @@ func (ep *Endpoint) handleJoinReq(p packet, from flip.Address) {
 	if !ep.isSeq || ep.st != stNormal || ep.leaveSeq != 0 {
 		return
 	}
-	// Duplicate join request: the ack was lost; resend the stashed one.
-	if m, ok := ep.pending.findAddr(from); ok {
+	// Duplicate join request: the ack was lost; resend the stashed one —
+	// unless the join is still tentative (resilience-gated), in which case
+	// the joiner must keep waiting for acceptance, not proceed on a view
+	// that r crashes could still erase.
+	if _, ok := ep.pending.findAddr(from); ok {
 		if ack, ok := ep.joinAcks[from]; ok {
-			ep.sendPkt(from, packet{typ: ptJoinAck, seq: ack.seq, payload: ack.view})
+			if e, held := ep.hist.get(ack.seq); !held || !e.tentative {
+				ep.sendPkt(from, packet{typ: ptJoinAck, seq: ack.seq, payload: ack.view})
+			}
 		}
-		_ = m
 		return
 	}
 	if ep.hist.full() {

@@ -130,6 +130,27 @@ func (ep *Endpoint) completeSendIfOursLocked(sender MemberID, localID uint32) {
 
 // --- Receiving ordered messages ---------------------------------------------
 
+// currentViewLocked gates normal-operation packets on state and view. A
+// packet from a FUTURE incarnation observed in normal operation is proof
+// that a recovery completed without this member — it was declared dead while
+// merely slow (the paper's unreliable failure detector) and the group moved
+// on. Silently dropping such packets would leave the member a zombie,
+// forever discarding the new view's traffic; instead it learns of its
+// expulsion at once and the application can rejoin with state transfer.
+// Packets from past incarnations are stragglers and stay ignored.
+func (ep *Endpoint) currentViewLocked(p packet) bool {
+	if ep.st != stNormal {
+		return false
+	}
+	if p.view == ep.view.incarnation {
+		return true
+	}
+	if p.view > ep.view.incarnation {
+		ep.expelledLocked()
+	}
+	return false
+}
+
 // handleBcast stores a sequenced message (PB broadcast or a retransmission).
 func (ep *Endpoint) handleBcast(p packet, retrans bool) {
 	if retrans {
@@ -139,7 +160,7 @@ func (ep *Endpoint) handleBcast(p packet, retrans bool) {
 			return
 		}
 	} else {
-		if ep.st != stNormal || p.view != ep.view.incarnation {
+		if !ep.currentViewLocked(p) {
 			return
 		}
 	}
@@ -173,7 +194,7 @@ func (ep *Endpoint) handleBcast(p packet, retrans bool) {
 
 // handleBBData caches an unordered BB payload until its accept arrives.
 func (ep *Endpoint) handleBBData(p packet) {
-	if ep.st != stNormal || p.view != ep.view.incarnation {
+	if !ep.currentViewLocked(p) {
 		return
 	}
 	key := bbKey{sender: p.sender, localID: p.localID}
@@ -218,7 +239,7 @@ func (ep *Endpoint) handleBBData(p packet) {
 // of a BB message (aux2 = sender id) or the finalisation of a tentative
 // message (aux2 = noMember).
 func (ep *Endpoint) handleAccept(p packet) {
-	if ep.st != stNormal || p.view != ep.view.incarnation {
+	if !ep.currentViewLocked(p) {
 		return
 	}
 	ep.noteSyncLocked(p.seq, p.aux)
@@ -270,7 +291,7 @@ func senderOfTentative(ep *Endpoint, seq uint32) MemberID {
 // this member is one of the r designated ackers (the r lowest-numbered
 // members other than the sequencer).
 func (ep *Endpoint) handleTentative(p packet) {
-	if ep.st != stNormal || p.view != ep.view.incarnation {
+	if !ep.currentViewLocked(p) {
 		return
 	}
 	ep.noteSyncLocked(p.seq, p.aux2)
@@ -321,7 +342,7 @@ func (ep *Endpoint) ackDutyLocked(r int) bool {
 // sequence number (a resilience-0 message that died with a processor). The
 // slot is filled with a non-delivering entry so the stream moves past it.
 func (ep *Endpoint) handleLost(p packet) {
-	if ep.st != stNormal || p.view != ep.view.incarnation {
+	if !ep.currentViewLocked(p) {
 		return
 	}
 	if p.seq < ep.nextDeliver {
@@ -338,7 +359,7 @@ func (ep *Endpoint) handleLost(p packet) {
 // handleSync folds a watermark broadcast: learn about trailing messages and
 // prune local history. aux2 = 1 demands an explicit status reply.
 func (ep *Endpoint) handleSync(p packet) {
-	if ep.st != stNormal || p.view != ep.view.incarnation {
+	if !ep.currentViewLocked(p) {
 		return
 	}
 	ep.noteSyncLocked(p.seq, p.aux)

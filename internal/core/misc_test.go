@@ -132,7 +132,7 @@ func TestResolveMethodPolicy(t *testing.T) {
 		t.Fatal("threshold not inclusive")
 	}
 	forcedPB := mk(func(c *Config) { c.Method = MethodPB })
-	if forcedPB.resolveMethod(1 << 15) != MethodPB {
+	if forcedPB.resolveMethod(1<<15) != MethodPB {
 		t.Fatal("forced PB ignored")
 	}
 	forcedBB := mk(func(c *Config) { c.Method = MethodBB })

@@ -191,23 +191,57 @@ func (ep *Endpoint) armTentativeRetryLocked() {
 		if !ep.isSeq {
 			return
 		}
-		resent := false
+		var oldest *entry
 		for s := ep.hist.floor + 1; s <= ep.globalSeq; s++ {
 			e, ok := ep.hist.get(s)
 			if !ok || !e.tentative {
 				continue
 			}
-			resent = true
+			if oldest == nil {
+				oldest = e
+			}
 			ep.multicastPkt(packet{
 				typ: ptTentative, kind: e.kind, seq: e.seq,
 				localID: e.localID, aux: uint32(ep.cfg.Resilience),
 				aux2: ep.hist.floor, payload: e.payload, sender: e.sender,
 			})
 		}
-		if resent {
+		if oldest != nil {
+			ep.noteTentativeStallLocked(oldest)
 			ep.armTentativeRetryLocked()
+		} else {
+			ep.tentStallSeq, ep.tentStallRounds = 0, 0
 		}
 	})
+}
+
+// noteTentativeStallLocked escalates a tentative message whose designated
+// ackers stay silent across retry rounds: without this, a crashed acking
+// member stalls every resilient send (and join) until the history fills or a
+// sender gives up — the group livelocks on an idle workload. After
+// StatusRetries rounds the sequencer probes the members that have not acked;
+// the failure detector then expels the dead (AutoReset) or leaves the group
+// blocked for the application's Reset, exactly as for any suspected death.
+func (ep *Endpoint) noteTentativeStallLocked(oldest *entry) {
+	if oldest.seq != ep.tentStallSeq {
+		ep.tentStallSeq, ep.tentStallRounds = oldest.seq, 0
+		return
+	}
+	ep.tentStallRounds++
+	if ep.tentStallRounds < ep.cfg.StatusRetries {
+		return
+	}
+	for _, m := range ep.pending.members {
+		if m.ID == ep.self || oldest.acked[m.ID] {
+			continue
+		}
+		// A join's subject cannot ack (it is not active yet); do not
+		// suspect it for staying silent.
+		if oldest.kind == KindJoin && m.ID == oldest.sender {
+			continue
+		}
+		ep.probeMemberLocked(m)
+	}
 }
 
 // handleNak serves a retransmission request for [p.seq, p.aux]. A message

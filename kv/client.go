@@ -1,0 +1,202 @@
+package kv
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amoeba"
+	"amoeba/shared"
+)
+
+// Client issues key-value operations against one node of a store. Methods
+// are safe for concurrent use; create several clients for independent
+// command streams. Each operation is routed to the shard owning its key, so
+// operations on different shards proceed in parallel through different
+// sequencers.
+type Client struct {
+	s     *Store
+	nonce uint64
+	seq   atomic.Uint64
+}
+
+// NewClient returns a client bound to this node.
+func (s *Store) NewClient() *Client {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("kv: reading client nonce: %v", err))
+	}
+	return &Client{s: s, nonce: binary.BigEndian.Uint64(b[:])}
+}
+
+// nextID returns a command id unique across clients and operations: a random
+// 64-bit client nonce perturbed by a per-client counter.
+func (c *Client) nextID() uint64 { return c.nonce + c.seq.Add(1) }
+
+// do submits cmd to shard and waits until its result lands in the local
+// replica's result window — i.e. until the command has been totally ordered
+// AND applied locally, which gives read-your-writes even for LocalGet.
+//
+// If the local replica stops mid-operation (expelled by a recovery this node
+// missed), do retries against the replacement the store's self-heal swaps
+// in. Retrying is safe: commands are deduplicated by id in the replicated
+// state machine, and if the first attempt did commit, the rejoined replica's
+// transferred state already holds its result.
+func (c *Client) do(ctx context.Context, shard int, id uint64, cmd []byte) (result, error) {
+	for {
+		r := c.s.Replica(shard)
+		if r == nil {
+			return result{}, fmt.Errorf("kv: shard %d is not hosted on this node (replication %d): create the client on a hosting node", shard, c.s.opts.Replication)
+		}
+		err := r.Submit(ctx, cmd)
+		if err == nil {
+			var res result
+			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
+				v, ok := sm.(*mapSM).results[id]
+				if ok {
+					res = v
+				}
+				return ok
+			})
+			if err == nil {
+				return res, nil
+			}
+		}
+		// ErrStopped: the replica stopped under us. ErrNotMember: an
+		// in-flight Submit was aborted by the expulsion itself. Both mean
+		// "this replica is gone"; wait for the self-heal watcher to swap
+		// in a fresh one — unless the whole store is closed.
+		if !errors.Is(err, shared.ErrStopped) && !errors.Is(err, amoeba.ErrNotMember) {
+			return result{}, fmt.Errorf("kv: shard %d: %w", shard, err)
+		}
+		if c.s.isClosed() {
+			return result{}, fmt.Errorf("kv: shard %d: %w", shard, shared.ErrStopped)
+		}
+		select {
+		case <-ctx.Done():
+			return result{}, fmt.Errorf("kv: shard %d: %w", shard, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Put stores key = val. When Put returns, the write is totally ordered on
+// its shard and applied to this node's replica.
+func (c *Client) Put(ctx context.Context, key string, val []byte) error {
+	id := c.nextID()
+	_, err := c.do(ctx, c.s.ring.shard(key), id, encodePut(id, key, val))
+	return err
+}
+
+// Delete removes key, reporting whether it existed at the delete's position
+// in the total order.
+func (c *Client) Delete(ctx context.Context, key string) (bool, error) {
+	id := c.nextID()
+	res, err := c.do(ctx, c.s.ring.shard(key), id, encodeDelete(id, key))
+	return res.OK, err
+}
+
+// CAS atomically replaces key's value with val if its current value equals
+// expect. expect == nil means "key must be absent" (atomic create); to
+// compare against a stored empty value, pass a non-nil empty slice. The
+// outcome is decided by the shard's total order, so concurrent CAS calls on
+// one key serialise identically on every node.
+func (c *Client) CAS(ctx context.Context, key string, expect, val []byte) (bool, error) {
+	id := c.nextID()
+	cmd := encodeCAS(id, key, expect != nil, expect, val)
+	res, err := c.do(ctx, c.s.ring.shard(key), id, cmd)
+	return res.OK, err
+}
+
+// Get performs a sequenced (linearizable) read: a read marker travels the
+// shard's total order and the returned value is the one at the marker's
+// position, identical at every node. It reports false if the key is absent.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	id := c.nextID()
+	res, err := c.do(ctx, c.s.ring.shard(key), id, encodeGet(id, []string{key}))
+	if err != nil {
+		return nil, false, err
+	}
+	return copyVal(res.Values[0]), res.Found[0], nil
+}
+
+// copyVal detaches a value from the state machine's storage: callers own
+// what they get back, and mutating it must not corrupt the local replica.
+func copyVal(v []byte) []byte {
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+// LocalGet reads key from this node's replica without any network traffic —
+// the fast path for read-heavy workloads. The value reflects every command
+// this node has applied, which may trail the total order by in-flight
+// messages; this client's own completed operations are always visible. On a
+// store with bounded replication it reports false for keys whose shard this
+// node does not host (use Store.HostsShard to tell the cases apart).
+func (c *Client) LocalGet(key string) ([]byte, bool) {
+	r := c.s.Replica(c.s.ring.shard(key))
+	if r == nil {
+		return nil, false
+	}
+	var (
+		val   []byte
+		found bool
+	)
+	r.Read(func(sm shared.StateMachine) {
+		val, found = sm.(*mapSM).items[key]
+	})
+	return copyVal(val), found
+}
+
+// MGet performs sequenced reads of several keys, scatter-gathered across
+// their shards: keys are grouped by owning shard, each shard receives one
+// read marker for its whole key subset, and the shard reads run in parallel.
+// The result maps each found key to its value; absent keys are omitted. The
+// per-shard reads are linearizable; the combined snapshot is not a global
+// cross-shard atomic read (shards order independently — the price of
+// multi-group scaling).
+func (c *Client) MGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
+	byShard := make(map[int][]string)
+	for _, k := range keys {
+		shard := c.s.ring.shard(k)
+		byShard[shard] = append(byShard[shard], k)
+	}
+	var (
+		mu   sync.Mutex
+		out  = make(map[string][]byte, len(keys))
+		wg   sync.WaitGroup
+		errs = make([]error, 0, 1)
+	)
+	for shard, subset := range byShard {
+		shard, subset := shard, subset
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := c.nextID()
+			res, err := c.do(ctx, shard, id, encodeGet(id, subset))
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			for i, k := range subset {
+				if res.Found[i] {
+					out[k] = copyVal(res.Values[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return out, nil
+}

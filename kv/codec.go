@@ -1,0 +1,148 @@
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format for shard commands. Every command travels through the shard
+// group's total order and is applied by every replica, so the encoding must
+// be deterministic and self-contained:
+//
+//	op(1) | id(8, big-endian) | op-specific payload
+//
+// Byte strings are uvarint-length-prefixed. The id correlates a command with
+// the result its apply deposits in the state machine's result window; ids
+// are unique per client operation (random client nonce + counter).
+const (
+	opPut byte = iota + 1
+	opDelete
+	opCAS
+	opGet
+)
+
+var errBadCommand = errors.New("kv: malformed command")
+
+// appendBytes appends a uvarint length prefix and the bytes.
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// takeBytes consumes one length-prefixed byte string.
+func takeBytes(src []byte) ([]byte, []byte, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 || uint64(len(src)-w) < n {
+		return nil, nil, errBadCommand
+	}
+	return src[w : w+int(n) : w+int(n)], src[w+int(n):], nil
+}
+
+func commandHeader(op byte, id uint64) []byte {
+	dst := make([]byte, 9, 32)
+	dst[0] = op
+	binary.BigEndian.PutUint64(dst[1:], id)
+	return dst
+}
+
+func encodePut(id uint64, key string, val []byte) []byte {
+	dst := appendBytes(commandHeader(opPut, id), []byte(key))
+	return appendBytes(dst, val)
+}
+
+func encodeDelete(id uint64, key string) []byte {
+	return appendBytes(commandHeader(opDelete, id), []byte(key))
+}
+
+// encodeCAS encodes a compare-and-swap. expectPresent=false means the swap
+// succeeds only if the key is absent (atomic create).
+func encodeCAS(id uint64, key string, expectPresent bool, expect, val []byte) []byte {
+	dst := appendBytes(commandHeader(opCAS, id), []byte(key))
+	if expectPresent {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendBytes(dst, expect)
+	return appendBytes(dst, val)
+}
+
+// encodeGet encodes a sequenced read of one or more keys on one shard. The
+// read travels the total order like a write, so the values it captures are
+// linearizable.
+func encodeGet(id uint64, keys []string) []byte {
+	dst := binary.AppendUvarint(commandHeader(opGet, id), uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendBytes(dst, []byte(k))
+	}
+	return dst
+}
+
+// command is the decoded form of a wire command.
+type command struct {
+	op            byte
+	id            uint64
+	key           string
+	val           []byte
+	expectPresent bool
+	expect        []byte
+	keys          []string // opGet
+}
+
+func decodeCommand(b []byte) (command, error) {
+	if len(b) < 9 {
+		return command{}, errBadCommand
+	}
+	c := command{op: b[0], id: binary.BigEndian.Uint64(b[1:9])}
+	rest := b[9:]
+	var err error
+	var raw []byte
+	switch c.op {
+	case opPut:
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+		c.key = string(raw)
+		if c.val, _, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+	case opDelete:
+		if raw, _, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+		c.key = string(raw)
+	case opCAS:
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+		c.key = string(raw)
+		if len(rest) < 1 {
+			return command{}, errBadCommand
+		}
+		c.expectPresent = rest[0] != 0
+		rest = rest[1:]
+		if c.expect, rest, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+		if c.val, _, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+	case opGet:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)) {
+			return command{}, errBadCommand
+		}
+		rest = rest[w:]
+		c.keys = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return command{}, err
+			}
+			c.keys = append(c.keys, string(raw))
+		}
+	default:
+		return command{}, fmt.Errorf("kv: unknown op %d: %w", c.op, errBadCommand)
+	}
+	return c, nil
+}

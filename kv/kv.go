@@ -1,0 +1,478 @@
+// Package kv is a sharded, replicated key-value service built on the group
+// communication system: the layer the paper's §5 applications point toward,
+// scaled past the single-sequencer bottleneck.
+//
+// A store partitions its keyspace by consistent hashing across N independent
+// shard groups. Each shard is a shared.Replica — a map state machine kept
+// identical on every node by the group's total order, with Isis-style atomic
+// state transfer when a node (re)joins. Because every shard has its own
+// sequencer, and Bootstrap spreads the shards' sequencers round-robin across
+// the nodes, aggregate write throughput grows with the shard count instead
+// of saturating one sequencer machine — the multi-group scaling the paper
+// measures in Figure 6, put to work.
+//
+// # Topology
+//
+// By default every node hosts one replica of every shard, so any node can
+// serve any key locally. Options.Replication bounds the factor instead:
+// shard i then lives only on nodes {i, …, i+R−1} mod nodes, each write
+// interrupts R machines rather than all of them, and aggregate capacity
+// grows with the node count — the deployment shape behind the sharded
+// benchmark. Nodes are created together with Bootstrap (which places shard
+// i's sequencer on node i mod nodes) or added later with Join (which
+// state-transfers every hosted shard).
+//
+// # Consistency
+//
+// Writes (Put, Delete, CAS) are sequenced through the owning shard's total
+// order. Reads come in two strengths: Client.Get/MGet inject a read marker
+// into the same total order and report the value at the marker's position —
+// linearizable, at the cost of a group send; Client.LocalGet reads the local
+// replica directly — no network traffic, but it may trail the total order.
+package kv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"amoeba"
+	"amoeba/shared"
+)
+
+// Options configures a store.
+type Options struct {
+	// Shards is the number of independent shard groups (default 4). All
+	// nodes of one store must agree on it.
+	Shards int
+	// Replication is the number of nodes hosting each shard. 0 (the
+	// default) replicates every shard on every node, so any node serves
+	// any key locally. A bounded factor (2 or 3) places shard i on nodes
+	// {i, i+1, …, i+R−1} mod nodes: each write then interrupts only R
+	// machines instead of all of them, which is what lets aggregate
+	// throughput grow with the node count — but a Client can only reach
+	// shards its node hosts.
+	Replication int
+	// Nodes is the cluster's node count — the modulus of the placement
+	// rule. Bootstrap fills it in; Join with bounded replication requires
+	// it (with NodeIndex) to know which shards to host.
+	Nodes int
+	// NodeIndex is this node's placement slot in [0, Nodes). Bootstrap
+	// fills it in; Join with bounded replication requires it (a
+	// replacement node takes the slot of the node it replaces).
+	NodeIndex int
+	// VirtualNodes is the consistent-hash points per shard (default 64).
+	VirtualNodes int
+	// ResultWindow bounds the per-shard replicated result table
+	// (default 65536 commands).
+	ResultWindow int
+	// Group configures every shard group (resilience, method, history —
+	// see amoeba.GroupOptions).
+	Group amoeba.GroupOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.VirtualNodes <= 0 {
+		o.VirtualNodes = defaultVirtualNodes
+	}
+	if o.ResultWindow <= 0 {
+		o.ResultWindow = defaultResultWindow
+	}
+	return o
+}
+
+// shardGroupName names shard i's group. Group names are global on the
+// network, so the store name namespaces them.
+func shardGroupName(store string, i int) string {
+	return fmt.Sprintf("kv/%s/shard-%d", store, i)
+}
+
+// hostsShard reports whether placement slot nodeIndex hosts shard i under
+// the placement rule: shard i lives on nodes {i, i+1, …, i+repl−1} mod
+// nodes. repl ≤ 0 means full replication.
+func hostsShard(i, nodeIndex, nodes, repl int) bool {
+	if repl <= 0 || repl >= nodes {
+		return true
+	}
+	return (nodeIndex-i%nodes+nodes)%nodes < repl
+}
+
+// Store is one node's handle on a sharded store: a replica of every shard,
+// hosted on a single kernel.
+//
+// A store self-heals: if one of its shard replicas is expelled — the group
+// recovered while this node was too slow to vote, the paper's unreliable
+// failure detector at work — a background watcher rejoins that shard with
+// atomic state transfer and swaps the fresh replica in. Client operations
+// in flight across the swap fail with ErrStopped internally and are retried
+// against the new replica (commands are deduplicated by id, so a retry of an
+// already-applied command is not re-executed).
+type Store struct {
+	name   string
+	opts   Options
+	ring   *ring
+	kernel *amoeba.Kernel
+
+	mu     sync.RWMutex
+	shards []*shared.Replica
+	closed bool
+
+	healCtx    context.Context
+	healCancel context.CancelFunc
+	healWG     sync.WaitGroup
+}
+
+func newStore(name string, k *amoeba.Kernel, opts Options) *Store {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Store{
+		name:       name,
+		opts:       opts,
+		ring:       newRing(name, opts.Shards, opts.VirtualNodes),
+		kernel:     k,
+		shards:     make([]*shared.Replica, opts.Shards),
+		healCtx:    ctx,
+		healCancel: cancel,
+	}
+}
+
+// startSelfHeal launches one watcher per hosted shard; called once
+// construction succeeded.
+func (s *Store) startSelfHeal() {
+	for i := range s.shards {
+		if s.shards[i] == nil {
+			continue // not hosted under bounded replication
+		}
+		s.healWG.Add(1)
+		go s.watchShard(i)
+	}
+}
+
+// watchShard rejoins shard i whenever its replica stops underneath us.
+func (s *Store) watchShard(i int) {
+	defer s.healWG.Done()
+	for {
+		s.mu.RLock()
+		r := s.shards[i]
+		s.mu.RUnlock()
+		// Block until the replica stops; the always-false predicate makes
+		// Wait return only on ErrStopped (expelled or closed) or ctx end.
+		err := r.Wait(s.healCtx, func(shared.StateMachine) bool { return false })
+		if s.healCtx.Err() != nil || !errors.Is(err, shared.ErrStopped) {
+			return
+		}
+		s.mu.RLock()
+		closed := s.closed
+		s.mu.RUnlock()
+		if closed {
+			return
+		}
+		r.Close() // release the expelled replica's transfer service
+		rep, err := joinShard(s.healCtx, s.kernel, shardGroupName(s.name, i), s.opts)
+		if err != nil {
+			if s.healCtx.Err() != nil {
+				return
+			}
+			// Unexpected failure (e.g. a second expulsion raced the
+			// rejoin in a way joinShard does not classify): back off
+			// and keep trying — giving up would strand the shard on
+			// this node forever.
+			select {
+			case <-s.healCtx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			rep.Close()
+			return
+		}
+		s.shards[i] = rep
+		s.mu.Unlock()
+	}
+}
+
+// Bootstrap creates a store named name across the given kernels (one node
+// per kernel) and returns a Store handle per node, in kernel order. Shard
+// i's group is created by node i mod len(kernels) — spreading the
+// sequencers, so with as many nodes as shards every node sequences exactly
+// one shard — and joined by every other node.
+//
+// Group creation is not atomic (paper §5); Bootstrap assumes no concurrent
+// store of the same name is being created on the same network.
+func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts Options) ([]*Store, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("kv: bootstrap of %q needs at least one kernel", name)
+	}
+	opts = opts.withDefaults()
+	opts.Nodes = len(kernels)
+	stores := make([]*Store, len(kernels))
+	for n := range kernels {
+		o := opts
+		o.NodeIndex = n
+		stores[n] = newStore(name, kernels[n], o)
+	}
+	fail := func(err error) ([]*Store, error) {
+		for _, s := range stores {
+			s.abandon()
+		}
+		return nil, err
+	}
+	for i := 0; i < opts.Shards; i++ {
+		creator := i % len(kernels)
+		group := shardGroupName(name, i)
+		r, err := shared.Create(ctx, kernels[creator], group, newMapSM(opts.ResultWindow), opts.Group)
+		if err != nil {
+			return fail(fmt.Errorf("kv: creating %s: %w", group, err))
+		}
+		stores[creator].shards[i] = r
+		// The remaining hosting nodes join concurrently; each join is a
+		// group membership change plus a (tiny, empty-state) transfer.
+		var wg sync.WaitGroup
+		errs := make([]error, len(kernels))
+		for n := range kernels {
+			if n == creator || !hostsShard(i, n, len(kernels), opts.Replication) {
+				continue
+			}
+			n := n
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep, err := joinShard(ctx, kernels[n], group, opts)
+				if err != nil {
+					errs[n] = fmt.Errorf("kv: node %d joining %s: %w", n, group, err)
+					return
+				}
+				stores[n].shards[i] = rep
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fail(err)
+			}
+		}
+	}
+	for _, s := range stores {
+		s.startSelfHeal()
+	}
+	return stores, nil
+}
+
+// Join adds a node to a running store: every shard group the node's
+// placement slot hosts is joined with atomic state transfer, so when Join
+// returns the node holds up-to-date replicas and serves reads and writes
+// like any bootstrap node. With full replication (the default) that is every
+// shard; with bounded replication, set Options.Nodes and Options.NodeIndex
+// to the slot being (re)filled. Use it to grow a store or to re-admit a
+// crashed node.
+func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	if opts.Replication > 0 && opts.Nodes <= 0 {
+		return nil, fmt.Errorf("kv: joining %q with bounded replication requires Options.Nodes and Options.NodeIndex", name)
+	}
+	s := newStore(name, k, opts)
+	var (
+		wg   sync.WaitGroup
+		errs = make([]error, opts.Shards)
+	)
+	for i := 0; i < opts.Shards; i++ {
+		if !hostsShard(i, opts.NodeIndex, opts.Nodes, opts.Replication) {
+			continue
+		}
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rep, err := joinShard(ctx, k, shardGroupName(name, i), opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("kv: joining shard %d of %q: %w", i, name, err)
+				return
+			}
+			s.shards[i] = rep
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.abandon()
+			return nil, err
+		}
+	}
+	s.startSelfHeal()
+	return s, nil
+}
+
+// joinShard joins one shard group, retrying the failures that a group in
+// mid-recovery produces: ErrNoGroup (the sequencer died and the survivors
+// have not rebuilt yet, or the join raced a reset), ErrTransferFailed (no
+// member could donate a current snapshot in time), and ErrNotMember (a
+// recovery excluded the half-joined member before the transfer finished).
+// The caller's ctx bounds the retries; a group whose survivors never
+// recover fails when ctx does.
+func joinShard(ctx context.Context, k *amoeba.Kernel, group string, opts Options) (*shared.Replica, error) {
+	for {
+		rep, err := shared.Join(ctx, k, group, newMapSM(opts.ResultWindow), opts.Group)
+		if err == nil {
+			return rep, nil
+		}
+		if !errors.Is(err, amoeba.ErrNoGroup) && !errors.Is(err, shared.ErrTransferFailed) &&
+			!errors.Is(err, amoeba.ErrNotMember) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err // the transient error names the stuck shard
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// abandon unwinds a partially constructed node (self-heal not started yet).
+// Unlike Close (crash semantics), it leaves each joined shard group in total
+// order, so a failed Bootstrap or Join does not plant dead members — which
+// would otherwise inherit ack duty in resilient groups and stall the next
+// attempt.
+func (s *Store) abandon() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.healCancel()
+	var wg sync.WaitGroup
+	for _, r := range s.shards {
+		if r == nil {
+			continue
+		}
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = r.Leave(ctx) // Leave falls back to Close internally
+		}()
+	}
+	wg.Wait()
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return s.opts.Shards }
+
+// ShardFor returns the shard owning key.
+func (s *Store) ShardFor(key string) int { return s.ring.shard(key) }
+
+// HostsShard reports whether this node hosts a replica of shard i.
+func (s *Store) HostsShard(i int) bool { return s.Replica(i) != nil }
+
+// Replica exposes shard i's underlying replica, for group-level operations
+// (Reset, Info, Applied) and advanced reads. After a self-heal the handle a
+// caller holds may be the stopped predecessor; call Replica again for the
+// current one.
+func (s *Store) Replica(i int) *shared.Replica {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[i]
+}
+
+// isClosed reports whether Close or Leave has begun.
+func (s *Store) isClosed() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.closed
+}
+
+// snapshotShards copies the current replica set under the lock.
+func (s *Store) snapshotShards() []*shared.Replica {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*shared.Replica(nil), s.shards...)
+}
+
+// Reset rebuilds every shard group after a node crash, requiring at least
+// minAlive surviving members per shard; see amoeba.Group.Reset. This node
+// becomes the sequencer of every shard it resets, so prefer calling Reset on
+// different surviving nodes for different shards — or set
+// Options.Group.AutoReset and skip manual recovery entirely.
+func (s *Store) Reset(ctx context.Context, minAlive int) error {
+	for i, r := range s.snapshotShards() {
+		if r == nil {
+			continue
+		}
+		if err := r.Reset(ctx, minAlive); err != nil {
+			return fmt.Errorf("kv: resetting shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Members reports the replica-set size of shard i (0 if this node does not
+// host it).
+func (s *Store) Members(i int) int {
+	r := s.Replica(i)
+	if r == nil {
+		return 0
+	}
+	return r.Members()
+}
+
+// Close stops the node without protocol goodbye: to the rest of the store,
+// this node has crashed. Surviving nodes recover with Reset (or AutoReset).
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	shards := append([]*shared.Replica(nil), s.shards...)
+	s.mu.Unlock()
+	s.healCancel()
+	var wg sync.WaitGroup
+	for _, r := range shards {
+		if r == nil {
+			continue
+		}
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Close()
+		}()
+	}
+	wg.Wait()
+	s.healWG.Wait()
+}
+
+// Leave departs every shard group in total order and stops the node.
+func (s *Store) Leave(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	shards := append([]*shared.Replica(nil), s.shards...)
+	s.mu.Unlock()
+	s.healCancel()
+	s.healWG.Wait()
+	var firstErr error
+	for _, r := range shards {
+		if r == nil {
+			continue
+		}
+		if err := r.Leave(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,75 @@
+package kv
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualNodes is the number of ring points per shard. 64 points per
+// shard keeps the maximum-to-mean key imbalance under ~20% for the shard
+// counts this package targets.
+const defaultVirtualNodes = 64
+
+// ring maps keys to shards by consistent hashing: each shard owns
+// virtualNodes points on a 64-bit circle and a key belongs to the shard
+// owning the first point at or after the key's hash. Adding a shard moves
+// only the keys that land on its new points, which is what will keep a
+// future rebalancer's data movement proportional to 1/shards.
+type ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// hash64 is FNV-1a with a 64-bit finalizer mix. Raw FNV of strings that
+// differ only in a few trailing digits (shard/vnode labels, sequential keys)
+// clusters in the high bits, which would bunch each shard's points into one
+// arc of the circle; the fmix64 avalanche spreads them uniformly.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// newRing builds the ring for a named store. The store name participates in
+// the point hashes so distinct stores shard the same keys differently.
+func newRing(store string, shards, virtualNodes int) *ring {
+	if virtualNodes <= 0 {
+		virtualNodes = defaultVirtualNodes
+	}
+	r := &ring{
+		points: make([]ringPoint, 0, shards*virtualNodes),
+		shards: shards,
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < virtualNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hash64(fmt.Sprintf("%s/shard-%d#%d", store, s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// shard returns the shard owning key.
+func (r *ring) shard(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,69 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := newRing("store", 8, 64)
+	b := newRing("store", 8, 64)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.shard(k) != b.shard(k) {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", k, a.shard(k), b.shard(k))
+		}
+	}
+	// A different store name must shard differently somewhere (the name
+	// participates in the point hashes).
+	c := newRing("other", 8, 64)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.shard(k) == c.shard(k) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("distinct stores shard identically; name not hashed in")
+	}
+}
+
+func TestRingCoversAllShardsRoughlyEvenly(t *testing.T) {
+	const shards, keys = 8, 8000
+	r := newRing("balance", shards, 64)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.shard(fmt.Sprintf("key-%d", i))]++
+	}
+	mean := keys / shards
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d owns no keys", s)
+		}
+		if n > 2*mean || n < mean/2 {
+			t.Errorf("shard %d badly imbalanced: %d keys (mean %d)", s, n, mean)
+		}
+	}
+}
+
+func TestRingConsistency(t *testing.T) {
+	// Growing 8 → 9 shards must remap roughly 1/9 of keys, not reshuffle
+	// everything — the property a rebalancer will rely on.
+	const keys = 8000
+	r8 := newRing("grow", 8, 64)
+	r9 := newRing("grow", 9, 64)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if r8.shard(k) != r9.shard(k) {
+			moved++
+		}
+	}
+	if moved > keys/3 {
+		t.Fatalf("adding one shard moved %d/%d keys; not consistent hashing", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("adding a shard moved nothing; new shard owns no keys")
+	}
+}

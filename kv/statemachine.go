@@ -1,0 +1,152 @@
+package kv
+
+import (
+	"encoding/json"
+
+	"amoeba/shared"
+)
+
+// defaultResultWindow bounds the replicated result table. A result is
+// evicted after this many further commands apply, so a client has that much
+// slack between its command applying locally and its Wait observing the
+// result — far more than any realistic scheduling delay.
+const defaultResultWindow = 65536
+
+// result is the replicated outcome of one command, keyed by command id. It
+// is part of the state machine (every replica computes the identical table),
+// which is what lets a client read its CAS outcome or sequenced-get values
+// from its local replica.
+type result struct {
+	// OK reports mutation success: CAS swapped, Delete found the key.
+	OK bool `json:"ok"`
+	// Values and Found carry sequenced-read results, aligned with the
+	// command's key list.
+	Values [][]byte `json:"values,omitempty"`
+	Found  []bool   `json:"found,omitempty"`
+}
+
+// mapSM is the per-shard replicated state machine: the key-value items plus
+// a bounded FIFO window of command results. Apply is deterministic; shared
+// serialises all access.
+type mapSM struct {
+	items   map[string][]byte
+	results map[uint64]result
+	order   []uint64 // result ids, oldest first, for deterministic eviction
+	window  int
+}
+
+var _ shared.StateMachine = (*mapSM)(nil)
+
+func newMapSM(window int) *mapSM {
+	if window <= 0 {
+		window = defaultResultWindow
+	}
+	return &mapSM{
+		items:   make(map[string][]byte),
+		results: make(map[uint64]result),
+		window:  window,
+	}
+}
+
+func (s *mapSM) setResult(id uint64, r result) {
+	if _, dup := s.results[id]; !dup {
+		s.order = append(s.order, id)
+	}
+	s.results[id] = r
+	for len(s.order) > s.window {
+		delete(s.results, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Apply executes one committed command. Malformed commands are ignored (a
+// byzantine client must not be able to diverge or crash the replicas), and a
+// command whose id already has a result is not re-executed: clients retry
+// across replica swaps, and a retried CAS must not observe its own first
+// execution.
+func (s *mapSM) Apply(cmd []byte) {
+	c, err := decodeCommand(cmd)
+	if err != nil {
+		return
+	}
+	if _, done := s.results[c.id]; done {
+		return
+	}
+	switch c.op {
+	case opPut:
+		s.items[c.key] = c.val
+		s.setResult(c.id, result{OK: true})
+	case opDelete:
+		_, existed := s.items[c.key]
+		delete(s.items, c.key)
+		s.setResult(c.id, result{OK: existed})
+	case opCAS:
+		cur, present := s.items[c.key]
+		ok := present == c.expectPresent && (!present || string(cur) == string(c.expect))
+		if ok {
+			s.items[c.key] = c.val
+		}
+		s.setResult(c.id, result{OK: ok})
+	case opGet:
+		r := result{
+			OK:     true,
+			Values: make([][]byte, len(c.keys)),
+			Found:  make([]bool, len(c.keys)),
+		}
+		for i, k := range c.keys {
+			if v, ok := s.items[k]; ok {
+				r.Values[i] = v
+				r.Found[i] = true
+			}
+		}
+		s.setResult(c.id, r)
+	}
+}
+
+// snapshotState is the wire form of a shard snapshot. Results travel in FIFO
+// order so the joiner rebuilds the identical eviction queue.
+type snapshotState struct {
+	Items   map[string][]byte `json:"items"`
+	Results []savedResult     `json:"results"`
+	Window  int               `json:"window"`
+}
+
+type savedResult struct {
+	ID uint64 `json:"id"`
+	result
+}
+
+// Snapshot serialises the shard for atomic state transfer to a joiner.
+func (s *mapSM) Snapshot() ([]byte, error) {
+	st := snapshotState{
+		Items:   s.items,
+		Results: make([]savedResult, 0, len(s.order)),
+		Window:  s.window,
+	}
+	for _, id := range s.order {
+		st.Results = append(st.Results, savedResult{ID: id, result: s.results[id]})
+	}
+	return json.Marshal(st)
+}
+
+// Restore replaces the shard state with a snapshot.
+func (s *mapSM) Restore(snap []byte) error {
+	var st snapshotState
+	if err := json.Unmarshal(snap, &st); err != nil {
+		return err
+	}
+	s.items = st.Items
+	if s.items == nil {
+		s.items = make(map[string][]byte)
+	}
+	s.results = make(map[uint64]result, len(st.Results))
+	s.order = make([]uint64, 0, len(st.Results))
+	for _, r := range st.Results {
+		s.order = append(s.order, r.ID)
+		s.results[r.ID] = r.result
+	}
+	if st.Window > 0 {
+		s.window = st.Window
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amoeba"
+)
+
+// LoadOptions configures a self-contained load run: an in-process store on a
+// memory network, hammered by concurrent clients. This is the sharded
+// workload behind `amoeba-bench -experiment sharded` and the load mode of
+// cmd/amoeba-kv.
+type LoadOptions struct {
+	// Shards is the shard-group count (default 4).
+	Shards int
+	// Nodes is the node count (default 4). With Replication 0 every node
+	// replicates every shard.
+	Nodes int
+	// Replication bounds the per-shard replica count (see
+	// Options.Replication). When set, each load client is pinned to one
+	// shard and runs on a node hosting it, writing only that shard's
+	// keys — the access pattern of a shard-aware production client.
+	Replication int
+	// Clients is the number of concurrent clients, spread round-robin
+	// across nodes (default 2 per node).
+	Clients int
+	// Duration bounds the measured phase (default 1s).
+	Duration time.Duration
+	// ValueSize is the written value size in bytes (default 64).
+	ValueSize int
+	// Keys is the keyspace size (default 1024).
+	Keys int
+	// ReadFraction is the fraction of operations that are reads, 0 to 1
+	// inclusive (0, the zero value, is a pure-write workload); the rest
+	// are puts.
+	ReadFraction float64
+	// LocalReads makes the read fraction use LocalGet instead of
+	// sequenced Get.
+	LocalReads bool
+	// Seed drives each client's key/op choice.
+	Seed int64
+	// Group configures the shard groups.
+	Group amoeba.GroupOptions
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 4
+	}
+	if o.Clients <= 0 {
+		o.Clients = 2 * o.Nodes
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 64
+	}
+	if o.Keys <= 0 {
+		o.Keys = 1024
+	}
+	if o.ReadFraction < 0 || o.ReadFraction > 1 {
+		o.ReadFraction = 0.2
+	}
+	return o
+}
+
+// LoadReport summarises one load run.
+type LoadReport struct {
+	Shards, Nodes, Clients int
+	Ops                    uint64
+	Errors                 uint64
+	Elapsed                time.Duration
+}
+
+// OpsPerSec is the aggregate throughput across all shards.
+func (r LoadReport) OpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("kv load: %d shards × %d nodes, %d clients: %d ops in %v = %.0f ops/s (%d errors)",
+		r.Shards, r.Nodes, r.Clients, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec(), r.Errors)
+}
+
+// RunLoad builds a store and drives it, returning the aggregate throughput.
+// Because each shard group has its own sequencer and Bootstrap spreads them
+// across nodes, the reported ops/s grows with Shards (up to Nodes) — the
+// multi-group scaling this package exists for.
+func RunLoad(ctx context.Context, o LoadOptions) (LoadReport, error) {
+	o = o.withDefaults()
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+
+	kernels := make([]*amoeba.Kernel, o.Nodes)
+	for i := range kernels {
+		k, err := net.NewKernel(fmt.Sprintf("load-node-%d", i))
+		if err != nil {
+			return LoadReport{}, fmt.Errorf("kv: load kernel %d: %w", i, err)
+		}
+		kernels[i] = k
+	}
+	stores, err := Bootstrap(ctx, kernels, "loadgen", Options{
+		Shards:      o.Shards,
+		Replication: o.Replication,
+		Group:       o.Group,
+	})
+	if err != nil {
+		return LoadReport{}, err
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	return driveLoad(ctx, stores, o)
+}
+
+// driveLoad runs the measured phase against an existing set of nodes.
+func driveLoad(ctx context.Context, stores []*Store, o LoadOptions) (LoadReport, error) {
+	o = o.withDefaults()
+	var (
+		ops, errs uint64
+		wg        sync.WaitGroup
+	)
+	value := make([]byte, o.ValueSize)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+	timer := time.AfterFunc(o.Duration, cancel)
+	defer timer.Stop()
+
+	// With bounded replication a client can only reach shards its node
+	// hosts: pin each client to one shard, run it on that shard's first
+	// host, and draw keys owned by that shard.
+	var shardKeys [][]string
+	if o.Replication > 0 {
+		// Use the store's own ring so client pinning matches placement.
+		shardKeys = make([][]string, o.Shards)
+		need := o.Keys/o.Shards + 1
+		for i, filled := 0, 0; filled < o.Shards; i++ {
+			key := fmt.Sprintf("key-%06d", i)
+			s := stores[0].ShardFor(key)
+			if len(shardKeys[s]) >= need {
+				continue
+			}
+			shardKeys[s] = append(shardKeys[s], key)
+			if len(shardKeys[s]) == need {
+				filled++
+			}
+		}
+	}
+
+	for i := 0; i < o.Clients; i++ {
+		var (
+			cl   *Client
+			keys []string
+		)
+		if o.Replication > 0 {
+			shard := i % o.Shards
+			cl = stores[shard%len(stores)].NewClient()
+			keys = shardKeys[shard]
+		} else {
+			cl = stores[i%len(stores)].NewClient()
+		}
+		rng := rand.New(rand.NewSource(o.Seed + int64(i)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				var key string
+				if keys != nil {
+					key = keys[rng.Intn(len(keys))]
+				} else {
+					key = fmt.Sprintf("key-%06d", rng.Intn(o.Keys))
+				}
+				var err error
+				if rng.Float64() < o.ReadFraction {
+					if o.LocalReads {
+						cl.LocalGet(key)
+					} else {
+						_, _, err = cl.Get(runCtx, key)
+					}
+				} else {
+					err = cl.Put(runCtx, key, value)
+				}
+				switch {
+				case err == nil:
+					atomic.AddUint64(&ops, 1)
+				case runCtx.Err() != nil:
+					return // cancellation, not a workload error
+				default:
+					atomic.AddUint64(&errs, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return LoadReport{}, err
+	}
+	return LoadReport{
+		Shards:  o.Shards,
+		Nodes:   o.Nodes,
+		Clients: o.Clients,
+		Ops:     atomic.LoadUint64(&ops),
+		Errors:  atomic.LoadUint64(&errs),
+		Elapsed: elapsed,
+	}, nil
+}

@@ -1,0 +1,29 @@
+package kv
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunLoadSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadOptions{
+		Shards:   2,
+		Nodes:    2,
+		Clients:  4,
+		Duration: 200 * time.Millisecond,
+		Keys:     64,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("load run made no progress")
+	}
+	if rep.Errors > rep.Ops/10 {
+		t.Fatalf("excessive errors on a healthy store: %d errors, %d ops", rep.Errors, rep.Ops)
+	}
+	t.Logf("%s", rep)
+}

@@ -1,0 +1,137 @@
+package shared
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"amoeba"
+)
+
+// lossyNet returns a memory network that drops and duplicates frames, so the
+// protocol's NAK/retransmission and the transfer RPC's retries all fire.
+func lossyNet(drop, dup float64, seed int64) *amoeba.MemoryNetwork {
+	return amoeba.NewMemoryNetworkWithFaults(amoeba.MemoryNetworkConfig{
+		DropRate: drop,
+		DupRate:  dup,
+		Seed:     seed,
+	})
+}
+
+// TestStateTransferOverLossyNetwork checks the §5 claim end to end under
+// packet loss: a replica that joins a running group over an unreliable
+// network must still converge to exactly the seeds' state.
+func TestStateTransferOverLossyNetwork(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		drop, dup float64
+		seed      int64
+	}{
+		{"drop2", 0.02, 0, 7},
+		{"drop5dup2", 0.05, 0.02, 11},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := ctxT(t)
+			net := lossyNet(tc.drop, tc.dup, tc.seed)
+			defer net.Close()
+
+			k1, _ := net.NewKernel("seed-1")
+			k2, _ := net.NewKernel("seed-2")
+			r1, err := Create(ctx, k1, "lossy", newKV(), amoeba.GroupOptions{})
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			defer r1.Close()
+			r2, err := Join(ctx, k2, "lossy", newKV(), amoeba.GroupOptions{})
+			if err != nil {
+				t.Fatalf("Join seed-2: %v", err)
+			}
+			defer r2.Close()
+
+			// Pre-join state: only state transfer can hand this to the
+			// joiner, and every Submit here already battles frame loss.
+			const n = 30
+			for i := 0; i < n; i++ {
+				if err := r1.Submit(ctx, set(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+			}
+
+			k3, _ := net.NewKernel("joiner")
+			r3, err := Join(ctx, k3, "lossy", newKV(), amoeba.GroupOptions{})
+			if err != nil {
+				t.Fatalf("Join over lossy network: %v", err)
+			}
+			defer r3.Close()
+
+			// Post-join traffic through the joiner itself.
+			if err := r3.Submit(ctx, set("after", "join")); err != nil {
+				t.Fatalf("joiner submit: %v", err)
+			}
+
+			hi := maxSeq(r1, r2, r3)
+			for _, r := range []*Replica{r1, r2, r3} {
+				waitApplied(t, r, hi)
+			}
+			// All three copies must be identical despite drops and dups.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				equal := true
+				for i := 0; i < n; i++ {
+					k, v := fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)
+					if get(r3, k) != v || get(r2, k) != v {
+						equal = false
+						break
+					}
+				}
+				if equal && get(r3, "after") == "join" {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("replicas did not converge over lossy network")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestWaitObservesApply covers the exported Wait hook: it must block until a
+// submitted command is applied locally, not merely sequenced.
+func TestWaitObservesApply(t *testing.T) {
+	ctx := ctxT(t)
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	k1, _ := net.NewKernel("w1")
+	k2, _ := net.NewKernel("w2")
+	r1, err := Create(ctx, k1, "wait", newKV(), amoeba.GroupOptions{})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer r1.Close()
+	r2, err := Join(ctx, k2, "wait", newKV(), amoeba.GroupOptions{})
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	defer r2.Close()
+
+	if err := r1.Submit(ctx, set("x", "42")); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	// Wait on the NON-submitting replica: the value arrives only via the
+	// ordered stream.
+	if err := r2.Wait(ctx, func(sm StateMachine) bool {
+		return sm.(*kvSM).M["x"] == "42"
+	}); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if got := get(r2, "x"); got != "42" {
+		t.Fatalf("x = %q after Wait", got)
+	}
+	// Wait fails with ErrStopped once the replica closes.
+	r2.Close()
+	if err := r2.Wait(ctx, func(StateMachine) bool { return false }); err != ErrStopped {
+		t.Fatalf("Wait on closed replica: %v, want ErrStopped", err)
+	}
+}

@@ -64,6 +64,10 @@ type Replica struct {
 	lastApplied uint32
 	members     int
 	stopped     bool
+	closed      bool
+	// applyWake is closed and replaced after every apply (and on stop), so
+	// Wait callers can sleep until the state machine may have changed.
+	applyWake chan struct{}
 
 	done   chan struct{}
 	cancel context.CancelFunc
@@ -144,11 +148,12 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, o
 
 func newReplica(k *amoeba.Kernel, g *amoeba.Group, name string, sm StateMachine) *Replica {
 	return &Replica{
-		group:  g,
-		kernel: k,
-		name:   name,
-		sm:     sm,
-		done:   make(chan struct{}),
+		group:     g,
+		kernel:    k,
+		name:      name,
+		sm:        sm,
+		applyWake: make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 }
 
@@ -231,6 +236,7 @@ func (r *Replica) start() {
 			if err != nil {
 				r.mu.Lock()
 				r.stopped = true
+				r.wakeLocked()
 				r.mu.Unlock()
 				return
 			}
@@ -239,10 +245,17 @@ func (r *Replica) start() {
 	}()
 }
 
+// wakeLocked wakes every Wait caller; r.mu must be held.
+func (r *Replica) wakeLocked() {
+	close(r.applyWake)
+	r.applyWake = make(chan struct{})
+}
+
 // apply folds one delivery into the state machine.
 func (r *Replica) apply(m amoeba.Message) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	defer r.wakeLocked()
 	switch m.Kind {
 	case amoeba.Data:
 		if m.Seq <= r.lastApplied {
@@ -281,6 +294,31 @@ func (r *Replica) Read(fn func(sm StateMachine)) {
 	fn(r.sm)
 }
 
+// Wait blocks until pred (evaluated with the same exclusive access as Read)
+// returns true, rechecking after every applied command. It returns ErrStopped
+// if the replica stops first, or ctx.Err() on cancellation. Use it to wait
+// for a submitted command's effect to reach the local copy.
+func (r *Replica) Wait(ctx context.Context, pred func(sm StateMachine) bool) error {
+	for {
+		r.mu.Lock()
+		if pred(r.sm) {
+			r.mu.Unlock()
+			return nil
+		}
+		stopped := r.stopped
+		wake := r.applyWake
+		r.mu.Unlock()
+		if stopped {
+			return ErrStopped
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
 // Applied reports the sequence number of the last applied command.
 func (r *Replica) Applied() uint32 {
 	r.mu.Lock()
@@ -311,14 +349,17 @@ func (r *Replica) Leave(ctx context.Context) error {
 }
 
 // Close stops the replica without protocol goodbye (a crash, to the rest of
-// the replica set).
+// the replica set). It also releases the resources of a replica that already
+// stopped on its own (e.g. one expelled by a recovery it missed).
 func (r *Replica) Close() {
 	r.mu.Lock()
-	if r.stopped {
+	if r.closed {
 		r.mu.Unlock()
 		return
 	}
+	r.closed = true
 	r.stopped = true
+	r.wakeLocked()
 	r.mu.Unlock()
 	if r.cancel != nil {
 		r.cancel()
@@ -329,3 +370,7 @@ func (r *Replica) Close() {
 	}
 	<-r.done
 }
+
+// Debug renders the replica's group-protocol state for diagnostics. The
+// format is unstable; log it, do not parse it.
+func (r *Replica) Debug() string { return r.group.Debug() }
