@@ -8,10 +8,11 @@
 //
 //	amoeba-bench                      # run everything
 //	amoeba-bench -experiment fig4     # one experiment
+//	amoeba-bench -experiment batched -json BENCH_batched.json
 //	amoeba-bench -list                # list experiment ids
 //
 // Experiment ids: table3, fig1, fig3, fig4, fig5, fig6, fig7, fig8, rpc, cm,
-// userspace.
+// userspace, placement, processing, sharded, batched.
 package main
 
 import (
@@ -31,30 +32,51 @@ func main() {
 
 func run() int {
 	var (
-		which = flag.String("experiment", "all", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		which   = flag.String("experiment", "all", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		jsonOut = flag.String("json", "", "write machine-readable results here, for experiments that support it (e.g. batched → BENCH_batched.json)")
 	)
 	flag.Parse()
 
 	model := netsim.DefaultCostModel()
-	exps := map[string]func(netsim.CostModel) (*experiments.Table, error){
-		"table3":     experiments.Table3,
-		"fig1":       experiments.Fig1,
-		"fig3":       experiments.Fig3,
-		"fig4":       experiments.Fig4,
-		"fig5":       experiments.Fig5,
-		"fig6":       experiments.Fig6,
-		"fig7":       experiments.Fig7,
-		"fig8":       experiments.Fig8,
-		"rpc":        experiments.RPCComparison,
-		"cm":         experiments.CMComparison,
-		"userspace":  experiments.UserSpaceAblation,
-		"placement":  experiments.SequencerPlacement,
-		"processing": experiments.ProcessingScaling,
-		"sharded":    experiments.ShardedKV,
+	// An experiment renders a table; some additionally render a
+	// machine-readable form for -json (perf trajectory files).
+	type experiment struct {
+		run  func(netsim.CostModel) (*experiments.Table, error)
+		json func(netsim.CostModel) (*experiments.Table, []byte, error)
+	}
+	tableOnly := func(f func(netsim.CostModel) (*experiments.Table, error)) experiment {
+		return experiment{run: f}
+	}
+	exps := map[string]experiment{
+		"table3":     tableOnly(experiments.Table3),
+		"fig1":       tableOnly(experiments.Fig1),
+		"fig3":       tableOnly(experiments.Fig3),
+		"fig4":       tableOnly(experiments.Fig4),
+		"fig5":       tableOnly(experiments.Fig5),
+		"fig6":       tableOnly(experiments.Fig6),
+		"fig7":       tableOnly(experiments.Fig7),
+		"fig8":       tableOnly(experiments.Fig8),
+		"rpc":        tableOnly(experiments.RPCComparison),
+		"cm":         tableOnly(experiments.CMComparison),
+		"userspace":  tableOnly(experiments.UserSpaceAblation),
+		"placement":  tableOnly(experiments.SequencerPlacement),
+		"processing": tableOnly(experiments.ProcessingScaling),
+		"sharded":    tableOnly(experiments.ShardedKV),
+		"batched": {
+			run: experiments.Batched,
+			json: func(m netsim.CostModel) (*experiments.Table, []byte, error) {
+				results, err := experiments.BatchedResults(m)
+				if err != nil {
+					return nil, nil, err
+				}
+				buf, err := experiments.BatchedJSON(results)
+				return experiments.BatchedTable(results), buf, err
+			},
+		},
 	}
 	order := []string{"table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"rpc", "cm", "userspace", "placement", "processing", "sharded"}
+		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched"}
 
 	if *list {
 		ids := make([]string, 0, len(exps))
@@ -78,7 +100,22 @@ func run() int {
 	}
 
 	for _, id := range ids {
-		table, err := exps[id](model)
+		ex := exps[id]
+		if *jsonOut != "" && ex.json != nil {
+			// Run the sweep once and emit both renderings.
+			table, buf, err := ex.json(model)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "amoeba-bench: %s: %v\n", id, err)
+				return 1
+			}
+			fmt.Println(table.String())
+			if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "amoeba-bench: writing %s: %v\n", *jsonOut, err)
+				return 1
+			}
+			continue
+		}
+		table, err := ex.run(model)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "amoeba-bench: %s: %v\n", id, err)
 			return 1

@@ -377,8 +377,11 @@ func runSelftest(nodes, resilience int, duration time.Duration) int {
 	fmt.Println("in-process load sweep (aggregate ops/s; single host, so this measures protocol overhead):")
 	for _, shards := range []int{1, 2, 4, 8} {
 		rep, err := kv.RunLoad(ctx, kv.LoadOptions{
-			Shards:   shards,
-			Nodes:    nodes,
+			Shards: shards,
+			Nodes:  nodes,
+			// Enough concurrency per node to fill the send window and
+			// exercise write coalescing (see the batches= counters).
+			Clients:  8 * nodes,
 			Duration: duration,
 			Group: amoeba.GroupOptions{
 				Resilience:   resilience,

@@ -122,6 +122,74 @@ func (g *Group) Send(ctx context.Context, payload []byte) error {
 	return waitCtx(ctx, func(done func(error)) { g.ep.Send(payload, done) })
 }
 
+// SendBatch broadcasts several payloads to the group as one pipelined burst:
+// every payload is its own totally-ordered message (delivered individually,
+// in submission order relative to this handle's other sends), but the
+// protocol coalesces them into multi-payload ordering requests up to
+// GroupOptions.MaxBatch, so the sequencer's per-request work is paid once
+// per batch instead of once per message. SendBatch blocks until every
+// payload is ordered (and, with resilience r, stored by r other members); it
+// returns the first error encountered.
+func (g *Group) SendBatch(ctx context.Context, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	errs := make(chan error, len(payloads))
+	for _, p := range payloads {
+		g.ep.Send(p, func(e error) { errs <- e })
+	}
+	var first error
+	for range payloads {
+		select {
+		case err := <-errs:
+			if err != nil && first == nil {
+				first = err
+			}
+		case <-ctx.Done():
+			// The protocol operations continue in the background;
+			// only the wait is abandoned.
+			return ctx.Err()
+		}
+	}
+	return first
+}
+
+// GroupStats counts protocol events on this member's endpoint. The batch
+// counters are sequencer-side: they are non-zero only while (and after) this
+// member sequences the group.
+type GroupStats struct {
+	// Sent counts application sends completed by this member.
+	Sent uint64
+	// Delivered counts messages delivered to the application.
+	Delivered uint64
+	// Retries counts request retry rounds against an unresponsive
+	// sequencer.
+	Retries uint64
+	// Ordered counts messages this member assigned sequence numbers to
+	// (as sequencer).
+	Ordered uint64
+	// OrderedBatches counts multi-message batch requests ordered.
+	OrderedBatches uint64
+	// BatchedMsgs counts messages that travelled inside those batches.
+	BatchedMsgs uint64
+	// MaxBatchMsgs is the largest batch ordered.
+	MaxBatchMsgs uint64
+}
+
+// Stats returns a snapshot of the member's protocol counters.
+func (g *Group) Stats() GroupStats {
+	s := g.ep.Stats()
+	return GroupStats{
+		Sent:           s.Sent,
+		Delivered:      s.Delivered,
+		Retries:        s.RequestRetries,
+		Ordered:        s.Ordered,
+		OrderedBatches: s.OrderedBatches,
+		BatchedMsgs:    s.BatchedMsgs,
+		MaxBatchMsgs:   s.MaxBatchMsgs,
+	}
+}
+
 // Receive blocks until the next totally-ordered message — the paper's
 // ReceiveFromGroup. Every member receives the same sequence of Messages,
 // data and membership events interleaved identically.

@@ -124,6 +124,19 @@ type Config struct {
 	// MaxMessage bounds application payloads. Default 64 KiB (the paper
 	// measures up to 8000 bytes but the protocol handles more).
 	MaxMessage int
+	// SendWindow is the number of ordering requests one member keeps in
+	// flight (per-sender pipelining). Sends beyond the window coalesce
+	// into multi-payload batch requests (PB method only), amortising the
+	// sequencer's per-request processing — the paper's conclusion 1
+	// (processing-bound, not protocol-bound) turned into a knob.
+	// Per-sender FIFO is preserved: localIDs stay contiguous and the
+	// sequencer refuses to order a request out of localID order. 1
+	// restores the seed's one-request-at-a-time behaviour. Default 4.
+	SendWindow int
+	// MaxBatch bounds the payloads coalesced into one batch request.
+	// Default 16; 1 disables coalescing (batches also stay within
+	// MaxMessage bytes of payload regardless of count).
+	MaxBatch int
 
 	// RetryInterval spaces sender retransmissions of unacknowledged
 	// requests and joins. Default 50 ms.
@@ -180,6 +193,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxMessage <= 0 {
 		c.MaxMessage = 64 << 10
+	}
+	if c.SendWindow <= 0 {
+		c.SendWindow = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
 	}
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 50 * time.Millisecond

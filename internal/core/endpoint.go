@@ -92,22 +92,48 @@ type Stats struct {
 	Delivered      uint64 // deliveries to the application
 	NaksSent       uint64
 	Retransmitted  uint64 // retransmissions served (sequencer/holder side)
-	RequestRetries uint64 // sender-side request retransmissions
+	RequestRetries uint64 // sender-side request retry rounds
 	Ordered        uint64 // messages assigned a seqno (sequencer side)
 	DroppedFull    uint64 // requests refused because history was full
 	AcksSent       uint64 // resilience acks sent
 	Resets         uint64 // recoveries completed
 	LostGaps       uint64 // sequence numbers lost to failures (r=0 only)
+
+	// Batching observability (sequencer side): how well the send→order
+	// path amortises per-request work.
+	OrderedBatches uint64 // multi-message batch entries ordered
+	BatchedMsgs    uint64 // messages that travelled inside those batches
+	MaxBatchMsgs   uint64 // largest batch ordered
 }
 
-// sendOp is one queued application send.
+// sendOp is one queued ordering request: one or more application payloads
+// with contiguous localIDs, sent (and ordered) as a unit. While an op waits
+// for a window slot, further PB sends coalesce into it up to Config.MaxBatch
+// payloads and Config.MaxMessage bytes.
 type sendOp struct {
-	localID uint32
-	payload []byte
-	method  Method
-	retries int
-	done    func(error)
-	active  bool
+	localID  uint32   // first localID in the op
+	payloads [][]byte // one or more application payloads, FIFO
+	size     int      // total payload bytes (coalescing budget)
+	method   Method
+	retries  int
+	dones    []func(error) // one completion per payload, same order
+	active   bool          // transmitted and awaiting ordering proof
+	sent     bool          // transmitted at least once (survives deactivation)
+}
+
+// count is the number of payloads in the op.
+func (op *sendOp) count() uint32 { return uint32(len(op.payloads)) }
+
+// lastLocalID is the highest localID the op covers.
+func (op *sendOp) lastLocalID() uint32 { return op.localID + op.count() - 1 }
+
+// wireBody renders the op for the wire: a raw payload for singles, an
+// encoded batch body for multi-payload ops.
+func (op *sendOp) wireBody() (MsgKind, []byte) {
+	if len(op.payloads) == 1 {
+		return KindData, op.payloads[0]
+	}
+	return KindBatch, encodeBatchBody(op.payloads)
 }
 
 // Endpoint is one member's group-protocol instance.
@@ -132,11 +158,13 @@ type Endpoint struct {
 	bbCache     map[bbKey][]byte
 	nakTimer    sim.Timer
 	nakBackoff  time.Duration
+	nakSnap     uint32 // nextDeliver when the NAK timer was armed (stall detection)
 
 	// Sending.
 	nextLocalID uint32
 	sendQ       []*sendOp
 	sendTimer   sim.Timer
+	resending   bool // window retransmission in progress: pump suppressed
 
 	// Sequencer.
 	globalSeq       uint32 // highest assigned seqno
@@ -260,6 +288,20 @@ func newEndpoint(cfg Config) (*Endpoint, error) {
 // enqueue records a side effect. Caller holds ep.mu.
 func (ep *Endpoint) enqueue(f func()) { ep.actions = append(ep.actions, f) }
 
+// failSendQLocked fails every queued send — every payload of every op — and
+// empties the queue.
+func (ep *Endpoint) failSendQLocked(err error) {
+	for _, op := range ep.sendQ {
+		dones := op.dones
+		ep.enqueue(func() {
+			for _, d := range dones {
+				d(err)
+			}
+		})
+	}
+	ep.sendQ = nil
+}
+
 // drain runs queued actions. Caller must NOT hold ep.mu.
 func (ep *Endpoint) drain() {
 	ep.mu.Lock()
@@ -341,7 +383,25 @@ func (ep *Endpoint) Send(payload []byte, done func(error)) {
 	p := make([]byte, len(payload))
 	copy(p, payload)
 	ep.nextLocalID++
-	op := &sendOp{localID: ep.nextLocalID, payload: p, method: ep.resolveMethod(len(p)), done: done}
+	method := ep.resolveMethod(len(p))
+	// Coalesce into the newest op while it waits for a window slot: PB
+	// payloads pack into one multi-payload request (contiguous localIDs
+	// keep per-sender FIFO intact), so a busy sender amortises the
+	// sequencer's per-request work across MaxBatch messages.
+	if n := len(ep.sendQ); n > 0 && method == MethodPB {
+		last := ep.sendQ[n-1]
+		if !last.sent && !last.active && last.method == MethodPB &&
+			len(last.payloads) < ep.cfg.MaxBatch &&
+			last.size+len(p) <= ep.cfg.MaxMessage {
+			last.payloads = append(last.payloads, p)
+			last.size += len(p)
+			last.dones = append(last.dones, done)
+			ep.mu.Unlock()
+			ep.drain()
+			return
+		}
+	}
+	op := &sendOp{localID: ep.nextLocalID, payloads: [][]byte{p}, size: len(p), method: method, dones: []func(error){done}}
 	ep.sendQ = append(ep.sendQ, op)
 	ep.pumpSendLocked()
 	ep.mu.Unlock()
@@ -445,11 +505,7 @@ func (ep *Endpoint) Close() {
 	ep.closed = true
 	ep.st = stDead
 	ep.stopTimersLocked()
-	for _, op := range ep.sendQ {
-		op := op
-		ep.enqueue(func() { op.done(ErrClosed) })
-	}
-	ep.sendQ = nil
+	ep.failSendQLocked(ErrClosed)
 	for _, d := range ep.joinDone {
 		d := d
 		ep.enqueue(func() { d(ErrClosed) })
@@ -596,8 +652,16 @@ func (ep *Endpoint) DebugSnapshot() string {
 			tent = append(tent, s)
 		}
 	}
-	return fmt.Sprintf("st=%s inc=%d self=%d seq=%d isSeq=%v members=%d pending=%d floor=%d next=%d global=%d maxSeen=%d held=%d tentative=%v",
+	active := 0
+	for _, op := range ep.sendQ {
+		if op.active {
+			active++
+		}
+	}
+	return fmt.Sprintf("st=%s inc=%d self=%d seq=%d isSeq=%v members=%d pending=%d floor=%d next=%d global=%d maxSeen=%d held=%d tentative=%v window=%d/%d queued=%d batches=%d batchMsgs=%d maxBatch=%d",
 		ep.st, ep.view.incarnation, ep.self, ep.view.sequencer, ep.isSeq,
 		len(ep.view.members), len(ep.pending.members), ep.hist.floor,
-		ep.nextDeliver, ep.globalSeq, ep.maxSeen, held, tent)
+		ep.nextDeliver, ep.globalSeq, ep.maxSeen, held, tent,
+		active, ep.cfg.SendWindow, len(ep.sendQ),
+		ep.stats.OrderedBatches, ep.stats.BatchedMsgs, ep.stats.MaxBatchMsgs)
 }

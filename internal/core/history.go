@@ -1,20 +1,63 @@
 package core
 
-// entry is one ordered message retained in a history buffer.
+// entry is one ordered message — or one ordered batch of messages — retained
+// in a history buffer. A KindBatch entry covers the contiguous seqno range
+// [seq, seq+count-1] and the contiguous localID range
+// [localID, localID+count-1]; every other kind covers exactly one of each.
 type entry struct {
 	seq     uint32
 	kind    MsgKind
 	sender  MemberID
 	localID uint32
+	// count is the number of messages the entry covers; 0 and 1 both mean
+	// a single message (zero value keeps single-message construction
+	// unchanged).
+	count uint16
+	// payload is the wire body: the application payload for single
+	// messages, the encoded batch body (see encodeBatchBody) for
+	// KindBatch.
 	payload []byte
+	// parts are the decoded batch payloads (KindBatch only), aliasing
+	// payload; decoded once at entry construction.
+	parts [][]byte
 	// tentative marks a resilience-degree message that has not yet been
 	// accepted (sequencer side: still collecting acks; member side:
-	// buffered awaiting the accept).
+	// buffered awaiting the accept). Batches are accepted as a unit.
 	tentative bool
 	// acks counts resilience acknowledgements received (sequencer only).
 	acks int
 	// acked records which members acked, to ignore duplicates.
 	acked map[MemberID]bool
+}
+
+// span is the number of sequence numbers the entry covers.
+func (e *entry) span() uint32 {
+	if e.count > 1 {
+		return uint32(e.count)
+	}
+	return 1
+}
+
+// lastSeq is the highest sequence number the entry covers.
+func (e *entry) lastSeq() uint32 { return e.seq + e.span() - 1 }
+
+// lastLocalID is the highest sender-local id the entry covers.
+func (e *entry) lastLocalID() uint32 { return e.localID + e.span() - 1 }
+
+// newBatchEntry builds a KindBatch entry from a wire body, copying the body
+// and decoding the per-message payloads. It returns nil if the body is
+// malformed (a corrupt packet that slipped past the FLIP checksum).
+func newBatchEntry(seq uint32, sender MemberID, localID uint32, body []byte) *entry {
+	pl := make([]byte, len(body))
+	copy(pl, body)
+	parts, err := decodeBatchBody(pl)
+	if err != nil || len(parts) > maxBatchWire {
+		return nil
+	}
+	return &entry{
+		seq: seq, kind: KindBatch, sender: sender, localID: localID,
+		count: uint16(len(parts)), payload: pl, parts: parts,
+	}
 }
 
 // history is the bounded buffer of recently ordered messages kept by the
@@ -23,7 +66,11 @@ type entry struct {
 // use a capacity of 128 messages.
 //
 // Entries are stored for a contiguous range (floor, top]: floor is the
-// highest pruned seqno, top the highest stored. The sequencer refuses to
+// highest pruned seqno, top the highest stored. A batch entry is indexed
+// under every seqno it covers, so per-seqno lookups (gap detection, delivery,
+// retransmission) need no range search; capacity is counted in seqnos, so a
+// 16-message batch consumes 16 slots and backpressure still bounds the
+// number of outstanding messages, not requests. The sequencer refuses to
 // order new messages when the buffer is full until acknowledgement state
 // (piggybacked lastRecv values) lets it prune.
 type history struct {
@@ -36,12 +83,18 @@ func newHistory(capacity int) *history {
 	return &history{cap: capacity, entries: make(map[uint32]*entry)}
 }
 
-// add stores an entry. It reports false when the buffer is full.
+// hasRoom reports whether n more seqno slots fit.
+func (h *history) hasRoom(n int) bool { return len(h.entries)+n <= h.cap }
+
+// add stores an entry under every seqno it covers. It reports false when the
+// buffer lacks room for the entry's full span.
 func (h *history) add(e *entry) bool {
-	if len(h.entries) >= h.cap {
+	if !h.hasRoom(int(e.span())) {
 		return false
 	}
-	h.entries[e.seq] = e
+	for s := e.seq; s <= e.lastSeq(); s++ {
+		h.entries[s] = e
+	}
 	return true
 }
 
@@ -50,18 +103,24 @@ func (h *history) add(e *entry) bool {
 // backpressure data traffic, but dropping the reset entry would leave its
 // holder unable to ever deliver past startSeq — a full history must not be
 // able to wedge a recovery.
-func (h *history) forceAdd(e *entry) { h.entries[e.seq] = e }
+func (h *history) forceAdd(e *entry) {
+	for s := e.seq; s <= e.lastSeq(); s++ {
+		h.entries[s] = e
+	}
+}
 
-// full reports whether the buffer cannot accept another entry.
-func (h *history) full() bool { return len(h.entries) >= h.cap }
+// full reports whether the buffer cannot accept another single-message entry.
+func (h *history) full() bool { return !h.hasRoom(1) }
 
-// get returns the entry for seq, if retained.
+// get returns the entry covering seq, if retained.
 func (h *history) get(seq uint32) (*entry, bool) {
 	e, ok := h.entries[seq]
 	return e, ok
 }
 
-// pruneTo discards entries with seq ≤ upTo, raising the floor.
+// pruneTo discards entries with seq ≤ upTo, raising the floor. A batch entry
+// straddling upTo keeps its higher seqnos indexed; only the covered slots are
+// released.
 func (h *history) pruneTo(upTo uint32) {
 	if upTo <= h.floor {
 		return
@@ -84,7 +143,10 @@ func (h *history) pruneTo(upTo uint32) {
 
 // truncateAbove discards entries with seq > top. Recovery uses it to drop
 // messages ordered by a deposed sequencer beyond the new view's starting
-// point.
+// point. The truncation point always falls on an entry boundary: entries are
+// stored atomically (all seqnos or none), so every survivor's contiguous top
+// — and therefore the recovery target, their maximum — ends exactly where an
+// entry ends.
 func (h *history) truncateAbove(top uint32) {
 	for s := range h.entries {
 		if s > top {
@@ -106,5 +168,5 @@ func (h *history) contiguousTop() uint32 {
 	}
 }
 
-// len reports the number of retained entries.
+// len reports the number of retained seqno slots.
 func (h *history) len() int { return len(h.entries) }

@@ -316,11 +316,7 @@ func (ep *Endpoint) leftLocked() {
 	}
 	ep.st = stDead
 	ep.stopTimersLocked()
-	for _, op := range ep.sendQ {
-		op := op
-		ep.enqueue(func() { op.done(ErrNotMember) })
-	}
-	ep.sendQ = nil
+	ep.failSendQLocked(ErrNotMember)
 	ep.failLeaveLocked(nil)
 }
 
@@ -354,23 +350,25 @@ func (ep *Endpoint) adoptNewSequencerLocked(successor MemberID) {
 		ep.nakTimer = nil
 	}
 	ep.armSyncLocked()
-	// An in-flight send of our own is now sequenced locally.
-	if len(ep.sendQ) > 0 && ep.sendQ[0].active {
-		ep.transmitOpLocked(ep.sendQ[0])
-	}
+	// In-flight sends of our own are now sequenced locally; resend the
+	// window in FIFO order (the pump stays suppressed meanwhile, so a
+	// synchronous completion cannot order a newer op ahead of an older
+	// one).
+	ep.resendWindowLocked()
 }
 
 // rebuildDedupLocked reconstructs duplicate-suppression state from retained
-// history, for a successor or recovered sequencer.
+// history, for a successor or recovered sequencer. Batch entries count with
+// their full localID range.
 func (ep *Endpoint) rebuildDedupLocked() {
 	ep.dedup = make(map[MemberID]dedupEntry)
 	for s := ep.hist.floor + 1; s <= ep.globalSeq; s++ {
 		e, ok := ep.hist.get(s)
-		if !ok || e.kind != KindData {
+		if !ok || (e.kind != KindData && e.kind != KindBatch) {
 			continue
 		}
-		if d, ok := ep.dedup[e.sender]; !ok || e.localID > d.localID {
-			ep.dedup[e.sender] = dedupEntry{localID: e.localID, seq: s}
+		if d, ok := ep.dedup[e.sender]; !ok || e.lastLocalID() > d.localID {
+			ep.dedup[e.sender] = dedupEntry{localID: e.lastLocalID(), seq: e.seq}
 		}
 	}
 }

@@ -4,43 +4,63 @@ import (
 	"time"
 
 	"amoeba/internal/cost"
+	"amoeba/internal/flip"
 )
 
 // This file is the member (non-sequencer) side of the protocol: the send
-// pump with retries, receiving ordered messages, gap detection with negative
-// acknowledgements, and the in-order delivery loop.
+// pump with pipelining and retries, receiving ordered messages, gap
+// detection with negative acknowledgements, and the in-order delivery loop.
 
-// pumpSendLocked activates the head of the send queue if idle.
+// pumpSendLocked activates queued ordering requests until Config.SendWindow
+// of them are in flight. Active ops are always a FIFO prefix of sendQ.
 func (ep *Endpoint) pumpSendLocked() {
-	if len(ep.sendQ) == 0 || ep.st != stNormal {
+	if ep.st != stNormal || ep.resending {
 		return
 	}
-	op := ep.sendQ[0]
-	if op.active {
-		return
+	for {
+		active := 0
+		var next *sendOp
+		for _, op := range ep.sendQ {
+			if !op.active {
+				next = op
+				break
+			}
+			active++
+		}
+		if next == nil || active >= ep.cfg.SendWindow {
+			return
+		}
+		next.active = true
+		next.sent = true
+		next.retries = 0
+		// Transmission may complete synchronously (own sequencer) and
+		// mutate sendQ; re-scan each round.
+		ep.transmitOpLocked(next)
+		if ep.st != stNormal {
+			return
+		}
 	}
-	op.active = true
-	op.retries = 0
-	ep.transmitOpLocked(op)
 }
 
-// transmitOpLocked puts the active send on the wire.
+// transmitOpLocked puts one in-flight ordering request on the wire.
 func (ep *Endpoint) transmitOpLocked(op *sendOp) {
 	ep.cfg.Meter.Charge(cost.GroupOut, 0)
+	kind, body := op.wireBody()
 	if ep.isSeq {
 		// The sequencer's own sends are ordered directly: one multicast
 		// total. (The paper notes heavy senders were co-located with the
 		// sequencer for exactly this reason.) Re-activation after a
 		// recovery or handoff must not re-order an already-sequenced
-		// message.
-		if d, ok := ep.dedup[ep.self]; ok && d.localID == op.localID {
-			if e, ok := ep.hist.get(d.seq); ok && !e.tentative {
+		// request.
+		if d, ok := ep.dedup[ep.self]; ok && op.lastLocalID() <= d.localID {
+			if e, ok := ep.findOwnOrderedLocked(op.localID); ok && !e.tentative {
 				ep.finishSendLocked(op, nil)
 			}
-			// Still tentative: acceptance will complete it.
+			// Still tentative (or entry pruned — then long since
+			// complete): acceptance will complete it.
 			return
 		}
-		if !ep.orderLocked(KindData, ep.self, op.localID, op.payload) {
+		if !ep.orderLocked(kind, ep.self, op.localID, body) {
 			ep.armSendRetryLocked() // history full: retry later
 		}
 		return
@@ -50,21 +70,45 @@ func (ep *Endpoint) transmitOpLocked(op *sendOp) {
 		ep.armSendRetryLocked()
 		return
 	}
+	// The FIFO barrier: everything below the oldest outstanding localID has
+	// completed at this sender, so the sequencer may order a request at the
+	// barrier even after a recovery erased its dedup state for us.
+	barrier := op.localID
+	if len(ep.sendQ) > 0 {
+		barrier = ep.sendQ[0].localID
+	}
 	switch op.method {
 	case MethodBB:
 		// Multicast the payload; the sequencer answers with a short
-		// accept. Loopback stores our own copy in the BB cache.
-		ep.multicastPkt(packet{typ: ptBBData, kind: KindData, localID: op.localID, payload: op.payload})
+		// accept. Loopback stores our own copy in the BB cache. BB ops
+		// are never batched: the data is already on the wire once.
+		ep.multicastPkt(packet{typ: ptBBData, kind: KindData, localID: op.localID, aux: barrier, payload: body})
 	default:
-		ep.sendPkt(seqAddr, packet{typ: ptReq, kind: KindData, localID: op.localID, payload: op.payload})
+		ep.sendPkt(seqAddr, packet{typ: ptReq, kind: kind, localID: op.localID, aux: barrier, payload: body})
 	}
 	ep.armSendRetryLocked()
 }
 
-// armSendRetryLocked (re)arms the active-send retry timer.
+// findOwnOrderedLocked locates the retained entry holding this endpoint's own
+// request starting at localID, if any.
+func (ep *Endpoint) findOwnOrderedLocked(localID uint32) (*entry, bool) {
+	for s := ep.hist.floor + 1; s <= ep.globalSeq; s++ {
+		e, ok := ep.hist.get(s)
+		if ok && e.sender == ep.self && e.localID == localID &&
+			(e.kind == KindData || e.kind == KindBatch) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// armSendRetryLocked arms the send retry timer if it is not already running.
+// The timer fires only after RetryInterval with no completed request; every
+// completion restarts it (see finishSendLocked), so a pipelined window that
+// is making progress never retransmits spuriously.
 func (ep *Endpoint) armSendRetryLocked() {
 	if ep.sendTimer != nil {
-		ep.sendTimer.Stop()
+		return
 	}
 	ep.sendTimer = ep.after(ep.cfg.RetryInterval, func() {
 		ep.sendTimer = nil
@@ -72,7 +116,9 @@ func (ep *Endpoint) armSendRetryLocked() {
 	})
 }
 
-// retrySendLocked retransmits the active send or gives up on the sequencer.
+// retrySendLocked retransmits the whole in-flight window or gives up on the
+// sequencer. The oldest active op carries the retry budget: it is the one
+// whose silence proves the sequencer unresponsive.
 func (ep *Endpoint) retrySendLocked() {
 	if len(ep.sendQ) == 0 || ep.st != stNormal {
 		return
@@ -87,45 +133,87 @@ func (ep *Endpoint) retrySendLocked() {
 		// The sequencer is not responding: the paper's failure
 		// detector has spoken.
 		if ep.cfg.AutoReset && !ep.isSeq {
-			op.active = false // re-pumped after recovery
+			for _, o := range ep.sendQ {
+				o.active = false // re-pumped after recovery
+			}
 			ep.initiateResetLocked(ep.cfg.MinSurvivors)
 			return
 		}
 		ep.finishSendLocked(op, ErrSequencerDead)
 		return
 	}
-	ep.transmitOpLocked(op)
+	ep.resendWindowLocked()
+	ep.armSendRetryLocked()
 }
 
-// finishSendLocked completes the active send and pumps the next.
-func (ep *Endpoint) finishSendLocked(op *sendOp, err error) {
-	if len(ep.sendQ) == 0 || ep.sendQ[0] != op {
-		return
+// resendWindowLocked retransmits every in-flight op in FIFO order. The pump
+// is suppressed for the duration: on an endpoint that sequences its own
+// sends, a retransmission can complete synchronously, and the resulting pump
+// must not inject a newer op ahead of a not-yet-resent older one.
+func (ep *Endpoint) resendWindowLocked() {
+	ep.resending = true
+	for _, op := range append([]*sendOp(nil), ep.sendQ...) {
+		if op.active {
+			ep.transmitOpLocked(op)
+		}
 	}
-	ep.sendQ = ep.sendQ[1:]
+	ep.resending = false
+	ep.pumpSendLocked()
+}
+
+// finishSendLocked completes one in-flight request — all of its payloads —
+// and pumps the window.
+func (ep *Endpoint) finishSendLocked(op *sendOp, err error) {
+	idx := -1
+	for i, o := range ep.sendQ {
+		if o == op {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return // already completed
+	}
+	ep.sendQ = append(ep.sendQ[:idx], ep.sendQ[idx+1:]...)
+	// Progress: restart the retry clock for the rest of the window.
 	if ep.sendTimer != nil {
 		ep.sendTimer.Stop()
 		ep.sendTimer = nil
 	}
 	if err == nil {
-		ep.stats.Sent++
+		ep.stats.Sent += uint64(len(op.payloads))
 	}
-	done := op.done
-	ep.enqueue(func() { done(err) })
+	dones := op.dones
+	ep.enqueue(func() {
+		for _, d := range dones {
+			d(err)
+		}
+	})
+	for _, o := range ep.sendQ {
+		if o.active {
+			ep.armSendRetryLocked()
+			break
+		}
+	}
 	ep.pumpSendLocked()
 }
 
-// completeSendIfOursLocked completes the active send when its ordering
-// becomes visible (our own broadcast or accept arriving back).
-func (ep *Endpoint) completeSendIfOursLocked(sender MemberID, localID uint32) {
-	if sender != ep.self || len(ep.sendQ) == 0 {
+// completeSendsUpToLocked completes every in-flight send of ours covered by
+// an ordering proof for lastLocalID (our own broadcast, accept, or a
+// retransmission arriving back). Ordering proof for a localID implies every
+// lower localID was ordered first — the sequencer refuses out-of-order
+// requests — so the whole prefix of the window completes.
+func (ep *Endpoint) completeSendsUpToLocked(sender MemberID, lastLocalID uint32) {
+	if sender != ep.self {
 		return
 	}
-	op := ep.sendQ[0]
-	if !op.active || op.localID != localID {
-		return
+	for len(ep.sendQ) > 0 {
+		op := ep.sendQ[0]
+		if !op.sent || op.lastLocalID() > lastLocalID {
+			return
+		}
+		ep.finishSendLocked(op, nil)
 	}
-	ep.finishSendLocked(op, nil)
 }
 
 // --- Receiving ordered messages ---------------------------------------------
@@ -151,7 +239,8 @@ func (ep *Endpoint) currentViewLocked(p packet) bool {
 	return false
 }
 
-// handleBcast stores a sequenced message (PB broadcast or a retransmission).
+// handleBcast stores a sequenced message or batch (PB broadcast or a
+// retransmission).
 func (ep *Endpoint) handleBcast(p packet, retrans bool) {
 	if retrans {
 		// Retransmissions also feed a recovering coordinator's fetch
@@ -169,27 +258,46 @@ func (ep *Endpoint) handleBcast(p packet, retrans bool) {
 		origin = MemberID(p.aux2)
 	}
 	ep.noteSyncLocked(p.seq, p.aux)
-	if p.seq > ep.maxSeen {
-		ep.maxSeen = p.seq
+	e := entryFromPacket(p, origin)
+	if e == nil {
+		return // malformed batch body: NAK will refetch
 	}
-	if p.seq < ep.nextDeliver {
+	if e.lastSeq() > ep.maxSeen {
+		ep.maxSeen = e.lastSeq()
+	}
+	if e.lastSeq() < ep.nextDeliver {
 		// Already delivered — but a duplicate or retransmission may
 		// still be the sender's first proof that its message was
 		// sequenced.
-		ep.completeSendIfOursLocked(origin, p.localID)
+		ep.completeSendsUpToLocked(origin, e.lastLocalID())
 		return
 	}
-	if _, ok := ep.hist.get(p.seq); !ok {
-		if ep.hist.full() {
-			return // refetch later via NAK once space frees
-		}
-		pl := make([]byte, len(p.payload))
-		copy(pl, p.payload)
-		ep.hist.add(&entry{seq: p.seq, kind: p.kind, sender: origin, localID: p.localID, payload: pl})
+	if held, ok := ep.hist.get(p.seq); !ok {
+		// A full history refuses the entry; the NAK machinery refetches
+		// once space frees.
+		ep.hist.add(e)
+	} else if held.tentative {
+		// Broadcasts and retransmissions are only ever sent for accepted
+		// messages (the sequencer serves tentative entries to nobody but
+		// a recovery coordinator): the accept we were waiting for was
+		// lost, and this packet is its substitute.
+		held.tentative = false
 	}
-	ep.completeSendIfOursLocked(origin, p.localID)
+	ep.completeSendsUpToLocked(origin, e.lastLocalID())
 	ep.deliverReadyLocked()
 	ep.checkGapLocked()
+}
+
+// entryFromPacket builds a history entry from a data-bearing packet, copying
+// the payload and decoding batch bodies. It returns nil for a malformed
+// batch.
+func entryFromPacket(p packet, origin MemberID) *entry {
+	if p.kind == KindBatch {
+		return newBatchEntry(p.seq, origin, p.localID, p.payload)
+	}
+	pl := make([]byte, len(p.payload))
+	copy(pl, p.payload)
+	return &entry{seq: p.seq, kind: p.kind, sender: origin, localID: p.localID, payload: pl}
 }
 
 // handleBBData caches an unordered BB payload until its accept arrives.
@@ -222,13 +330,19 @@ func (ep *Endpoint) handleBBData(p packet) {
 		if d, ok := ep.dedup[p.sender]; ok && p.localID <= d.localID {
 			// Duplicate BB data for something already ordered: the
 			// accept was lost at the sender; re-announce it.
-			if e, ok := ep.hist.get(d.seq); ok && p.localID == d.localID {
+			if e, ok := ep.hist.get(d.seq); ok && p.localID == d.localID && e.kind != KindBatch {
 				ep.multicastPkt(packet{
 					typ: ptAccept, kind: e.kind, seq: e.seq,
 					localID: e.localID, aux: ep.hist.floor,
 					aux2: uint32(e.sender),
 				})
 			}
+			return
+		}
+		if !ep.fifoAdmitsLocked(p.sender, p.localID, p.aux) {
+			// Arrived ahead of an earlier in-flight send (pipelining):
+			// ordering it now would break the sender's FIFO. The
+			// sender's retry resends the window in order.
 			return
 		}
 		ep.orderBBLocked(p.sender, p.localID, p.kind, pl)
@@ -247,13 +361,26 @@ func (ep *Endpoint) handleAccept(p packet) {
 		ep.maxSeen = p.seq
 	}
 	if MemberID(p.aux2) == noMember {
-		// Tentative finalisation.
-		if e, ok := ep.hist.get(p.seq); ok {
+		// Tentative finalisation. The sequencer accepts in sequence
+		// order, so an accept is cumulative: every buffered tentative at
+		// or below p.seq is final too (their own accepts may have been
+		// lost on the wire).
+		for s := ep.nextDeliver; s <= p.seq; s++ {
+			e, ok := ep.hist.get(s)
+			if !ok || !e.tentative {
+				continue
+			}
 			e.tentative = false
+			if e.lastSeq() > ep.maxSeen {
+				ep.maxSeen = e.lastSeq()
+			}
+			if e.kind == KindData || e.kind == KindBatch {
+				ep.completeSendsUpToLocked(e.sender, e.lastLocalID())
+			}
+			s = e.lastSeq()
 		}
 		// If we never got the tentative itself, the gap logic will
 		// NAK it as a plain missing message.
-		ep.completeSendIfOursLocked(senderOfTentative(ep, p.seq), p.localID)
 		ep.deliverReadyLocked()
 		ep.checkGapLocked()
 		return
@@ -273,18 +400,9 @@ func (ep *Endpoint) handleAccept(p packet) {
 		// Data missing: leave the slot empty; the gap logic NAKs and
 		// the sequencer retransmits the full message.
 	}
-	ep.completeSendIfOursLocked(sender, p.localID)
+	ep.completeSendsUpToLocked(sender, p.localID)
 	ep.deliverReadyLocked()
 	ep.checkGapLocked()
-}
-
-// senderOfTentative looks up who sent the tentative entry at seq, for send
-// completion; noMember when unknown.
-func senderOfTentative(ep *Endpoint, seq uint32) MemberID {
-	if e, ok := ep.hist.get(seq); ok {
-		return e.sender
-	}
-	return noMember
 }
 
 // handleTentative buffers a resilience-degree message and acknowledges it if
@@ -302,20 +420,30 @@ func (ep *Endpoint) handleTentative(p packet) {
 		return // own tentative echoed by loopback
 	}
 	if p.seq >= ep.nextDeliver {
-		if _, ok := ep.hist.get(p.seq); !ok && !ep.hist.full() {
-			pl := make([]byte, len(p.payload))
-			copy(pl, p.payload)
-			ep.hist.add(&entry{
-				seq: p.seq, kind: p.kind, sender: p.sender,
-				localID: p.localID, payload: pl, tentative: true,
-			})
+		if _, ok := ep.hist.get(p.seq); !ok {
+			e := entryFromPacket(p, p.sender)
+			if e == nil {
+				return // malformed batch body
+			}
+			e.tentative = true
+			ep.hist.add(e) // room-checked for the entry's full span
+			if e.lastSeq() > ep.maxSeen {
+				ep.maxSeen = e.lastSeq()
+			}
 		}
 	}
 	// Ack duty falls on the r lowest-numbered members; counting skips the
 	// sequencer, which stores everything anyway. Acking requires actually
 	// holding the message — a member that joined after the message was
-	// sent cannot vouch for it in recovery.
-	if _, stored := ep.hist.get(p.seq); stored && ep.ackDutyLocked(int(p.aux)) {
+	// sent cannot vouch for it in recovery — AND everything ordered before
+	// it: recovery redistributes each survivor's contiguously-stored
+	// prefix, so an ack for a message sitting above an unfilled gap would
+	// let the send complete and then be truncated by the very recovery
+	// that must preserve it. A gap defers the ack; the NAK machinery fills
+	// the hole and the sequencer's tentative retry collects the ack on the
+	// next round.
+	if e, stored := ep.hist.get(p.seq); stored &&
+		ep.hist.contiguousTop() >= e.lastSeq() && ep.ackDutyLocked(int(p.aux)) {
 		ep.stats.AcksSent++
 		ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptAck, seq: p.seq})
 	}
@@ -406,10 +534,8 @@ func (ep *Endpoint) handleStale(p packet) {
 	if m, ok := v.find(v.sequencer); ok {
 		ep.view.add(m) // make sure we can route to it
 	}
-	// Resend the active request to the new sequencer immediately.
-	if len(ep.sendQ) > 0 && ep.sendQ[0].active {
-		ep.transmitOpLocked(ep.sendQ[0])
-	}
+	// Resend the in-flight window to the new sequencer immediately.
+	ep.resendWindowLocked()
 }
 
 // expelledLocked terminates the endpoint after removal from the group.
@@ -420,11 +546,7 @@ func (ep *Endpoint) expelledLocked() {
 	ep.st = stDead
 	ep.stopTimersLocked()
 	ep.deliverLocked(Delivery{Kind: KindExpelled, Sender: ep.self, SenderAddr: ep.cfg.Self})
-	for _, op := range ep.sendQ {
-		op := op
-		ep.enqueue(func() { op.done(ErrNotMember) })
-	}
-	ep.sendQ = nil
+	ep.failSendQLocked(ErrNotMember)
 	for _, d := range ep.leaveDone {
 		d := d
 		ep.enqueue(func() { d(nil) }) // out of the group, one way or another
@@ -435,12 +557,18 @@ func (ep *Endpoint) expelledLocked() {
 // --- Gap detection and the delivery loop -------------------------------------
 
 // checkGapLocked arms the negative-acknowledgement timer when sequence
-// numbers are known to be missing.
+// numbers are known to be missing — or when delivery has been blocked on a
+// tentative entry whose accept is overdue. The tentative case waits a full
+// RetryInterval before asking: accepts normally arrive within a round trip,
+// and while the message is still tentative at the sequencer its own retry
+// machinery is already re-multicasting it.
 func (ep *Endpoint) checkGapLocked() {
 	if ep.st != stNormal || ep.isSeq {
 		return
 	}
-	if !ep.hasGapLocked() {
+	gap := ep.hasGapLocked()
+	tentStall := !gap && ep.blockedOnTentativeLocked()
+	if !gap && !tentStall {
 		ep.nakBackoff = 0
 		return
 	}
@@ -448,13 +576,26 @@ func (ep *Endpoint) checkGapLocked() {
 		return
 	}
 	delay := ep.cfg.NakDelay + ep.nakStaggerLocked()
+	if tentStall && delay < ep.cfg.RetryInterval {
+		delay = ep.cfg.RetryInterval + ep.nakStaggerLocked()
+	}
 	if ep.nakBackoff > 0 {
 		delay = ep.nakBackoff
 	}
+	ep.nakSnap = ep.nextDeliver
 	ep.nakTimer = ep.after(delay, func() {
 		ep.nakTimer = nil
 		ep.fireNakLocked()
 	})
+}
+
+// blockedOnTentativeLocked reports whether the next delivery is held up by a
+// buffered tentative entry. If its accept was lost AFTER the sequencer
+// finalised the message, nobody will resend it unprompted; the NAK turns
+// into a refetch of the (by then accepted) message.
+func (ep *Endpoint) blockedOnTentativeLocked() bool {
+	e, ok := ep.hist.get(ep.nextDeliver)
+	return ok && e.tentative
 }
 
 // nakStaggerLocked spreads members' retransmission requests in time. A lost
@@ -485,11 +626,24 @@ func (ep *Endpoint) hasGapLocked() bool {
 	return false
 }
 
-// fireNakLocked sends a retransmission request covering the missing range.
+// fireNakLocked sends a retransmission request covering the missing range
+// (or the overdue tentative entry blocking delivery). A tentative at the
+// delivery point counts as overdue only if the point has not moved since the
+// timer was armed: under steady resilient traffic there is almost always
+// SOME tentative briefly at the head, and pestering the sequencer about a
+// moving pipeline would tax the very path the accept is about to clear.
 func (ep *Endpoint) fireNakLocked() {
-	if ep.st != stNormal || ep.isSeq || !ep.hasGapLocked() {
+	if ep.st != stNormal || ep.isSeq {
 		ep.nakBackoff = 0
 		return
+	}
+	if !ep.hasGapLocked() {
+		stalled := ep.blockedOnTentativeLocked() && ep.nextDeliver == ep.nakSnap
+		if !stalled {
+			ep.nakBackoff = 0
+			ep.checkGapLocked() // still blocked but moving: keep watching the new head
+			return
+		}
 	}
 	lo := ep.nextDeliver
 	for {
@@ -527,14 +681,52 @@ func (ep *Endpoint) fireNakLocked() {
 }
 
 // deliverReadyLocked hands every ready in-order message to the application.
+// Batch entries deliver as their constituent KindData messages, one per
+// seqno.
 func (ep *Endpoint) deliverReadyLocked() {
 	for {
 		e, ok := ep.hist.get(ep.nextDeliver)
 		if !ok || e.tentative {
 			return
 		}
+		if e.kind == KindBatch {
+			ep.deliverBatchLocked(e)
+		} else {
+			ep.nextDeliver++
+			ep.applyDeliveryLocked(e)
+		}
+		if ep.st == stDead {
+			return
+		}
+	}
+}
+
+// deliverBatchLocked emits a batch entry's payloads from the delivery point
+// to the end of its range. The delivery point normally sits at an entry
+// boundary; starting mid-entry (a rebased joiner) delivers only the tail.
+// The receiver pays the wakeup (UserDeliver) once: follow-on messages of the
+// same batch arrive in an already-drained queue and cost only queue handling
+// plus the copy.
+func (ep *Endpoint) deliverBatchLocked(e *entry) {
+	var addr flip.Address
+	if m, ok := ep.view.find(e.sender); ok {
+		addr = m.Addr
+	}
+	first := true
+	for ep.nextDeliver <= e.lastSeq() {
+		i := ep.nextDeliver - e.seq
 		ep.nextDeliver++
-		ep.applyDeliveryLocked(e)
+		pl := make([]byte, len(e.parts[i]))
+		copy(pl, e.parts[i])
+		charge := cost.UserDeliverNext
+		if first {
+			charge = cost.UserDeliver
+			first = false
+		}
+		ep.deliverChargedLocked(Delivery{
+			Kind: KindData, Seq: e.seq + i, Sender: e.sender,
+			SenderAddr: addr, Payload: pl, Members: len(ep.view.members),
+		}, charge)
 		if ep.st == stDead {
 			return
 		}
@@ -594,8 +786,14 @@ func (ep *Endpoint) applyDeliveryLocked(e *entry) {
 
 // deliverLocked queues the application upcall.
 func (ep *Endpoint) deliverLocked(d Delivery) {
+	ep.deliverChargedLocked(d, cost.UserDeliver)
+}
+
+// deliverChargedLocked queues the application upcall with an explicit
+// delivery charge kind (full wakeup, or follow-on within one wakeup).
+func (ep *Endpoint) deliverChargedLocked(d Delivery, k cost.Kind) {
 	ep.stats.Delivered++
-	ep.cfg.Meter.Charge(cost.UserDeliver, len(d.Payload))
+	ep.cfg.Meter.Charge(k, len(d.Payload))
 	if ep.cfg.OnDeliver == nil {
 		return
 	}

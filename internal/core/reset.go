@@ -260,7 +260,9 @@ func (ep *Endpoint) finishRecoveryLocked(rec *recovery) {
 	for s := ep.hist.floor + 1; s <= rec.target; s++ {
 		if e, ok := ep.hist.get(s); ok && e.tentative {
 			e.tentative = false
-			ep.completeOwnSendLocked(e.sender, e.localID, nil)
+			if e.kind == KindData || e.kind == KindBatch {
+				ep.completeSendsUpToLocked(e.sender, e.lastLocalID())
+			}
 		}
 	}
 
@@ -353,16 +355,17 @@ func (ep *Endpoint) completeRecoveryLocked() {
 		ep.armSyncLocked()
 	}
 	ep.deliverReadyLocked()
-	// Resume (or re-aim) any in-flight send at the new sequencer.
-	if len(ep.sendQ) > 0 {
-		op := ep.sendQ[0]
+	// Resume (or re-aim) the in-flight send window at the new sequencer.
+	// Retransmission happens in FIFO order: the new sequencer gates
+	// out-of-order localIDs, so the window re-establishes itself without
+	// double ordering or reordering whatever the old regime did or did not
+	// sequence.
+	for _, op := range ep.sendQ {
 		if op.active {
 			op.retries = 0
-			ep.transmitOpLocked(op)
-		} else {
-			ep.pumpSendLocked()
 		}
 	}
+	ep.resendWindowLocked()
 	ep.checkGapLocked()
 }
 
@@ -458,11 +461,13 @@ func (ep *Endpoint) handleResetFetch(p packet, from flip.Address) {
 	if hi-lo >= nakBatch*4 {
 		hi = lo + nakBatch*4 - 1
 	}
+	var served *entry
 	for s := lo; s <= hi; s++ {
 		e, ok := ep.hist.get(s)
-		if !ok {
-			continue
+		if !ok || e == served {
+			continue // batch entries cover several seqnos: send once
 		}
+		served = e
 		ep.stats.Retransmitted++
 		ep.sendPkt(from, packet{
 			typ: ptRetrans, kind: e.kind, seq: e.seq, localID: e.localID,
@@ -502,7 +507,9 @@ func (ep *Endpoint) handleResetResult(p packet, from flip.Address) {
 	for s := ep.hist.floor + 1; s <= target; s++ {
 		if e, ok := ep.hist.get(s); ok && e.tentative {
 			e.tentative = false
-			ep.completeSendIfOursLocked(e.sender, e.localID)
+			if e.kind == KindData || e.kind == KindBatch {
+				ep.completeSendsUpToLocked(e.sender, e.lastLocalID())
+			}
 		}
 	}
 	// Install the reset message; it delivers in order like everything

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"amoeba/internal/flip"
 )
 
@@ -30,51 +32,103 @@ func (ep *Endpoint) handleReq(p packet, from flip.Address) {
 		ep.sendPkt(from, packet{typ: ptStale, payload: encodeView(ep.pending, ep.globalSeq+1)})
 		return
 	}
-	// Duplicate suppression: a retried request for something already
-	// ordered is answered by retransmitting the ordered broadcast
-	// point-to-point.
-	if d, ok := ep.dedup[p.sender]; ok {
-		if p.localID == d.localID {
-			if e, ok := ep.hist.get(d.seq); ok && !e.tentative {
-				ep.retransmitLocked(from, e)
-			}
-			// Still tentative: the accept will reach the sender in
-			// due course; sequenced state must not be re-ordered.
-			return
+	last := p.localID
+	if p.kind == KindBatch {
+		n := wireBatchCount(p.payload)
+		if n == 0 {
+			return // malformed batch body: cannot come from a correct member
 		}
-		if p.localID < d.localID {
-			return // older duplicate: already completed at the sender
+		last = p.localID + uint32(n) - 1
+	}
+	if d, ok := ep.dedup[p.sender]; ok && last <= d.localID {
+		// Duplicate suppression: a retried request for something already
+		// ordered is answered by retransmitting the sender's latest
+		// ordered broadcast point-to-point — proof that completes its
+		// window prefix. (Still tentative: the accept will reach the
+		// sender in due course; sequenced state must not be re-ordered.)
+		if e, ok := ep.hist.get(d.seq); ok && !e.tentative {
+			ep.retransmitLocked(from, e)
 		}
+		return
+	}
+	if !ep.fifoAdmitsLocked(p.sender, p.localID, p.aux) {
+		return // an earlier send is still in flight: its retry resends the window in order
 	}
 	ep.orderLocked(p.kind, p.sender, p.localID, p.payload)
 }
 
-// orderLocked assigns the next sequence number to a message and transmits it
+// fifoAdmitsLocked is the per-sender FIFO admission rule under pipelining:
+// a request may be ordered only if it is the next in localID order — or if
+// it sits at the sender's declared barrier (its oldest outstanding localID,
+// stamped on every request), which proves every lower localID already
+// completed and can never be sent again. The barrier case covers a
+// sequencer change that erased dedup state for the sender (and, after a
+// resilience-0 recovery, localIDs of completed-then-lost messages that will
+// never reappear). Without any dedup state, the barrier is the only
+// admissible start.
+func (ep *Endpoint) fifoAdmitsLocked(sender MemberID, localID, barrier uint32) bool {
+	if d, ok := ep.dedup[sender]; ok && localID == d.localID+1 {
+		return true
+	}
+	return localID == barrier
+}
+
+// wireBatchCount reads the payload count from a batch body without decoding
+// it; 0 reports a malformed body.
+func wireBatchCount(body []byte) int {
+	n, w := binary.Uvarint(body)
+	if w <= 0 || n == 0 || n > maxBatchWire {
+		return 0
+	}
+	return int(n)
+}
+
+// orderLocked assigns the next sequence number — or, for a KindBatch
+// request, the next contiguous range of them — to a message and transmits it
 // to the group: a full broadcast for PB-path messages (payload present), a
 // short accept for BB-path messages (payload already multicast by the
-// sender), or a tentative broadcast when the group runs with resilience.
+// sender), or a tentative broadcast when the group runs with resilience. A
+// batch costs the group one history entry, one multicast, and one
+// ack/tentative round regardless of how many messages it carries — the
+// amortisation the paper's conclusion 1 (processing-bound, not
+// protocol-bound) predicts pays off.
 // It reports false when the history buffer is full, in which case the
 // message is NOT ordered and the sender's retry will try again later — the
 // protocol's backpressure.
 func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, payload []byte) bool {
-	if ep.hist.full() {
+	var e *entry
+	if kind == KindBatch {
+		e = newBatchEntry(ep.globalSeq+1, sender, localID, payload)
+		if e == nil {
+			return true // malformed batch: drop silently, as for garbled packets
+		}
+	} else {
+		pl := make([]byte, len(payload))
+		copy(pl, payload)
+		e = &entry{seq: ep.globalSeq + 1, kind: kind, sender: sender, localID: localID, payload: pl}
+	}
+	if !ep.hist.hasRoom(int(e.span())) {
 		ep.tryPruneLocked()
-		if ep.hist.full() {
+		if !ep.hist.hasRoom(int(e.span())) {
 			ep.stats.DroppedFull++
 			ep.solicitStatusLocked()
 			return false
 		}
 	}
-	ep.globalSeq++
-	seq := ep.globalSeq
-	pl := make([]byte, len(payload))
-	copy(pl, payload)
-	e := &entry{seq: seq, kind: kind, sender: sender, localID: localID, payload: pl}
+	seq := e.seq
+	ep.globalSeq = e.lastSeq()
 	ep.hist.add(e)
-	ep.stats.Ordered++
-	ep.dedup[sender] = dedupEntry{localID: localID, seq: seq}
-	if seq > ep.maxSeen {
-		ep.maxSeen = seq
+	ep.stats.Ordered += uint64(e.span())
+	if e.span() > 1 {
+		ep.stats.OrderedBatches++
+		ep.stats.BatchedMsgs += uint64(e.span())
+	}
+	if uint64(e.span()) > ep.stats.MaxBatchMsgs {
+		ep.stats.MaxBatchMsgs = uint64(e.span())
+	}
+	ep.dedup[sender] = dedupEntry{localID: e.lastLocalID(), seq: seq}
+	if e.lastSeq() > ep.maxSeen {
+		ep.maxSeen = e.lastSeq()
 	}
 
 	if ep.cfg.Resilience > 0 {
@@ -83,7 +137,7 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 		ep.multicastPkt(packet{
 			typ: ptTentative, kind: kind, seq: seq, localID: localID,
 			aux: uint32(ep.cfg.Resilience), aux2: ep.hist.floor,
-			payload: pl, sender: sender,
+			payload: e.payload, sender: sender,
 		})
 		// With no other members to ack (tiny group), finalise at once.
 		ep.maybeAcceptLocked(e)
@@ -92,9 +146,13 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 	}
 	ep.multicastPkt(packet{
 		typ: ptBcast, kind: kind, seq: seq, localID: localID,
-		aux: ep.hist.floor, sender: sender, payload: pl,
+		aux: ep.hist.floor, sender: sender, payload: e.payload,
 	})
-	ep.completeOwnSendLocked(sender, localID, nil)
+	// Only data kinds complete sends: membership kinds reuse the localID
+	// field for other purposes (a leave names the successor there).
+	if kind == KindData || kind == KindBatch {
+		ep.completeSendsUpToLocked(sender, e.lastLocalID())
+	}
 	return true
 }
 
@@ -123,7 +181,7 @@ func (ep *Endpoint) orderBBLocked(sender MemberID, localID uint32, kind MsgKind,
 		typ: ptAccept, kind: kind, seq: seq, localID: localID,
 		aux: ep.hist.floor, aux2: uint32(sender),
 	})
-	ep.completeOwnSendLocked(sender, localID, nil)
+	ep.completeSendsUpToLocked(sender, localID)
 	return true
 }
 
@@ -144,15 +202,12 @@ func (ep *Endpoint) handleAck(p packet) {
 	ep.maybeAcceptLocked(e)
 }
 
-// maybeAcceptLocked finalises a tentative entry once enough members have
-// stored it. "Enough" is min(r, members-1): a group smaller than r+1 cannot
-// do better than everyone-but-the-sequencer. A join's own subject cannot
-// vouch for it (it is not active until the join is accepted), so it is
-// excluded from the available-acker count.
-func (ep *Endpoint) maybeAcceptLocked(e *entry) {
-	if !e.tentative {
-		return
-	}
+// requiredAcksLocked is how many stored-acknowledgements finalise an entry:
+// min(r, members-1) — a group smaller than r+1 cannot do better than
+// everyone-but-the-sequencer. A join's own subject cannot vouch for it (it
+// is not active until the join is accepted), so it is excluded from the
+// available-acker count.
+func (ep *Endpoint) requiredAcksLocked(e *entry) int {
 	need := ep.cfg.Resilience
 	avail := len(ep.pending.members) - 1
 	if e.kind == KindJoin && e.sender != ep.self {
@@ -164,17 +219,59 @@ func (ep *Endpoint) maybeAcceptLocked(e *entry) {
 	if need < 0 {
 		need = 0
 	}
-	if e.acks < need {
+	return need
+}
+
+// maybeAcceptLocked finalises a tentative entry once enough members have
+// stored it — but only IN SEQUENCE ORDER: an entry is never accepted while
+// an earlier one is still tentative. Cumulative acceptance is what makes an
+// accept (and the prefix send-completions it implies at the sender) safe
+// under pipelining: without it, a later message could be finalised — and
+// complete its sender's whole window — while an earlier message's acks were
+// still outstanding and a crash could yet erase it.
+func (ep *Endpoint) maybeAcceptLocked(e *entry) {
+	if !e.tentative || e.acks < ep.requiredAcksLocked(e) {
 		return
 	}
-	e.tentative = false
-	ep.multicastPkt(packet{
-		typ: ptAccept, kind: e.kind, seq: e.seq, localID: e.localID,
-		aux: ep.hist.floor, aux2: uint32(noMember),
-	})
-	ep.completeOwnSendLocked(e.sender, e.localID, nil)
-	if e.kind == KindJoin {
-		ep.sendPendingJoinAckLocked(e.seq)
+	// Everything below the sequencer's own delivery point is final (the
+	// delivery loop stops at tentative entries), so the gate only scans
+	// the short undelivered window, not the whole history.
+	for s := ep.nextDeliver; s < e.seq; s++ {
+		if en, ok := ep.hist.get(s); ok && en.tentative {
+			return // accepted later, cumulatively, once its turn comes
+		}
+	}
+	for e != nil {
+		e.tentative = false
+		ep.multicastPkt(packet{
+			typ: ptAccept, kind: e.kind, seq: e.seq, localID: e.localID,
+			aux: ep.hist.floor, aux2: uint32(noMember),
+		})
+		if e.kind == KindData || e.kind == KindBatch {
+			ep.completeSendsUpToLocked(e.sender, e.lastLocalID())
+		}
+		if e.kind == KindJoin {
+			ep.sendPendingJoinAckLocked(e.seq)
+		}
+		// Acceptance may unblock the next tentative entry whose acks
+		// already arrived while it waited its turn (skipping entries
+		// that are already final, e.g. recovery anchors).
+		next := (*entry)(nil)
+		for s := e.lastSeq() + 1; s <= ep.globalSeq; s++ {
+			en, ok := ep.hist.get(s)
+			if !ok {
+				break
+			}
+			if en.tentative {
+				next = en
+				break
+			}
+			s = en.lastSeq()
+		}
+		if next == nil || next.acks < ep.requiredAcksLocked(next) {
+			break
+		}
+		e = next
 	}
 	ep.deliverReadyLocked()
 }
@@ -191,12 +288,13 @@ func (ep *Endpoint) armTentativeRetryLocked() {
 		if !ep.isSeq {
 			return
 		}
-		var oldest *entry
+		var oldest, last *entry
 		for s := ep.hist.floor + 1; s <= ep.globalSeq; s++ {
 			e, ok := ep.hist.get(s)
-			if !ok || !e.tentative {
-				continue
+			if !ok || !e.tentative || e == last {
+				continue // batch entries appear once per covered seqno
 			}
+			last = e
 			if oldest == nil {
 				oldest = e
 			}
@@ -256,6 +354,7 @@ func (ep *Endpoint) handleNak(p packet, from flip.Address) {
 	if hi-lo >= nakBatch {
 		hi = lo + nakBatch - 1
 	}
+	var served *entry
 	for s := lo; s <= hi; s++ {
 		e, ok := ep.hist.get(s)
 		if !ok {
@@ -267,6 +366,10 @@ func (ep *Endpoint) handleNak(p packet, from flip.Address) {
 		if e.tentative {
 			continue
 		}
+		if e == served {
+			continue // a batch entry covers several requested seqnos: send it once
+		}
+		served = e
 		ep.retransmitLocked(from, e)
 	}
 }
@@ -419,17 +522,4 @@ func (ep *Endpoint) armSyncLocked() {
 		ep.multicastPkt(packet{typ: ptSync, seq: ep.globalSeq, aux: ep.hist.floor})
 		ep.armSyncLocked()
 	})
-}
-
-// completeOwnSendLocked completes the sequencer's own active send once its
-// message is ordered (resilience 0) or accepted (resilience > 0).
-func (ep *Endpoint) completeOwnSendLocked(sender MemberID, localID uint32, err error) {
-	if sender != ep.self || len(ep.sendQ) == 0 {
-		return
-	}
-	op := ep.sendQ[0]
-	if op.localID != localID || !op.active {
-		return
-	}
-	ep.finishSendLocked(op, err)
 }

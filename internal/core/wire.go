@@ -69,6 +69,14 @@ const (
 	// application; the stream silently skips it (paper §2.1: with r=0,
 	// messages may be lost when processors fail).
 	KindLost
+	// KindBatch is internal: several KindData messages from one sender
+	// coalesced into a single wire request / history entry / multicast. The
+	// entry occupies a contiguous seqno range and is delivered to the
+	// application as its constituent KindData messages, one per seqno, so
+	// batching is invisible above the protocol. The batch body is
+	// self-describing (see encodeBatchBody), which keeps the group header
+	// at its paper-faithful 28 bytes.
+	KindBatch
 )
 
 func (k MsgKind) String() string {
@@ -85,6 +93,8 @@ func (k MsgKind) String() string {
 		return "expelled"
 	case KindLost:
 		return "lost"
+	case KindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -179,6 +189,57 @@ func decodePacket(buf []byte) (packet, error) {
 		aux2:     binary.BigEndian.Uint32(buf[24:]),
 		payload:  buf[GroupHeaderSize:],
 	}, nil
+}
+
+// --- Batch bodies ------------------------------------------------------------
+//
+// A KindBatch packet or entry carries several application payloads in one
+// body: uvarint payload count, then each payload as uvarint length + bytes.
+// The count lives in the body rather than the header so every packet type
+// that can relay ordered messages (request, broadcast, tentative,
+// retransmission) carries batches without new header fields.
+
+// maxBatchWire bounds the payload count a decoder accepts; far above any
+// configured MaxBatch, it only rejects garbage.
+const maxBatchWire = 1 << 12
+
+var errBadBatch = errors.New("core: malformed batch body")
+
+// encodeBatchBody serialises a multi-payload batch.
+func encodeBatchBody(payloads [][]byte) []byte {
+	n := binary.MaxVarintLen32
+	for _, p := range payloads {
+		n += binary.MaxVarintLen32 + len(p)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.AppendUvarint(buf, uint64(len(payloads)))
+	for _, p := range payloads {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// decodeBatchBody parses a batch body. The returned payloads alias body.
+func decodeBatchBody(body []byte) ([][]byte, error) {
+	count, w := binary.Uvarint(body)
+	if w <= 0 || count == 0 || count > maxBatchWire {
+		return nil, errBadBatch
+	}
+	body = body[w:]
+	payloads := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		n, w := binary.Uvarint(body)
+		if w <= 0 || uint64(len(body)-w) < n {
+			return nil, errBadBatch
+		}
+		payloads = append(payloads, body[w:w+int(n):w+int(n)])
+		body = body[w+int(n):]
+	}
+	if len(body) != 0 {
+		return nil, errBadBatch
+	}
+	return payloads, nil
 }
 
 // Member describes one group member in a view.

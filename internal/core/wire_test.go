@@ -256,3 +256,86 @@ func TestMethodString(t *testing.T) {
 		t.Fatal("method strings wrong")
 	}
 }
+
+func TestBatchBodyRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{[]byte("a")},
+		{[]byte(""), []byte("b"), []byte("ccc")},
+		{[]byte("x"), {}, []byte("yy"), []byte("zzzz"), {0, 1, 2, 255}},
+	}
+	for i, payloads := range cases {
+		body := encodeBatchBody(payloads)
+		if got := wireBatchCount(body); got != len(payloads) {
+			t.Fatalf("case %d: wireBatchCount = %d, want %d", i, got, len(payloads))
+		}
+		parts, err := decodeBatchBody(body)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(parts) != len(payloads) {
+			t.Fatalf("case %d: %d parts, want %d", i, len(parts), len(payloads))
+		}
+		for j := range parts {
+			if string(parts[j]) != string(payloads[j]) {
+				t.Fatalf("case %d part %d: %q != %q", i, j, parts[j], payloads[j])
+			}
+		}
+	}
+}
+
+func TestBatchBodyRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		{},                     // no count
+		{0},                    // zero count
+		{2, 1, 'a'},            // second payload missing
+		{1, 5, 'a'},            // length overruns body
+		{1, 1, 'a', 'b'},       // trailing bytes
+		{0xff, 0xff, 0xff, 1},  // absurd count
+		append([]byte{1}, 200), // truncated length varint
+	}
+	for i, body := range bad {
+		if _, err := decodeBatchBody(body); err == nil {
+			t.Fatalf("case %d: malformed body decoded", i)
+		}
+	}
+	if newBatchEntry(7, 3, 9, []byte{0}) != nil {
+		t.Fatal("newBatchEntry accepted malformed body")
+	}
+}
+
+func TestBatchEntrySpansHistory(t *testing.T) {
+	h := newHistory(8)
+	e := newBatchEntry(4, 1, 10, encodeBatchBody([][]byte{[]byte("a"), []byte("b"), []byte("c")}))
+	if e == nil {
+		t.Fatal("newBatchEntry failed")
+	}
+	if e.lastSeq() != 6 || e.lastLocalID() != 12 || e.span() != 3 {
+		t.Fatalf("span geometry wrong: lastSeq=%d lastLocalID=%d span=%d", e.lastSeq(), e.lastLocalID(), e.span())
+	}
+	if !h.add(e) {
+		t.Fatal("add failed with room available")
+	}
+	for s := uint32(4); s <= 6; s++ {
+		got, ok := h.get(s)
+		if !ok || got != e {
+			t.Fatalf("seq %d not mapped to the batch entry", s)
+		}
+	}
+	if h.len() != 3 {
+		t.Fatalf("batch consumed %d slots, want 3", h.len())
+	}
+	// Capacity is counted per message: a 6-slot batch does not fit in the
+	// remaining 5.
+	big := newBatchEntry(7, 1, 13, encodeBatchBody([][]byte{{}, {}, {}, {}, {}, {}}))
+	if h.add(big) {
+		t.Fatal("add accepted a batch beyond capacity")
+	}
+	// Partial prune keeps the tail reachable.
+	h.pruneTo(5)
+	if _, ok := h.get(6); !ok {
+		t.Fatal("partial prune dropped the batch tail")
+	}
+	if h.contiguousTop() != 6 {
+		t.Fatalf("contiguousTop = %d", h.contiguousTop())
+	}
+}

@@ -38,6 +38,13 @@ const (
 	// (or the sender blocked in SendToGroup), the context switch, and
 	// copying the payload bytes from the history buffer to user space.
 	UserDeliver
+	// UserDeliverNext is a follow-on message handed to the user in the
+	// same wakeup: when an ordered batch arrives in one packet, the
+	// receiver is woken (and context-switched) once for the first
+	// message; the rest are popped from the already-drained delivery
+	// queue and pay only queue handling plus the payload copy. This is
+	// the receive-side half of batch amortisation.
+	UserDeliverNext
 )
 
 // Meter receives per-layer charges. bytes is the number of payload bytes

@@ -43,6 +43,11 @@ type GroupParams struct {
 	Method     core.Method
 	Model      netsim.CostModel
 	Seed       int64
+	// SendWindow and MaxBatch configure per-sender pipelining and request
+	// coalescing; zero takes the core defaults. SendWindow 1 + MaxBatch 1
+	// reproduces the unbatched seed behaviour exactly.
+	SendWindow int
+	MaxBatch   int
 	// Share places the group on an existing network (for multi-group
 	// experiments); nil builds a fresh one.
 	Share *netsim.Network
@@ -86,6 +91,8 @@ func NewSimGroup(p GroupParams) (*SimGroup, error) {
 			Meter:      st,
 			Resilience: p.Resilience,
 			Method:     p.Method,
+			SendWindow: p.SendWindow,
+			MaxBatch:   p.MaxBatch,
 			OnDeliver: func(d core.Delivery) {
 				if d.Kind == core.KindData {
 					g.delivered[idx]++
@@ -193,14 +200,29 @@ func (g *SimGroup) MeasureThroughput(size int, d time.Duration) float64 {
 // the CPU, so back-to-back sends advance virtual time.)
 func (g *SimGroup) StartSenders(size int) {
 	for i := range g.Eps {
-		i := i
-		payload := make([]byte, size)
+		g.startSenderLoops(i, size, 1)
+	}
+}
+
+// StartPipelinedSenders runs `depth` concurrent send loops at each of the
+// given members — the model of a multithreaded client keeping depth
+// operations outstanding. With depth above the member's SendWindow, queued
+// sends coalesce into batch requests.
+func (g *SimGroup) StartPipelinedSenders(size, depth int, members ...int) {
+	for _, i := range members {
+		g.startSenderLoops(i, size, depth)
+	}
+}
+
+func (g *SimGroup) startSenderLoops(member, size, loops int) {
+	payload := make([]byte, size)
+	for l := 0; l < loops; l++ {
 		var loop func(error)
 		loop = func(error) {
-			g.Engine.At(g.Stations[i].Now(), func() {
+			g.Engine.At(g.Stations[member].Now(), func() {
 				// Sends that fail (history backpressure surfaced
 				// as an error after many retries) just try again.
-				g.Eps[i].Send(payload, loop)
+				g.Eps[member].Send(payload, loop)
 			})
 		}
 		g.Engine.After(0, func() { loop(nil) })

@@ -63,6 +63,7 @@ type CostModel struct {
 	UserSend        time.Duration // context switch + syscall into SendToGroup
 	UserSendPerByte time.Duration // user space → kernel copy
 	UserDeliver     time.Duration // wake + context switch out of ReceiveFromGroup
+	UserDeliverNext time.Duration // follow-on message in the same wakeup (queue pop, no context switch)
 	UserDelPerByte  time.Duration // history buffer → user space copy
 
 	// ProtocolFactor scales the FLIP/group layer charges. 1.0 models the
@@ -110,6 +111,7 @@ func DefaultCostModel() CostModel {
 		UserSend:        410 * time.Microsecond,
 		UserSendPerByte: 80 * time.Nanosecond,
 		UserDeliver:     380 * time.Microsecond,
+		UserDeliverNext: 60 * time.Microsecond,
 		UserDelPerByte:  110 * time.Nanosecond,
 
 		ProtocolFactor: 1.0,
@@ -150,6 +152,8 @@ func (m CostModel) chargeFor(k cost.Kind, bytes int) time.Duration {
 		return scale(m.FLIPIn)
 	case cost.UserDeliver:
 		return m.UserDeliver + time.Duration(bytes)*m.UserDelPerByte
+	case cost.UserDeliverNext:
+		return m.UserDeliverNext + time.Duration(bytes)*m.UserDelPerByte
 	default:
 		return 0
 	}

@@ -80,6 +80,15 @@ type GroupOptions struct {
 	HistorySize int
 	// MaxMessage bounds a single message (default 64 KiB).
 	MaxMessage int
+	// SendWindow is the number of ordering requests this member keeps in
+	// flight; sends beyond the window coalesce into batch requests,
+	// multiplying per-group throughput for pipelined senders while
+	// preserving per-sender FIFO. 1 restores one-request-at-a-time
+	// (default 4).
+	SendWindow int
+	// MaxBatch bounds the messages coalesced into one batch request
+	// (default 16; 1 disables coalescing).
+	MaxBatch int
 	// AutoReset makes the group rebuild itself when a member or the
 	// sequencer is suspected dead. When false (default, matching
 	// Amoeba), the application decides by calling Reset.
@@ -99,6 +108,8 @@ func (o GroupOptions) coreConfig() core.Config {
 		BBThreshold:  o.BBThreshold,
 		HistorySize:  o.HistorySize,
 		MaxMessage:   o.MaxMessage,
+		SendWindow:   o.SendWindow,
+		MaxBatch:     o.MaxBatch,
 		AutoReset:    o.AutoReset,
 		MinSurvivors: o.MinSurvivors,
 	}

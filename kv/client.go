@@ -93,6 +93,102 @@ func (c *Client) Put(ctx context.Context, key string, val []byte) error {
 	return err
 }
 
+// Pair is one key/value pair for BatchPut.
+type Pair struct {
+	Key string
+	Val []byte
+}
+
+// BatchPut writes several pairs as one coalesced burst: pairs are grouped by
+// owning shard, each shard's writes are submitted together (the group layer
+// packs them into batch ordering requests, paying the sequencer's
+// per-request cost once per batch), and the per-shard bursts run in
+// parallel. When BatchPut returns nil, every write is totally ordered on its
+// shard and applied to this node's replicas. Writes to one shard apply in
+// slice order; ordering across shards is independent, as for any multi-shard
+// operation.
+func (c *Client) BatchPut(ctx context.Context, pairs []Pair) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	type shardBatch struct {
+		ids  []uint64
+		cmds [][]byte
+	}
+	byShard := make(map[int]*shardBatch)
+	for _, p := range pairs {
+		shard := c.s.ring.shard(p.Key)
+		b := byShard[shard]
+		if b == nil {
+			b = &shardBatch{}
+			byShard[shard] = b
+		}
+		id := c.nextID()
+		b.ids = append(b.ids, id)
+		b.cmds = append(b.cmds, encodePut(id, p.Key, p.Val))
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for shard, b := range byShard {
+		shard, b := shard, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.doBatch(ctx, shard, b.ids, b.cmds); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// doBatch submits one shard's command burst and waits until every result
+// lands in the local replica's result window, with the same
+// replica-swap-and-retry semantics as do (commands are deduplicated by id,
+// so retrying a partially committed batch is safe and exactly-once).
+func (c *Client) doBatch(ctx context.Context, shard int, ids []uint64, cmds [][]byte) error {
+	for {
+		r := c.s.Replica(shard)
+		if r == nil {
+			return fmt.Errorf("kv: shard %d is not hosted on this node (replication %d): create the client on a hosting node", shard, c.s.opts.Replication)
+		}
+		err := r.SubmitBatch(ctx, cmds)
+		if err == nil {
+			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
+				results := sm.(*mapSM).results
+				for _, id := range ids {
+					if _, ok := results[id]; !ok {
+						return false
+					}
+				}
+				return true
+			})
+			if err == nil {
+				return nil
+			}
+		}
+		if !errors.Is(err, shared.ErrStopped) && !errors.Is(err, amoeba.ErrNotMember) {
+			return fmt.Errorf("kv: shard %d: %w", shard, err)
+		}
+		if c.s.isClosed() {
+			return fmt.Errorf("kv: shard %d: %w", shard, shared.ErrStopped)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("kv: shard %d: %w", shard, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
 // Delete removes key, reporting whether it existed at the delete's position
 // in the total order.
 func (c *Client) Delete(ctx context.Context, key string) (bool, error) {

@@ -95,6 +95,93 @@ func TestBasicOps(t *testing.T) {
 	}
 }
 
+// TestBatchPutCoalescesAcrossShards bulk-loads through the write-coalescing
+// path: pairs scatter to their owning shards, each shard's burst rides the
+// group layer's batch requests, and every write must be readable afterwards
+// — from another node — with the shard sequencers reporting actual
+// multi-message batches.
+func TestBatchPutCoalescesAcrossShards(t *testing.T) {
+	ctx := ctxT(t, 30*time.Second)
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	stores := newCluster(t, ctx, net, "batchput", 2, Options{Shards: 2})
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	// Issue the batch from the node that does NOT sequence every shard, so
+	// at least one shard's burst crosses the wire as batch requests.
+	cl := stores[1].NewClient()
+	const n = 64
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		pairs[i] = Pair{Key: fmt.Sprintf("bulk-%03d", i), Val: []byte(fmt.Sprintf("v%d", i))}
+	}
+	if err := cl.BatchPut(ctx, pairs); err != nil {
+		t.Fatalf("BatchPut: %v", err)
+	}
+	// Read-your-writes locally on the issuing node...
+	for _, p := range pairs {
+		if v, ok := cl.LocalGet(p.Key); !ok || !bytes.Equal(v, p.Val) {
+			t.Fatalf("LocalGet %s = %q %v after BatchPut", p.Key, v, ok)
+		}
+	}
+	// ...and sequenced reads from the other node agree.
+	other := stores[0].NewClient()
+	got, err := other.MGet(ctx, "bulk-000", "bulk-031", "bulk-063")
+	if err != nil {
+		t.Fatalf("MGet: %v", err)
+	}
+	for k, want := range map[string]string{"bulk-000": "v0", "bulk-031": "v31", "bulk-063": "v63"} {
+		if string(got[k]) != want {
+			t.Fatalf("MGet %s = %q, want %q", k, got[k], want)
+		}
+	}
+	// The bursts must actually have coalesced somewhere.
+	var batches uint64
+	for _, s := range stores {
+		for i := 0; i < s.Shards(); i++ {
+			if r := s.Replica(i); r != nil {
+				batches += r.Stats().OrderedBatches
+			}
+		}
+	}
+	if batches == 0 {
+		t.Fatal("BatchPut produced no batch ordering requests")
+	}
+}
+
+// TestBatchPutIsExactlyOnceUnderRetry checks the id-dedup contract the
+// BatchPut retry loop depends on: re-submitting an already-committed batch
+// must not re-execute it.
+func TestBatchPutIsExactlyOnceUnderRetry(t *testing.T) {
+	ctx := ctxT(t, 30*time.Second)
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	stores := newCluster(t, ctx, net, "batchonce", 1, Options{Shards: 1})
+	defer stores[0].Close()
+
+	cl := stores[0].NewClient()
+	ids := []uint64{cl.nextID(), cl.nextID()}
+	cmds := [][]byte{encodePut(ids[0], "k", []byte("first")), encodePut(ids[1], "k", []byte("second"))}
+	if err := cl.doBatch(ctx, 0, ids, cmds); err != nil {
+		t.Fatalf("doBatch: %v", err)
+	}
+	if err := cl.Put(ctx, "k", []byte("third")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Replaying the original batch (a retry after a presumed-lost reply)
+	// must be a no-op: the commands' ids already have results.
+	if err := cl.doBatch(ctx, 0, ids, cmds); err != nil {
+		t.Fatalf("doBatch replay: %v", err)
+	}
+	if v, ok := cl.LocalGet("k"); !ok || string(v) != "third" {
+		t.Fatalf("k = %q %v: replayed batch re-executed", v, ok)
+	}
+}
+
 func TestOperationsSpreadAcrossShards(t *testing.T) {
 	ctx := ctxT(t, 30*time.Second)
 	net := amoeba.NewMemoryNetwork()

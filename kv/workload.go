@@ -79,6 +79,13 @@ type LoadReport struct {
 	Ops                    uint64
 	Errors                 uint64
 	Elapsed                time.Duration
+
+	// Batch amortisation across the shard sequencers during the run:
+	// multi-message ordering batches, the messages they carried, and the
+	// largest batch (see amoeba.GroupStats).
+	OrderedBatches uint64
+	BatchedMsgs    uint64
+	MaxBatchMsgs   uint64
 }
 
 // OpsPerSec is the aggregate throughput across all shards.
@@ -90,8 +97,13 @@ func (r LoadReport) OpsPerSec() float64 {
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("kv load: %d shards × %d nodes, %d clients: %d ops in %v = %.0f ops/s (%d errors)",
-		r.Shards, r.Nodes, r.Clients, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec(), r.Errors)
+	s := fmt.Sprintf("kv load: %d shards × %d nodes, %d clients: %d ops in %v = %.0f ops/s (%d errors); batches=%d",
+		r.Shards, r.Nodes, r.Clients, r.Ops, r.Elapsed.Round(time.Millisecond), r.OpsPerSec(), r.Errors, r.OrderedBatches)
+	if r.OrderedBatches > 0 {
+		s += fmt.Sprintf(" avg=%.1f max=%d msgs",
+			float64(r.BatchedMsgs)/float64(r.OrderedBatches), r.MaxBatchMsgs)
+	}
+	return s
 }
 
 // RunLoad builds a store and drives it, returning the aggregate throughput.
@@ -211,12 +223,28 @@ func driveLoad(ctx context.Context, stores []*Store, o LoadOptions) (LoadReport,
 	if err := ctx.Err(); err != nil {
 		return LoadReport{}, err
 	}
-	return LoadReport{
+	rep := LoadReport{
 		Shards:  o.Shards,
 		Nodes:   o.Nodes,
 		Clients: o.Clients,
 		Ops:     atomic.LoadUint64(&ops),
 		Errors:  atomic.LoadUint64(&errs),
 		Elapsed: elapsed,
-	}, nil
+	}
+	// Batch counters are sequencer-side, so summing every replica of every
+	// store counts each shard group once.
+	for _, s := range stores {
+		for _, r := range s.snapshotShards() {
+			if r == nil {
+				continue
+			}
+			st := r.Stats()
+			rep.OrderedBatches += st.OrderedBatches
+			rep.BatchedMsgs += st.BatchedMsgs
+			if st.MaxBatchMsgs > rep.MaxBatchMsgs {
+				rep.MaxBatchMsgs = st.MaxBatchMsgs
+			}
+		}
+	}
+	return rep, nil
 }

@@ -64,6 +64,77 @@ func TestDeliveryQueueCloseUnblocksPoppers(t *testing.T) {
 	q.push(core.Delivery{Kind: core.KindData})
 }
 
+// TestDeliveryQueueCloseWakesAllPoppers is the regression test for the
+// single-waiter wakeup bug class (Signal where Broadcast is needed): close()
+// hands out ONE notify token, so every exiting popper must re-arm it for the
+// next blocked one. With many receivers blocked concurrently, all of them —
+// not just the first — must unblock with ErrNotMember.
+func TestDeliveryQueueCloseWakesAllPoppers(t *testing.T) {
+	q := newDeliveryQueue(0)
+	const poppers = 16
+	errs := make(chan error, poppers)
+	var started sync.WaitGroup
+	for i := 0; i < poppers; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			_, err := q.pop(context.Background())
+			errs <- err
+		}()
+	}
+	started.Wait()
+	time.Sleep(20 * time.Millisecond) // let every popper block in select
+	q.close()
+	for i := 0; i < poppers; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrNotMember) {
+				t.Fatalf("popper %d: %v, want ErrNotMember", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d poppers woke after close (lost wakeup)", i, poppers)
+		}
+	}
+	// A popper arriving after close must not block either.
+	if _, err := q.pop(context.Background()); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("late pop: %v", err)
+	}
+}
+
+// TestDeliveryQueuePushWakesBlockedPopperPerMessage pins the push-side
+// cascade: N poppers blocked, N pushes, every message must come out even
+// though the token channel holds one entry.
+func TestDeliveryQueuePushWakesBlockedPopperPerMessage(t *testing.T) {
+	q := newDeliveryQueue(0)
+	const n = 8
+	seen := make(chan uint32, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			m, err := q.pop(context.Background())
+			if err == nil {
+				seen <- m.Seq
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		q.push(core.Delivery{Kind: core.KindData, Seq: uint32(i + 1)})
+	}
+	got := map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		select {
+		case s := <-seen:
+			if got[s] {
+				t.Fatalf("seq %d delivered twice", s)
+			}
+			got[s] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d messages reached blocked poppers", i, n)
+		}
+	}
+	q.close()
+}
+
 func TestDeliveryQueueConcurrentPoppers(t *testing.T) {
 	q := newDeliveryQueue(0)
 	const n = 50

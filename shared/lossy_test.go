@@ -1,7 +1,9 @@
 package shared
 
 import (
+	"encoding/json"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -94,6 +96,147 @@ func TestStateTransferOverLossyNetwork(t *testing.T) {
 				time.Sleep(5 * time.Millisecond)
 			}
 		})
+	}
+}
+
+// logSM records applied commands in order — the probe for per-sender FIFO
+// and exactly-once under pipelining.
+type logSM struct {
+	Log []string `json:"log"`
+}
+
+func (s *logSM) Apply(cmd []byte) { s.Log = append(s.Log, string(cmd)) }
+func (s *logSM) Snapshot() ([]byte, error) {
+	return json.Marshal(s)
+}
+func (s *logSM) Restore(snap []byte) error {
+	return json.Unmarshal(snap, s)
+}
+
+// TestPipelinedFIFOAcrossFailoverOnLossyNetwork is the end-to-end guarantee
+// check for SendWindow > 1: several workers stream numbered commands through
+// one replica over a dropping, duplicating network; the sequencer process is
+// killed mid-stream and AutoReset rebuilds the group. Every command whose
+// Submit succeeded must appear in every survivor's log exactly once and in
+// each worker's submission order — pipelining and batching must change the
+// economics, never the semantics.
+func TestPipelinedFIFOAcrossFailoverOnLossyNetwork(t *testing.T) {
+	ctx := ctxT(t)
+	net := lossyNet(0.03, 0.02, 23)
+	defer net.Close()
+
+	opts := amoeba.GroupOptions{
+		Resilience:   1,
+		AutoReset:    true,
+		MinSurvivors: 2,
+		SendWindow:   4,
+		MaxBatch:     8,
+	}
+	k1, _ := net.NewKernel("seq")
+	k2, _ := net.NewKernel("worker-host")
+	k3, _ := net.NewKernel("observer")
+	r1, err := Create(ctx, k1, "pipefail", &logSM{}, opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer r1.Close()
+	r2, err := Join(ctx, k2, "pipefail", &logSM{}, opts)
+	if err != nil {
+		t.Fatalf("Join r2: %v", err)
+	}
+	defer r2.Close()
+	r3, err := Join(ctx, k3, "pipefail", &logSM{}, opts)
+	if err != nil {
+		t.Fatalf("Join r3: %v", err)
+	}
+	defer r3.Close()
+
+	// Workers share r2's replica handle: their streams interleave, but each
+	// worker's own commands must stay in order (per-sender FIFO is per
+	// group handle, and the handle pipelines all of them).
+	const workers, perWorker = 3, 40
+	okSubmits := make([][]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		okSubmits[w] = make([]bool, perWorker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cmd := []byte(fmt.Sprintf("w%d-%03d", w, i))
+				if err := r2.Submit(ctx, cmd); err == nil {
+					okSubmits[w][i] = true
+				}
+			}
+		}()
+	}
+	// Kill the sequencer once the stream is flowing; the workers' retries
+	// trigger AutoReset and the window re-homes on the new sequencer.
+	for r2.Applied() < 10 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	r1.Close()
+	wg.Wait()
+
+	// A final marker flushes the stream, then both survivors must agree.
+	if err := r2.Submit(ctx, []byte("fin")); err != nil {
+		t.Fatalf("final submit: %v", err)
+	}
+	hi := maxSeq(r2, r3)
+	defer func() {
+		if t.Failed() {
+			t.Logf("r2: %s", r2.Debug())
+			t.Logf("r3: %s", r3.Debug())
+		}
+	}()
+	waitApplied(t, r2, hi)
+	waitApplied(t, r3, hi)
+
+	logs := map[string][]string{}
+	for name, r := range map[string]*Replica{"r2": r2, "r3": r3} {
+		var snapshot []string
+		r.Read(func(sm StateMachine) {
+			snapshot = append([]string(nil), sm.(*logSM).Log...)
+		})
+		logs[name] = snapshot
+	}
+	if fmt.Sprint(logs["r2"]) != fmt.Sprint(logs["r3"]) {
+		t.Fatalf("survivor logs diverge:\nr2=%v\nr3=%v", logs["r2"], logs["r3"])
+	}
+	// Exactly-once and per-worker FIFO on the agreed log.
+	count := map[string]int{}
+	nextPerWorker := make([]int, workers)
+	for _, cmd := range logs["r2"] {
+		count[cmd]++
+		var w, i int
+		if n, _ := fmt.Sscanf(cmd, "w%d-%d", &w, &i); n == 2 {
+			// Applied commands from one worker must appear in
+			// submission order; skipped indices are only legal for
+			// failed submits.
+			for next := nextPerWorker[w]; next < i; next++ {
+				if okSubmits[w][next] {
+					t.Fatalf("worker %d: command %03d applied before %03d (FIFO violated)", w, i, next)
+				}
+			}
+			if i < nextPerWorker[w] {
+				t.Fatalf("worker %d: command %03d applied out of order", w, i)
+			}
+			nextPerWorker[w] = i + 1
+		}
+	}
+	for cmd, n := range count {
+		if n != 1 {
+			t.Fatalf("command %q applied %d times", cmd, n)
+		}
+	}
+	// Every successful submit made it.
+	for w := 0; w < workers; w++ {
+		for i, ok := range okSubmits[w] {
+			if ok && count[fmt.Sprintf("w%d-%03d", w, i)] == 0 {
+				t.Fatalf("worker %d: successful submit %03d missing from log", w, i)
+			}
+		}
 	}
 }
 

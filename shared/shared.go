@@ -287,6 +287,26 @@ func (r *Replica) Submit(ctx context.Context, cmd []byte) error {
 	return r.group.Send(ctx, cmd)
 }
 
+// SubmitBatch routes several commands through the group as one pipelined
+// burst: each command is ordered and applied individually (in slice order
+// relative to this replica's other submissions), but the group coalesces
+// them into batch ordering requests, amortising the sequencer's per-request
+// work — the write-coalescing fast path for bulk loads. It returns the first
+// error encountered.
+func (r *Replica) SubmitBatch(ctx context.Context, cmds [][]byte) error {
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return ErrStopped
+	}
+	return r.group.SendBatch(ctx, cmds)
+}
+
+// Stats exposes the underlying group's protocol counters, including the
+// sequencer-side batch amortisation counters.
+func (r *Replica) Stats() amoeba.GroupStats { return r.group.Stats() }
+
 // Read runs fn with exclusive, consistent access to the state machine.
 func (r *Replica) Read(fn func(sm StateMachine)) {
 	r.mu.Lock()
