@@ -19,7 +19,11 @@
 //	ReceiveFromGroup   Group.Receive
 //	ResetGroup         Group.Reset
 //	GetInfoGroup       Group.Info
-//	ForwardRequest     RPCServer handler returning a forward address
+//	ForwardRequest     RPCServer handler returning a forward address —
+//	                   see the kv package's shard proxy (kv.Service), which
+//	                   answers misrouted requests by forwarding them to an
+//	                   owning node, the reply returning from wherever the
+//	                   request lands
 //
 // All primitives are blocking, as in Amoeba; obtain concurrency by calling
 // them from multiple goroutines (the paper's "parallelism through

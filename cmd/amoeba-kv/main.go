@@ -3,8 +3,13 @@
 //
 // Serve mode boots an in-process cluster — N nodes on a memory network, the
 // keyspace consistent-hashed across S shard groups, each group a replicated
-// state machine with its own sequencer — and exposes it over TCP with a
-// line protocol:
+// state machine with its own sequencer, every node running a kv.Service —
+// and exposes it over TCP with a line protocol. Each line is parsed into the
+// same versioned kv.Request the in-process client and the RPC proxy speak,
+// executed through kv.Client.Do, and the kv.Response rendered back as text —
+// the daemon is a codec transcoder, not a second protocol. With -replication
+// bounding the replica count, a connection's node proxies foreign shards
+// over Amoeba RPC (misroutes answered by ForwardRequest; see STATS):
 //
 //	PUT <key> <value>            -> OK
 //	GET <key>                    -> VALUE <value> | NOTFOUND   (sequenced read)
@@ -12,7 +17,7 @@
 //	DEL <key>                    -> OK true|false              (existed?)
 //	CAS <key> <old|-> <new>      -> OK true|false              ("-" = expect absent)
 //	MGET <key> <key> ...         -> VALUE <k>=<v> ...
-//	STATS                        -> shards, nodes, members
+//	STATS                        -> shards, members, proxy counters
 //	QUIT                         -> closes the connection
 //
 // Keys and values are single whitespace-free tokens; values may be quoted Go
@@ -24,7 +29,7 @@
 //
 // Usage:
 //
-//	amoeba-kv -serve :7070 -shards 4 -nodes 3 -resilience 1
+//	amoeba-kv -serve :7070 -shards 4 -nodes 3 -resilience 1 -replication 2
 //	amoeba-kv -load -addr :7070 -clients 8 -duration 5s
 //	amoeba-kv -selftest
 package main
@@ -49,17 +54,18 @@ import (
 
 func main() {
 	var (
-		serveAddr  = flag.String("serve", "", "serve the store on this TCP address (e.g. :7070)")
-		load       = flag.Bool("load", false, "run the TCP load generator against -addr")
-		selftest   = flag.Bool("selftest", false, "run the in-process load sweep and exit")
-		addr       = flag.String("addr", "127.0.0.1:7070", "server address for -load")
-		shards     = flag.Int("shards", 4, "shard-group count")
-		nodes      = flag.Int("nodes", 3, "replica nodes")
-		resilience = flag.Int("resilience", 1, "per-shard resilience degree r")
-		clients    = flag.Int("clients", 8, "concurrent load connections")
-		duration   = flag.Duration("duration", 5*time.Second, "load duration")
-		valueSize  = flag.Int("value-size", 64, "load value size in bytes")
-		readFrac   = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
+		serveAddr   = flag.String("serve", "", "serve the store on this TCP address (e.g. :7070)")
+		load        = flag.Bool("load", false, "run the TCP load generator against -addr")
+		selftest    = flag.Bool("selftest", false, "run the in-process load sweep and exit")
+		addr        = flag.String("addr", "127.0.0.1:7070", "server address for -load")
+		shards      = flag.Int("shards", 4, "shard-group count")
+		nodes       = flag.Int("nodes", 3, "replica nodes")
+		resilience  = flag.Int("resilience", 1, "per-shard resilience degree r")
+		replication = flag.Int("replication", 0, "replicas per shard (0 = every node); bounded values exercise the RPC proxy")
+		clients     = flag.Int("clients", 8, "concurrent load connections")
+		duration    = flag.Duration("duration", 5*time.Second, "load duration")
+		valueSize   = flag.Int("value-size", 64, "load value size in bytes")
+		readFrac    = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
 	)
 	flag.Parse()
 
@@ -72,12 +78,12 @@ func main() {
 		if *serveAddr == "" {
 			*serveAddr = ":7070"
 		}
-		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience))
+		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication))
 	}
 }
 
 // serve boots the cluster and answers line-protocol connections forever.
-func serve(addr string, shards, nodes, resilience int) int {
+func serve(addr string, shards, nodes, resilience, replication int) int {
 	ctx := context.Background()
 	network := amoeba.NewMemoryNetwork()
 	defer network.Close()
@@ -90,7 +96,7 @@ func serve(addr string, shards, nodes, resilience int) int {
 		}
 		kernels[i] = k
 	}
-	opts := kv.Options{Shards: shards, Group: amoeba.GroupOptions{
+	opts := kv.Options{Shards: shards, Replication: replication, Group: amoeba.GroupOptions{
 		Resilience:   resilience,
 		AutoReset:    true,
 		MinSurvivors: 1,
@@ -105,6 +111,19 @@ func serve(addr string, shards, nodes, resilience int) int {
 			s.Close()
 		}
 	}()
+	// Every node serves the access protocol: with bounded replication a
+	// connection's node reaches foreign shards through the other nodes'
+	// services (direct shard RPC, or ForwardRequest on misroutes).
+	services := make([]*kv.Service, len(stores))
+	for i, s := range stores {
+		svc, err := kv.NewService(s)
+		if err != nil {
+			log.Printf("amoeba-kv: service %d: %v", i, err)
+			return 1
+		}
+		services[i] = svc
+		defer svc.Close()
+	}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -112,7 +131,11 @@ func serve(addr string, shards, nodes, resilience int) int {
 		return 1
 	}
 	defer ln.Close()
-	log.Printf("amoeba-kv: %d shards × %d nodes (r=%d) serving on %s", shards, nodes, resilience, ln.Addr())
+	repl := replication
+	if repl <= 0 {
+		repl = nodes
+	}
+	log.Printf("amoeba-kv: %d shards × %d nodes (r=%d, %d replicas/shard) serving on %s", shards, nodes, resilience, repl, ln.Addr())
 
 	var next atomic.Uint64
 	for {
@@ -122,8 +145,8 @@ func serve(addr string, shards, nodes, resilience int) int {
 			return 1
 		}
 		// Spread connections across nodes, as a shard-aware proxy would.
-		s := stores[next.Add(1)%uint64(len(stores))]
-		go handleConn(ctx, conn, s)
+		n := next.Add(1) % uint64(len(stores))
+		go handleConn(ctx, conn, stores[n], services)
 	}
 }
 
@@ -184,9 +207,10 @@ func untoken(tok string) ([]byte, error) {
 	return []byte(tok), nil
 }
 
-func handleConn(ctx context.Context, conn net.Conn, s *kv.Store) {
+func handleConn(ctx context.Context, conn net.Conn, s *kv.Store, services []*kv.Service) {
 	defer conn.Close()
 	cl := s.NewClient()
+	defer cl.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	w := bufio.NewWriter(conn)
@@ -206,7 +230,7 @@ func handleConn(ctx context.Context, conn net.Conn, s *kv.Store) {
 			continue
 		}
 		opCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
-		ok := dispatch(opCtx, cl, s, fields, reply)
+		ok := dispatch(opCtx, cl, s, services, fields, reply)
 		cancel()
 		if !ok {
 			return
@@ -214,101 +238,129 @@ func handleConn(ctx context.Context, conn net.Conn, s *kv.Store) {
 	}
 }
 
-func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, fields []string, reply func(string, ...any) bool) bool {
-	fail := func(err error) bool { return reply("ERR %v", err) }
+// parseRequest translates one protocol line into the access-protocol
+// Request the whole system speaks. LGET, STATS, and QUIT are connection-local
+// and handled by dispatch directly.
+func parseRequest(fields []string) (*kv.Request, error) {
 	switch strings.ToUpper(fields[0]) {
 	case "PUT":
 		if len(fields) != 3 {
-			return reply("ERR usage: PUT key value")
+			return nil, fmt.Errorf("usage: PUT key value")
 		}
 		val, err := untoken(fields[2])
 		if err != nil {
-			return fail(err)
+			return nil, err
 		}
-		if err := cl.Put(ctx, fields[1], val); err != nil {
-			return fail(err)
-		}
-		return reply("OK")
-	case "GET", "LGET":
+		return &kv.Request{Op: kv.ReqPut, Key: fields[1], Val: val}, nil
+	case "GET":
 		if len(fields) != 2 {
-			return reply("ERR usage: %s key", fields[0])
+			return nil, fmt.Errorf("usage: GET key")
 		}
-		var (
-			v     []byte
-			found bool
-			err   error
-		)
-		if strings.EqualFold(fields[0], "LGET") {
-			v, found = cl.LocalGet(fields[1])
-		} else {
-			v, found, err = cl.Get(ctx, fields[1])
+		return &kv.Request{Op: kv.ReqGet, Keys: []string{fields[1]}}, nil
+	case "MGET":
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("usage: MGET key ...")
 		}
-		if err != nil {
-			return fail(err)
-		}
-		if !found {
-			return reply("NOTFOUND")
-		}
-		return reply("VALUE %s", token(v))
+		return &kv.Request{Op: kv.ReqGet, Keys: fields[1:]}, nil
 	case "DEL":
 		if len(fields) != 2 {
-			return reply("ERR usage: DEL key")
+			return nil, fmt.Errorf("usage: DEL key")
 		}
-		existed, err := cl.Delete(ctx, fields[1])
-		if err != nil {
-			return fail(err)
-		}
-		return reply("OK %v", existed)
+		return &kv.Request{Op: kv.ReqDelete, Key: fields[1]}, nil
 	case "CAS":
 		if len(fields) != 4 {
-			return reply("ERR usage: CAS key old|- new")
+			return nil, fmt.Errorf("usage: CAS key old|- new")
 		}
-		var expect []byte
+		req := &kv.Request{Op: kv.ReqCAS, Key: fields[1]}
 		if fields[2] != "-" {
-			var err error
-			if expect, err = untoken(fields[2]); err != nil {
-				return fail(err)
+			expect, err := untoken(fields[2])
+			if err != nil {
+				return nil, err
 			}
 			if expect == nil {
 				expect = []byte{}
 			}
+			req.ExpectPresent = true
+			req.Expect = expect
 		}
 		val, err := untoken(fields[3])
 		if err != nil {
-			return fail(err)
+			return nil, err
 		}
-		swapped, err := cl.CAS(ctx, fields[1], expect, val)
-		if err != nil {
-			return fail(err)
+		req.Val = val
+		return req, nil
+	default:
+		return nil, fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+// renderResponse translates a Response back into the line protocol. verb is
+// the request's line-protocol command: GET and MGET share ReqGet on the
+// wire but render differently (a single-key MGET still answers k=v pairs).
+func renderResponse(verb string, req *kv.Request, resp *kv.Response, reply func(string, ...any) bool) bool {
+	switch req.Op {
+	case kv.ReqPut:
+		return reply("OK")
+	case kv.ReqDelete, kv.ReqCAS:
+		return reply("OK %v", resp.OK)
+	case kv.ReqGet:
+		if verb == "GET" {
+			if !resp.Found[0] {
+				return reply("NOTFOUND")
+			}
+			return reply("VALUE %s", token(resp.Values[0]))
 		}
-		return reply("OK %v", swapped)
-	case "MGET":
-		if len(fields) < 2 {
-			return reply("ERR usage: MGET key ...")
-		}
-		got, err := cl.MGet(ctx, fields[1:]...)
-		if err != nil {
-			return fail(err)
-		}
-		parts := make([]string, 0, len(got))
-		for _, k := range fields[1:] {
-			if v, ok := got[k]; ok {
-				parts = append(parts, fmt.Sprintf("%s=%s", k, token(v)))
+		parts := make([]string, 0, len(req.Keys))
+		for i, k := range req.Keys {
+			if resp.Found[i] {
+				parts = append(parts, fmt.Sprintf("%s=%s", k, token(resp.Values[i])))
 			}
 		}
 		return reply("VALUE %s", strings.Join(parts, " "))
+	default:
+		return reply("ERR unrenderable op %d", req.Op)
+	}
+}
+
+func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Service, fields []string, reply func(string, ...any) bool) bool {
+	switch strings.ToUpper(fields[0]) {
+	case "LGET":
+		if len(fields) != 2 {
+			return reply("ERR usage: LGET key")
+		}
+		v, found := cl.LocalGet(fields[1])
+		if !found {
+			return reply("NOTFOUND")
+		}
+		return reply("VALUE %s", token(v))
 	case "STATS":
 		members := make([]string, s.Shards())
 		for i := range members {
 			members[i] = strconv.Itoa(s.Members(i))
 		}
-		return reply("STATS shards=%d members=[%s]", s.Shards(), strings.Join(members, " "))
+		var served, forwarded, scattered uint64
+		for _, svc := range services {
+			st := svc.Stats()
+			served += st.Served
+			forwarded += st.Forwarded
+			scattered += st.Scattered
+		}
+		cs := cl.Stats()
+		return reply("STATS shards=%d members=[%s] served=%d forwarded=%d scattered=%d local=%d remote=%d",
+			s.Shards(), strings.Join(members, " "), served, forwarded, scattered, cs.LocalOps, cs.RemoteOps)
 	case "QUIT":
 		reply("BYE")
 		return false
-	default:
-		return reply("ERR unknown command %q", fields[0])
 	}
+	req, err := parseRequest(fields)
+	if err != nil {
+		return reply("ERR %v", err)
+	}
+	resp, err := cl.Do(ctx, req)
+	if err != nil {
+		return reply("ERR %v", err)
+	}
+	return renderResponse(strings.ToUpper(fields[0]), req, resp, reply)
 }
 
 // runLoad drives a running server over TCP.
@@ -368,12 +420,19 @@ func runLoad(addr string, clients int, duration time.Duration, valueSize int, re
 	return 0
 }
 
-// runSelftest sweeps shard counts with the in-process workload.
+// runSelftest sweeps shard counts with the in-process workload, then drives
+// the same workload through the RPC proxy path: bounded replication, every
+// client holding one node's address, foreign shards reached by forwarding.
 func runSelftest(nodes, resilience int, duration time.Duration) int {
 	if duration <= 0 || duration > 2*time.Second {
 		duration = time.Second
 	}
 	ctx := context.Background()
+	group := amoeba.GroupOptions{
+		Resilience:   resilience,
+		AutoReset:    true,
+		MinSurvivors: 1,
+	}
 	fmt.Println("in-process load sweep (aggregate ops/s; single host, so this measures protocol overhead):")
 	for _, shards := range []int{1, 2, 4, 8} {
 		rep, err := kv.RunLoad(ctx, kv.LoadOptions{
@@ -383,17 +442,36 @@ func runSelftest(nodes, resilience int, duration time.Duration) int {
 			// exercise write coalescing (see the batches= counters).
 			Clients:  8 * nodes,
 			Duration: duration,
-			Group: amoeba.GroupOptions{
-				Resilience:   resilience,
-				AutoReset:    true,
-				MinSurvivors: 1,
-			},
+			Group:    group,
 		})
 		if err != nil {
 			log.Printf("amoeba-kv: selftest shards=%d: %v", shards, err)
 			return 1
 		}
 		fmt.Printf("  %s\n", rep)
+	}
+	fmt.Println("proxied sweep (bounded replication; clients hold one node address, foreign shards via RPC proxy / ForwardRequest):")
+	proxNodes := nodes
+	if proxNodes < 2 {
+		proxNodes = 2
+	}
+	rep, err := kv.RunLoad(ctx, kv.LoadOptions{
+		Shards:      proxNodes,
+		Nodes:       proxNodes,
+		Replication: 1,
+		Proxied:     true,
+		Clients:     4 * proxNodes,
+		Duration:    duration,
+		Group:       group,
+	})
+	if err != nil {
+		log.Printf("amoeba-kv: selftest proxied: %v", err)
+		return 1
+	}
+	fmt.Printf("  %s\n", rep)
+	if rep.Forwarded == 0 {
+		log.Printf("amoeba-kv: selftest proxied: no requests were forwarded — the proxy path went unexercised")
+		return 1
 	}
 	return 0
 }

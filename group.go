@@ -135,9 +135,15 @@ func (g *Group) SendBatch(ctx context.Context, payloads [][]byte) error {
 		return nil
 	}
 	errs := make(chan error, len(payloads))
-	for _, p := range payloads {
-		g.ep.Send(p, func(e error) { errs <- e })
+	dones := make([]func(error), len(payloads))
+	for i := range dones {
+		dones[i] = func(e error) { errs <- e }
 	}
+	// One submission under one lock: the burst coalesces into batch
+	// requests before the send window starts transmitting — on the
+	// sequencer's own node too, where ordering is deferred one drain cycle
+	// for exactly this purpose.
+	g.ep.SendMany(payloads, dones)
 	var first error
 	for range payloads {
 		select {

@@ -181,3 +181,91 @@ func TestPipelinedWindowSurvivesSequencerFailover(t *testing.T) {
 	upTo := g.nodes[1].ep.Info().NextSeq - 1
 	requireSameOrder(t, survivors, upTo)
 }
+
+// TestSequencerSelfSendsBatch: a member co-located with the sequencer must
+// coalesce its own bursts too. Self-sends are ordered without a network round
+// trip, so without the one-drain-cycle deferral the window never fills and
+// every message costs its own multicast; with it, a SendMany burst forms
+// multi-message batch entries exactly like a remote member's — observable in
+// the rising batch counters.
+func TestSequencerSelfSendsBatch(t *testing.T) {
+	const msgs = 48
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.SendWindow = 2
+		c.MaxBatch = 8
+	})
+	seq := g.nodes[0] // the creator sequences the group
+	if !seq.ep.Info().IsSequencer {
+		t.Fatal("node 0 is not the sequencer")
+	}
+	payloads := make([][]byte, msgs)
+	dones := make([]func(error), msgs)
+	errs := make(chan error, msgs)
+	for n := 0; n < msgs; n++ {
+		payloads[n] = []byte(fmt.Sprintf("m%03d", n))
+		dones[n] = func(e error) { errs <- e }
+	}
+	seq.ep.SendMany(payloads, dones)
+	for n := 0; n < msgs; n++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("send %d: %v", n, err)
+			}
+		case <-time.After(testTimeout):
+			t.Fatalf("send %d timed out", n)
+		}
+	}
+	sender := seq.ep.Info().Self
+	for _, nd := range g.nodes {
+		data := dataOf(nd.waitData(msgs))
+		requireFIFO(t, data, sender, msgs)
+	}
+	st := seq.ep.Stats()
+	if st.OrderedBatches == 0 || st.MaxBatchMsgs < 2 {
+		t.Fatalf("sequencer self-sends formed no batches: %+v", st)
+	}
+	if st.MaxBatchMsgs > 8 {
+		t.Fatalf("batch exceeded MaxBatch: %d", st.MaxBatchMsgs)
+	}
+	upTo := seq.ep.Info().NextSeq - 1
+	requireSameOrder(t, g.nodes, upTo)
+}
+
+// TestSequencerSelfSendsBatchWithResilience: the deferral must compose with
+// the tentative/ack round — a resilient self-send burst still batches, and
+// no send completes before its batch is stored remotely.
+func TestSequencerSelfSendsBatchWithResilience(t *testing.T) {
+	const msgs = 24
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.Resilience = 1
+		c.SendWindow = 2
+		c.MaxBatch = 8
+	})
+	seq := g.nodes[0]
+	payloads := make([][]byte, msgs)
+	errs := make(chan error, msgs)
+	dones := make([]func(error), msgs)
+	for n := 0; n < msgs; n++ {
+		payloads[n] = []byte(fmt.Sprintf("m%03d", n))
+		dones[n] = func(e error) { errs <- e }
+	}
+	seq.ep.SendMany(payloads, dones)
+	for n := 0; n < msgs; n++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("send %d: %v", n, err)
+			}
+		case <-time.After(testTimeout):
+			t.Fatalf("send %d timed out", n)
+		}
+	}
+	sender := seq.ep.Info().Self
+	for _, nd := range g.nodes {
+		requireFIFO(t, dataOf(nd.waitData(msgs)), sender, msgs)
+	}
+	if st := seq.ep.Stats(); st.OrderedBatches == 0 {
+		t.Fatalf("resilient self-sends formed no batches: %+v", st)
+	}
+}

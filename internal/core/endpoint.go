@@ -165,6 +165,11 @@ type Endpoint struct {
 	sendQ       []*sendOp
 	sendTimer   sim.Timer
 	resending   bool // window retransmission in progress: pump suppressed
+	// Sequencer self-send batching: the sequencer's own requests are not
+	// ordered inline but deferred one drain-cycle, so a burst coalesces
+	// into batch entries like a remote member's does.
+	selfPend  []*sendOp // own active ops awaiting the deferred order flush
+	selfFlush bool      // a flush action is already queued
 
 	// Sequencer.
 	globalSeq       uint32 // highest assigned seqno
@@ -365,29 +370,52 @@ func (ep *Endpoint) multicastPkt(p packet) {
 // sequenced; for resilience r, when r other members have stored it) or fails.
 // Sends from one endpoint are sequenced FIFO.
 func (ep *Endpoint) Send(payload []byte, done func(error)) {
-	if done == nil {
-		done = func(error) {}
-	}
+	ep.SendMany([][]byte{payload}, []func(error){done})
+}
+
+// SendMany submits several payloads as one burst under a single lock
+// acquisition: the payloads coalesce into multi-payload batch requests
+// (Config.MaxBatch) before the send window starts transmitting, so a bulk
+// submitter batches deterministically — including on the sequencer itself,
+// whose deferred self-ordering otherwise only coalesces with sends that race
+// the drain (see deferSelfOrderLocked). Each payload's done callback is
+// invoked exactly once; dones may be shorter than payloads (missing entries
+// are no-ops). Per-endpoint FIFO holds across the whole burst.
+func (ep *Endpoint) SendMany(payloads [][]byte, dones []func(error)) {
 	ep.mu.Lock()
+	for i, payload := range payloads {
+		var done func(error)
+		if i < len(dones) {
+			done = dones[i]
+		}
+		if done == nil {
+			done = func(error) {}
+		}
+		if err := ep.queueSendLocked(payload, done); err != nil {
+			ep.enqueue(func() { done(err) })
+		}
+	}
+	ep.pumpSendLocked()
+	ep.mu.Unlock()
+	ep.drain()
+}
+
+// queueSendLocked appends one payload to the send queue, coalescing it into
+// the newest not-yet-transmitted PB op when possible: multi-payload requests
+// keep localIDs contiguous (per-sender FIFO intact) while amortising the
+// sequencer's per-request work across up to MaxBatch messages.
+func (ep *Endpoint) queueSendLocked(payload []byte, done func(error)) error {
 	if ep.closed || ep.st == stDead {
-		ep.mu.Unlock()
-		done(ErrNotMember)
-		return
+		return ErrNotMember
 	}
 	if len(payload) > ep.cfg.MaxMessage {
-		ep.mu.Unlock()
-		done(fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(payload), ep.cfg.MaxMessage))
-		return
+		return fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(payload), ep.cfg.MaxMessage)
 	}
 	ep.cfg.Meter.Charge(cost.UserSend, len(payload))
 	p := make([]byte, len(payload))
 	copy(p, payload)
 	ep.nextLocalID++
 	method := ep.resolveMethod(len(p))
-	// Coalesce into the newest op while it waits for a window slot: PB
-	// payloads pack into one multi-payload request (contiguous localIDs
-	// keep per-sender FIFO intact), so a busy sender amortises the
-	// sequencer's per-request work across MaxBatch messages.
 	if n := len(ep.sendQ); n > 0 && method == MethodPB {
 		last := ep.sendQ[n-1]
 		if !last.sent && !last.active && last.method == MethodPB &&
@@ -396,16 +424,12 @@ func (ep *Endpoint) Send(payload []byte, done func(error)) {
 			last.payloads = append(last.payloads, p)
 			last.size += len(p)
 			last.dones = append(last.dones, done)
-			ep.mu.Unlock()
-			ep.drain()
-			return
+			return nil
 		}
 	}
 	op := &sendOp{localID: ep.nextLocalID, payloads: [][]byte{p}, size: len(p), method: method, dones: []func(error){done}}
 	ep.sendQ = append(ep.sendQ, op)
-	ep.pumpSendLocked()
-	ep.mu.Unlock()
-	ep.drain()
+	return nil
 }
 
 // resolveMethod picks PB or BB for a payload. Resilience forces PB: the

@@ -45,12 +45,11 @@ func (ep *Endpoint) pumpSendLocked() {
 // transmitOpLocked puts one in-flight ordering request on the wire.
 func (ep *Endpoint) transmitOpLocked(op *sendOp) {
 	ep.cfg.Meter.Charge(cost.GroupOut, 0)
-	kind, body := op.wireBody()
 	if ep.isSeq {
-		// The sequencer's own sends are ordered directly: one multicast
-		// total. (The paper notes heavy senders were co-located with the
-		// sequencer for exactly this reason.) Re-activation after a
-		// recovery or handoff must not re-order an already-sequenced
+		// The sequencer orders its own sends without any wire request: one
+		// multicast total. (The paper notes heavy senders were co-located
+		// with the sequencer for exactly this reason.) Re-activation after
+		// a recovery or handoff must not re-order an already-sequenced
 		// request.
 		if d, ok := ep.dedup[ep.self]; ok && op.lastLocalID() <= d.localID {
 			if e, ok := ep.findOwnOrderedLocked(op.localID); ok && !e.tentative {
@@ -60,11 +59,10 @@ func (ep *Endpoint) transmitOpLocked(op *sendOp) {
 			// complete): acceptance will complete it.
 			return
 		}
-		if !ep.orderLocked(kind, ep.self, op.localID, body) {
-			ep.armSendRetryLocked() // history full: retry later
-		}
+		ep.deferSelfOrderLocked(op)
 		return
 	}
+	kind, body := op.wireBody()
 	seqAddr := ep.view.sequencerAddr()
 	if seqAddr == 0 {
 		ep.armSendRetryLocked()
@@ -87,6 +85,79 @@ func (ep *Endpoint) transmitOpLocked(op *sendOp) {
 		ep.sendPkt(seqAddr, packet{typ: ptReq, kind: kind, localID: op.localID, aux: barrier, payload: body})
 	}
 	ep.armSendRetryLocked()
+}
+
+// deferSelfOrderLocked queues one of the sequencer's own active requests for
+// ordering at the end of the current drain cycle instead of ordering it
+// inline. Synchronous self-ordering completes each send before the next can
+// even be queued, so the co-located sender's window never fills and its
+// sends never coalesce — every message costs a full multicast. Deferring by
+// one drain cycle lets sends queued in the same burst (SendMany, or other
+// goroutines racing the drain) coalesce into batch entries, giving the
+// paper's hottest deployment shape — heavy senders on the sequencer machine —
+// the same amortisation remote members get from the network round-trip.
+func (ep *Endpoint) deferSelfOrderLocked(op *sendOp) {
+	for _, q := range ep.selfPend {
+		if q == op {
+			return // already deferred (window retransmission)
+		}
+	}
+	ep.selfPend = append(ep.selfPend, op)
+	if ep.selfFlush {
+		return
+	}
+	ep.selfFlush = true
+	ep.enqueue(func() {
+		ep.mu.Lock()
+		ep.flushSelfOrdersLocked()
+		ep.mu.Unlock()
+		// Runs inside a drain; actions the flush enqueued (multicasts,
+		// completions) are picked up by the running drainer.
+	})
+}
+
+// flushSelfOrdersLocked orders every deferred self-send that is still
+// pending. Ops that completed meanwhile (a retransmission round raced the
+// flush) or whose endpoint stopped sequencing (recovery, handoff) are
+// skipped — the normal send path re-homes the survivors.
+func (ep *Endpoint) flushSelfOrdersLocked() {
+	ep.selfFlush = false
+	pend := ep.selfPend
+	ep.selfPend = nil
+	if ep.st != stNormal || !ep.isSeq {
+		return
+	}
+	for _, op := range pend {
+		if !ep.opQueuedLocked(op) || !op.active {
+			continue
+		}
+		if d, ok := ep.dedup[ep.self]; ok && op.lastLocalID() <= d.localID {
+			if e, ok := ep.findOwnOrderedLocked(op.localID); ok && !e.tentative {
+				ep.finishSendLocked(op, nil)
+			}
+			continue
+		}
+		kind, body := op.wireBody()
+		if !ep.orderLocked(kind, ep.self, op.localID, body) {
+			// History full: stop the whole flush. Ordering a LATER op now
+			// would advance the self-dedup state past this one — falsely
+			// completing it via the prefix rule and breaking per-sender
+			// FIFO. The send retry re-transmits the window in localID
+			// order, which re-defers every remaining op.
+			ep.armSendRetryLocked()
+			return
+		}
+	}
+}
+
+// opQueuedLocked reports whether op is still in the send queue.
+func (ep *Endpoint) opQueuedLocked(op *sendOp) bool {
+	for _, o := range ep.sendQ {
+		if o == op {
+			return true
+		}
+	}
+	return false
 }
 
 // findOwnOrderedLocked locates the retained entry holding this endpoint's own

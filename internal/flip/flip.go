@@ -210,6 +210,17 @@ func (st *Stack) Unregister(a Address) {
 	delete(st.local, a)
 }
 
+// Forget drops the cached route for an address, forcing the next send to
+// re-locate it. Callers use it when a destination has gone silent: a
+// well-known address registered by several kernels (an anycast service) may
+// have failed over to a survivor, and the cached route still points at the
+// corpse — FLIP's process addressing makes the address itself stay valid.
+func (st *Stack) Forget(a Address) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.routes, a)
+}
+
 // JoinGroup subscribes this stack to group address a, delivering its
 // multicasts to h.
 func (st *Stack) JoinGroup(a Address, h Handler) {

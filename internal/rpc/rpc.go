@@ -14,6 +14,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"sync"
@@ -97,8 +98,11 @@ var (
 )
 
 // Handler serves one request. Returning a non-zero forward address instead of
-// a reply hands the request to that server (the ForwardRequest primitive);
-// reply is ignored in that case.
+// a reply hands the request to that server (the ForwardRequest primitive); the
+// reply then reaches the client from wherever the request lands. When
+// forwarding, a non-nil reply REPLACES the request payload — the handler may
+// rewrite the request before handing it on (e.g. to stamp an already-forwarded
+// marker); a nil reply forwards the original bytes unchanged.
 type Handler func(req []byte) (reply []byte, forward flip.Address)
 
 // Config assembles a Client or Server.
@@ -113,6 +117,18 @@ type Config struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds them (default 10).
 	MaxRetries int
+	// Concurrent makes a Server run each request handler on its own
+	// goroutine, so handlers may block — perform group sends, wait on
+	// other RPCs — without stalling the stack's delivery goroutine (which
+	// would deadlock a handler that needs inbound packets to make
+	// progress). Duplicate requests arriving while a handler runs are
+	// dropped; the client's retransmissions are answered from the reply
+	// cache once the handler completes. With concurrent requests in
+	// flight from one client the single-slot reply cache no longer
+	// guarantees at-most-once execution by itself — callers needing
+	// exactly-once must deduplicate by request id in the application, as
+	// the kv state machine does.
+	Concurrent bool
 }
 
 func (c *Config) applyDefaults() {
@@ -187,8 +203,16 @@ func (c *Client) Close() {
 
 // Call performs a blocking RPC to the server address dst: the paper's
 // trans/RPC primitive. It retransmits on loss and returns the server's
-// reply.
+// reply. Equivalent to CallContext with a background context.
 func (c *Client) Call(dst flip.Address, req []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), dst, req)
+}
+
+// CallContext performs a blocking RPC bounded by ctx: when ctx expires
+// mid-call the pending transaction is withdrawn — its retransmission timer
+// stops and no goroutine lingers — and ctx's error is returned. A reply that
+// raced the cancellation is returned instead.
+func (c *Client) CallContext(ctx context.Context, dst flip.Address, req []byte) ([]byte, error) {
 	c.cfg.Meter.Charge(cost.UserSend, len(req))
 	c.mu.Lock()
 	if c.closed {
@@ -206,8 +230,25 @@ func (c *Client) Call(dst flip.Address, req []byte) ([]byte, error) {
 	c.mu.Unlock()
 
 	c.transmit(txn, cl)
-	res := <-cl.done
-	return res.payload, res.err
+	select {
+	case res := <-cl.done:
+		return res.payload, res.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		if _, ok := c.pending[txn]; ok {
+			delete(c.pending, txn)
+			if cl.timer != nil {
+				cl.timer.Stop()
+			}
+			c.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		c.mu.Unlock()
+		// The call resolved concurrently with the cancellation; the
+		// result is already (or imminently) in the buffered channel.
+		res := <-cl.done
+		return res.payload, res.err
+	}
 }
 
 func (c *Client) transmit(txn uint32, cl *call) {
@@ -237,6 +278,13 @@ func (c *Client) retry(txn uint32) {
 		return
 	}
 	c.mu.Unlock()
+	if cl.tries >= 2 {
+		// Two silent rounds suggest a stale route rather than frame loss:
+		// a well-known address served by several kernels may have failed
+		// over, so drop the cached route and let the retransmission
+		// re-locate a surviving server.
+		c.cfg.Stack.Forget(cl.dst)
+	}
 	c.transmit(txn, cl)
 }
 
@@ -273,11 +321,27 @@ type Server struct {
 	closed bool
 	// Duplicate suppression and reply retransmission, per client.
 	seen map[flip.Address]lastReply
+	// Requests whose handler is still running (Concurrent mode):
+	// retransmissions arriving meanwhile are dropped, not re-executed.
+	inflight map[inflightKey]bool
+	// Last forward per client: a retransmission that forwards to the same
+	// destination again hints the forward route is stale.
+	lastFwd map[flip.Address]forwardMark
 }
 
 type lastReply struct {
 	txn uint32
 	pkt []byte
+}
+
+type inflightKey struct {
+	client flip.Address
+	txn    uint32
+}
+
+type forwardMark struct {
+	txn uint32
+	dst flip.Address
 }
 
 // NewServer registers addr (allocating one when zero) and serves requests
@@ -294,7 +358,14 @@ func NewServer(cfg Config, addr flip.Address, h Handler) (*Server, error) {
 	if addr == 0 {
 		addr = cfg.Stack.AllocAddress()
 	}
-	s := &Server{cfg: cfg, addr: addr, handler: h, seen: make(map[flip.Address]lastReply)}
+	s := &Server{
+		cfg:      cfg,
+		addr:     addr,
+		handler:  h,
+		seen:     make(map[flip.Address]lastReply),
+		inflight: make(map[inflightKey]bool),
+		lastFwd:  make(map[flip.Address]forwardMark),
+	}
 	cfg.Stack.Register(addr, s.onMessage)
 	return s, nil
 }
@@ -339,8 +410,25 @@ func (s *Server) onMessage(m flip.Message) {
 		}
 		return
 	}
+	if s.cfg.Concurrent {
+		key := inflightKey{client: client, txn: h.txn}
+		if s.inflight[key] {
+			s.mu.Unlock()
+			return // handler already running; the reply will be cached
+		}
+		s.inflight[key] = true
+		s.mu.Unlock()
+		go s.serve(h, client, payload)
+		return
+	}
 	s.mu.Unlock()
+	s.serve(h, client, payload)
+}
 
+// serve runs the handler for one request and transmits the reply or the
+// forward. In Concurrent mode it runs on its own goroutine; otherwise on the
+// stack's delivery goroutine.
+func (s *Server) serve(h header, client flip.Address, payload []byte) {
 	// The handler is user code: waking the server thread is part of the
 	// RPC's cost — the hop a kernel-resident group sequencer does not pay
 	// (§4's explanation for group sends beating RPC). The reply needs no
@@ -349,8 +437,26 @@ func (s *Server) onMessage(m flip.Message) {
 	reply, forward := s.handler(payload)
 	if forward != 0 {
 		// ForwardRequest: hand the request to another server; the reply
-		// goes straight back to the client from there.
-		fwd := encode(header{typ: ptForwarded, txn: h.txn, replyTo: client}, payload)
+		// goes straight back to the client from there. A non-nil reply is
+		// the handler's rewritten request body.
+		body := payload
+		if reply != nil {
+			body = reply
+		}
+		s.mu.Lock()
+		if prev, ok := s.lastFwd[client]; ok && prev.txn == h.txn && prev.dst == forward {
+			// Re-forwarding the same transaction to the same place: the
+			// client retransmitted because no reply came, so the cached
+			// route to the forward target is suspect. Re-locate it.
+			s.cfg.Stack.Forget(forward)
+		}
+		if len(s.lastFwd) > 1024 {
+			s.lastFwd = make(map[flip.Address]forwardMark)
+		}
+		s.lastFwd[client] = forwardMark{txn: h.txn, dst: forward}
+		delete(s.inflight, inflightKey{client: client, txn: h.txn})
+		s.mu.Unlock()
+		fwd := encode(header{typ: ptForwarded, txn: h.txn, replyTo: client}, body)
 		_ = s.cfg.Stack.Send(s.addr, forward, fwd)
 		return
 	}
@@ -360,6 +466,7 @@ func (s *Server) onMessage(m flip.Message) {
 		s.seen = make(map[flip.Address]lastReply)
 	}
 	s.seen[client] = lastReply{txn: h.txn, pkt: pkt}
+	delete(s.inflight, inflightKey{client: client, txn: h.txn})
 	s.mu.Unlock()
 	s.cfg.Meter.Charge(cost.GroupOut, 0)
 	_ = s.cfg.Stack.Send(s.addr, client, pkt)

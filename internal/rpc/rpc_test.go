@@ -2,8 +2,11 @@ package rpc
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -277,5 +280,168 @@ func TestLargePayloadRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(reply, big) {
 		t.Fatal("large payload corrupted")
+	}
+}
+
+// TestCallContextCancelStopsRetransmission is the regression test for the
+// per-call deadline story: when the caller's context expires mid-retransmit,
+// the pending transaction is withdrawn — the retry timer stops, retransmission
+// traffic ceases, and no goroutine lingers blocked on the reply.
+func TestCallContextCancelStopsRetransmission(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+
+	// A black hole: receives requests, counts them, never replies.
+	var reqs atomic.Uint64
+	hole := ss.AllocAddress()
+	ss.Register(hole, func(m flip.Message) {
+		if h, _, err := decode(m.Payload); err == nil && h.typ == ptRequest {
+			reqs.Add(1)
+		}
+	})
+
+	cl, err := NewClient(cfg(cs))
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.CallContext(ctx, hole, []byte("into the void"))
+		done <- err
+	}()
+	// Let at least two retransmission rounds happen, then cancel.
+	deadline := time.Now().Add(2 * time.Second)
+	for reqs.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reqs.Load() < 3 {
+		t.Fatalf("only %d requests reached the server", reqs.Load())
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("CallContext returned %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("CallContext did not return after cancellation")
+	}
+	// No retransmissions after the withdrawal: the retry timer is dead.
+	time.Sleep(3 * cfg(cs).RetryInterval)
+	settled := reqs.Load()
+	time.Sleep(5 * cfg(cs).RetryInterval)
+	if got := reqs.Load(); got != settled {
+		t.Fatalf("retransmissions continued after cancel: %d -> %d", settled, got)
+	}
+	// The client is still usable, and the pending table holds no corpse.
+	cl.mu.Lock()
+	pending := len(cl.pending)
+	cl.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d pending calls after cancellation", pending)
+	}
+}
+
+// TestConcurrentServerDoesNotBlockDelivery: with Concurrent set, a handler
+// that itself waits for another inbound packet completes instead of
+// deadlocking the stack's delivery goroutine.
+func TestConcurrentServerDoesNotBlockDelivery(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+
+	c := cfg(ss)
+	c.Concurrent = true
+	unblock := make(chan struct{})
+	inner, err := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) {
+		close(unblock)
+		return []byte("inner"), 0
+	})
+	if err != nil {
+		t.Fatalf("inner server: %v", err)
+	}
+	defer inner.Close()
+	outer, err := NewServer(c, 0, func(req []byte) ([]byte, flip.Address) {
+		// Block until the inner handler — reached over the SAME stack's
+		// delivery path — has run. With a synchronous server this would
+		// deadlock on a remote-to-remote deployment; concurrent handlers
+		// must survive it.
+		<-unblock
+		return []byte("outer"), 0
+	})
+	if err != nil {
+		t.Fatalf("outer server: %v", err)
+	}
+	defer outer.Close()
+
+	clOuter, err := NewClient(cfg(cs))
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer clOuter.Close()
+	clInner, err := NewClient(cfg(cs))
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer clInner.Close()
+
+	outerDone := make(chan error, 1)
+	go func() {
+		_, err := clOuter.Call(outer.Addr(), []byte("o"))
+		outerDone <- err
+	}()
+	// The outer handler is now (soon) blocked; the inner call must still
+	// get through the same server stack.
+	if _, err := clInner.Call(inner.Addr(), []byte("i")); err != nil {
+		t.Fatalf("inner call: %v", err)
+	}
+	select {
+	case err := <-outerDone:
+		if err != nil {
+			t.Fatalf("outer call: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("outer call never completed")
+	}
+}
+
+// TestForwardRewrite: a forwarding handler that returns a non-nil reply
+// replaces the request payload — the backend sees the rewritten bytes and
+// the client gets the backend's reply.
+func TestForwardRewrite(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	fs, bs, cs := newStack(t, net), newStack(t, net), newStack(t, net)
+
+	backend, err := NewServer(cfg(bs), 0, func(req []byte) ([]byte, flip.Address) {
+		return append([]byte("saw:"), req...), 0
+	})
+	if err != nil {
+		t.Fatalf("backend: %v", err)
+	}
+	defer backend.Close()
+	front, err := NewServer(cfg(fs), 0, func(req []byte) ([]byte, flip.Address) {
+		return append([]byte("stamped+"), req...), backend.Addr()
+	})
+	if err != nil {
+		t.Fatalf("front: %v", err)
+	}
+	defer front.Close()
+
+	cl, err := NewClient(cfg(cs))
+	if err != nil {
+		t.Fatalf("client: %v", err)
+	}
+	defer cl.Close()
+	reply, err := cl.Call(front.Addr(), []byte("x"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(reply) != "saw:stamped+x" {
+		t.Fatalf("reply = %q, want %q", reply, "saw:stamped+x")
 	}
 }

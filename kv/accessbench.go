@@ -1,0 +1,184 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"amoeba"
+)
+
+// This file measures what the service/client split costs: the latency of a
+// sequenced Get over each access path —
+//
+//	local      the shard is hosted on the client's node (in-process)
+//	direct     one RPC hop to the shard's well-known address
+//	forwarded  an entry node answers the misroute with a ForwardRequest
+//
+// Unlike the paper-reproduction experiments (internal/experiments) it runs
+// on the live in-memory fabric in real time, so absolute numbers vary by
+// host; the RATIOS — what one RPC hop and one forward hop add over the
+// in-process path — are the measurement. cmd/amoeba-bench renders it as the
+// "proxied" experiment and CI commits it as BENCH_proxied.json.
+
+// AccessPathResult is one access path's latency measurement, in
+// machine-readable form for BENCH_proxied.json.
+type AccessPathResult struct {
+	Path       string  `json:"path"`
+	MedianUs   float64 `json:"median_us"`
+	P90Us      float64 `json:"p90_us"`
+	VsLocal    float64 `json:"vs_local"`
+	Forwarded  uint64  `json:"forwarded_requests,omitempty"`
+	SampleSize int     `json:"samples"`
+}
+
+// accessPathSamples is the per-path sample count.
+const accessPathSamples = 300
+
+// MeasureAccessPaths builds a bounded-replication cluster with one Service
+// per node and times sequenced Gets over the three access paths.
+func MeasureAccessPaths() ([]AccessPathResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	const nodes, shards = 4, 4
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := net.NewKernel(fmt.Sprintf("prox-node-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		kernels[i] = k
+	}
+	stores, err := Bootstrap(ctx, kernels, "prox", Options{Shards: shards, Replication: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+	svcs := make([]*Service, nodes)
+	for i, s := range stores {
+		if svcs[i], err = NewService(s); err != nil {
+			return nil, err
+		}
+		defer svcs[i].Close()
+	}
+
+	// One key hosted on node 0 (the local path) and one hosted elsewhere
+	// (the remote paths). Replication 1 puts shard i on node i exactly.
+	keyOn := func(shard int) string {
+		for i := 0; ; i++ {
+			k := fmt.Sprintf("lat-%d-%d", shard, i)
+			if stores[0].ShardFor(k) == shard {
+				return k
+			}
+		}
+	}
+	localKey, remoteKey := keyOn(0), keyOn(2)
+
+	// Clients: node-bound (local fast path + direct shard RPC), and a
+	// ring-less Dial'd client whose every remote request enters node 0 and
+	// is forwarded.
+	bound := stores[0].NewClient()
+	defer bound.Close()
+	ext, err := net.NewKernel("prox-client")
+	if err != nil {
+		return nil, err
+	}
+	dialed, err := Dial(ext, "prox", DialOptions{Node: 0})
+	if err != nil {
+		return nil, err
+	}
+	defer dialed.Close()
+
+	for _, k := range []string{localKey, remoteKey} {
+		if err := bound.Put(ctx, k, []byte("x")); err != nil {
+			return nil, err
+		}
+	}
+	measure := func(get func() error) ([]float64, error) {
+		for i := 0; i < accessPathSamples/10; i++ { // warm locates, routes, caches
+			if err := get(); err != nil {
+				return nil, err
+			}
+		}
+		lats := make([]float64, 0, accessPathSamples)
+		for i := 0; i < accessPathSamples; i++ {
+			start := time.Now()
+			if err := get(); err != nil {
+				return nil, err
+			}
+			lats = append(lats, float64(time.Since(start).Microseconds()))
+		}
+		sort.Float64s(lats)
+		return lats, nil
+	}
+	get := func(cl *Client, key string) func() error {
+		return func() error {
+			_, ok, err := cl.Get(ctx, key)
+			if err == nil && !ok {
+				err = fmt.Errorf("key %q vanished", key)
+			}
+			return err
+		}
+	}
+
+	paths := []struct {
+		name string
+		fn   func() error
+	}{
+		{"local", get(bound, localKey)},
+		{"direct", get(bound, remoteKey)},
+		{"forwarded", get(dialed, remoteKey)},
+	}
+	results := make([]AccessPathResult, 0, len(paths))
+	var localMedian float64
+	for _, p := range paths {
+		lats, err := measure(p.fn)
+		if err != nil {
+			return nil, fmt.Errorf("%s path: %w", p.name, err)
+		}
+		r := AccessPathResult{
+			Path:       p.name,
+			MedianUs:   lats[len(lats)/2],
+			P90Us:      lats[len(lats)*9/10],
+			SampleSize: accessPathSamples,
+		}
+		if p.name == "local" {
+			localMedian = r.MedianUs
+		}
+		if localMedian > 0 {
+			r.VsLocal = r.MedianUs / localMedian
+		}
+		results = append(results, r)
+	}
+	// The forwarded path must actually have forwarded.
+	st := svcs[0].Stats()
+	if st.Forwarded == 0 {
+		return nil, fmt.Errorf("forwarded path produced no forwards (stats %+v)", st)
+	}
+	results[len(results)-1].Forwarded = st.Forwarded
+	return results, nil
+}
+
+// AccessPathsJSON renders the comparison for BENCH_proxied.json.
+func AccessPathsJSON(results []AccessPathResult) ([]byte, error) {
+	out := struct {
+		Experiment string             `json:"experiment"`
+		Unit       string             `json:"unit"`
+		Note       string             `json:"note"`
+		Results    []AccessPathResult `json:"results"`
+	}{
+		Experiment: "proxied",
+		Unit:       "sequenced Get latency, µs, live in-memory fabric (host-dependent; compare ratios)",
+		Note:       "local = in-process fast path; direct = one RPC hop to the shard address; forwarded = entry node + ForwardRequest hop",
+		Results:    results,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

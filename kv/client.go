@@ -14,82 +14,410 @@ import (
 	"amoeba/shared"
 )
 
-// Client issues key-value operations against one node of a store. Methods
-// are safe for concurrent use; create several clients for independent
-// command streams. Each operation is routed to the shard owning its key, so
-// operations on different shards proceed in parallel through different
-// sequencers.
+// Client issues key-value operations against a store. Methods are safe for
+// concurrent use; create several clients for independent command streams.
+//
+// A client is transport-agnostic: every operation is a Request routed to the
+// shard owning its key, and each shard is reached over whichever access path
+// is available —
+//
+//   - local fast path: the shard is hosted on the node the client is bound
+//     to (Store.NewClient); the command goes straight into the in-process
+//     replica, no wire protocol involved;
+//   - direct RPC: the client knows the ring, so it calls the shard's
+//     well-known address (ShardAddr), served by every hosting node;
+//   - proxied: the client holds only an entry node's address (Dial); the
+//     entry node serves shards it hosts and answers misroutes with a
+//     ForwardRequest to an owning node — the reply comes back from wherever
+//     the request lands.
+//
+// All three speak the same versioned codec (see EncodeRequest), and command
+// ids chosen here are deduplicated by the replicas, so retries across paths,
+// forwards, and failovers stay exactly-once. Sequenced reads run the read
+// marker through the total order on whichever replica serves them, so Get
+// and MGet are linearizable over every path.
 type Client struct {
-	s     *Store
-	nonce uint64
-	seq   atomic.Uint64
+	s       *Store // local binding; nil for Dial'd clients
+	kernel  *amoeba.Kernel
+	cluster string
+	ring    *ring       // nil: no ring knowledge, everything goes via entry
+	entry   amoeba.Addr // entry-node address; 0: direct shard addressing only
+	nonce   uint64
+	seq     atomic.Uint64
+
+	rpcMu  sync.Mutex
+	rpccl  *amoeba.RPCClient
+	closed bool
+
+	localOps  atomic.Uint64
+	remoteOps atomic.Uint64
 }
 
-// NewClient returns a client bound to this node.
+// ClientStats counts which access paths a client's operations took.
+type ClientStats struct {
+	// LocalOps counts operations (or per-shard parts of multi-shard
+	// operations) served by the in-process fast path.
+	LocalOps uint64
+	// RemoteOps counts parts that left the client over RPC (direct to a
+	// shard's address or via the entry node).
+	RemoteOps uint64
+}
+
+// Stats returns a snapshot of the client's access-path counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{LocalOps: c.localOps.Load(), RemoteOps: c.remoteOps.Load()}
+}
+
+// NewClient returns a client bound to this node: shards hosted here are
+// served in process, and — when the store runs with bounded replication —
+// shards hosted elsewhere are reached over RPC through their well-known
+// addresses, provided the hosting nodes run a Service.
 func (s *Store) NewClient() *Client {
+	return &Client{
+		s:       s,
+		kernel:  s.kernel,
+		cluster: s.name,
+		ring:    s.ring,
+		nonce:   clientNonce(),
+	}
+}
+
+// DialOptions configures Dial.
+type DialOptions struct {
+	// Node is the entry node's placement slot: requests enter the store at
+	// NodeAddr(cluster, Node). Ignored when Addr is set.
+	Node int
+	// Addr overrides Node with an explicit entry address — any node's
+	// NodeAddr, or any address answering the kv access protocol.
+	Addr amoeba.Addr
+	// Shards, when non-zero, gives the client ring knowledge: requests go
+	// straight to the owning shard's well-known address (one hop) instead
+	// of through the entry node. It must match the store's shard count; a
+	// stale value still works — the service answers misroutes with a
+	// ForwardRequest — it just costs the extra hop.
+	Shards int
+	// VirtualNodes matches Options.VirtualNodes (default 64). Meaningful
+	// only with Shards.
+	VirtualNodes int
+}
+
+// Dial returns a client that reaches the named store over RPC only: it holds
+// nothing but an entry address (and, optionally, ring knowledge), yet serves
+// the whole keyspace — the entry node proxies or forwards whatever it does
+// not host. The kernel is the caller's network attachment; it need not host
+// any part of the store.
+func Dial(k *amoeba.Kernel, cluster string, o DialOptions) (*Client, error) {
+	if k == nil {
+		return nil, fmt.Errorf("kv: dialing %q: kernel is required", cluster)
+	}
+	c := &Client{
+		kernel:  k,
+		cluster: cluster,
+		entry:   o.Addr,
+		nonce:   clientNonce(),
+	}
+	if c.entry == 0 {
+		c.entry = NodeAddr(cluster, o.Node)
+	}
+	if o.Shards > 0 {
+		vn := o.VirtualNodes
+		if vn <= 0 {
+			vn = defaultVirtualNodes
+		}
+		c.ring = newRing(cluster, o.Shards, vn)
+	}
+	return c, nil
+}
+
+// clientNonce draws the random base for this client's command ids.
+func clientNonce() uint64 {
 	var b [8]byte
 	if _, err := crand.Read(b[:]); err != nil {
 		panic(fmt.Sprintf("kv: reading client nonce: %v", err))
 	}
-	return &Client{s: s, nonce: binary.BigEndian.Uint64(b[:])}
+	return binary.BigEndian.Uint64(b[:])
 }
 
 // nextID returns a command id unique across clients and operations: a random
 // 64-bit client nonce perturbed by a per-client counter.
 func (c *Client) nextID() uint64 { return c.nonce + c.seq.Add(1) }
 
-// do submits cmd to shard and waits until its result lands in the local
-// replica's result window — i.e. until the command has been totally ordered
-// AND applied locally, which gives read-your-writes even for LocalGet.
-//
-// If the local replica stops mid-operation (expelled by a recovery this node
-// missed), do retries against the replacement the store's self-heal swaps
-// in. Retrying is safe: commands are deduplicated by id in the replicated
-// state machine, and if the first attempt did commit, the rejoined replica's
-// transferred state already holds its result.
-func (c *Client) do(ctx context.Context, shard int, id uint64, cmd []byte) (result, error) {
-	for {
-		r := c.s.Replica(shard)
-		if r == nil {
-			return result{}, fmt.Errorf("kv: shard %d is not hosted on this node (replication %d): create the client on a hosting node", shard, c.s.opts.Replication)
-		}
-		err := r.Submit(ctx, cmd)
-		if err == nil {
-			var res result
-			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
-				v, ok := sm.(*mapSM).results[id]
-				if ok {
-					res = v
-				}
-				return ok
-			})
-			if err == nil {
-				return res, nil
-			}
-		}
-		// ErrStopped: the replica stopped under us. ErrNotMember: an
-		// in-flight Submit was aborted by the expulsion itself. Both mean
-		// "this replica is gone"; wait for the self-heal watcher to swap
-		// in a fresh one — unless the whole store is closed.
-		if !errors.Is(err, shared.ErrStopped) && !errors.Is(err, amoeba.ErrNotMember) {
-			return result{}, fmt.Errorf("kv: shard %d: %w", shard, err)
-		}
-		if c.s.isClosed() {
-			return result{}, fmt.Errorf("kv: shard %d: %w", shard, shared.ErrStopped)
-		}
-		select {
-		case <-ctx.Done():
-			return result{}, fmt.Errorf("kv: shard %d: %w", shard, err)
-		case <-time.After(50 * time.Millisecond):
-		}
+// Close releases the client's RPC resources, if any were created. Operations
+// that never left the node need no Close.
+func (c *Client) Close() {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	c.closed = true
+	if c.rpccl != nil {
+		c.rpccl.Close()
+		c.rpccl = nil
 	}
 }
 
+// rpcClient lazily creates the shared RPC client.
+func (c *Client) rpcClient() (*amoeba.RPCClient, error) {
+	c.rpcMu.Lock()
+	defer c.rpcMu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("kv: client closed")
+	}
+	if c.rpccl == nil {
+		cl, err := c.kernel.NewRPCClient()
+		if err != nil {
+			return nil, fmt.Errorf("kv: creating RPC client: %w", err)
+		}
+		c.rpccl = cl
+	}
+	return c.rpccl, nil
+}
+
+// --- The generic entry point -------------------------------------------------
+
+// Do executes one access-protocol request: the single entry every public
+// method, the amoeba-kv daemon, and the Service proxy route through. Command
+// ids are assigned here if the request does not carry them; multi-shard
+// requests (ReqGet over several keys, ReqBatchPut) are split by the ring and
+// scatter-gathered, each part over its own best path.
+//
+// The caller's Request is never modified: ids assigned for one execution
+// live on an internal copy, so a Request value can be rebuilt or reused
+// without a stale id silently deduplicating the next operation away.
+func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
+	cp := *caller
+	req := &cp
+	switch req.Op {
+	case ReqPut, ReqDelete, ReqCAS:
+		if req.ID == 0 {
+			req.ID = c.nextID()
+		}
+		return c.doShard(ctx, c.shardFor(req.Key), req)
+	case ReqGet:
+		if len(req.Keys) == 0 {
+			return nil, fmt.Errorf("kv: get of zero keys")
+		}
+		if req.ID == 0 {
+			req.ID = c.nextID()
+		}
+		return c.doGet(ctx, req)
+	case ReqBatchPut:
+		if len(req.Pairs) == 0 {
+			return &Response{OK: true}, nil
+		}
+		if len(req.IDs) != len(req.Pairs) {
+			req.IDs = make([]uint64, len(req.Pairs))
+			for i := range req.IDs {
+				req.IDs[i] = c.nextID()
+			}
+		}
+		return c.doBatchPut(ctx, req)
+	default:
+		return nil, fmt.Errorf("kv: unknown request op %d", req.Op)
+	}
+}
+
+// shardFor maps a key onto its owning shard, or -1 when the client has no
+// ring knowledge (the entry node routes instead).
+func (c *Client) shardFor(key string) int {
+	if c.ring == nil {
+		return -1
+	}
+	return c.ring.shard(key)
+}
+
+// doGet executes a sequenced read, splitting multi-shard key sets.
+func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
+	if c.ring == nil {
+		return c.doShard(ctx, -1, req)
+	}
+	byShard := make(map[int][]int) // shard -> indices into req.Keys
+	for i, k := range req.Keys {
+		s := c.ring.shard(k)
+		byShard[s] = append(byShard[s], i)
+	}
+	if len(byShard) == 1 {
+		for s := range byShard {
+			return c.doShard(ctx, s, req)
+		}
+	}
+	out := &Response{OK: true, Values: make([][]byte, len(req.Keys)), Found: make([]bool, len(req.Keys))}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for s, idx := range byShard {
+		s, idx := s, idx
+		keys := make([]string, len(idx))
+		for j, i := range idx {
+			keys[j] = req.Keys[i]
+		}
+		// Sub-reads take fresh ids: reads are idempotent, and a node
+		// re-splitting a forwarded multi-shard read must be free to do
+		// the same.
+		sub := &Request{Op: ReqGet, ID: c.nextID(), Budget: req.Budget, Keys: keys}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.doShard(ctx, s, sub)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return
+			}
+			for j, i := range idx {
+				out.Values[i] = resp.Values[j]
+				out.Found[i] = resp.Found[j]
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// doBatchPut executes a bulk write, splitting multi-shard pair sets. Per-pair
+// ids travel with their pairs, so however the batch is split — here, at the
+// entry node, or after a forward — every replica deduplicates identically.
+func (c *Client) doBatchPut(ctx context.Context, req *Request) (*Response, error) {
+	if c.ring == nil {
+		return c.doShard(ctx, -1, req)
+	}
+	byShard := make(map[int][]int)
+	for i, p := range req.Pairs {
+		s := c.ring.shard(p.Key)
+		byShard[s] = append(byShard[s], i)
+	}
+	if len(byShard) == 1 {
+		for s := range byShard {
+			return c.doShard(ctx, s, req)
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for s, idx := range byShard {
+		s, idx := s, idx
+		sub := &Request{Op: ReqBatchPut, Budget: req.Budget,
+			Pairs: make([]Pair, len(idx)), IDs: make([]uint64, len(idx))}
+		for j, i := range idx {
+			sub.Pairs[j] = req.Pairs[i]
+			sub.IDs[j] = req.IDs[i]
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.doShard(ctx, s, sub); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return &Response{OK: true}, nil
+}
+
+// doShard executes a single-shard request (shard -1: unknown, entry decides)
+// over the best available path.
+func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Response, error) {
+	if c.s != nil && shard >= 0 && c.s.Replica(shard) != nil {
+		c.localOps.Add(1)
+		return c.s.execLocal(ctx, shard, req)
+	}
+	return c.remoteCall(ctx, shard, req)
+}
+
+// remoteCall sends a request over RPC, retrying across targets while the
+// context allows: the shard's well-known address first (when the ring is
+// known), the entry node as fallback. Timeouts alternate targets — a shard
+// address mid-failover re-locates to a surviving host (the RPC layer forgets
+// silent routes), and an entry node can always forward. Command ids make the
+// retries exactly-once.
+func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Response, error) {
+	cl, err := c.rpcClient()
+	if err != nil {
+		return nil, err
+	}
+	var targets []amoeba.Addr
+	if shard >= 0 {
+		targets = append(targets, ShardAddr(c.cluster, shard))
+	}
+	if c.entry != 0 {
+		targets = append(targets, c.entry)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("kv: shard %d is not hosted on this node and the client has no remote path (start a kv.Service on the hosting nodes)", shard)
+	}
+	// Without a caller deadline, bound the attempts so a store with no
+	// services running fails with a clear error instead of spinning.
+	attempts := 8
+	if _, ok := ctx.Deadline(); ok {
+		attempts = 1 << 30
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if err := ctx.Err(); err != nil {
+			return nil, c.remoteErr(shard, err)
+		}
+		if d, ok := ctx.Deadline(); ok {
+			req.Budget = time.Until(d)
+			if req.Budget <= 0 {
+				return nil, c.remoteErr(shard, context.DeadlineExceeded)
+			}
+		}
+		target := targets[try%len(targets)]
+		c.remoteOps.Add(1)
+		reply, err := cl.Call(ctx, target, EncodeRequest(req))
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, amoeba.ErrRPCTimeout) {
+				continue // next target (or the same one, re-located)
+			}
+			return nil, c.remoteErr(shard, err)
+		}
+		resp, err := DecodeResponse(reply)
+		if err != nil {
+			return nil, c.remoteErr(shard, err)
+		}
+		if resp.Err != "" {
+			return nil, fmt.Errorf("kv: remote: %s", resp.Err)
+		}
+		// Trust nothing about arity: well-known addresses are reachable by
+		// any process on the network, and a short reply must surface as an
+		// error, not an index panic in the caller.
+		if req.Op == ReqGet && (len(resp.Values) != len(req.Keys) || len(resp.Found) != len(req.Keys)) {
+			return nil, c.remoteErr(shard, fmt.Errorf("kv: remote answered %d of %d requested keys", len(resp.Values), len(req.Keys)))
+		}
+		return resp, nil
+	}
+	return nil, c.remoteErr(shard, lastErr)
+}
+
+func (c *Client) remoteErr(shard int, err error) error {
+	if shard >= 0 {
+		return fmt.Errorf("kv: shard %d (via RPC): %w", shard, err)
+	}
+	return fmt.Errorf("kv: via %v: %w", c.entry, err)
+}
+
+// --- The public operations ---------------------------------------------------
+
 // Put stores key = val. When Put returns, the write is totally ordered on
-// its shard and applied to this node's replica.
+// its shard and applied on the replica that served it.
 func (c *Client) Put(ctx context.Context, key string, val []byte) error {
-	id := c.nextID()
-	_, err := c.do(ctx, c.s.ring.shard(key), id, encodePut(id, key, val))
+	_, err := c.Do(ctx, &Request{Op: ReqPut, Key: key, Val: val})
 	return err
 }
 
@@ -103,122 +431,53 @@ type Pair struct {
 // owning shard, each shard's writes are submitted together (the group layer
 // packs them into batch ordering requests, paying the sequencer's
 // per-request cost once per batch), and the per-shard bursts run in
-// parallel. When BatchPut returns nil, every write is totally ordered on its
-// shard and applied to this node's replicas. Writes to one shard apply in
+// parallel — locally or across the RPC proxy. When BatchPut returns nil,
+// every write is totally ordered on its shard. Writes to one shard apply in
 // slice order; ordering across shards is independent, as for any multi-shard
 // operation.
 func (c *Client) BatchPut(ctx context.Context, pairs []Pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	type shardBatch struct {
-		ids  []uint64
-		cmds [][]byte
-	}
-	byShard := make(map[int]*shardBatch)
-	for _, p := range pairs {
-		shard := c.s.ring.shard(p.Key)
-		b := byShard[shard]
-		if b == nil {
-			b = &shardBatch{}
-			byShard[shard] = b
-		}
-		id := c.nextID()
-		b.ids = append(b.ids, id)
-		b.cmds = append(b.cmds, encodePut(id, p.Key, p.Val))
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	for shard, b := range byShard {
-		shard, b := shard, b
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := c.doBatch(ctx, shard, b.ids, b.cmds); err != nil {
-				mu.Lock()
-				if first == nil {
-					first = err
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	return first
-}
-
-// doBatch submits one shard's command burst and waits until every result
-// lands in the local replica's result window, with the same
-// replica-swap-and-retry semantics as do (commands are deduplicated by id,
-// so retrying a partially committed batch is safe and exactly-once).
-func (c *Client) doBatch(ctx context.Context, shard int, ids []uint64, cmds [][]byte) error {
-	for {
-		r := c.s.Replica(shard)
-		if r == nil {
-			return fmt.Errorf("kv: shard %d is not hosted on this node (replication %d): create the client on a hosting node", shard, c.s.opts.Replication)
-		}
-		err := r.SubmitBatch(ctx, cmds)
-		if err == nil {
-			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
-				results := sm.(*mapSM).results
-				for _, id := range ids {
-					if _, ok := results[id]; !ok {
-						return false
-					}
-				}
-				return true
-			})
-			if err == nil {
-				return nil
-			}
-		}
-		if !errors.Is(err, shared.ErrStopped) && !errors.Is(err, amoeba.ErrNotMember) {
-			return fmt.Errorf("kv: shard %d: %w", shard, err)
-		}
-		if c.s.isClosed() {
-			return fmt.Errorf("kv: shard %d: %w", shard, shared.ErrStopped)
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("kv: shard %d: %w", shard, err)
-		case <-time.After(50 * time.Millisecond):
-		}
-	}
+	_, err := c.Do(ctx, &Request{Op: ReqBatchPut, Pairs: pairs})
+	return err
 }
 
 // Delete removes key, reporting whether it existed at the delete's position
 // in the total order.
 func (c *Client) Delete(ctx context.Context, key string) (bool, error) {
-	id := c.nextID()
-	res, err := c.do(ctx, c.s.ring.shard(key), id, encodeDelete(id, key))
-	return res.OK, err
+	resp, err := c.Do(ctx, &Request{Op: ReqDelete, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
 }
 
 // CAS atomically replaces key's value with val if its current value equals
 // expect. expect == nil means "key must be absent" (atomic create); to
 // compare against a stored empty value, pass a non-nil empty slice. The
 // outcome is decided by the shard's total order, so concurrent CAS calls on
-// one key serialise identically on every node.
+// one key serialise identically on every node — and retries are deduplicated
+// by command id, so a CAS never observes its own first execution.
 func (c *Client) CAS(ctx context.Context, key string, expect, val []byte) (bool, error) {
-	id := c.nextID()
-	cmd := encodeCAS(id, key, expect != nil, expect, val)
-	res, err := c.do(ctx, c.s.ring.shard(key), id, cmd)
-	return res.OK, err
+	resp, err := c.Do(ctx, &Request{Op: ReqCAS, Key: key,
+		ExpectPresent: expect != nil, Expect: expect, Val: val})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
 }
 
 // Get performs a sequenced (linearizable) read: a read marker travels the
 // shard's total order and the returned value is the one at the marker's
-// position, identical at every node. It reports false if the key is absent.
+// position, identical at every node — whichever access path served it. It
+// reports false if the key is absent.
 func (c *Client) Get(ctx context.Context, key string) ([]byte, bool, error) {
-	id := c.nextID()
-	res, err := c.do(ctx, c.s.ring.shard(key), id, encodeGet(id, []string{key}))
+	resp, err := c.Do(ctx, &Request{Op: ReqGet, Keys: []string{key}})
 	if err != nil {
 		return nil, false, err
 	}
-	return copyVal(res.Values[0]), res.Found[0], nil
+	return resp.Values[0], resp.Found[0], nil
 }
 
 // copyVal detaches a value from the state machine's storage: callers own
@@ -233,10 +492,15 @@ func copyVal(v []byte) []byte {
 // LocalGet reads key from this node's replica without any network traffic —
 // the fast path for read-heavy workloads. The value reflects every command
 // this node has applied, which may trail the total order by in-flight
-// messages; this client's own completed operations are always visible. On a
-// store with bounded replication it reports false for keys whose shard this
-// node does not host (use Store.HostsShard to tell the cases apart).
+// messages; this client's own completed operations are always visible. It
+// reports false for keys whose shard this node does not host — including
+// every key on a Dial'd client, which has no local replicas at all (use
+// Store.HostsShard to tell the cases apart, or Get for a read that follows
+// the proxy).
 func (c *Client) LocalGet(key string) ([]byte, bool) {
+	if c.s == nil {
+		return nil, false
+	}
 	r := c.s.Replica(c.s.ring.shard(key))
 	if r == nil {
 		return nil, false
@@ -259,40 +523,155 @@ func (c *Client) LocalGet(key string) ([]byte, bool) {
 // cross-shard atomic read (shards order independently — the price of
 // multi-group scaling).
 func (c *Client) MGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
-	byShard := make(map[int][]string)
-	for _, k := range keys {
-		shard := c.s.ring.shard(k)
-		byShard[shard] = append(byShard[shard], k)
+	if len(keys) == 0 {
+		return map[string][]byte{}, nil
 	}
-	var (
-		mu   sync.Mutex
-		out  = make(map[string][]byte, len(keys))
-		wg   sync.WaitGroup
-		errs = make([]error, 0, 1)
-	)
-	for shard, subset := range byShard {
-		shard, subset := shard, subset
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			id := c.nextID()
-			res, err := c.do(ctx, shard, id, encodeGet(id, subset))
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs = append(errs, err)
-				return
-			}
-			for i, k := range subset {
-				if res.Found[i] {
-					out[k] = copyVal(res.Values[i])
-				}
-			}
-		}()
+	resp, err := c.Do(ctx, &Request{Op: ReqGet, Keys: keys})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	out := make(map[string][]byte, len(keys))
+	for i, k := range keys {
+		if resp.Found[i] {
+			out[k] = resp.Values[i]
+		}
 	}
 	return out, nil
+}
+
+// --- Local execution (the in-process fast path) ------------------------------
+
+// execLocal runs a single-shard request against this node's replica,
+// translating it into deduplicated shard commands. It is the shared
+// execution path of node-bound clients and the Service.
+func (s *Store) execLocal(ctx context.Context, shard int, req *Request) (*Response, error) {
+	switch req.Op {
+	case ReqPut:
+		_, err := s.do(ctx, shard, req.ID, encodePut(req.ID, req.Key, req.Val))
+		if err != nil {
+			return nil, err
+		}
+		return &Response{OK: true}, nil
+	case ReqDelete:
+		res, err := s.do(ctx, shard, req.ID, encodeDelete(req.ID, req.Key))
+		if err != nil {
+			return nil, err
+		}
+		return &Response{OK: res.OK}, nil
+	case ReqCAS:
+		cmd := encodeCAS(req.ID, req.Key, req.ExpectPresent, req.Expect, req.Val)
+		res, err := s.do(ctx, shard, req.ID, cmd)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{OK: res.OK}, nil
+	case ReqGet:
+		res, err := s.do(ctx, shard, req.ID, encodeGet(req.ID, req.Keys))
+		if err != nil {
+			return nil, err
+		}
+		out := &Response{OK: true, Values: make([][]byte, len(req.Keys)), Found: make([]bool, len(req.Keys))}
+		for i := range req.Keys {
+			out.Values[i] = copyVal(res.Values[i])
+			out.Found[i] = res.Found[i]
+		}
+		return out, nil
+	case ReqBatchPut:
+		cmds := make([][]byte, len(req.Pairs))
+		for i, p := range req.Pairs {
+			cmds[i] = encodePut(req.IDs[i], p.Key, p.Val)
+		}
+		if err := s.doBatch(ctx, shard, req.IDs, cmds); err != nil {
+			return nil, err
+		}
+		return &Response{OK: true}, nil
+	default:
+		return nil, fmt.Errorf("kv: unknown request op %d", req.Op)
+	}
+}
+
+// do submits cmd to shard and waits until its result lands in the local
+// replica's result window — i.e. until the command has been totally ordered
+// AND applied locally, which gives read-your-writes even for LocalGet.
+//
+// If the local replica stops mid-operation (expelled by a recovery this node
+// missed), do retries against the replacement the store's self-heal swaps
+// in. Retrying is safe: commands are deduplicated by id in the replicated
+// state machine, and if the first attempt did commit, the rejoined replica's
+// transferred state already holds its result.
+func (s *Store) do(ctx context.Context, shard int, id uint64, cmd []byte) (result, error) {
+	for {
+		r := s.Replica(shard)
+		if r == nil {
+			return result{}, fmt.Errorf("kv: shard %d is not hosted on this node (replication %d)", shard, s.opts.Replication)
+		}
+		err := r.Submit(ctx, cmd)
+		if err == nil {
+			var res result
+			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
+				v, ok := sm.(*mapSM).results[id]
+				if ok {
+					res = v
+				}
+				return ok
+			})
+			if err == nil {
+				return res, nil
+			}
+		}
+		// ErrStopped: the replica stopped under us. ErrNotMember: an
+		// in-flight Submit was aborted by the expulsion itself. Both mean
+		// "this replica is gone"; wait for the self-heal watcher to swap
+		// in a fresh one — unless the whole store is closed.
+		if !errors.Is(err, shared.ErrStopped) && !errors.Is(err, amoeba.ErrNotMember) {
+			return result{}, fmt.Errorf("kv: shard %d: %w", shard, err)
+		}
+		if s.isClosed() {
+			return result{}, fmt.Errorf("kv: shard %d: %w", shard, shared.ErrStopped)
+		}
+		select {
+		case <-ctx.Done():
+			return result{}, fmt.Errorf("kv: shard %d: %w", shard, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// doBatch submits one shard's command burst and waits until every result
+// lands in the local replica's result window, with the same
+// replica-swap-and-retry semantics as do (commands are deduplicated by id,
+// so retrying a partially committed batch is safe and exactly-once).
+func (s *Store) doBatch(ctx context.Context, shard int, ids []uint64, cmds [][]byte) error {
+	for {
+		r := s.Replica(shard)
+		if r == nil {
+			return fmt.Errorf("kv: shard %d is not hosted on this node (replication %d)", shard, s.opts.Replication)
+		}
+		err := r.SubmitBatch(ctx, cmds)
+		if err == nil {
+			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
+				results := sm.(*mapSM).results
+				for _, id := range ids {
+					if _, ok := results[id]; !ok {
+						return false
+					}
+				}
+				return true
+			})
+			if err == nil {
+				return nil
+			}
+		}
+		if !errors.Is(err, shared.ErrStopped) && !errors.Is(err, amoeba.ErrNotMember) {
+			return fmt.Errorf("kv: shard %d: %w", shard, err)
+		}
+		if s.isClosed() {
+			return fmt.Errorf("kv: shard %d: %w", shard, shared.ErrStopped)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("kv: shard %d: %w", shard, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Wire format for shard commands. Every command travels through the shard
@@ -77,6 +78,318 @@ func encodeGet(id uint64, keys []string) []byte {
 		dst = appendBytes(dst, []byte(k))
 	}
 	return dst
+}
+
+// --- Access protocol (client ↔ service) --------------------------------------
+//
+// The shard-command codec above is what travels a shard group's total order;
+// the access protocol below is what travels between a client and a node's
+// Service over Amoeba RPC — and, re-rendered as text, over amoeba-kv's TCP
+// line protocol — so the in-process client, the RPC proxy, and the external
+// daemon speak one protocol. Requests are self-describing and versioned:
+//
+//	ver(1) | op(1) | flags(1) | budget-ms uvarint | id(8) | op payload
+//
+// and responses:
+//
+//	ver(1) | status(1) | status payload
+//
+// Command ids are chosen by the originating client and carried end to end
+// (batch ops carry one id per element): replicas deduplicate applies by id,
+// which is what keeps retries exactly-once across RPC retransmissions,
+// ForwardRequest hops, and shard failovers. A node receiving a request whose
+// version it does not speak answers with an error response naming its own
+// version instead of guessing.
+
+// ProtoVersion is the access-protocol version this build speaks.
+const ProtoVersion = 1
+
+// Request ops.
+const (
+	// ReqGet is a sequenced (linearizable) read of Keys. Multi-key
+	// requests may span shards; the serving node scatter-gathers.
+	ReqGet byte = iota + 1
+	// ReqPut stores Key = Val.
+	ReqPut
+	// ReqDelete removes Key, reporting whether it existed.
+	ReqDelete
+	// ReqCAS swaps Key to Val if its value equals Expect (ExpectPresent
+	// false: only if absent).
+	ReqCAS
+	// ReqBatchPut writes Pairs, each deduplicated by its own id in IDs.
+	ReqBatchPut
+)
+
+// Request flags.
+const (
+	// flagForwarded marks a request that already took a ForwardRequest
+	// hop. A service must answer it — serve or fail — never forward
+	// again: the loop bound should two nodes' rings ever disagree.
+	flagForwarded byte = 1 << 0
+)
+
+var (
+	errBadRequest = errors.New("kv: malformed request")
+	// errVersion reports a request or response from a different protocol
+	// version.
+	errVersion = fmt.Errorf("kv: unsupported protocol version (this build speaks v%d)", ProtoVersion)
+)
+
+// Request is one decoded access-protocol operation.
+type Request struct {
+	Op    byte
+	Flags byte
+	// ID is the command id (single-command ops). The zero value asks the
+	// client to assign one; it is always set on the wire.
+	ID uint64
+	// Budget is the caller's remaining time budget, carried across the
+	// RPC hop so the serving node's context expires with the caller's.
+	// Zero means "server default".
+	Budget time.Duration
+
+	Keys          []string // ReqGet
+	Key           string   // ReqPut, ReqDelete, ReqCAS
+	Val           []byte   // ReqPut, ReqCAS
+	ExpectPresent bool     // ReqCAS
+	Expect        []byte   // ReqCAS
+	Pairs         []Pair   // ReqBatchPut
+	// IDs carries one command id per Pairs element, preserved verbatim
+	// across splits and forwards so every node deduplicates identically.
+	IDs []uint64 // ReqBatchPut
+}
+
+// EncodeRequest renders a request for the wire.
+func EncodeRequest(r *Request) []byte {
+	dst := make([]byte, 0, 64)
+	dst = append(dst, ProtoVersion, r.Op, r.Flags)
+	dst = binary.AppendUvarint(dst, uint64(r.Budget/time.Millisecond))
+	dst = binary.BigEndian.AppendUint64(dst, r.ID)
+	switch r.Op {
+	case ReqGet:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
+		for _, k := range r.Keys {
+			dst = appendBytes(dst, []byte(k))
+		}
+	case ReqPut:
+		dst = appendBytes(dst, []byte(r.Key))
+		dst = appendBytes(dst, r.Val)
+	case ReqDelete:
+		dst = appendBytes(dst, []byte(r.Key))
+	case ReqCAS:
+		dst = appendBytes(dst, []byte(r.Key))
+		if r.ExpectPresent {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, r.Expect)
+		dst = appendBytes(dst, r.Val)
+	case ReqBatchPut:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Pairs)))
+		for i, p := range r.Pairs {
+			dst = binary.BigEndian.AppendUint64(dst, r.IDs[i])
+			dst = appendBytes(dst, []byte(p.Key))
+			dst = appendBytes(dst, p.Val)
+		}
+	}
+	return dst
+}
+
+// DecodeRequest parses a wire request, rejecting unknown versions and ops.
+func DecodeRequest(b []byte) (*Request, error) {
+	if len(b) < 3 {
+		return nil, errBadRequest
+	}
+	if b[0] != ProtoVersion {
+		return nil, errVersion
+	}
+	r := &Request{Op: b[1], Flags: b[2]}
+	rest := b[3:]
+	ms, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, errBadRequest
+	}
+	r.Budget = time.Duration(ms) * time.Millisecond
+	rest = rest[w:]
+	if len(rest) < 8 {
+		return nil, errBadRequest
+	}
+	r.ID = binary.BigEndian.Uint64(rest)
+	rest = rest[8:]
+	var raw []byte
+	var err error
+	switch r.Op {
+	case ReqGet:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n == 0 || n > uint64(len(rest)) {
+			return nil, errBadRequest
+		}
+		rest = rest[w:]
+		r.Keys = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return nil, errBadRequest
+			}
+			r.Keys = append(r.Keys, string(raw))
+		}
+	case ReqPut:
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		r.Key = string(raw)
+		if r.Val, _, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+	case ReqDelete:
+		if raw, _, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		r.Key = string(raw)
+	case ReqCAS:
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		r.Key = string(raw)
+		if len(rest) < 1 {
+			return nil, errBadRequest
+		}
+		r.ExpectPresent = rest[0] != 0
+		rest = rest[1:]
+		if r.Expect, rest, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		if r.Val, _, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+	case ReqBatchPut:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n == 0 || n > uint64(len(rest)) {
+			return nil, errBadRequest
+		}
+		rest = rest[w:]
+		r.Pairs = make([]Pair, 0, n)
+		r.IDs = make([]uint64, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(rest) < 8 {
+				return nil, errBadRequest
+			}
+			r.IDs = append(r.IDs, binary.BigEndian.Uint64(rest))
+			rest = rest[8:]
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return nil, errBadRequest
+			}
+			key := string(raw)
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return nil, errBadRequest
+			}
+			r.Pairs = append(r.Pairs, Pair{Key: key, Val: raw})
+		}
+	default:
+		return nil, fmt.Errorf("kv: unknown request op %d: %w", r.Op, errBadRequest)
+	}
+	return r, nil
+}
+
+// Response statuses.
+const (
+	statusOK  byte = 1
+	statusErr byte = 2
+)
+
+// Response is the decoded outcome of one Request, identical whether the
+// request executed in process, across the RPC proxy, or behind a forward.
+type Response struct {
+	// OK reports mutation success: CAS swapped, Delete found the key.
+	// Always true for Put, BatchPut, and Get responses.
+	OK bool
+	// Values and Found answer ReqGet, aligned with the request's Keys.
+	Values [][]byte
+	Found  []bool
+	// Err is a non-empty error description; all other fields are zero.
+	Err string
+}
+
+// EncodeResponse renders a response for the wire.
+func EncodeResponse(r *Response) []byte {
+	dst := make([]byte, 0, 32)
+	if r.Err != "" {
+		dst = append(dst, ProtoVersion, statusErr)
+		return appendBytes(dst, []byte(r.Err))
+	}
+	dst = append(dst, ProtoVersion, statusOK)
+	if r.OK {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.Values)))
+	for i, v := range r.Values {
+		if i < len(r.Found) && r.Found[i] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, v)
+	}
+	return dst
+}
+
+// DecodeResponse parses a wire response.
+func DecodeResponse(b []byte) (*Response, error) {
+	if len(b) < 2 {
+		return nil, errBadRequest
+	}
+	if b[0] != ProtoVersion {
+		return nil, errVersion
+	}
+	r := &Response{}
+	rest := b[2:]
+	switch b[1] {
+	case statusErr:
+		raw, _, err := takeBytes(rest)
+		if err != nil {
+			return nil, errBadRequest
+		}
+		r.Err = string(raw)
+		if r.Err == "" {
+			r.Err = "kv: unspecified remote error"
+		}
+		return r, nil
+	case statusOK:
+		if len(rest) < 1 {
+			return nil, errBadRequest
+		}
+		r.OK = rest[0] != 0
+		rest = rest[1:]
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)) {
+			return nil, errBadRequest
+		}
+		rest = rest[w:]
+		r.Values = make([][]byte, 0, n)
+		r.Found = make([]bool, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(rest) < 1 {
+				return nil, errBadRequest
+			}
+			found := rest[0] != 0
+			rest = rest[1:]
+			raw, tail, err := takeBytes(rest)
+			if err != nil {
+				return nil, errBadRequest
+			}
+			rest = tail
+			val := append([]byte(nil), raw...)
+			if !found {
+				val = nil
+			}
+			r.Values = append(r.Values, val)
+			r.Found = append(r.Found, found)
+		}
+		return r, nil
+	default:
+		return nil, errBadRequest
+	}
 }
 
 // command is the decoded form of a wire command.

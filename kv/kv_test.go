@@ -166,7 +166,7 @@ func TestBatchPutIsExactlyOnceUnderRetry(t *testing.T) {
 	cl := stores[0].NewClient()
 	ids := []uint64{cl.nextID(), cl.nextID()}
 	cmds := [][]byte{encodePut(ids[0], "k", []byte("first")), encodePut(ids[1], "k", []byte("second"))}
-	if err := cl.doBatch(ctx, 0, ids, cmds); err != nil {
+	if err := stores[0].doBatch(ctx, 0, ids, cmds); err != nil {
 		t.Fatalf("doBatch: %v", err)
 	}
 	if err := cl.Put(ctx, "k", []byte("third")); err != nil {
@@ -174,7 +174,7 @@ func TestBatchPutIsExactlyOnceUnderRetry(t *testing.T) {
 	}
 	// Replaying the original batch (a retry after a presumed-lost reply)
 	// must be a no-op: the commands' ids already have results.
-	if err := cl.doBatch(ctx, 0, ids, cmds); err != nil {
+	if err := stores[0].doBatch(ctx, 0, ids, cmds); err != nil {
 		t.Fatalf("doBatch replay: %v", err)
 	}
 	if v, ok := cl.LocalGet("k"); !ok || string(v) != "third" {
@@ -635,8 +635,14 @@ func TestBoundedReplicationPlacement(t *testing.T) {
 			t.Fatalf("replica on second host missing write: %q %v", v, ok)
 		}
 	}
-	if err := stores[2].NewClient().Put(ctx, key0, []byte("x")); err == nil {
-		t.Fatal("Put on non-hosting node succeeded, want error")
+	// Without a kv.Service anywhere, a non-hosting node's client has no
+	// proxy to reach shard 0 through: the write must fail when its
+	// context expires instead of blocking forever (the proxying path
+	// itself is exercised in service_test.go).
+	shortCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if err := stores[2].NewClient().Put(shortCtx, key0, []byte("x")); err == nil {
+		t.Fatal("Put on non-hosting node with no service succeeded, want error")
 	}
 	if _, ok := stores[2].NewClient().LocalGet(key0); ok {
 		t.Fatal("LocalGet on non-hosting node reported found")

@@ -1,0 +1,201 @@
+// Service is the node-side half of the kv access protocol: the split that
+// turns every node into a full proxy for the whole keyspace, completing the
+// paper's Table 1 surface — group communication orders the writes, and RPC
+// with ForwardRequest carries the requests to wherever the data lives.
+
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"amoeba"
+)
+
+// ShardAddr returns the well-known RPC address at which every node hosting
+// shard i of the named store serves the access protocol. The address
+// identifies the service, not a machine (FLIP's defining property): with
+// several hosts registered, a request reaches whichever answers — and when
+// one dies, retransmissions re-locate a survivor.
+func ShardAddr(store string, shard int) amoeba.Addr {
+	return amoeba.AddrForName(fmt.Sprintf("kv/%s/%d", store, shard))
+}
+
+// NodeAddr returns the well-known RPC address of one node's service entry
+// point: the single address a Dial'd client needs to reach the whole store.
+func NodeAddr(store string, node int) amoeba.Addr {
+	return amoeba.AddrForName(fmt.Sprintf("kv/%s/node/%d", store, node))
+}
+
+// ServiceStats counts what a node's service did with the requests it
+// received.
+type ServiceStats struct {
+	// Served counts requests this node executed (over the in-process
+	// fast path or by proxying parts onward itself).
+	Served uint64
+	// Forwarded counts misrouted single-shard requests answered with a
+	// ForwardRequest to an owning node instead of an error — the client
+	// sees only the reply, from wherever the request landed.
+	Forwarded uint64
+	// Scattered counts multi-shard requests (a client with no or stale
+	// ring knowledge) this node split and scatter-gathered itself.
+	Scattered uint64
+	// Errors counts requests answered with an error response.
+	Errors uint64
+}
+
+// Service serves the kv access protocol for one node of a store: one RPC
+// server per hosted shard group at ShardAddr, plus the node's entry point at
+// NodeAddr. Requests for hosted shards execute in process (sequenced reads
+// run the read marker through the local replica — linearizable); misroutes —
+// a client with a stale ring, a shard mid-rebalance, a Dial'd client that
+// knows nothing but this node — are answered with a ForwardRequest to an
+// owning node, so a client holding one address reaches every key.
+type Service struct {
+	store  *Store
+	client *Client
+	srvs   []*amoeba.RPCServer
+
+	served    atomic.Uint64
+	forwarded atomic.Uint64
+	scattered atomic.Uint64
+	errors    atomic.Uint64
+
+	// defaultBudget bounds requests that carry no caller budget;
+	// maxBudget caps even explicit ones, so a client that vanished
+	// mid-call cannot pin a handler goroutine forever (the RPC hop
+	// carries deadlines forward but not cancellations).
+	defaultBudget time.Duration
+	maxBudget     time.Duration
+}
+
+// NewService starts serving this node's shards. Close the service before
+// closing the store.
+func NewService(s *Store) (*Service, error) {
+	svc := &Service{
+		store:         s,
+		client:        s.NewClient(),
+		defaultBudget: 10 * time.Second,
+		maxBudget:     2 * time.Minute,
+	}
+	fail := func(err error) (*Service, error) {
+		svc.Close()
+		return nil, err
+	}
+	srv, err := s.kernel.NewRPCServerWith(NodeAddr(s.name, s.opts.NodeIndex), svc.handle,
+		amoeba.RPCServerOptions{Concurrent: true})
+	if err != nil {
+		return fail(fmt.Errorf("kv: serving node entry point: %w", err))
+	}
+	svc.srvs = append(svc.srvs, srv)
+	for i := 0; i < s.opts.Shards; i++ {
+		if !hostsShard(i, s.opts.NodeIndex, s.opts.Nodes, s.opts.Replication) {
+			continue
+		}
+		srv, err := s.kernel.NewRPCServerWith(ShardAddr(s.name, i), svc.handle,
+			amoeba.RPCServerOptions{Concurrent: true})
+		if err != nil {
+			return fail(fmt.Errorf("kv: serving shard %d: %w", i, err))
+		}
+		svc.srvs = append(svc.srvs, srv)
+	}
+	return svc, nil
+}
+
+// Stats returns a snapshot of the service's request counters.
+func (svc *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Served:    svc.served.Load(),
+		Forwarded: svc.forwarded.Load(),
+		Scattered: svc.scattered.Load(),
+		Errors:    svc.errors.Load(),
+	}
+}
+
+// Close stops serving. In-flight requests fail at their clients' RPC layer
+// and are retried against surviving nodes.
+func (svc *Service) Close() {
+	for _, srv := range svc.srvs {
+		srv.Close()
+	}
+	svc.srvs = nil
+	svc.client.Close()
+}
+
+// handle serves one access-protocol request. It runs on its own goroutine
+// (concurrent RPC server), so it may block on the group layer.
+func (svc *Service) handle(raw []byte) (reply []byte, forward amoeba.Addr) {
+	req, err := DecodeRequest(raw)
+	if err != nil {
+		svc.errors.Add(1)
+		return EncodeResponse(&Response{Err: err.Error()}), 0
+	}
+	shards := svc.shardsOf(req)
+	if len(shards) == 1 && svc.store.Replica(shards[0]) == nil {
+		// Misroute: the one shard this request needs lives elsewhere.
+		if req.Flags&flagForwarded != 0 {
+			// Already forwarded once; rings disagree. Answer rather
+			// than bounce the request around.
+			svc.errors.Add(1)
+			return EncodeResponse(&Response{Err: fmt.Sprintf(
+				"shard %d not hosted at forward target (ring mismatch?)", shards[0])}), 0
+		}
+		svc.forwarded.Add(1)
+		fwd := *req
+		fwd.Flags |= flagForwarded
+		return EncodeRequest(&fwd), ShardAddr(svc.store.name, shards[0])
+	}
+	if len(shards) > 1 {
+		// A client with no (or stale) ring knowledge packed several
+		// shards' keys into one request: this node re-scatters it, local
+		// parts in process and remote parts over RPC — the full proxy.
+		svc.scattered.Add(1)
+	}
+	svc.served.Add(1)
+	budget := req.Budget
+	if budget <= 0 {
+		budget = svc.defaultBudget
+	}
+	if budget > svc.maxBudget {
+		budget = svc.maxBudget
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	// Sub-requests the client issues for re-scattered parts are fresh
+	// requests (no forwarded flag), targeted by this node's ring.
+	resp, err := svc.client.Do(ctx, req)
+	if err != nil {
+		svc.errors.Add(1)
+		return EncodeResponse(&Response{Err: err.Error()}), 0
+	}
+	return EncodeResponse(resp), 0
+}
+
+// shardsOf lists the distinct shards a request touches, under this node's
+// ring.
+func (svc *Service) shardsOf(req *Request) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(key string) {
+		s := svc.store.ring.shard(key)
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	switch req.Op {
+	case ReqGet:
+		for _, k := range req.Keys {
+			add(k)
+		}
+	case ReqBatchPut:
+		for _, p := range req.Pairs {
+			add(p.Key)
+		}
+	default:
+		add(req.Key)
+	}
+	return out
+}

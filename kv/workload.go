@@ -22,10 +22,18 @@ type LoadOptions struct {
 	// replicates every shard.
 	Nodes int
 	// Replication bounds the per-shard replica count (see
-	// Options.Replication). When set, each load client is pinned to one
-	// shard and runs on a node hosting it, writing only that shard's
-	// keys — the access pattern of a shard-aware production client.
+	// Options.Replication). When set (and Proxied is not), each load
+	// client is pinned to one shard and runs on a node hosting it,
+	// writing only that shard's keys — the access pattern of a
+	// shard-aware production client.
 	Replication int
+	// Proxied runs the load through the service/proxy path instead:
+	// every node starts a kv.Service, and each client holds nothing but
+	// one node's address (kv.Dial, no ring), so every operation enters at
+	// that node and reaches foreign shards via ForwardRequest — the
+	// whole-keyspace-through-one-address access pattern. The report's
+	// Forwarded counter shows the proxy actually being exercised.
+	Proxied bool
 	// Clients is the number of concurrent clients, spread round-robin
 	// across nodes (default 2 per node).
 	Clients int
@@ -86,6 +94,12 @@ type LoadReport struct {
 	OrderedBatches uint64
 	BatchedMsgs    uint64
 	MaxBatchMsgs   uint64
+
+	// Proxy-path counters (Proxied runs): requests the node services
+	// forwarded to an owning node, and operations that left their client
+	// over RPC.
+	Forwarded uint64
+	RemoteOps uint64
 }
 
 // OpsPerSec is the aggregate throughput across all shards.
@@ -102,6 +116,9 @@ func (r LoadReport) String() string {
 	if r.OrderedBatches > 0 {
 		s += fmt.Sprintf(" avg=%.1f max=%d msgs",
 			float64(r.BatchedMsgs)/float64(r.OrderedBatches), r.MaxBatchMsgs)
+	}
+	if r.RemoteOps > 0 || r.Forwarded > 0 {
+		s += fmt.Sprintf("; proxied: remote=%d forwarded=%d", r.RemoteOps, r.Forwarded)
 	}
 	return s
 }
@@ -136,11 +153,26 @@ func RunLoad(ctx context.Context, o LoadOptions) (LoadReport, error) {
 			s.Close()
 		}
 	}()
-	return driveLoad(ctx, stores, o)
+	var svcs []*Service
+	if o.Proxied {
+		for _, s := range stores {
+			svc, err := NewService(s)
+			if err != nil {
+				return LoadReport{}, fmt.Errorf("kv: load service: %w", err)
+			}
+			svcs = append(svcs, svc)
+		}
+		defer func() {
+			for _, svc := range svcs {
+				svc.Close()
+			}
+		}()
+	}
+	return driveLoad(ctx, stores, svcs, o)
 }
 
 // driveLoad runs the measured phase against an existing set of nodes.
-func driveLoad(ctx context.Context, stores []*Store, o LoadOptions) (LoadReport, error) {
+func driveLoad(ctx context.Context, stores []*Store, svcs []*Service, o LoadOptions) (LoadReport, error) {
 	o = o.withDefaults()
 	var (
 		ops, errs uint64
@@ -153,11 +185,11 @@ func driveLoad(ctx context.Context, stores []*Store, o LoadOptions) (LoadReport,
 	timer := time.AfterFunc(o.Duration, cancel)
 	defer timer.Stop()
 
-	// With bounded replication a client can only reach shards its node
-	// hosts: pin each client to one shard, run it on that shard's first
-	// host, and draw keys owned by that shard.
+	// With bounded replication and no proxying, a client can only reach
+	// shards its node hosts: pin each client to one shard, run it on that
+	// shard's first host, and draw keys owned by that shard.
 	var shardKeys [][]string
-	if o.Replication > 0 {
+	if o.Replication > 0 && !o.Proxied {
 		// Use the store's own ring so client pinning matches placement.
 		shardKeys = make([][]string, o.Shards)
 		need := o.Keys/o.Shards + 1
@@ -174,18 +206,35 @@ func driveLoad(ctx context.Context, stores []*Store, o LoadOptions) (LoadReport,
 		}
 	}
 
+	clients := make([]*Client, 0, o.Clients)
+	defer func() {
+		for _, cl := range clients {
+			cl.Close()
+		}
+	}()
 	for i := 0; i < o.Clients; i++ {
 		var (
 			cl   *Client
 			keys []string
 		)
-		if o.Replication > 0 {
+		switch {
+		case o.Proxied:
+			// Each client holds one node's address and nothing else;
+			// the node proxies the rest of the keyspace.
+			node := i % len(stores)
+			var err error
+			cl, err = Dial(stores[node].kernel, stores[node].name, DialOptions{Node: node})
+			if err != nil {
+				return LoadReport{}, fmt.Errorf("kv: load dial: %w", err)
+			}
+		case o.Replication > 0:
 			shard := i % o.Shards
 			cl = stores[shard%len(stores)].NewClient()
 			keys = shardKeys[shard]
-		} else {
+		default:
 			cl = stores[i%len(stores)].NewClient()
 		}
+		clients = append(clients, cl)
 		rng := rand.New(rand.NewSource(o.Seed + int64(i)))
 		wg.Add(1)
 		go func() {
@@ -245,6 +294,12 @@ func driveLoad(ctx context.Context, stores []*Store, o LoadOptions) (LoadReport,
 				rep.MaxBatchMsgs = st.MaxBatchMsgs
 			}
 		}
+	}
+	for _, svc := range svcs {
+		rep.Forwarded += svc.Stats().Forwarded
+	}
+	for _, cl := range clients {
+		rep.RemoteOps += cl.Stats().RemoteOps
 	}
 	return rep, nil
 }

@@ -27,3 +27,33 @@ func TestRunLoadSmoke(t *testing.T) {
 	}
 	t.Logf("%s", rep)
 }
+
+func TestRunLoadProxied(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := RunLoad(ctx, LoadOptions{
+		Shards:      4,
+		Nodes:       4,
+		Replication: 1, // each shard on one node: most ops must leave the entry node
+		Proxied:     true,
+		Clients:     4,
+		Duration:    200 * time.Millisecond,
+		Keys:        64,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Fatal("proxied load run made no progress")
+	}
+	if rep.Errors > rep.Ops/10 {
+		t.Fatalf("excessive errors: %d errors, %d ops", rep.Errors, rep.Ops)
+	}
+	if rep.Forwarded == 0 {
+		t.Fatalf("proxied run forwarded nothing: %+v", rep)
+	}
+	if rep.RemoteOps == 0 {
+		t.Fatalf("proxied run kept everything local: %+v", rep)
+	}
+	t.Logf("%s", rep)
+}

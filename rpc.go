@@ -19,7 +19,10 @@ func AddrForName(name string) Addr { return Addr(flip.AddressForName(name)) }
 // RPCHandler serves one request. Returning a non-zero forward address
 // instead of a reply hands the request to that server — the paper's
 // ForwardRequest primitive; the reply reaches the client from wherever the
-// request lands.
+// request lands. When forwarding, a non-nil reply replaces the request
+// payload (the handler may rewrite the request before handing it on, e.g. to
+// mark it as already forwarded — see the kv shard proxy); a nil reply
+// forwards the original bytes unchanged.
 type RPCHandler func(req []byte) (reply []byte, forward Addr)
 
 // RPCServer answers point-to-point RPCs, Amoeba's other communication
@@ -29,10 +32,31 @@ type RPCServer struct {
 	srv *rpc.Server
 }
 
+// RPCServerOptions tunes an RPCServer.
+type RPCServerOptions struct {
+	// Concurrent runs each request handler on its own goroutine, so
+	// handlers may block — perform group sends, issue RPCs of their own —
+	// without stalling the kernel's packet delivery (which would deadlock
+	// a handler that needs inbound packets to make progress). Duplicate
+	// requests arriving while a handler runs are suppressed; once it
+	// completes, retransmissions are answered from the reply cache.
+	// Handlers that must execute at most once under concurrent traffic
+	// from one client should deduplicate by a request id of their own,
+	// as the kv service does.
+	Concurrent bool
+}
+
 // NewRPCServer starts serving at addr (use AddrForName for well-known
-// services, or 0 to allocate a fresh address).
+// services, or 0 to allocate a fresh address). Handlers run on the kernel's
+// delivery goroutine and must not block; for blocking handlers see
+// NewRPCServerWith.
 func (k *Kernel) NewRPCServer(addr Addr, h RPCHandler) (*RPCServer, error) {
-	srv, err := rpc.NewServer(rpc.Config{Stack: k.stack, Clock: k.clock},
+	return k.NewRPCServerWith(addr, h, RPCServerOptions{})
+}
+
+// NewRPCServerWith starts serving at addr with explicit options.
+func (k *Kernel) NewRPCServerWith(addr Addr, h RPCHandler, opts RPCServerOptions) (*RPCServer, error) {
+	srv, err := rpc.NewServer(rpc.Config{Stack: k.stack, Clock: k.clock, Concurrent: opts.Concurrent},
 		flip.Address(addr),
 		func(req []byte) ([]byte, flip.Address) {
 			reply, fwd := h(req)
@@ -65,24 +89,18 @@ func (k *Kernel) NewRPCClient() (*RPCClient, error) {
 }
 
 // Call performs a blocking RPC: request out, reply back, with
-// retransmission on loss and at-most-once execution at the server.
+// retransmission on loss and at-most-once execution at the server. The
+// context bounds the call end to end: when ctx expires mid-retransmit the
+// pending transaction is withdrawn — its retry timer stops and no goroutine
+// or retransmission traffic lingers — and ctx's error is returned.
 func (c *RPCClient) Call(ctx context.Context, server Addr, req []byte) ([]byte, error) {
-	type result struct {
-		reply []byte
-		err   error
-	}
-	done := make(chan result, 1)
-	go func() {
-		reply, err := c.cl.Call(flip.Address(server), req)
-		done <- result{reply, err}
-	}()
-	select {
-	case r := <-done:
-		return r.reply, r.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
+	return c.cl.CallContext(ctx, flip.Address(server), req)
 }
 
 // Close releases the client; in-flight calls fail.
 func (c *RPCClient) Close() { c.cl.Close() }
+
+// ErrRPCTimeout reports an RPC whose retransmissions all went unanswered:
+// the server is unreachable, crashed, or (for a well-known address) not yet
+// registered anywhere.
+var ErrRPCTimeout = rpc.ErrTimeout
