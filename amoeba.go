@@ -24,6 +24,12 @@
 //	                   answers misrouted requests by forwarding them to an
 //	                   owning node, the reply returning from wherever the
 //	                   request lands
+//	(message history)  Amoeba's history is in-memory only: resilience r
+//	                   survives r crashes, never a whole-cluster restart.
+//	                   The wal package extends it to disk — shared.Open
+//	                   journals each replica's delivered entries, and a
+//	                   cold start reforms the group from the longest
+//	                   surviving log, seeded via GroupOptions.FirstSeq
 //
 // All primitives are blocking, as in Amoeba; obtain concurrency by calling
 // them from multiple goroutines (the paper's "parallelism through

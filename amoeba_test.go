@@ -412,3 +412,50 @@ func TestFullStackOverUDP(t *testing.T) {
 		}
 	}
 }
+
+// TestFirstSeqSeedsSequenceSpace: a group created with FirstSeq continues a
+// recovered timeline — its first entries are ordered past the seed, and a
+// joiner's deliveries carry the continued numbering.
+func TestFirstSeqSeedsSequenceSpace(t *testing.T) {
+	ctx := ctxT(t)
+	net := NewMemoryNetwork()
+	defer net.Close()
+	k1, err := net.NewKernel("m1")
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	k2, err := net.NewKernel("m2")
+	if err != nil {
+		t.Fatalf("NewKernel: %v", err)
+	}
+	const seed = 500
+	g1, err := k1.CreateGroup(ctx, "reformed", GroupOptions{FirstSeq: seed})
+	if err != nil {
+		t.Fatalf("CreateGroup: %v", err)
+	}
+	defer g1.Close()
+	// The creator's own join is the first entry of the continued history.
+	m, err := g1.Receive(ctx)
+	if err != nil || m.Kind != Join || m.Seq != seed+1 {
+		t.Fatalf("creator's first delivery = %+v, %v; want join at seq %d", m, err, seed+1)
+	}
+	g2, err := k2.JoinGroup(ctx, "reformed", GroupOptions{})
+	if err != nil {
+		t.Fatalf("JoinGroup: %v", err)
+	}
+	defer g2.Close()
+	if err := g1.Send(ctx, []byte("post-recovery")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	m, err = g2.Receive(ctx) // own join
+	if err != nil || m.Kind != Join || m.Seq != seed+2 {
+		t.Fatalf("joiner's join = %+v, %v; want seq %d", m, err, seed+2)
+	}
+	m, err = g2.Receive(ctx)
+	if err != nil || m.Kind != Data || m.Seq != seed+3 {
+		t.Fatalf("data = %+v, %v; want seq %d", m, err, seed+3)
+	}
+	if info := g1.Info(); info.NextSeq != seed+4 {
+		t.Fatalf("NextSeq = %d, want %d", info.NextSeq, seed+4)
+	}
+}

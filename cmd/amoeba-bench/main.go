@@ -12,7 +12,7 @@
 //	amoeba-bench -list                # list experiment ids
 //
 // Experiment ids: table3, fig1, fig3, fig4, fig5, fig6, fig7, fig8, rpc, cm,
-// userspace, placement, processing, sharded, batched, proxied.
+// userspace, placement, processing, sharded, batched, proxied, durable.
 package main
 
 import (
@@ -25,6 +25,7 @@ import (
 	"amoeba/internal/experiments"
 	"amoeba/internal/netsim"
 	"amoeba/kv"
+	"amoeba/shared"
 )
 
 // proxiedTable renders the kv access-path latency measurement — the one
@@ -48,6 +49,37 @@ func proxiedTable(results []kv.AccessPathResult) *experiments.Table {
 			fmt.Sprintf("%.0f", r.P90Us),
 			fmt.Sprintf("%.2fx", r.VsLocal),
 			fw,
+		})
+	}
+	return t
+}
+
+// durableTable renders the durable-history measurement — like the proxied
+// experiment it runs on the live fabric (and a real disk), so it lives with
+// the layer it measures (shared.MeasureDurable).
+func durableTable(res *shared.DurableBenchResult) *experiments.Table {
+	t := &experiments.Table{
+		ID:        "Durable history",
+		Title:     "write-ahead log: ordered throughput by journaling mode, and cold-start recovery time vs log size (live fabric + real disk)",
+		PaperNote: "the paper's history is in-memory only (r crashes lose nothing, a whole-cluster power loss everything); the WAL extends the fault-tolerance-for-performance trade to full restarts",
+		Columns:   []string{"case", "result", "note"},
+	}
+	for _, r := range res.Throughput {
+		t.Rows = append(t.Rows, []string{
+			"ordered throughput, " + r.Mode,
+			fmt.Sprintf("%.0f cmds/s", r.CmdsPerSec),
+			fmt.Sprintf("%.2fx in-memory", r.VsMemory),
+		})
+	}
+	for _, r := range res.Recovery {
+		label := fmt.Sprintf("recovery, %d entries", r.Entries)
+		if r.Checkpointed {
+			label += " + checkpoint"
+		}
+		t.Rows = append(t.Rows, []string{
+			label,
+			fmt.Sprintf("%.2f ms", r.RecoverMs),
+			fmt.Sprintf("%d KiB log, %d replayed", r.LogBytes/1024, r.Replayed),
 		})
 	}
 	return t
@@ -118,9 +150,26 @@ func run() int {
 				return proxiedTable(results), buf, err
 			},
 		},
+		"durable": {
+			run: func(netsim.CostModel) (*experiments.Table, error) {
+				res, err := shared.MeasureDurable()
+				if err != nil {
+					return nil, err
+				}
+				return durableTable(res), nil
+			},
+			json: func(netsim.CostModel) (*experiments.Table, []byte, error) {
+				res, err := shared.MeasureDurable()
+				if err != nil {
+					return nil, nil, err
+				}
+				buf, err := shared.DurableBenchJSON(res)
+				return durableTable(res), buf, err
+			},
+		},
 	}
 	order := []string{"table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied"}
+		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable"}
 
 	if *list {
 		ids := make([]string, 0, len(exps))

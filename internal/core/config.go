@@ -137,6 +137,14 @@ type Config struct {
 	// Default 16; 1 disables coalescing (batches also stay within
 	// MaxMessage bytes of payload regardless of count).
 	MaxBatch int
+	// FirstSeq seeds a creator's sequence space: the new group's first
+	// entry is ordered at FirstSeq+1, as if FirstSeq messages had already
+	// been delivered. A process reforming a group from a durable log sets
+	// it to the highest recovered sequence number, so the re-created
+	// group's history continues the recovered timeline instead of reusing
+	// numbers the log already binds to old entries. Zero (the default)
+	// starts at 1, as always; joiners ignore it.
+	FirstSeq uint32
 
 	// RetryInterval spaces sender retransmissions of unacknowledged
 	// requests and joins. Default 50 ms.

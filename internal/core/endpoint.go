@@ -225,7 +225,9 @@ func NewCreator(cfg Config) (*Endpoint, error) {
 	ep.isSeq = true
 	ep.view = view{incarnation: 1, members: []Member{{ID: 0, Addr: cfg.Self}}, sequencer: 0}
 	ep.pending = ep.view.clone()
-	ep.lastRecv = map[MemberID]uint32{0: 0}
+	ep.globalSeq = cfg.FirstSeq
+	ep.maxSeen = cfg.FirstSeq
+	ep.lastRecv = map[MemberID]uint32{0: cfg.FirstSeq}
 	ep.dedup = make(map[MemberID]dedupEntry)
 	return ep, nil
 }
@@ -255,8 +257,8 @@ func (ep *Endpoint) Start() {
 	ep.mu.Lock()
 	switch {
 	case ep.closed:
-	case ep.isSeq && ep.globalSeq == 0:
-		ep.orderLocked(KindJoin, 0, 0, encodeView(ep.pending, 1))
+	case ep.isSeq && ep.globalSeq == ep.cfg.FirstSeq:
+		ep.orderLocked(KindJoin, 0, 0, encodeView(ep.pending, ep.cfg.FirstSeq+1))
 		ep.armSyncLocked()
 	case ep.st == stJoining:
 		ep.sendJoinReqLocked()
@@ -273,11 +275,16 @@ func newEndpoint(cfg Config) (*Endpoint, error) {
 		return nil, errors.New("core: Transport and Clock are required")
 	}
 	cfg.applyDefaults()
+	hist := newHistory(cfg.HistorySize)
+	// Seed the sequence space: a creator reforming a group from a durable
+	// log starts past the recovered history (a joiner re-bases at its join
+	// regardless). Seqnos start at FirstSeq+1; the default is 1.
+	hist.floor = cfg.FirstSeq
 	return &Endpoint{
 		cfg:         cfg,
-		hist:        newHistory(cfg.HistorySize),
+		hist:        hist,
 		bbCache:     make(map[bbKey][]byte),
-		nextDeliver: 1, // seqnos start at 1; a joiner re-bases at its join
+		nextDeliver: cfg.FirstSeq + 1,
 	}, nil
 }
 

@@ -6,14 +6,17 @@
 // The protocol is the classic blocking request/reply with at-most-once
 // execution: the client retransmits until a reply (or a server-side
 // acknowledgement of a long-running call) arrives; the server suppresses
-// duplicate transaction ids and caches its last reply per client for
-// retransmission. ForwardRequest — the Table 1 primitive that bounces a
+// duplicate transaction ids and caches replies — an LRU keyed by (client,
+// transaction), so pipelined calls from one client each keep their own
+// at-most-once slot — for retransmission. ForwardRequest — the Table 1
+// primitive that bounces a
 // request to another group member — is supported by letting a handler return
 // a forward address: the server hands the original request to the new
 // destination, and the reply flows back to the client directly.
 package rpc
 
 import (
+	"container/list"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -117,18 +120,24 @@ type Config struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds them (default 10).
 	MaxRetries int
-	// Concurrent makes a Server run each request handler on its own
-	// goroutine, so handlers may block — perform group sends, wait on
-	// other RPCs — without stalling the stack's delivery goroutine (which
-	// would deadlock a handler that needs inbound packets to make
-	// progress). Duplicate requests arriving while a handler runs are
-	// dropped; the client's retransmissions are answered from the reply
-	// cache once the handler completes. With concurrent requests in
-	// flight from one client the single-slot reply cache no longer
-	// guarantees at-most-once execution by itself — callers needing
-	// exactly-once must deduplicate by request id in the application, as
-	// the kv state machine does.
+	// Concurrent makes a Server run request handlers on a bounded worker
+	// pool, so handlers may block — perform group sends, wait on other
+	// RPCs — without stalling the stack's delivery goroutine (which would
+	// deadlock a handler that needs inbound packets to make progress).
+	// Duplicate requests arriving while a handler runs are dropped; the
+	// client's retransmissions are answered from the reply cache once the
+	// handler completes.
 	Concurrent bool
+	// MaxConcurrent bounds the Concurrent worker pool (default 64): a
+	// retransmission storm queues — and past the queue, drops — requests
+	// instead of spawning unbounded goroutines; dropped requests are
+	// served by the client's next retransmission.
+	MaxConcurrent int
+	// ReplyCacheSize bounds the at-most-once reply cache, an LRU keyed by
+	// (client, transaction) — so concurrent requests from one client each
+	// keep their own cached reply instead of thrashing a single slot
+	// (default 1024 entries).
+	ReplyCacheSize int
 }
 
 func (c *Config) applyDefaults() {
@@ -140,6 +149,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 10
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.ReplyCacheSize <= 0 {
+		c.ReplyCacheSize = 1024
 	}
 }
 
@@ -319,19 +334,32 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
-	// Duplicate suppression and reply retransmission, per client.
-	seen map[flip.Address]lastReply
+	// Duplicate suppression and reply retransmission: an LRU keyed by
+	// (client, txn), so concurrent transactions from one client each keep
+	// their own cached reply instead of thrashing a single slot.
+	replies   map[inflightKey]*list.Element
+	replyList *list.List // front: most recently used cacheEntry
 	// Requests whose handler is still running (Concurrent mode):
 	// retransmissions arriving meanwhile are dropped, not re-executed.
 	inflight map[inflightKey]bool
 	// Last forward per client: a retransmission that forwards to the same
 	// destination again hints the forward route is stale.
 	lastFwd map[flip.Address]forwardMark
+	// Concurrent-mode worker pool: requests queue on work, MaxConcurrent
+	// workers drain it, overflow is dropped for the client to retransmit.
+	work    chan job
+	dropped uint64
 }
 
-type lastReply struct {
-	txn uint32
+type cacheEntry struct {
+	key inflightKey
 	pkt []byte
+}
+
+type job struct {
+	h       header
+	client  flip.Address
+	payload []byte
 }
 
 type inflightKey struct {
@@ -342,6 +370,33 @@ type inflightKey struct {
 type forwardMark struct {
 	txn uint32
 	dst flip.Address
+}
+
+// cacheReplyLocked stores a reply packet under (client, txn), evicting the
+// least recently used entry past the cache bound.
+func (s *Server) cacheReplyLocked(key inflightKey, pkt []byte) {
+	if el, ok := s.replies[key]; ok {
+		el.Value.(*cacheEntry).pkt = pkt
+		s.replyList.MoveToFront(el)
+		return
+	}
+	s.replies[key] = s.replyList.PushFront(&cacheEntry{key: key, pkt: pkt})
+	for len(s.replies) > s.cfg.ReplyCacheSize {
+		oldest := s.replyList.Back()
+		s.replyList.Remove(oldest)
+		delete(s.replies, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// cachedReplyLocked fetches the reply cached for (client, txn), refreshing
+// its recency.
+func (s *Server) cachedReplyLocked(key inflightKey) ([]byte, bool) {
+	el, ok := s.replies[key]
+	if !ok {
+		return nil, false
+	}
+	s.replyList.MoveToFront(el)
+	return el.Value.(*cacheEntry).pkt, true
 }
 
 // NewServer registers addr (allocating one when zero) and serves requests
@@ -359,15 +414,39 @@ func NewServer(cfg Config, addr flip.Address, h Handler) (*Server, error) {
 		addr = cfg.Stack.AllocAddress()
 	}
 	s := &Server{
-		cfg:      cfg,
-		addr:     addr,
-		handler:  h,
-		seen:     make(map[flip.Address]lastReply),
-		inflight: make(map[inflightKey]bool),
-		lastFwd:  make(map[flip.Address]forwardMark),
+		cfg:       cfg,
+		addr:      addr,
+		handler:   h,
+		replies:   make(map[inflightKey]*list.Element),
+		replyList: list.New(),
+		inflight:  make(map[inflightKey]bool),
+		lastFwd:   make(map[flip.Address]forwardMark),
+	}
+	if cfg.Concurrent {
+		// The queue holds a few bursts beyond the pool so short spikes do
+		// not drop; a sustained storm drops and relies on retransmission.
+		s.work = make(chan job, 4*cfg.MaxConcurrent)
+		for i := 0; i < cfg.MaxConcurrent; i++ {
+			go s.worker()
+		}
 	}
 	cfg.Stack.Register(addr, s.onMessage)
 	return s, nil
+}
+
+// worker drains the Concurrent request queue.
+func (s *Server) worker() {
+	for j := range s.work {
+		s.serve(j.h, j.client, j.payload)
+	}
+}
+
+// Dropped reports requests shed because the Concurrent worker pool and its
+// queue were full; each was (or will be) served by a later retransmission.
+func (s *Server) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Addr returns the server's FLIP address.
@@ -383,6 +462,11 @@ func (s *Server) Close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.cfg.Stack.Unregister(s.addr)
+	if s.work != nil {
+		// Safe: enqueues happen under s.mu with the closed flag checked,
+		// so no sender can race this close.
+		close(s.work)
+	}
 }
 
 func (s *Server) onMessage(m flip.Message) {
@@ -395,15 +479,15 @@ func (s *Server) onMessage(m flip.Message) {
 		return
 	}
 	client := h.replyTo
+	key := inflightKey{client: client, txn: h.txn}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
-	if last, ok := s.seen[client]; ok && last.txn == h.txn {
+	if pkt, ok := s.cachedReplyLocked(key); ok {
 		// Duplicate request: retransmit the cached reply.
-		pkt := last.pkt
 		s.mu.Unlock()
 		if pkt != nil {
 			_ = s.cfg.Stack.Send(s.addr, client, pkt)
@@ -411,14 +495,19 @@ func (s *Server) onMessage(m flip.Message) {
 		return
 	}
 	if s.cfg.Concurrent {
-		key := inflightKey{client: client, txn: h.txn}
 		if s.inflight[key] {
 			s.mu.Unlock()
 			return // handler already running; the reply will be cached
 		}
-		s.inflight[key] = true
+		select {
+		case s.work <- job{h: h, client: client, payload: payload}:
+			s.inflight[key] = true
+		default:
+			// Pool and queue saturated: shed the request rather than
+			// spawn; the client's retransmission will try again.
+			s.dropped++
+		}
 		s.mu.Unlock()
-		go s.serve(h, client, payload)
 		return
 	}
 	s.mu.Unlock()
@@ -426,7 +515,7 @@ func (s *Server) onMessage(m flip.Message) {
 }
 
 // serve runs the handler for one request and transmits the reply or the
-// forward. In Concurrent mode it runs on its own goroutine; otherwise on the
+// forward. In Concurrent mode it runs on a pool worker; otherwise on the
 // stack's delivery goroutine.
 func (s *Server) serve(h header, client flip.Address, payload []byte) {
 	// The handler is user code: waking the server thread is part of the
@@ -462,10 +551,7 @@ func (s *Server) serve(h header, client flip.Address, payload []byte) {
 	}
 	pkt := encode(header{typ: ptReply, txn: h.txn, replyTo: s.addr}, reply)
 	s.mu.Lock()
-	if len(s.seen) > 1024 { // bound the duplicate cache
-		s.seen = make(map[flip.Address]lastReply)
-	}
-	s.seen[client] = lastReply{txn: h.txn, pkt: pkt}
+	s.cacheReplyLocked(inflightKey{client: client, txn: h.txn}, pkt)
 	delete(s.inflight, inflightKey{client: client, txn: h.txn})
 	s.mu.Unlock()
 	s.cfg.Meter.Charge(cost.GroupOut, 0)

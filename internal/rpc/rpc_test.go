@@ -445,3 +445,133 @@ func TestForwardRewrite(t *testing.T) {
 		t.Fatalf("reply = %q, want %q", reply, "saw:stamped+x")
 	}
 }
+
+// TestReplyCachePerTransaction: the at-most-once cache is keyed by (client,
+// txn), so a retransmission of an OLD transaction must be answered from the
+// cache even after the same client completed a NEWER one — the single-slot
+// thrash the LRU replaces.
+func TestReplyCachePerTransaction(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss, cs := newStack(t, net), newStack(t, net)
+	var executions atomic.Uint64
+	srv, err := NewServer(cfg(ss), 0, func(req []byte) ([]byte, flip.Address) {
+		executions.Add(1)
+		return append([]byte("r:"), req...), 0
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	// Drive the wire protocol directly so the duplicate is under test
+	// control: a client address that records replies.
+	clientAddr := cs.AllocAddress()
+	type rep struct {
+		txn     uint32
+		payload []byte
+	}
+	replies := make(chan rep, 16)
+	cs.Register(clientAddr, func(m flip.Message) {
+		if txn, payload, ok := DecodeReply(m.Payload); ok {
+			replies <- rep{txn: txn, payload: payload}
+		}
+	})
+	defer cs.Unregister(clientAddr)
+
+	send := func(txn uint32, body string) {
+		if err := cs.Send(clientAddr, srv.Addr(), EncodeRequest(txn, clientAddr, []byte(body))); err != nil {
+			t.Fatalf("send txn %d: %v", txn, err)
+		}
+	}
+	recv := func(wantTxn uint32, wantBody string) {
+		t.Helper()
+		select {
+		case r := <-replies:
+			if r.txn != wantTxn || string(r.payload) != wantBody {
+				t.Fatalf("reply = txn %d %q, want txn %d %q", r.txn, r.payload, wantTxn, wantBody)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no reply for txn %d", wantTxn)
+		}
+	}
+
+	send(1, "a")
+	recv(1, "r:a")
+	send(2, "b") // a newer transaction from the same client
+	recv(2, "r:b")
+	send(1, "a") // retransmission of the OLD transaction
+	recv(1, "r:a")
+	if got := executions.Load(); got != 2 {
+		t.Fatalf("handler executed %d times, want 2 (the txn-1 retransmission must hit the cache)", got)
+	}
+}
+
+// TestConcurrentPoolBounded: Concurrent mode must cap handler parallelism at
+// MaxConcurrent — a burst beyond the cap queues or sheds (and retransmits),
+// never spawns unbounded goroutines — while every call still completes.
+func TestConcurrentPoolBounded(t *testing.T) {
+	net := memnet.NewReliable()
+	defer net.Close()
+	ss := newStack(t, net)
+
+	const cap = 4
+	var (
+		running atomic.Int64
+		peak    atomic.Int64
+	)
+	gate := make(chan struct{})
+	scfg := cfg(ss)
+	scfg.Concurrent = true
+	scfg.MaxConcurrent = cap
+	srv, err := NewServer(scfg, 0, func(req []byte) ([]byte, flip.Address) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-gate
+		running.Add(-1)
+		return req, 0
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	const calls = 32
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cs := newStack(t, net)
+			cl, err := NewClient(cfg(cs))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer cl.Close()
+			_, errs[i] = cl.Call(srv.Addr(), []byte{byte(i)})
+		}()
+	}
+	// Let the burst saturate the pool, then release the handlers.
+	time.Sleep(300 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if p := peak.Load(); p > cap {
+		t.Fatalf("handler parallelism peaked at %d, cap is %d", p, cap)
+	}
+	if p := peak.Load(); p == 0 {
+		t.Fatal("no handler ever ran")
+	}
+}

@@ -89,6 +89,13 @@ type GroupOptions struct {
 	// MaxBatch bounds the messages coalesced into one batch request
 	// (default 16; 1 disables coalescing).
 	MaxBatch int
+	// FirstSeq seeds a created group's sequence space: the first entry is
+	// ordered at FirstSeq+1, as if FirstSeq messages had already been
+	// delivered. A process reforming a group from a durable log (see the
+	// shared package's Durability) sets it to the highest recovered
+	// sequence number so the new history continues the recovered timeline.
+	// Zero starts at 1 as always; JoinGroup ignores it.
+	FirstSeq uint32
 	// AutoReset makes the group rebuild itself when a member or the
 	// sequencer is suspected dead. When false (default, matching
 	// Amoeba), the application decides by calling Reset.
@@ -110,6 +117,7 @@ func (o GroupOptions) coreConfig() core.Config {
 		MaxMessage:   o.MaxMessage,
 		SendWindow:   o.SendWindow,
 		MaxBatch:     o.MaxBatch,
+		FirstSeq:     o.FirstSeq,
 		AutoReset:    o.AutoReset,
 		MinSurvivors: o.MinSurvivors,
 	}

@@ -35,6 +35,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -68,6 +70,21 @@ type Options struct {
 	// ResultWindow bounds the per-shard replicated result table
 	// (default 65536 commands).
 	ResultWindow int
+	// DataDir, when set, makes every hosted shard durable: each replica
+	// journals its deliveries to a write-ahead log under
+	// DataDir/<store>/node-<n>/shard-<i> and checkpoints snapshots, so a
+	// restart of every node at once — the failure replication cannot mask
+	// — recovers all data and the command-id dedup state (retried
+	// commands stay exactly-once across the restart). Requires Nodes and
+	// NodeIndex (Bootstrap fills them in). Empty (the default) keeps the
+	// paper's in-memory semantics.
+	DataDir string
+	// WALSync fsyncs every journal append: durability against power loss
+	// rather than process crashes, at a throughput cost.
+	WALSync bool
+	// CheckpointEvery is the number of journaled commands between
+	// snapshot checkpoints per shard (default 1024).
+	CheckpointEvery int
 	// Group configures every shard group (resilience, method, history —
 	// see amoeba.GroupOptions).
 	Group amoeba.GroupOptions
@@ -90,6 +107,12 @@ func (o Options) withDefaults() Options {
 // network, so the store name namespaces them.
 func shardGroupName(store string, i int) string {
 	return fmt.Sprintf("kv/%s/shard-%d", store, i)
+}
+
+// shardDataDir is one replica's private log directory: per store, per node
+// slot, per shard — two replicas must never share a log.
+func shardDataDir(dataDir, store string, node, shard int) string {
+	return filepath.Join(dataDir, store, fmt.Sprintf("node-%d", node), fmt.Sprintf("shard-%d", shard))
 }
 
 // hostsShard reports whether placement slot nodeIndex hosts shard i under
@@ -171,8 +194,8 @@ func (s *Store) watchShard(i int) {
 		if closed {
 			return
 		}
-		r.Close() // release the expelled replica's transfer service
-		rep, err := joinShard(s.healCtx, s.kernel, shardGroupName(s.name, i), s.opts)
+		r.Close() // release the expelled replica's transfer service (and log)
+		rep, err := openShard(s.healCtx, s.kernel, s.name, i, s.opts, false)
 		if err != nil {
 			if s.healCtx.Err() != nil {
 				return
@@ -205,6 +228,13 @@ func (s *Store) watchShard(i int) {
 // sequencers, so with as many nodes as shards every node sequences exactly
 // one shard — and joined by every other node.
 //
+// With Options.DataDir set the store is durable, and Bootstrap doubles as
+// the restart path: when the store's directory already exists, every node
+// recovers its shards from their write-ahead logs and the shards' groups
+// are reformed from the longest surviving log each (see shared.Open) — so
+// re-running Bootstrap after killing every node brings the store back with
+// all data intact.
+//
 // Group creation is not atomic (paper §5); Bootstrap assumes no concurrent
 // store of the same name is being created on the same network.
 func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts Options) ([]*Store, error) {
@@ -213,6 +243,9 @@ func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts 
 	}
 	opts = opts.withDefaults()
 	opts.Nodes = len(kernels)
+	if opts.DataDir != "" {
+		return bootstrapDurable(ctx, kernels, name, opts)
+	}
 	stores := make([]*Store, len(kernels))
 	for n := range kernels {
 		o := opts
@@ -266,6 +299,79 @@ func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts 
 	return stores, nil
 }
 
+// bootstrapDurable boots (or restarts) a durable store: every node opens
+// its hosted shards through the write-ahead-log path concurrently. A store
+// directory that does not exist yet marks a genuine first boot, letting each
+// shard's preferred creator skip the survivor probe; an existing directory
+// is a restart, and every shard runs the full recover-join-or-elect path.
+func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string, opts Options) ([]*Store, error) {
+	_, err := os.Stat(filepath.Join(opts.DataDir, name))
+	fresh := os.IsNotExist(err)
+	stores := make([]*Store, len(kernels))
+	for n := range kernels {
+		o := opts
+		o.NodeIndex = n
+		stores[n] = newStore(name, kernels[n], o)
+	}
+	// One shard failing must cancel its siblings: a joiner whose creator
+	// never came up retries until its context ends, so without this a
+	// single bad data directory would hang the whole boot.
+	openCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for n := range kernels {
+		for i := 0; i < opts.Shards; i++ {
+			if !hostsShard(i, n, len(kernels), opts.Replication) {
+				continue
+			}
+			n, i := n, i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rep, err := openShard(openCtx, kernels[n], name, i, stores[n].opts, fresh)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("kv: node %d opening %s: %w", n, shardGroupName(name, i), err)
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				stores[n].shards[i] = rep
+			}()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		for _, s := range stores {
+			s.abandon()
+		}
+		return nil, firstErr
+	}
+	for _, s := range stores {
+		s.startSelfHeal()
+	}
+	return stores, nil
+}
+
+// Open (re)starts one durable node of a store: every hosted shard is
+// recovered from its write-ahead log and then rejoins its group — or, when
+// the whole group is gone (a full-cluster restart), takes part in reforming
+// it from the surviving logs. Options.DataDir, Nodes, and NodeIndex are
+// required; use it when each node runs in its own process, or to re-admit a
+// single restarted node (Bootstrap restarts whole single-process clusters).
+func Open(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*Store, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("kv: opening %q requires Options.DataDir (use Join for in-memory stores)", name)
+	}
+	return Join(ctx, k, name, opts)
+}
+
 // Join adds a node to a running store: every shard group the node's
 // placement slot hosts is joined with atomic state transfer, so when Join
 // returns the node holds up-to-date replicas and serves reads and writes
@@ -277,6 +383,9 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*St
 	opts = opts.withDefaults()
 	if opts.Replication > 0 && opts.Nodes <= 0 {
 		return nil, fmt.Errorf("kv: joining %q with bounded replication requires Options.Nodes and Options.NodeIndex", name)
+	}
+	if opts.DataDir != "" && opts.Nodes <= 0 {
+		return nil, fmt.Errorf("kv: joining %q durably requires Options.Nodes and Options.NodeIndex (the cold-start election needs the node's slot)", name)
 	}
 	s := newStore(name, k, opts)
 	var (
@@ -291,7 +400,7 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*St
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rep, err := joinShard(ctx, k, shardGroupName(name, i), opts)
+			rep, err := openShard(ctx, k, name, i, opts, false)
 			if err != nil {
 				errs[i] = fmt.Errorf("kv: joining shard %d of %q: %w", i, name, err)
 				return
@@ -308,6 +417,32 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*St
 	}
 	s.startSelfHeal()
 	return s, nil
+}
+
+// openShard obtains one shard replica over whichever path the options name:
+// in-memory stores join with retry (joinShard); durable stores go through
+// shared.Open — recover the write-ahead log, join the live group if one
+// exists, otherwise elect the longest surviving log to reform it. bootstrap
+// marks a declared first boot (see shared.Durability.Bootstrap).
+func openShard(ctx context.Context, k *amoeba.Kernel, name string, shard int, opts Options, bootstrap bool) (*shared.Replica, error) {
+	group := shardGroupName(name, shard)
+	if opts.DataDir == "" {
+		return joinShard(ctx, k, group, opts)
+	}
+	nodes := opts.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	dur := shared.Durability{
+		Dir:             shardDataDir(opts.DataDir, name, opts.NodeIndex, shard),
+		Sync:            opts.WALSync,
+		CheckpointEvery: opts.CheckpointEvery,
+		Rank:            opts.NodeIndex,
+		Peers:           nodes,
+		Preferred:       shard % nodes,
+		Bootstrap:       bootstrap,
+	}
+	return shared.Open(ctx, k, group, newMapSM(opts.ResultWindow), opts.Group, dur)
 }
 
 // joinShard joins one shard group, retrying the failures that a group in

@@ -34,16 +34,22 @@ type RPCServer struct {
 
 // RPCServerOptions tunes an RPCServer.
 type RPCServerOptions struct {
-	// Concurrent runs each request handler on its own goroutine, so
+	// Concurrent runs request handlers on a bounded worker pool, so
 	// handlers may block — perform group sends, issue RPCs of their own —
 	// without stalling the kernel's packet delivery (which would deadlock
 	// a handler that needs inbound packets to make progress). Duplicate
 	// requests arriving while a handler runs are suppressed; once it
-	// completes, retransmissions are answered from the reply cache.
-	// Handlers that must execute at most once under concurrent traffic
-	// from one client should deduplicate by a request id of their own,
-	// as the kv service does.
+	// completes, retransmissions are answered from the per-(client,
+	// transaction) reply cache.
 	Concurrent bool
+	// MaxConcurrent bounds the Concurrent worker pool (default 64). A
+	// retransmission storm queues and then sheds requests instead of
+	// spawning unbounded goroutines; shed requests are served by the
+	// client's next retransmission.
+	MaxConcurrent int
+	// ReplyCacheSize bounds the at-most-once reply cache (default 1024
+	// (client, transaction) entries).
+	ReplyCacheSize int
 }
 
 // NewRPCServer starts serving at addr (use AddrForName for well-known
@@ -56,7 +62,13 @@ func (k *Kernel) NewRPCServer(addr Addr, h RPCHandler) (*RPCServer, error) {
 
 // NewRPCServerWith starts serving at addr with explicit options.
 func (k *Kernel) NewRPCServerWith(addr Addr, h RPCHandler, opts RPCServerOptions) (*RPCServer, error) {
-	srv, err := rpc.NewServer(rpc.Config{Stack: k.stack, Clock: k.clock, Concurrent: opts.Concurrent},
+	srv, err := rpc.NewServer(rpc.Config{
+		Stack:          k.stack,
+		Clock:          k.clock,
+		Concurrent:     opts.Concurrent,
+		MaxConcurrent:  opts.MaxConcurrent,
+		ReplyCacheSize: opts.ReplyCacheSize,
+	},
 		flip.Address(addr),
 		func(req []byte) ([]byte, flip.Address) {
 			reply, fwd := h(req)

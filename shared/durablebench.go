@@ -1,0 +1,272 @@
+package shared
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"amoeba"
+	"amoeba/wal"
+)
+
+// This file measures what the durable history costs and buys: ordered
+// throughput through a replicated state machine with journaling off, on, and
+// fsynced, and cold-start recovery time against log size. Unlike the
+// paper-reproduction experiments (internal/experiments) it runs on the live
+// in-memory fabric and a real disk in real time, so absolute numbers vary by
+// host; the RATIOS are the measurement. cmd/amoeba-bench renders it as the
+// "durable" experiment and CI commits it as BENCH_durable.json.
+
+// DurableBenchThroughput is one journaling mode's ordered-throughput point.
+type DurableBenchThroughput struct {
+	// Mode is "memory" (no log), "wal" (journal, OS-buffered), or
+	// "wal+fsync" (journal, fsync per record).
+	Mode       string  `json:"mode"`
+	CmdsPerSec float64 `json:"cmds_per_sec"`
+	// VsMemory is the ratio against the in-memory baseline.
+	VsMemory float64 `json:"vs_memory"`
+}
+
+// DurableBenchRecovery is one cold-start recovery timing.
+type DurableBenchRecovery struct {
+	// Entries is the journaled entry count at crash time.
+	Entries int `json:"entries"`
+	// Checkpointed reports whether a snapshot checkpoint covered the
+	// whole log (replay then handles only the empty suffix).
+	Checkpointed bool `json:"checkpointed"`
+	// LogBytes is the on-disk log size recovered from.
+	LogBytes int64 `json:"log_bytes"`
+	// RecoverMs is the wall time of open + restore + replay.
+	RecoverMs float64 `json:"recover_ms"`
+	// Replayed counts entries actually replayed (after the checkpoint).
+	Replayed uint64 `json:"replayed"`
+}
+
+// DurableBenchResult is the full durable experiment.
+type DurableBenchResult struct {
+	Throughput []DurableBenchThroughput `json:"throughput"`
+	Recovery   []DurableBenchRecovery   `json:"recovery"`
+}
+
+// benchSM is a minimal state machine for the measurement: apply counts
+// commands, snapshots are 8 bytes.
+type benchSM struct{ n uint64 }
+
+func (s *benchSM) Apply([]byte) { s.n++ }
+func (s *benchSM) Snapshot() ([]byte, error) {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, s.n)
+	return out, nil
+}
+func (s *benchSM) Restore(snap []byte) error {
+	if len(snap) >= 8 {
+		s.n = binary.BigEndian.Uint64(snap)
+	}
+	return nil
+}
+
+const (
+	durableBenchMembers = 3
+	durableBenchCmds    = 4000
+	durableBenchBurst   = 32
+	durableBenchPayload = 64
+)
+
+// durableThroughputPoint measures ordered commands/s through a 3-member
+// replicated state machine in the given journaling mode.
+func durableThroughputPoint(mode string) (float64, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+
+	var dir string
+	if mode != "memory" {
+		d, err := os.MkdirTemp("", "amoeba-durable-bench-")
+		if err != nil {
+			return 0, err
+		}
+		dir = d
+		defer os.RemoveAll(dir)
+	}
+
+	name := "durable-bench-" + mode
+	reps := make([]*Replica, 0, durableBenchMembers)
+	defer func() {
+		for _, r := range reps {
+			r.Close()
+		}
+	}()
+	for i := 0; i < durableBenchMembers; i++ {
+		k, err := network.NewKernel(fmt.Sprintf("bench-%s-%d", mode, i))
+		if err != nil {
+			return 0, err
+		}
+		var r *Replica
+		switch {
+		case mode == "memory" && i == 0:
+			r, err = Create(ctx, k, name, &benchSM{}, amoeba.GroupOptions{})
+		case mode == "memory":
+			r, err = Join(ctx, k, name, &benchSM{}, amoeba.GroupOptions{})
+		default:
+			r, err = Open(ctx, k, name, &benchSM{}, amoeba.GroupOptions{}, Durability{
+				Dir:       filepath.Join(dir, fmt.Sprintf("r%d", i)),
+				Sync:      mode == "wal+fsync",
+				Rank:      i,
+				Peers:     durableBenchMembers,
+				Bootstrap: true,
+			})
+		}
+		if err != nil {
+			return 0, fmt.Errorf("member %d (%s): %w", i, mode, err)
+		}
+		reps = append(reps, r)
+	}
+
+	payload := make([]byte, durableBenchPayload)
+	burst := make([][]byte, durableBenchBurst)
+	for i := range burst {
+		burst[i] = payload
+	}
+	submit := func(total int) error {
+		for sent := 0; sent < total; sent += len(burst) {
+			if err := reps[0].SubmitBatch(ctx, burst); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	applied := func() uint64 {
+		var n uint64
+		reps[0].Read(func(sm StateMachine) { n = sm.(*benchSM).n })
+		return n
+	}
+	// Warm up, then measure until the submitting member has applied all.
+	if err := submit(10 * durableBenchBurst); err != nil {
+		return 0, err
+	}
+	base := applied()
+	start := time.Now()
+	if err := submit(durableBenchCmds); err != nil {
+		return 0, err
+	}
+	err := reps[0].Wait(ctx, func(sm StateMachine) bool {
+		return sm.(*benchSM).n >= base+durableBenchCmds
+	})
+	if err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return float64(durableBenchCmds) / elapsed.Seconds(), nil
+}
+
+// durableRecoveryPoint journals entries (128-byte payloads, 16-entry batch
+// records), optionally checkpoints the whole history, then times a cold
+// open + restore + replay.
+func durableRecoveryPoint(entries int, checkpointed bool) (DurableBenchRecovery, error) {
+	res := DurableBenchRecovery{Entries: entries, Checkpointed: checkpointed}
+	dir, err := os.MkdirTemp("", "amoeba-durable-recovery-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return res, err
+	}
+	payload := make([]byte, 128)
+	batch := make([]wal.Entry, 0, 16)
+	for seq := uint32(1); seq <= uint32(entries); seq++ {
+		batch = append(batch, wal.Entry{Seq: seq, Payload: payload})
+		if len(batch) == cap(batch) || seq == uint32(entries) {
+			if err := log.Append(batch); err != nil {
+				return res, err
+			}
+			batch = batch[:0]
+		}
+	}
+	if checkpointed {
+		if err := log.Checkpoint(uint32(entries), payload); err != nil {
+			return res, err
+		}
+	}
+	if err := log.Close(); err != nil {
+		return res, err
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return res, err
+	}
+	for _, de := range files {
+		if info, err := de.Info(); err == nil {
+			res.LogBytes += info.Size()
+		}
+	}
+
+	start := time.Now()
+	l2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return res, err
+	}
+	defer l2.Close()
+	var sm benchSM
+	if _, err := l2.Recover(
+		func(snap []byte, seq uint32) error { return sm.Restore(snap) },
+		func(e wal.Entry) error { sm.Apply(e.Payload); return nil },
+	); err != nil {
+		return res, err
+	}
+	res.RecoverMs = float64(time.Since(start).Microseconds()) / 1000
+	res.Replayed = l2.Stats().RecoveredEntries
+	return res, nil
+}
+
+// MeasureDurable runs the full durable experiment.
+func MeasureDurable() (*DurableBenchResult, error) {
+	out := &DurableBenchResult{}
+	var base float64
+	for _, mode := range []string{"memory", "wal", "wal+fsync"} {
+		cps, err := durableThroughputPoint(mode)
+		if err != nil {
+			return nil, fmt.Errorf("durable throughput (%s): %w", mode, err)
+		}
+		r := DurableBenchThroughput{Mode: mode, CmdsPerSec: cps}
+		if base == 0 {
+			base = cps
+		}
+		if base > 0 {
+			r.VsMemory = cps / base
+		}
+		out.Throughput = append(out.Throughput, r)
+	}
+	for _, p := range []struct {
+		entries int
+		ckpt    bool
+	}{{1000, false}, {10000, false}, {50000, false}, {50000, true}} {
+		r, err := durableRecoveryPoint(p.entries, p.ckpt)
+		if err != nil {
+			return nil, fmt.Errorf("durable recovery (%d entries): %w", p.entries, err)
+		}
+		out.Recovery = append(out.Recovery, r)
+	}
+	return out, nil
+}
+
+// DurableBenchJSON renders the experiment for BENCH_durable.json.
+func DurableBenchJSON(res *DurableBenchResult) ([]byte, error) {
+	out := struct {
+		Experiment string              `json:"experiment"`
+		Unit       string              `json:"unit"`
+		Results    *DurableBenchResult `json:"results"`
+	}{
+		Experiment: "durable",
+		Unit:       "ordered cmds/sec (3-member replicated SM, 64 B cmds, live in-memory fabric) and recovery wall-ms (128 B entries, real disk)",
+		Results:    res,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

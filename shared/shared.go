@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"amoeba"
+	"amoeba/wal"
 )
 
 // StateMachine is the replicated application state. Apply must be
@@ -58,6 +59,7 @@ type Replica struct {
 	kernel *amoeba.Kernel
 	name   string
 	xfer   *amoeba.RPCServer
+	beacon *beacon // durable replicas advertise their recovery state
 
 	mu          sync.Mutex
 	sm          StateMachine
@@ -68,6 +70,17 @@ type Replica struct {
 	// applyWake is closed and replaced after every apply (and on stop), so
 	// Wait callers can sleep until the state machine may have changed.
 	applyWake chan struct{}
+
+	// Durability (nil log: in-memory replica, the paper's semantics). The
+	// apply loop journals delivered entries before applying them and
+	// checkpoints every dur.CheckpointEvery entries; see Open. durable is
+	// immutable after construction (the apply loop reads it without the
+	// lock); log can drop to nil under the lock if the disk fails.
+	durable   bool
+	log       *wal.Log
+	dur       Durability
+	sinceCkpt int
+	walErr    error
 
 	done   chan struct{}
 	cancel context.CancelFunc
@@ -93,6 +106,17 @@ func Create(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine,
 // when Join returns, sm holds the state as of this replica's position in the
 // total order, and subsequent commands apply on top.
 func Join(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, opts amoeba.GroupOptions) (*Replica, error) {
+	return joinWithLog(ctx, k, name, sm, opts, nil, Durability{})
+}
+
+// joinWithLog is Join with an optional write-ahead log: when log is non-nil
+// the transferred snapshot resets the log (the transfer is authoritative —
+// entries journaled on the replica's previous timeline must not resurface)
+// and the replica journals from there on. If the log held entries beyond the
+// transfer point — this member recovered more than the reformed group did
+// but arrived after the cold-start election — that suffix is given up, and
+// wal.Stats.ResetDiscarded records how much.
+func joinWithLog(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, opts amoeba.GroupOptions, log *wal.Log, dur Durability) (*Replica, error) {
 	g, err := k.JoinGroup(ctx, name, opts)
 	if err != nil {
 		return nil, fmt.Errorf("shared: joining %q: %w", name, err)
@@ -134,7 +158,17 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, o
 	}
 	r.lastApplied = snapSeq
 	r.members = first.Members
-	// Apply the buffered suffix beyond the snapshot.
+	if log != nil {
+		if err := log.Reset(snapSeq, snapshot); err != nil {
+			g.Close()
+			return nil, fmt.Errorf("shared: resetting log to transfer point: %w", err)
+		}
+		r.log = log
+		r.dur = dur
+		r.durable = true
+	}
+	// Apply the buffered suffix beyond the snapshot (journaled, when
+	// durable — these entries are already part of this replica's history).
 	for _, m := range buffered {
 		r.apply(m)
 	}
@@ -225,10 +259,21 @@ func (r *Replica) fetchSnapshot(ctx context.Context, minSeq uint32, drain func()
 	return 0, nil, ErrTransferFailed
 }
 
-// start launches the apply loop.
+// maxJournalBurst bounds the deliveries coalesced into one journal record
+// (and, with Durability.Sync, one fsync).
+const maxJournalBurst = 128
+
+// start launches the apply loop. A durable replica coalesces the queued
+// deliveries behind each blocking receive into one burst, journaling the
+// whole run as a single log record before applying it — group commit at the
+// replica, mirroring the sequencer's batch amortisation on the wire.
 func (r *Replica) start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
+	// A pre-cancelled context makes Receive a non-blocking poll: it returns
+	// a queued message if one is present and the context error otherwise.
+	pollCtx, pollCancel := context.WithCancel(context.Background())
+	pollCancel()
 	go func() {
 		defer close(r.done)
 		for {
@@ -240,7 +285,19 @@ func (r *Replica) start() {
 				r.mu.Unlock()
 				return
 			}
-			r.apply(m)
+			if !r.durable {
+				r.apply(m)
+				continue
+			}
+			burst := []amoeba.Message{m}
+			for len(burst) < maxJournalBurst {
+				m2, err := r.group.Receive(pollCtx)
+				if err != nil {
+					break // queue momentarily empty
+				}
+				burst = append(burst, m2)
+			}
+			r.applyBurst(burst)
 		}
 	}()
 }
@@ -253,9 +310,42 @@ func (r *Replica) wakeLocked() {
 
 // apply folds one delivery into the state machine.
 func (r *Replica) apply(m amoeba.Message) {
+	r.applyBurst([]amoeba.Message{m})
+}
+
+// applyBurst journals then applies a run of deliveries under one lock hold:
+// the data entries land in the write-ahead log as a single record (one
+// write, one optional fsync) before any of them mutates the state machine,
+// so a crash never leaves applied-but-unjournaled state behind.
+func (r *Replica) applyBurst(ms []amoeba.Message) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	defer r.wakeLocked()
+	if r.log != nil {
+		var entries []wal.Entry
+		last := r.lastApplied
+		for i := range ms {
+			if ms[i].Kind == amoeba.Data && ms[i].Seq > last {
+				entries = append(entries, wal.Entry{Seq: ms[i].Seq, Payload: ms[i].Payload})
+				last = ms[i].Seq
+			}
+		}
+		if len(entries) > 0 {
+			if err := r.log.Append(entries); err != nil {
+				r.walFailLocked(err)
+			} else {
+				r.sinceCkpt += len(entries)
+			}
+		}
+	}
+	for i := range ms {
+		r.applyLocked(ms[i])
+	}
+	r.maybeCheckpointLocked()
+}
+
+// applyLocked folds one delivery into the state machine; r.mu must be held.
+func (r *Replica) applyLocked(m amoeba.Message) {
 	switch m.Kind {
 	case amoeba.Data:
 		if m.Seq <= r.lastApplied {
@@ -271,6 +361,34 @@ func (r *Replica) apply(m amoeba.Message) {
 	case amoeba.Expelled:
 		r.stopped = true
 	}
+}
+
+// maybeCheckpointLocked writes a snapshot checkpoint once enough entries
+// have been journaled since the last one, truncating dead log segments.
+func (r *Replica) maybeCheckpointLocked() {
+	if r.log == nil || r.sinceCkpt < r.dur.CheckpointEvery {
+		return
+	}
+	snap, err := r.sm.Snapshot()
+	if err != nil {
+		return // not fatal: try again after the next burst
+	}
+	if err := r.log.Checkpoint(r.lastApplied, snap); err != nil {
+		r.walFailLocked(err)
+		return
+	}
+	r.sinceCkpt = 0
+}
+
+// walFailLocked retires a failing log: the replica stays live (the group
+// still replicates in memory, and state transfer can heal a restart), but
+// durability is lost and reported through DurabilityStats.
+func (r *Replica) walFailLocked(err error) {
+	if r.walErr == nil {
+		r.walErr = err
+	}
+	r.log.Close()
+	r.log = nil
 }
 
 // Submit routes a command through the group; when it returns, the command is
@@ -389,6 +507,47 @@ func (r *Replica) Close() {
 		r.xfer.Close()
 	}
 	<-r.done
+	// The apply loop has exited; the log is safe to flush and close.
+	r.mu.Lock()
+	if r.log != nil {
+		r.log.Close()
+		r.log = nil
+	}
+	r.mu.Unlock()
+	if r.beacon != nil {
+		r.beacon.Close()
+	}
+}
+
+// DurabilityStats reports the state of a replica's write-ahead log.
+type DurabilityStats struct {
+	// Enabled reports whether the replica was opened with durability.
+	Enabled bool
+	// Log carries the journal's counters.
+	Log wal.Stats
+	// LastSeq is the highest journaled or checkpointed sequence number.
+	LastSeq uint32
+	// CheckpointSeq is the newest checkpoint's sequence number.
+	CheckpointSeq uint32
+	// Err is a non-empty description if the log failed and was retired
+	// (the replica keeps running in memory).
+	Err string
+}
+
+// DurabilityStats returns a snapshot of the replica's durability state.
+func (r *Replica) DurabilityStats() DurabilityStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := DurabilityStats{Enabled: r.durable}
+	if r.walErr != nil {
+		st.Err = r.walErr.Error()
+	}
+	if r.log != nil {
+		st.Log = r.log.Stats()
+		st.LastSeq = r.log.LastSeq()
+		st.CheckpointSeq = r.log.CheckpointSeq()
+	}
+	return st
 }
 
 // Debug renders the replica's group-protocol state for diagnostics. The

@@ -1,0 +1,638 @@
+// Package wal is the durable-history layer of the group system: a segmented,
+// checksummed write-ahead log of a replica's delivered ordered entries, plus
+// snapshot checkpoints that bound replay.
+//
+// The paper's Amoeba keeps its ordered message history purely in memory —
+// resilience degree r protects against r simultaneous crashes, but a
+// whole-cluster power loss erases every group. This package closes that gap
+// without touching the protocol: each replica journals the totally-ordered
+// entries it applies (the same stream every member observes), periodically
+// records a snapshot checkpoint of its state machine, and on a cold start
+// rebuilds the state by restoring the newest checkpoint and replaying the
+// log suffix beyond it.
+//
+// # On-disk layout
+//
+// A log is a directory:
+//
+//	seg-0000000000.wal    entry records with seqs > 0 (the segment's base)
+//	seg-0000004096.wal    entry records with seqs > 4096
+//	ckpt-0000004096.snap  snapshot reflecting every entry with seq ≤ 4096
+//
+// Entry records are batch-aware: one record covers a run of ordered entries
+// (a coalesced delivery burst journals — and syncs — once), recording each
+// entry's sequence number so replay can skip what a checkpoint already
+// reflects. Every record carries a CRC32 over its body; replay stops at the
+// first record that fails the checksum, so a torn tail — the write that was
+// in flight when the machine died — truncates cleanly to the last complete
+// entry instead of corrupting recovery. Checkpoints are written atomically
+// (temp file, fsync, rename) and make every segment whose entries they cover
+// dead; Checkpoint deletes dead segments, bounding the directory to roughly
+// one checkpoint plus the entry suffix behind it.
+//
+// # Durability contract
+//
+// By default appends reach the operating system (surviving any process
+// crash) but are not fsynced (a kernel panic or power loss may lose the
+// tail). Options.Sync forces an fsync per append record, at the throughput
+// cost amoeba-bench's "durable" experiment measures; checkpoints are always
+// fsynced. Note what Sync does and does not promise: a replica journals at
+// APPLY time, so an entry is on this disk once this replica has applied it —
+// a command whose send completed but whose delivery no surviving replica had
+// yet applied and journaled can still be lost to a simultaneous power cut.
+// Losing such a tail is otherwise safe in a replicated group: recovery
+// rejoins the group and state transfer supplies whatever the log lost — the
+// log's job is to survive the restarts state transfer cannot help with,
+// when every replica went down at once.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one totally-ordered command: the payload applied to the state
+// machine at sequence number Seq.
+type Entry struct {
+	Seq     uint32
+	Payload []byte
+}
+
+// Options tunes a log; the zero value is ready to use.
+type Options struct {
+	// SegmentSize is the size at which the active segment is sealed and a
+	// new one started (default 1 MiB). Smaller segments truncate sooner
+	// after a checkpoint; larger ones hold fewer open-file transitions.
+	SegmentSize int
+	// Sync forces an fsync after every append, extending durability from
+	// process crashes to power loss. Checkpoints are fsynced regardless.
+	Sync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 1 << 20
+	}
+	return o
+}
+
+// Stats counts what the log has done since Open.
+type Stats struct {
+	// Appends counts Append calls (records written).
+	Appends uint64
+	// Entries counts entries journaled inside those records.
+	Entries uint64
+	// Checkpoints counts snapshot checkpoints written.
+	Checkpoints uint64
+	// SegmentsRemoved counts dead segments deleted by checkpoints.
+	SegmentsRemoved uint64
+	// TailTruncated reports that Open found a torn or corrupt tail record
+	// and truncated the active segment back to the last complete entry.
+	TailTruncated bool
+	// ResetDiscarded counts entries beyond the reset point dropped by
+	// Reset: history this log held that the authoritative state transfer
+	// did not — a survivor that missed the cold-start election and joined
+	// later gave up that suffix.
+	ResetDiscarded uint64
+	// RecoveredEntries counts entries replayed by Recover (after the
+	// checkpoint, if any).
+	RecoveredEntries uint64
+}
+
+// Errors returned by the package.
+var (
+	// ErrClosed reports use of a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrOutOfOrder reports an append whose sequence numbers do not
+	// strictly ascend past everything already logged.
+	ErrOutOfOrder = errors.New("wal: entries out of order")
+)
+
+// Record layout:
+//
+//	size  u32   length of body
+//	crc   u32   CRC32 (IEEE) of body
+//	body  size bytes:
+//	      lo    u32     lowest seq in the record
+//	      hi    u32     highest seq in the record
+//	      count u16     entries that follow
+//	      count × { seq u32 | len uvarint | payload }
+//
+// A record is valid iff its full body is present and the CRC matches; replay
+// treats the first invalid record as the end of the log.
+const (
+	recordHeaderSize = 8
+	recordBodyFixed  = 10
+	// maxRecordBody bounds a single record, protecting replay from a
+	// corrupt size field committing to a multi-gigabyte read.
+	maxRecordBody = 16 << 20
+)
+
+const (
+	segPrefix  = "seg-"
+	segSuffix  = ".wal"
+	ckptPrefix = "ckpt-"
+	ckptSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(base uint32) string { return fmt.Sprintf("%s%010d%s", segPrefix, base, segSuffix) }
+func ckptName(seq uint32) string { return fmt.Sprintf("%s%010d%s", ckptPrefix, seq, ckptSuffix) }
+func parseSeq(name, prefix, suffix string) (uint32, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(n), true
+}
+
+// segment is one on-disk log file; entries in it have seqs > base.
+type segment struct {
+	base uint32
+	path string
+}
+
+// Log is an open write-ahead log directory. Methods are safe for concurrent
+// use, though the intended caller — a replica's apply loop — is serial.
+type Log struct {
+	dir  string
+	opts Options
+
+	// Guarded by the caller's serialisation (the shared package holds the
+	// replica lock across every call); the log itself performs no locking.
+	segments []segment // sorted by base; the last is active
+	active   *os.File
+	activeSz int64
+	lastSeq  uint32 // highest seq logged or checkpointed
+	ckptSeq  uint32 // newest valid checkpoint's seq (0: none)
+	hasCkpt  bool   // a checkpoint file exists (even one at seq 0)
+	closed   bool
+	stats    Stats
+}
+
+// Open opens (creating if needed) the log directory, validates the tail of
+// the newest segment — truncating a torn final record back to the last
+// complete entry — and positions the log to append after the highest
+// recorded sequence number. Call Recover next to rebuild state.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			_ = os.Remove(filepath.Join(dir, name)) // interrupted checkpoint
+			continue
+		}
+		if base, ok := parseSeq(name, segPrefix, segSuffix); ok {
+			l.segments = append(l.segments, segment{base: base, path: filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(l.segments, func(i, j int) bool { return l.segments[i].base < l.segments[j].base })
+	// Validate the newest checkpoint now rather than trusting filenames: a
+	// corrupt checkpoint must not inflate lastSeq past what Recover can
+	// actually restore, or the first post-recovery append would be
+	// rejected as out of order.
+	if _, seq, ok := l.readBestCheckpoint(); ok {
+		l.ckptSeq, l.hasCkpt = seq, true
+	}
+	l.lastSeq = l.ckptSeq
+
+	// Find the last segment holding a valid record: it defines lastSeq and
+	// becomes the active segment after tail validation.
+	for i := len(l.segments) - 1; i >= 0; i-- {
+		validLen, maxSeq, torn, err := scanSegment(l.segments[i].path, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		if i == len(l.segments)-1 && torn {
+			if err := os.Truncate(l.segments[i].path, validLen); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", l.segments[i].path, err)
+			}
+			l.stats.TailTruncated = true
+		}
+		if maxSeq > 0 {
+			if maxSeq > l.lastSeq {
+				l.lastSeq = maxSeq
+			}
+			break
+		}
+	}
+	if len(l.segments) == 0 {
+		if err := l.rotate(); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: opening active segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sizing active segment: %w", err)
+		}
+		l.active, l.activeSz = f, st.Size()
+	}
+	return l, nil
+}
+
+// scanSegment walks a segment's records, calling visit (when non-nil) for
+// every entry with seq > afterSeq, in order. It returns the byte length of
+// the valid prefix, the highest seq seen, and whether the scan stopped at an
+// invalid (torn or corrupt) record before the end of the file.
+func scanSegment(path string, visit func(Entry) error, afterSeq uint32) (validLen int64, maxSeq uint32, torn bool, err error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	off := int64(0)
+	for int64(len(buf))-off >= recordHeaderSize {
+		size := binary.BigEndian.Uint32(buf[off:])
+		crc := binary.BigEndian.Uint32(buf[off+4:])
+		if size < recordBodyFixed || size > maxRecordBody || int64(size) > int64(len(buf))-off-recordHeaderSize {
+			return off, maxSeq, true, nil
+		}
+		body := buf[off+recordHeaderSize : off+recordHeaderSize+int64(size)]
+		if crc32.ChecksumIEEE(body) != crc {
+			return off, maxSeq, true, nil
+		}
+		hi := binary.BigEndian.Uint32(body[4:])
+		count := int(binary.BigEndian.Uint16(body[8:]))
+		rest := body[recordBodyFixed:]
+		ok := true
+		for i := 0; i < count; i++ {
+			if len(rest) < 4 {
+				ok = false
+				break
+			}
+			seq := binary.BigEndian.Uint32(rest)
+			rest = rest[4:]
+			n, w := binary.Uvarint(rest)
+			if w <= 0 || uint64(len(rest)-w) < n {
+				ok = false
+				break
+			}
+			payload := rest[w : w+int(n)]
+			rest = rest[w+int(n):]
+			if visit != nil && seq > afterSeq {
+				if err := visit(Entry{Seq: seq, Payload: payload}); err != nil {
+					return off, maxSeq, false, err
+				}
+			}
+		}
+		if !ok {
+			// The CRC matched but the body does not parse: treat as the
+			// end of the valid prefix, like a torn record.
+			return off, maxSeq, true, nil
+		}
+		if hi > maxSeq {
+			maxSeq = hi
+		}
+		off += recordHeaderSize + int64(size)
+	}
+	return off, maxSeq, int64(len(buf)) != off, nil
+}
+
+// rotate seals the active segment and starts a new one based at lastSeq.
+func (l *Log) rotate() error {
+	if l.active != nil {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing sealed segment: %w", err)
+		}
+		l.active.Close()
+		l.active = nil
+	}
+	seg := segment{base: l.lastSeq, path: filepath.Join(l.dir, segName(l.lastSeq))}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sizing segment: %w", err)
+	}
+	l.segments = append(l.segments, seg)
+	l.active, l.activeSz = f, st.Size()
+	return nil
+}
+
+// Append journals a run of entries as one record (one write, and — with
+// Options.Sync — one fsync, however many entries the run carries: the
+// batch-awareness that lets a coalesced delivery burst pay the disk once).
+// Sequence numbers must strictly ascend past everything already logged.
+func (l *Log) Append(entries []Entry) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	last := l.lastSeq
+	for _, e := range entries {
+		if e.Seq <= last {
+			return fmt.Errorf("%w: seq %d after %d", ErrOutOfOrder, e.Seq, last)
+		}
+		last = e.Seq
+	}
+	body := make([]byte, recordBodyFixed, recordBodyFixed+len(entries)*16)
+	binary.BigEndian.PutUint32(body[0:], entries[0].Seq)
+	binary.BigEndian.PutUint32(body[4:], entries[len(entries)-1].Seq)
+	binary.BigEndian.PutUint16(body[8:], uint16(len(entries)))
+	for _, e := range entries {
+		body = binary.BigEndian.AppendUint32(body, e.Seq)
+		body = binary.AppendUvarint(body, uint64(len(e.Payload)))
+		body = append(body, e.Payload...)
+	}
+	rec := make([]byte, recordHeaderSize+len(body))
+	binary.BigEndian.PutUint32(rec[0:], uint32(len(body)))
+	binary.BigEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(body))
+	copy(rec[recordHeaderSize:], body)
+
+	if _, err := l.active.Write(rec); err != nil {
+		return fmt.Errorf("wal: appending: %w", err)
+	}
+	if l.opts.Sync {
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing append: %w", err)
+		}
+	}
+	l.activeSz += int64(len(rec))
+	l.lastSeq = last
+	l.stats.Appends++
+	l.stats.Entries += uint64(len(entries))
+	if l.activeSz >= int64(l.opts.SegmentSize) {
+		return l.rotate()
+	}
+	return nil
+}
+
+// Recover rebuilds state from the log: restore is called once with the
+// newest valid checkpoint (if any exists), then apply is called for every
+// journaled entry beyond it, in ascending sequence order. Replay stops
+// cleanly at the first record that fails its checksum — the torn tail of a
+// crash — and at any callback error. It returns the highest sequence number
+// the log knows (checkpoint or entry), the caller's recovery baseline.
+func (l *Log) Recover(restore func(snapshot []byte, seq uint32) error, apply func(Entry) error) (uint32, error) {
+	if l.closed {
+		return 0, ErrClosed
+	}
+	afterSeq := uint32(0)
+	if snap, seq, ok := l.readBestCheckpoint(); ok {
+		if restore != nil {
+			if err := restore(snap, seq); err != nil {
+				return 0, err
+			}
+		}
+		afterSeq = seq
+	} else {
+		// Every checkpoint file was unreadable or corrupt (and removed).
+		l.ckptSeq = 0
+		l.hasCkpt = false
+	}
+	recovered := afterSeq
+	for _, seg := range l.segments {
+		_, maxSeq, torn, err := scanSegment(seg.path, func(e Entry) error {
+			if e.Seq <= recovered {
+				return nil // idempotent replay: a record may straddle the checkpoint
+			}
+			// Detach the payload from the read buffer; appliers may retain it.
+			p := make([]byte, len(e.Payload))
+			copy(p, e.Payload)
+			if apply != nil {
+				if err := apply(Entry{Seq: e.Seq, Payload: p}); err != nil {
+					return err
+				}
+			}
+			recovered = e.Seq
+			l.stats.RecoveredEntries++
+			return nil
+		}, recovered)
+		if err != nil {
+			return recovered, err
+		}
+		if maxSeq > recovered {
+			recovered = maxSeq
+		}
+		if torn {
+			// A damaged record ends the trustworthy history; anything
+			// beyond it is unusable because order can no longer be
+			// guaranteed. (Only the final segment can be torn by a crash;
+			// mid-log damage means disk corruption, handled the same way.)
+			break
+		}
+	}
+	if recovered > l.lastSeq {
+		l.lastSeq = recovered
+	}
+	return recovered, nil
+}
+
+// readBestCheckpoint returns the newest checkpoint whose CRC validates,
+// deleting ones that do not.
+func (l *Log) readBestCheckpoint() ([]byte, uint32, bool) {
+	names, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, 0, false
+	}
+	var seqs []uint32
+	for _, de := range names {
+		if seq, ok := parseSeq(de.Name(), ckptPrefix, ckptSuffix); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs {
+		path := filepath.Join(l.dir, ckptName(seq))
+		buf, err := os.ReadFile(path)
+		if err != nil || len(buf) < 8 {
+			_ = os.Remove(path)
+			continue
+		}
+		crc := binary.BigEndian.Uint32(buf)
+		stored := binary.BigEndian.Uint32(buf[4:])
+		if stored != seq || crc32.ChecksumIEEE(buf[4:]) != crc {
+			_ = os.Remove(path)
+			continue
+		}
+		l.ckptSeq = seq
+		return buf[8:], seq, true
+	}
+	return nil, 0, false
+}
+
+// Checkpoint records a snapshot reflecting every entry with seq ≤ seq,
+// written atomically and fsynced, then deletes the segments the checkpoint
+// makes dead (those whose every entry it covers) and older checkpoints.
+// After a checkpoint, recovery restores the snapshot and replays only the
+// suffix beyond it.
+func (l *Log) Checkpoint(seq uint32, snapshot []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	buf := make([]byte, 8+len(snapshot))
+	binary.BigEndian.PutUint32(buf[4:], seq)
+	copy(buf[8:], snapshot)
+	binary.BigEndian.PutUint32(buf, crc32.ChecksumIEEE(buf[4:]))
+	final := filepath.Join(l.dir, ckptName(seq))
+	tmp := final + tmpSuffix
+	if err := writeFileSync(tmp, buf); err != nil {
+		return fmt.Errorf("wal: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("wal: installing checkpoint: %w", err)
+	}
+	syncDir(l.dir)
+	prevCkpt := l.ckptSeq
+	prevHad := l.hasCkpt
+	l.ckptSeq = seq
+	l.hasCkpt = true
+	if seq > l.lastSeq {
+		l.lastSeq = seq
+	}
+	l.stats.Checkpoints++
+	// Remove the superseded checkpoint.
+	if prevHad && prevCkpt != seq {
+		_ = os.Remove(filepath.Join(l.dir, ckptName(prevCkpt)))
+	}
+	return l.dropDeadSegments()
+}
+
+// Reset replaces the log's history wholesale: a checkpoint at seq plus the
+// removal of every entry segment, dead or not. A replica that (re)joins a
+// running group installs the transferred snapshot with Reset — the transfer
+// is authoritative, and entries journaled on the replica's previous timeline
+// (before it crashed or was expelled) must not resurface in a later replay.
+func (l *Log) Reset(seq uint32, snapshot []byte) error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+	}
+	if l.lastSeq > seq {
+		l.stats.ResetDiscarded += uint64(l.lastSeq - seq)
+	}
+	for _, seg := range l.segments {
+		if err := os.Remove(seg.path); err != nil {
+			return fmt.Errorf("wal: resetting: %w", err)
+		}
+		l.stats.SegmentsRemoved++
+	}
+	l.segments = nil
+	l.lastSeq = seq
+	if err := l.Checkpoint(seq, snapshot); err != nil {
+		return err
+	}
+	return l.rotate()
+}
+
+// dropDeadSegments deletes every sealed segment whose entries are all
+// covered by the current checkpoint. Segment k's entries are bounded above
+// by segment k+1's base, so the decision needs no scan.
+func (l *Log) dropDeadSegments() error {
+	keep := l.segments[:0]
+	for i, seg := range l.segments {
+		if i+1 < len(l.segments) && l.segments[i+1].base <= l.ckptSeq {
+			if err := os.Remove(seg.path); err != nil {
+				return fmt.Errorf("wal: removing dead segment: %w", err)
+			}
+			l.stats.SegmentsRemoved++
+			continue
+		}
+		keep = append(keep, seg)
+	}
+	l.segments = keep
+	return nil
+}
+
+// LastSeq reports the highest sequence number logged or checkpointed.
+func (l *Log) LastSeq() uint32 { return l.lastSeq }
+
+// CheckpointSeq reports the newest checkpoint's sequence number (0: none).
+func (l *Log) CheckpointSeq() uint32 { return l.ckptSeq }
+
+// Virgin reports whether the log has never recorded anything: no entries and
+// no checkpoint, even an empty one. A virgin log distinguishes a node's
+// first-ever boot from a restart.
+func (l *Log) Virgin() bool { return !l.hasCkpt && l.lastSeq == 0 }
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	if l.closed {
+		return ErrClosed
+	}
+	if l.active == nil {
+		return nil
+	}
+	return l.active.Sync()
+}
+
+// Close flushes and closes the log. The directory remains ready for the next
+// Open.
+func (l *Log) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	err := l.active.Sync()
+	if cerr := l.active.Close(); err == nil {
+		err = cerr
+	}
+	l.active = nil
+	return err
+}
+
+// writeFileSync writes data and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames in it survive power loss; best
+// effort (not every platform supports directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
