@@ -30,6 +30,15 @@
 //	                   journals each replica's delivered entries, and a
 //	                   cold start reforms the group from the longest
 //	                   surviving log, seeded via GroupOptions.FirstSeq
+//	(groups under      The paper's applications added groups as load
+//	 load)             grew, by hand. The kv package's routing-epoch
+//	                   protocol makes that a first-class operation:
+//	                   kv.Store.Resharding splits or merges a live
+//	                   store's shard groups — an epoch-versioned routing
+//	                   table replicated in every shard's state machine,
+//	                   changed only by sequenced migrate-begin/chunk/
+//	                   commit commands, so the handoff is exactly-once
+//	                   and (with the wal) crash-resumable
 //
 // All primitives are blocking, as in Amoeba; obtain concurrency by calling
 // them from multiple goroutines (the paper's "parallelism through

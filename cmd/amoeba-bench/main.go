@@ -12,7 +12,8 @@
 //	amoeba-bench -list                # list experiment ids
 //
 // Experiment ids: table3, fig1, fig3, fig4, fig5, fig6, fig7, fig8, rpc, cm,
-// userspace, placement, processing, sharded, batched, proxied, durable.
+// userspace, placement, processing, sharded, batched, proxied, durable,
+// reshard.
 package main
 
 import (
@@ -82,6 +83,31 @@ func durableTable(res *shared.DurableBenchResult) *experiments.Table {
 			fmt.Sprintf("%d KiB log, %d replayed", r.LogBytes/1024, r.Replayed),
 		})
 	}
+	return t
+}
+
+// reshardTable renders the live-resharding measurement — like the proxied
+// experiment it runs on the live fabric, so it lives in the kv package.
+func reshardTable(res *kv.ReshardBenchResult) *experiments.Table {
+	t := &experiments.Table{
+		ID:    "Live resharding",
+		Title: fmt.Sprintf("%d→%d split under continuous load (%d nodes, %d keys, live in-memory fabric)", res.OldShards, res.NewShards, res.Nodes, res.Keys),
+		PaperNote: "the paper's applications added groups under load; the epoch-versioned routing table turns that into a first-class store operation " +
+			"(sequenced migrate-begin/chunk/commit through each group's total order)",
+		Columns: []string{"measure", "result", "note"},
+	}
+	for _, p := range res.Phases {
+		t.Rows = append(t.Rows, []string{
+			"ops/s " + p.Phase,
+			fmt.Sprintf("%.0f", p.OpsPerSec),
+			fmt.Sprintf("%d ops / %.0f ms", p.Ops, p.DurationMs),
+		})
+	}
+	t.Rows = append(t.Rows,
+		[]string{"throughput retained during handoff", fmt.Sprintf("%.2fx", res.DuringVsBefore), fmt.Sprintf("handoff took %.0f ms", res.ReshardMs)},
+		[]string{"keys moved (consistent hash)", fmt.Sprintf("%.1f%%", 100*res.MovedRatio), fmt.Sprintf("%d of %d", res.MovedKeys, res.Keys)},
+		[]string{"keys an independent rehash would move", fmt.Sprintf("%.1f%%", 100*res.NaiveRatio), "≈ (new−1)/new"},
+	)
 	return t
 }
 
@@ -167,9 +193,26 @@ func run() int {
 				return durableTable(res), buf, err
 			},
 		},
+		"reshard": {
+			run: func(netsim.CostModel) (*experiments.Table, error) {
+				res, err := kv.MeasureReshard()
+				if err != nil {
+					return nil, err
+				}
+				return reshardTable(res), nil
+			},
+			json: func(netsim.CostModel) (*experiments.Table, []byte, error) {
+				res, err := kv.MeasureReshard()
+				if err != nil {
+					return nil, nil, err
+				}
+				buf, err := kv.ReshardJSON(res)
+				return reshardTable(res), buf, err
+			},
+		},
 	}
 	order := []string{"table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable"}
+		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable", "reshard"}
 
 	if *list {
 		ids := make([]string, 0, len(exps))

@@ -17,7 +17,8 @@
 //	DEL <key>                    -> OK true|false              (existed?)
 //	CAS <key> <old|-> <new>      -> OK true|false              ("-" = expect absent)
 //	MGET <key> <key> ...         -> VALUE <k>=<v> ...
-//	STATS                        -> shards, members, proxy counters
+//	RESHARD <n>                  -> OK epoch=<e> shards=<n>            (live split/merge)
+//	STATS                        -> shards, epoch, members, proxy counters
 //	QUIT                         -> closes the connection
 //
 // Keys and values are single whitespace-free tokens; values may be quoted Go
@@ -62,20 +63,21 @@ import (
 
 func main() {
 	var (
-		serveAddr   = flag.String("serve", "", "serve the store on this TCP address (e.g. :7070)")
-		load        = flag.Bool("load", false, "run the TCP load generator against -addr")
-		selftest    = flag.Bool("selftest", false, "run the in-process load sweep and exit")
-		addr        = flag.String("addr", "127.0.0.1:7070", "server address for -load")
-		shards      = flag.Int("shards", 4, "shard-group count")
-		nodes       = flag.Int("nodes", 3, "replica nodes")
-		resilience  = flag.Int("resilience", 1, "per-shard resilience degree r")
-		replication = flag.Int("replication", 0, "replicas per shard (0 = every node); bounded values exercise the RPC proxy")
-		dataDir     = flag.String("data-dir", "", "durable mode: write-ahead logs + checkpoints under this directory (restart recovers all data)")
-		walSync     = flag.Bool("wal-sync", false, "fsync every journal append (power-loss durability; slower)")
-		clients     = flag.Int("clients", 8, "concurrent load connections")
-		duration    = flag.Duration("duration", 5*time.Second, "load duration")
-		valueSize   = flag.Int("value-size", 64, "load value size in bytes")
-		readFrac    = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
+		serveAddr    = flag.String("serve", "", "serve the store on this TCP address (e.g. :7070)")
+		load         = flag.Bool("load", false, "run the TCP load generator against -addr")
+		selftest     = flag.Bool("selftest", false, "run the in-process load sweep and exit")
+		addr         = flag.String("addr", "127.0.0.1:7070", "server address for -load")
+		shards       = flag.Int("shards", 4, "shard-group count")
+		nodes        = flag.Int("nodes", 3, "replica nodes")
+		resilience   = flag.Int("resilience", 1, "per-shard resilience degree r")
+		replication  = flag.Int("replication", 0, "replicas per shard (0 = every node); bounded values exercise the RPC proxy")
+		dataDir      = flag.String("data-dir", "", "durable mode: write-ahead logs + checkpoints under this directory (restart recovers all data)")
+		walSync      = flag.Bool("wal-sync", false, "fsync every journal append (power-loss durability; slower)")
+		walSyncDelay = flag.Duration("wal-sync-delay", 0, "with -wal-sync: coalesce fsyncs across delivery bursts, syncing at most this long after an append")
+		clients      = flag.Int("clients", 8, "concurrent load connections")
+		duration     = flag.Duration("duration", 5*time.Second, "load duration")
+		valueSize    = flag.Int("value-size", 64, "load value size in bytes")
+		readFrac     = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
 	)
 	flag.Parse()
 
@@ -88,14 +90,14 @@ func main() {
 		if *serveAddr == "" {
 			*serveAddr = ":7070"
 		}
-		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync))
+		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay))
 	}
 }
 
 // serve boots the cluster — recovering it from the write-ahead logs when
 // -data-dir names an existing deployment — and answers line-protocol
 // connections forever.
-func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool) int {
+func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration) int {
 	ctx := context.Background()
 	network := amoeba.NewMemoryNetwork()
 	defer network.Close()
@@ -109,7 +111,7 @@ func serve(addr string, shards, nodes, resilience, replication int, dataDir stri
 		kernels[i] = k
 	}
 	opts := kv.Options{Shards: shards, Replication: replication,
-		DataDir: dataDir, WALSync: walSync,
+		DataDir: dataDir, WALSync: walSync, WALSyncDelay: walSyncDelay,
 		Group: amoeba.GroupOptions{
 			Resilience:   resilience,
 			AutoReset:    true,
@@ -350,7 +352,25 @@ func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Se
 			return reply("NOTFOUND")
 		}
 		return reply("VALUE %s", token(v))
+	case "RESHARD":
+		if len(fields) != 2 {
+			return reply("ERR usage: RESHARD shard-count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			return reply("ERR bad shard count %q", fields[1])
+		}
+		// A handoff can outlast one op budget: give it its own.
+		rctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		err = s.Resharding(rctx, n)
+		cancel()
+		if err != nil {
+			return reply("ERR %v", err)
+		}
+		rt := s.Routing()
+		return reply("OK epoch=%d shards=%d", rt.Epoch, rt.Shards)
 	case "STATS":
+		rt := s.Routing()
 		members := make([]string, s.Shards())
 		for i := range members {
 			members[i] = strconv.Itoa(s.Members(i))
@@ -363,8 +383,8 @@ func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Se
 			scattered += st.Scattered
 		}
 		cs := cl.Stats()
-		return reply("STATS shards=%d members=[%s] served=%d forwarded=%d scattered=%d local=%d remote=%d",
-			s.Shards(), strings.Join(members, " "), served, forwarded, scattered, cs.LocalOps, cs.RemoteOps)
+		return reply("STATS shards=%d epoch=%d members=[%s] served=%d forwarded=%d scattered=%d local=%d remote=%d",
+			s.Shards(), rt.Epoch, strings.Join(members, " "), served, forwarded, scattered, cs.LocalOps, cs.RemoteOps)
 	case "QUIT":
 		reply("BYE")
 		return false
@@ -490,7 +510,123 @@ func runSelftest(nodes, resilience int, duration time.Duration) int {
 		log.Printf("amoeba-kv: selftest proxied: no requests were forwarded — the proxy path went unexercised")
 		return 1
 	}
+	if rc := runReshardSelftest(nodes, resilience); rc != 0 {
+		return rc
+	}
 	return runDurableSelftest(nodes, resilience)
+}
+
+// runReshardSelftest splits a live store 4→8 and merges it back 8→4 under a
+// background writer: every key must survive both handoffs exactly once, the
+// epoch must advance twice, and no client operation may fail.
+func runReshardSelftest(nodes, resilience int) int {
+	fmt.Println("reshard sweep (live 4→8 split and 8→4 merge under load):")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if nodes < 2 {
+		nodes = 2
+	}
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := network.NewKernel(fmt.Sprintf("reshard-node-%d", i))
+		if err != nil {
+			log.Printf("amoeba-kv: selftest reshard: %v", err)
+			return 1
+		}
+		kernels[i] = k
+	}
+	stores, err := kv.Bootstrap(ctx, kernels, "selftest-reshard", kv.Options{
+		Shards: 4,
+		Group: amoeba.GroupOptions{
+			Resilience:   resilience,
+			AutoReset:    true,
+			MinSurvivors: 1,
+		},
+	})
+	if err != nil {
+		log.Printf("amoeba-kv: selftest reshard bootstrap: %v", err)
+		return 1
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	const keys = 300
+	cl := stores[0].NewClient()
+	defer cl.Close()
+	pairs := make([]kv.Pair, keys)
+	for i := range pairs {
+		pairs[i] = kv.Pair{Key: fmt.Sprintf("reshard-%04d", i), Val: []byte(fmt.Sprintf("v%04d", i))}
+	}
+	if err := cl.BatchPut(ctx, pairs); err != nil {
+		log.Printf("amoeba-kv: selftest reshard seed: %v", err)
+		return 1
+	}
+
+	// Background writer across both handoffs.
+	loadCtx, stopLoad := context.WithCancel(ctx)
+	defer stopLoad()
+	loadErr := make(chan error, 1)
+	go func() {
+		wcl := stores[nodes-1].NewClient()
+		defer wcl.Close()
+		for i := 0; ; i++ {
+			if loadCtx.Err() != nil {
+				loadErr <- nil
+				return
+			}
+			if err := wcl.Put(loadCtx, fmt.Sprintf("reshard-live-%03d", i%64), []byte("w")); err != nil && loadCtx.Err() == nil {
+				loadErr <- err
+				return
+			}
+		}
+	}()
+
+	verify := func(tag string, wantShards int, wantEpoch uint64) bool {
+		rt := stores[0].Routing()
+		if rt.Shards != wantShards || rt.Epoch != wantEpoch {
+			log.Printf("amoeba-kv: selftest reshard %s: routing %+v, want %d shards at epoch %d", tag, rt, wantShards, wantEpoch)
+			return false
+		}
+		for _, p := range pairs {
+			v, ok, err := cl.Get(ctx, p.Key)
+			if err != nil || !ok || string(v) != string(p.Val) {
+				log.Printf("amoeba-kv: selftest reshard %s: key %q = %q %v %v, want %q", tag, p.Key, v, ok, err, p.Val)
+				return false
+			}
+		}
+		return true
+	}
+	start := time.Now()
+	if err := stores[0].Resharding(ctx, 8); err != nil {
+		log.Printf("amoeba-kv: selftest reshard split: %v", err)
+		return 1
+	}
+	splitTime := time.Since(start)
+	if !verify("after split", 8, 1) {
+		return 1
+	}
+	start = time.Now()
+	if err := stores[0].Resharding(ctx, 4); err != nil {
+		log.Printf("amoeba-kv: selftest reshard merge: %v", err)
+		return 1
+	}
+	mergeTime := time.Since(start)
+	if !verify("after merge", 4, 2) {
+		return 1
+	}
+	stopLoad()
+	if err := <-loadErr; err != nil {
+		log.Printf("amoeba-kv: selftest reshard: background writer failed: %v", err)
+		return 1
+	}
+	fmt.Printf("  %d keys survived 4→8→4 under load (split %v, merge %v, epoch 2)\n",
+		keys, splitTime.Round(time.Millisecond), mergeTime.Round(time.Millisecond))
+	return 0
 }
 
 // runDurableSelftest kills and restarts a whole durable cluster: every key

@@ -165,6 +165,17 @@ type Config struct {
 	// StatusRetries is how many unanswered status requests (the paper's
 	// "certain number of trials") declare a member dead. Default 3.
 	StatusRetries int
+	// IdleProbeTicks is the number of consecutive idle sync ticks a
+	// member may lag the sequencer's delivery point before it is probed.
+	// Without it a dead member is only discovered under traffic (send
+	// retries, history pressure, a stalled tentative) — a corpse in an
+	// idle group would sit in the view forever. A live idle member
+	// answers the probe (its piggybacked acknowledgement clears the lag);
+	// a dead one escalates through the status-probe failure detector and
+	// is expelled (AutoReset) or surfaced to the application's Reset.
+	// Default 2 (≈ one second at the default SyncInterval); negative
+	// disables the probe.
+	IdleProbeTicks int
 	// ResetTimeout bounds each wait during recovery (votes, fetches,
 	// acks) before retrying or declaring non-responders dead. Default
 	// 100 ms.
@@ -225,6 +236,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.StatusRetries <= 0 {
 		c.StatusRetries = 3
+	}
+	if c.IdleProbeTicks == 0 {
+		c.IdleProbeTicks = 2
 	}
 	if c.ResetTimeout <= 0 {
 		c.ResetTimeout = 100 * time.Millisecond

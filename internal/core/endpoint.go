@@ -180,6 +180,7 @@ type Endpoint struct {
 	tentStallSeq    uint32 // oldest tentative seq at the last retry round
 	tentStallRounds int    // consecutive retry rounds it has survived
 	statusProbe     map[MemberID]*probe
+	idleLag         map[MemberID]int    // consecutive idle sync ticks behind (idle-probe detector)
 	leaveSeq        uint32              // seqno of own ordered leave (handoff pending), 0 if none
 	leavers         map[MemberID]uint32 // departed members still owed retransmissions, by leave seqno
 	joinAcks        map[flip.Address]joinAck

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"amoeba/internal/netw/memnet"
+)
+
+// waitMembers polls node's view until it has want members (via a Reset or
+// other membership event) or the deadline passes.
+func waitMembers(t *testing.T, nd *node, want int, deadline time.Duration) bool {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		if len(nd.ep.Info().Members) == want {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+// TestIdleGroupExpelsCorpse is the idle-group failure-detection regression:
+// a member that crashes while the group is idle must be expelled within a
+// bounded time — without any application traffic to trip send retries or
+// history pressure — via the sequencer's sync-tick probe of laggards.
+func TestIdleGroupExpelsCorpse(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.AutoReset = true
+		c.MinSurvivors = 1
+	})
+	// A little traffic so everyone is live and acknowledged, then silence.
+	if err := g.send(0, []byte("warmup")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	g.nodes[2].waitData(1)
+
+	g.nodes[2].crash()
+	// No further sends: only the idle probe can notice the corpse. At the
+	// test's 50 ms sync interval and 2 lag ticks + 3 status retries × 30 ms
+	// detection should land well under a second.
+	if !waitMembers(t, g.nodes[0], 2, 5*time.Second) {
+		t.Fatalf("idle corpse was not expelled: members=%d (want 2)", len(g.nodes[0].ep.Info().Members))
+	}
+	// The survivors' group must still order messages.
+	if err := g.send(1, []byte("after")); err != nil {
+		t.Fatalf("send after expulsion: %v", err)
+	}
+}
+
+// TestIdleProbeSparesLiveMembers: a fully idle group with everyone alive
+// must not churn — the probe's answer clears the lag, and membership stays
+// intact across several probe rounds.
+func TestIdleProbeSparesLiveMembers(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.AutoReset = true
+		c.MinSurvivors = 1
+	})
+	if err := g.send(0, []byte("warmup")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	g.nodes[2].waitData(1)
+	// Many sync intervals of pure idleness.
+	time.Sleep(600 * time.Millisecond)
+	for i, nd := range g.nodes {
+		if got := len(nd.ep.Info().Members); got != 3 {
+			t.Fatalf("node %d sees %d members after idling (want 3): idle probe expelled a live member", i, got)
+		}
+	}
+}
+
+// TestIdleProbeDisabled: with IdleProbeTicks < 0 the seed behaviour is
+// preserved — an idle corpse is not discovered without traffic.
+func TestIdleProbeDisabled(t *testing.T) {
+	g := newGroup(t, 3, memnet.Config{}, func(c *Config) {
+		c.AutoReset = true
+		c.MinSurvivors = 1
+		c.IdleProbeTicks = -1
+	})
+	if err := g.send(0, []byte("warmup")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	g.nodes[2].waitData(1)
+	g.nodes[2].crash()
+	if waitMembers(t, g.nodes[0], 2, 700*time.Millisecond) {
+		t.Fatal("corpse expelled while idle probing was disabled (no traffic should mean no detection)")
+	}
+}

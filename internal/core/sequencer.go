@@ -520,6 +520,41 @@ func (ep *Endpoint) armSyncLocked() {
 		}
 		ep.tryPruneLocked()
 		ep.multicastPkt(packet{typ: ptSync, seq: ep.globalSeq, aux: ep.hist.floor})
+		ep.probeIdleLaggardsLocked()
 		ep.armSyncLocked()
 	})
+}
+
+// probeIdleLaggardsLocked is the idle-group failure detector: on each sync
+// tick, members whose acknowledged receipt point trails the sequencer's own
+// delivery point accrue a lag tick, and after IdleProbeTicks consecutive
+// ones a status probe is started. A live member (idle senders piggyback no
+// acknowledgements, so lagging is normal for them) answers the probe at
+// once — the answer's piggyback clears the lag and releases the probe. A
+// corpse exhausts StatusRetries and is handled by
+// memberSuspectedDeadLocked, exactly as for a laggard under traffic — so a
+// dead member is expelled within a bounded time even from a group that
+// carries no traffic at all.
+func (ep *Endpoint) probeIdleLaggardsLocked() {
+	if ep.cfg.IdleProbeTicks < 0 {
+		return
+	}
+	behind := ep.nextDeliver - 1 // the sequencer's own receipt point
+	for _, m := range ep.pending.members {
+		if m.ID == ep.self {
+			continue
+		}
+		if ep.lastRecv[m.ID] >= behind {
+			delete(ep.idleLag, m.ID)
+			continue
+		}
+		if ep.idleLag == nil {
+			ep.idleLag = make(map[MemberID]int)
+		}
+		ep.idleLag[m.ID]++
+		if ep.idleLag[m.ID] >= ep.cfg.IdleProbeTicks {
+			delete(ep.idleLag, m.ID)
+			ep.probeMemberLocked(m)
+		}
+	}
 }

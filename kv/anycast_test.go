@@ -1,0 +1,85 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"amoeba"
+)
+
+// TestDialAnycast: a client holding nothing but the store's NAME reaches the
+// whole keyspace — every Service registers the store-wide anycast entry
+// address in the FLIP name registry, so Dial needs no node address at all
+// (the ROADMAP's "entry node must be told" follow-up). Killing the node that
+// answered must not strand the client: retransmissions re-locate a survivor.
+func TestDialAnycast(t *testing.T) {
+	ctx := ctxT(t, 60*time.Second)
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	stores := newCluster(t, ctx, net, "anycast", 3, Options{
+		Shards: 4,
+		Group:  amoeba.GroupOptions{AutoReset: true, MinSurvivors: 1},
+	})
+	closed := make([]bool, len(stores))
+	defer func() {
+		for i, s := range stores {
+			if !closed[i] {
+				s.Close()
+			}
+		}
+	}()
+	svcs := make([]*Service, len(stores))
+	for i, s := range stores {
+		svc, err := NewService(s)
+		if err != nil {
+			t.Fatalf("NewService: %v", err)
+		}
+		svcs[i] = svc
+	}
+	defer func() {
+		for i, svc := range svcs {
+			if !closed[i] {
+				svc.Close()
+			}
+		}
+	}()
+
+	ext, err := net.NewKernel("anycast-client")
+	if err != nil {
+		t.Fatalf("client kernel: %v", err)
+	}
+	cl, err := Dial(ext, "anycast", DialOptions{Anycast: true})
+	if err != nil {
+		t.Fatalf("Dial anycast: %v", err)
+	}
+	defer cl.Close()
+
+	for i := 0; i < 24; i++ {
+		k := fmt.Sprintf("any-%03d", i)
+		if err := cl.Put(ctx, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put via anycast: %v", err)
+		}
+	}
+	for i := 0; i < 24; i++ {
+		k := fmt.Sprintf("any-%03d", i)
+		if v, ok, err := cl.Get(ctx, k); err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get via anycast: %q %v %v", v, ok, err)
+		}
+	}
+	if cl.Stats().RemoteOps == 0 {
+		t.Fatal("anycast client performed no remote operations")
+	}
+
+	// Kill a node (service and store): the anycast address must re-locate
+	// to a survivor.
+	svcs[0].Close()
+	stores[0].Close()
+	closed[0] = true
+	for i := 0; i < 24; i++ {
+		k := fmt.Sprintf("any-%03d", i)
+		if v, ok, err := cl.Get(ctx, k); err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get via anycast after node death: %q %v %v", v, ok, err)
+		}
+	}
+}

@@ -14,6 +14,17 @@ import (
 	"amoeba/shared"
 )
 
+// errMoved reports a command that reached a shard which does not serve the
+// key at that point in the total order: the range is frozen mid-handoff or
+// already moved to another shard. The caller re-resolves the owner under
+// the (possibly updated) routing table and retries; command ids keep the
+// retry exactly-once.
+var errMoved = errors.New("kv: key range moved or frozen by resharding")
+
+// movedRetryDelay spaces retries of operations held by a frozen range while
+// the handoff completes.
+const movedRetryDelay = 20 * time.Millisecond
+
 // Client issues key-value operations against a store. Methods are safe for
 // concurrent use; create several clients for independent command streams.
 //
@@ -24,26 +35,37 @@ import (
 //   - local fast path: the shard is hosted on the node the client is bound
 //     to (Store.NewClient); the command goes straight into the in-process
 //     replica, no wire protocol involved;
-//   - direct RPC: the client knows the ring, so it calls the shard's
-//     well-known address (ShardAddr), served by every hosting node;
-//   - proxied: the client holds only an entry node's address (Dial); the
-//     entry node serves shards it hosts and answers misroutes with a
-//     ForwardRequest to an owning node — the reply comes back from wherever
-//     the request lands.
+//   - direct RPC: the client knows the routing table, so it calls the
+//     shard's well-known address (ShardAddr), served by every hosting node;
+//   - proxied: the client holds only an entry node's address (Dial) — or
+//     just the store's name (DialOptions.Anycast); the entry node serves
+//     shards it hosts and answers misroutes with a ForwardRequest to an
+//     owning node — the reply comes back from wherever the request lands.
 //
 // All three speak the same versioned codec (see EncodeRequest), and command
 // ids chosen here are deduplicated by the replicas, so retries across paths,
-// forwards, and failovers stay exactly-once. Sequenced reads run the read
-// marker through the total order on whichever replica serves them, so Get
-// and MGet are linearizable over every path.
+// forwards, failovers, and routing epochs stay exactly-once. Sequenced reads
+// run the read marker through the total order on whichever replica serves
+// them, so Get and MGet are linearizable over every path.
+//
+// Requests carry the client's routing epoch; a serving node at a different
+// epoch answers with its own table attached, and the client adopts it — so
+// a client that dialed a 4-shard store keeps working, without any config
+// service, while the store resplits to 8.
 type Client struct {
 	s       *Store // local binding; nil for Dial'd clients
 	kernel  *amoeba.Kernel
 	cluster string
-	ring    *ring       // nil: no ring knowledge, everything goes via entry
 	entry   amoeba.Addr // entry-node address; 0: direct shard addressing only
+	anycast bool        // fall back to the store-wide anycast entry address
 	nonce   uint64
 	seq     atomic.Uint64
+
+	// Dial'd clients with ring knowledge cache their own routing view,
+	// refreshed from responses; bound clients read the store's.
+	rtMu  sync.RWMutex
+	rt    Routing
+	cring *ring // nil: no ring knowledge, everything goes via entry
 
 	rpcMu  sync.Mutex
 	rpccl  *amoeba.RPCClient
@@ -51,6 +73,7 @@ type Client struct {
 
 	localOps  atomic.Uint64
 	remoteOps atomic.Uint64
+	rtUpdates atomic.Uint64
 }
 
 // ClientStats counts which access paths a client's operations took.
@@ -61,23 +84,30 @@ type ClientStats struct {
 	// RemoteOps counts parts that left the client over RPC (direct to a
 	// shard's address or via the entry node).
 	RemoteOps uint64
+	// RoutingUpdates counts routing tables adopted from responses (a
+	// server at a different epoch taught the client the new table).
+	RoutingUpdates uint64
 }
 
 // Stats returns a snapshot of the client's access-path counters.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{LocalOps: c.localOps.Load(), RemoteOps: c.remoteOps.Load()}
+	return ClientStats{
+		LocalOps:       c.localOps.Load(),
+		RemoteOps:      c.remoteOps.Load(),
+		RoutingUpdates: c.rtUpdates.Load(),
+	}
 }
 
 // NewClient returns a client bound to this node: shards hosted here are
 // served in process, and — when the store runs with bounded replication —
 // shards hosted elsewhere are reached over RPC through their well-known
-// addresses, provided the hosting nodes run a Service.
+// addresses, provided the hosting nodes run a Service. The client shares
+// the node's routing table, so it follows reshardings as they commit.
 func (s *Store) NewClient() *Client {
 	return &Client{
 		s:       s,
 		kernel:  s.kernel,
 		cluster: s.name,
-		ring:    s.ring,
 		nonce:   clientNonce(),
 	}
 }
@@ -90,11 +120,18 @@ type DialOptions struct {
 	// Addr overrides Node with an explicit entry address — any node's
 	// NodeAddr, or any address answering the kv access protocol.
 	Addr amoeba.Addr
+	// Anycast enters the store through its store-wide anycast address
+	// (StoreAddr) instead of a specific node: every node's Service
+	// registers it, so the client needs nothing but the store name — FLIP
+	// locates whichever node answers, and retransmissions re-locate a
+	// survivor when that node dies. Overrides Node; Addr still wins.
+	Anycast bool
 	// Shards, when non-zero, gives the client ring knowledge: requests go
 	// straight to the owning shard's well-known address (one hop) instead
-	// of through the entry node. It must match the store's shard count; a
-	// stale value still works — the service answers misroutes with a
-	// ForwardRequest — it just costs the extra hop.
+	// of through the entry node. It should match the store's bootstrap
+	// shard count; a stale value still works — the service answers
+	// misroutes with a ForwardRequest and attaches its routing table, so
+	// the client converges after one hop.
 	Shards int
 	// VirtualNodes matches Options.VirtualNodes (default 64). Meaningful
 	// only with Shards.
@@ -114,17 +151,23 @@ func Dial(k *amoeba.Kernel, cluster string, o DialOptions) (*Client, error) {
 		kernel:  k,
 		cluster: cluster,
 		entry:   o.Addr,
+		anycast: o.Anycast,
 		nonce:   clientNonce(),
 	}
 	if c.entry == 0 {
-		c.entry = NodeAddr(cluster, o.Node)
+		if o.Anycast {
+			c.entry = StoreAddr(cluster)
+		} else {
+			c.entry = NodeAddr(cluster, o.Node)
+		}
 	}
 	if o.Shards > 0 {
 		vn := o.VirtualNodes
 		if vn <= 0 {
 			vn = defaultVirtualNodes
 		}
-		c.ring = newRing(cluster, o.Shards, vn)
+		c.rt = Routing{Epoch: 0, Shards: o.Shards, VNodes: vn}
+		c.cring = c.rt.ring(cluster)
 	}
 	return c, nil
 }
@@ -141,6 +184,40 @@ func clientNonce() uint64 {
 // nextID returns a command id unique across clients and operations: a random
 // 64-bit client nonce perturbed by a per-client counter.
 func (c *Client) nextID() uint64 { return c.nonce + c.seq.Add(1) }
+
+// routingRing returns the routing view the client targets requests with:
+// the bound store's live table, the Dial'd client's cached table, or
+// (nil, zero table) for ring-less clients.
+func (c *Client) routingRing() (*ring, Routing) {
+	if c.s != nil {
+		return c.s.routingRing()
+	}
+	c.rtMu.RLock()
+	defer c.rtMu.RUnlock()
+	return c.cring, c.rt
+}
+
+// adoptRouting installs a newer table a response carried (Dial'd clients
+// with ring knowledge; bound clients follow their store instead).
+func (c *Client) adoptRouting(rt Routing) {
+	if c.s != nil || rt.Shards <= 0 {
+		return
+	}
+	c.rtMu.Lock()
+	if c.cring != nil && rt.Epoch > c.rt.Epoch {
+		c.rt = rt
+		c.cring = rt.ring(c.cluster)
+		c.rtUpdates.Add(1)
+	}
+	c.rtMu.Unlock()
+}
+
+// Routing returns the table the client currently routes by (zero value for
+// ring-less clients).
+func (c *Client) Routing() Routing {
+	_, rt := c.routingRing()
+	return rt
+}
 
 // Close releases the client's RPC resources, if any were created. Operations
 // that never left the node need no Close.
@@ -171,13 +248,25 @@ func (c *Client) rpcClient() (*amoeba.RPCClient, error) {
 	return c.rpccl, nil
 }
 
+// sleepCtx pauses between retries of operations held by a frozen range.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
 // --- The generic entry point -------------------------------------------------
 
 // Do executes one access-protocol request: the single entry every public
 // method, the amoeba-kv daemon, and the Service proxy route through. Command
 // ids are assigned here if the request does not carry them; multi-shard
-// requests (ReqGet over several keys, ReqBatchPut) are split by the ring and
-// scatter-gathered, each part over its own best path.
+// requests (ReqGet over several keys, ReqBatchPut) are split by the routing
+// table and scatter-gathered, each part over its own best path. Operations
+// that land on a range mid-handoff are held and retried internally until
+// the epoch flips — the ids make the retries exactly-once.
 //
 // The caller's Request is never modified: ids assigned for one execution
 // live on an internal copy, so a Request value can be rebuilt or reused
@@ -198,7 +287,15 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 		if req.ID == 0 {
 			req.ID = c.nextID()
 		}
-		return c.doGet(ctx, req)
+		for {
+			resp, err := c.doGet(ctx, req)
+			if !errors.Is(err, errMoved) {
+				return resp, err
+			}
+			if err := sleepCtx(ctx, movedRetryDelay); err != nil {
+				return nil, err
+			}
+		}
 	case ReqBatchPut:
 		if len(req.Pairs) == 0 {
 			return &Response{OK: true}, nil
@@ -209,7 +306,15 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 				req.IDs[i] = c.nextID()
 			}
 		}
-		return c.doBatchPut(ctx, req)
+		for {
+			resp, err := c.doBatchPut(ctx, req)
+			if !errors.Is(err, errMoved) {
+				return resp, err
+			}
+			if err := sleepCtx(ctx, movedRetryDelay); err != nil {
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("kv: unknown request op %d", req.Op)
 	}
@@ -218,20 +323,25 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 // shardFor maps a key onto its owning shard, or -1 when the client has no
 // ring knowledge (the entry node routes instead).
 func (c *Client) shardFor(key string) int {
-	if c.ring == nil {
+	r, _ := c.routingRing()
+	if r == nil {
 		return -1
 	}
-	return c.ring.shard(key)
+	return r.shard(key)
 }
 
-// doGet executes a sequenced read, splitting multi-shard key sets.
+// doGet executes a sequenced read, splitting multi-shard key sets under the
+// current routing table. errMoved bubbles up when the table changed under a
+// sub-read; the caller re-splits and retries.
 func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
-	if c.ring == nil {
+	r, rt := c.routingRing()
+	if r == nil {
 		return c.doShard(ctx, -1, req)
 	}
+	req.Epoch = rt.Epoch
 	byShard := make(map[int][]int) // shard -> indices into req.Keys
 	for i, k := range req.Keys {
-		s := c.ring.shard(k)
+		s := r.shard(k)
 		byShard[s] = append(byShard[s], i)
 	}
 	if len(byShard) == 1 {
@@ -254,7 +364,7 @@ func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
 		// Sub-reads take fresh ids: reads are idempotent, and a node
 		// re-splitting a forwarded multi-shard read must be free to do
 		// the same.
-		sub := &Request{Op: ReqGet, ID: c.nextID(), Budget: req.Budget, Keys: keys}
+		sub := &Request{Op: ReqGet, ID: c.nextID(), Budget: req.Budget, Epoch: rt.Epoch, Keys: keys}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -262,7 +372,9 @@ func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				if first == nil {
+				// A real error beats errMoved: the retry loop only helps
+				// the moved case, and must not mask a persistent failure.
+				if first == nil || errors.Is(first, errMoved) && !errors.Is(err, errMoved) {
 					first = err
 				}
 				return
@@ -282,14 +394,18 @@ func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
 
 // doBatchPut executes a bulk write, splitting multi-shard pair sets. Per-pair
 // ids travel with their pairs, so however the batch is split — here, at the
-// entry node, or after a forward — every replica deduplicates identically.
+// entry node, or after a forward — every replica deduplicates identically,
+// and a re-split after an epoch flip re-executes only the pairs the first
+// pass could not place.
 func (c *Client) doBatchPut(ctx context.Context, req *Request) (*Response, error) {
-	if c.ring == nil {
+	r, rt := c.routingRing()
+	if r == nil {
 		return c.doShard(ctx, -1, req)
 	}
+	req.Epoch = rt.Epoch
 	byShard := make(map[int][]int)
 	for i, p := range req.Pairs {
-		s := c.ring.shard(p.Key)
+		s := r.shard(p.Key)
 		byShard[s] = append(byShard[s], i)
 	}
 	if len(byShard) == 1 {
@@ -304,7 +420,7 @@ func (c *Client) doBatchPut(ctx context.Context, req *Request) (*Response, error
 	)
 	for s, idx := range byShard {
 		s, idx := s, idx
-		sub := &Request{Op: ReqBatchPut, Budget: req.Budget,
+		sub := &Request{Op: ReqBatchPut, Budget: req.Budget, Epoch: rt.Epoch,
 			Pairs: make([]Pair, len(idx)), IDs: make([]uint64, len(idx))}
 		for j, i := range idx {
 			sub.Pairs[j] = req.Pairs[i]
@@ -315,7 +431,7 @@ func (c *Client) doBatchPut(ctx context.Context, req *Request) (*Response, error
 			defer wg.Done()
 			if _, err := c.doShard(ctx, s, sub); err != nil {
 				mu.Lock()
-				if first == nil {
+				if first == nil || errors.Is(first, errMoved) && !errors.Is(err, errMoved) {
 					first = err
 				}
 				mu.Unlock()
@@ -330,21 +446,53 @@ func (c *Client) doBatchPut(ctx context.Context, req *Request) (*Response, error
 }
 
 // doShard executes a single-shard request (shard -1: unknown, entry decides)
-// over the best available path.
+// over the best available path. A Moved outcome on the local path — the key
+// range is frozen mid-handoff or flipped to a new owner — re-resolves the
+// shard and retries single-key ops in place; multi-element ops bubble
+// errMoved up for a full re-split.
 func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Response, error) {
-	if c.s != nil && shard >= 0 && c.s.Replica(shard) != nil {
+	for {
+		if c.s == nil || shard < 0 || c.s.Replica(shard) == nil {
+			// A shard this node SHOULD host but does not yet is being
+			// opened by the topology worker (a split in flight): wait for
+			// the local replica instead of assuming a remote owner.
+			if c.s != nil && shard >= 0 && c.s.expectsShard(shard) && !c.s.isClosed() {
+				if req.Op == ReqGet || req.Op == ReqBatchPut {
+					return nil, errMoved // re-split at the Do level
+				}
+				if err := sleepCtx(ctx, movedRetryDelay); err != nil {
+					return nil, err
+				}
+				shard = c.shardFor(req.Key)
+				continue
+			}
+			return c.remoteCall(ctx, shard, req)
+		}
 		c.localOps.Add(1)
-		return c.s.execLocal(ctx, shard, req)
+		_, rt := c.routingRing()
+		req.Epoch = rt.Epoch
+		resp, err := c.s.execLocal(ctx, shard, req)
+		if !errors.Is(err, errMoved) {
+			return resp, err
+		}
+		if req.Op == ReqGet || req.Op == ReqBatchPut {
+			return nil, err // re-split at the Do level
+		}
+		if err := sleepCtx(ctx, movedRetryDelay); err != nil {
+			return nil, err
+		}
+		shard = c.shardFor(req.Key)
 	}
-	return c.remoteCall(ctx, shard, req)
 }
 
 // remoteCall sends a request over RPC, retrying across targets while the
-// context allows: the shard's well-known address first (when the ring is
-// known), the entry node as fallback. Timeouts alternate targets — a shard
-// address mid-failover re-locates to a surviving host (the RPC layer forgets
-// silent routes), and an entry node can always forward. Command ids make the
-// retries exactly-once.
+// context allows: the shard's well-known address first (when the routing is
+// known), then the entry node, then the store-wide anycast entry. Timeouts
+// alternate targets — a shard address mid-failover re-locates to a surviving
+// host (the RPC layer forgets silent routes), and an entry node can always
+// forward. Command ids make the retries exactly-once, and a response from a
+// node at a different routing epoch carries the new table, which the client
+// adopts before any further routing.
 func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Response, error) {
 	cl, err := c.rpcClient()
 	if err != nil {
@@ -357,9 +505,14 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 	if c.entry != 0 {
 		targets = append(targets, c.entry)
 	}
+	if sa := StoreAddr(c.cluster); c.anycast && c.entry != sa {
+		targets = append(targets, sa)
+	}
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("kv: shard %d is not hosted on this node and the client has no remote path (start a kv.Service on the hosting nodes)", shard)
 	}
+	_, rt := c.routingRing()
+	req.Epoch = rt.Epoch
 	// Without a caller deadline, bound the attempts so a store with no
 	// services running fails with a clear error instead of spinning.
 	attempts := 8
@@ -390,6 +543,9 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 		resp, err := DecodeResponse(reply)
 		if err != nil {
 			return nil, c.remoteErr(shard, err)
+		}
+		if resp.Routing != nil {
+			c.adoptRouting(*resp.Routing)
 		}
 		if resp.Err != "" {
 			return nil, fmt.Errorf("kv: remote: %s", resp.Err)
@@ -501,7 +657,7 @@ func (c *Client) LocalGet(key string) ([]byte, bool) {
 	if c.s == nil {
 		return nil, false
 	}
-	r := c.s.Replica(c.s.ring.shard(key))
+	r := c.s.Replica(c.s.ShardFor(key))
 	if r == nil {
 		return nil, false
 	}
@@ -543,7 +699,10 @@ func (c *Client) MGet(ctx context.Context, keys ...string) (map[string][]byte, e
 
 // execLocal runs a single-shard request against this node's replica,
 // translating it into deduplicated shard commands. It is the shared
-// execution path of node-bound clients and the Service.
+// execution path of node-bound clients and the Service. It returns errMoved
+// when the replica does not serve (all of) the request's keys at the
+// command's position in the total order — mid-handoff freeze or a completed
+// flip — and the caller re-resolves and retries.
 func (s *Store) execLocal(ctx context.Context, shard int, req *Request) (*Response, error) {
 	switch req.Op {
 	case ReqPut:
@@ -592,7 +751,8 @@ func (s *Store) execLocal(ctx context.Context, shard int, req *Request) (*Respon
 
 // do submits cmd to shard and waits until its result lands in the local
 // replica's result window — i.e. until the command has been totally ordered
-// AND applied locally, which gives read-your-writes even for LocalGet.
+// AND applied locally, which gives read-your-writes even for LocalGet. A
+// Moved result surfaces as errMoved for the caller to re-route.
 //
 // If the local replica stops mid-operation (expelled by a recovery this node
 // missed), do retries against the replacement the store's self-heal swaps
@@ -616,6 +776,9 @@ func (s *Store) do(ctx context.Context, shard int, id uint64, cmd []byte) (resul
 				return ok
 			})
 			if err == nil {
+				if res.Moved {
+					return res, errMoved
+				}
 				return res, nil
 			}
 		}
@@ -640,7 +803,9 @@ func (s *Store) do(ctx context.Context, shard int, id uint64, cmd []byte) (resul
 // doBatch submits one shard's command burst and waits until every result
 // lands in the local replica's result window, with the same
 // replica-swap-and-retry semantics as do (commands are deduplicated by id,
-// so retrying a partially committed batch is safe and exactly-once).
+// so retrying a partially committed batch is safe and exactly-once). If any
+// command answered Moved — the batch straddled an epoch flip — errMoved is
+// returned and the caller re-splits; only the moved pairs re-execute.
 func (s *Store) doBatch(ctx context.Context, shard int, ids []uint64, cmds [][]byte) error {
 	for {
 		r := s.Replica(shard)
@@ -649,16 +814,25 @@ func (s *Store) doBatch(ctx context.Context, shard int, ids []uint64, cmds [][]b
 		}
 		err := r.SubmitBatch(ctx, cmds)
 		if err == nil {
+			moved := false
 			err = r.Wait(ctx, func(sm shared.StateMachine) bool {
 				results := sm.(*mapSM).results
+				moved = false
 				for _, id := range ids {
-					if _, ok := results[id]; !ok {
+					res, ok := results[id]
+					if !ok {
 						return false
+					}
+					if res.Moved {
+						moved = true
 					}
 				}
 				return true
 			})
 			if err == nil {
+				if moved {
+					return errMoved
+				}
 				return nil
 			}
 		}

@@ -16,11 +16,22 @@ import (
 // Byte strings are uvarint-length-prefixed. The id correlates a command with
 // the result its apply deposits in the state machine's result window; ids
 // are unique per client operation (random client nonce + counter).
+//
+// The migrate ops are the live-resharding handoff protocol: begin installs a
+// pending routing table (freezing the ranges that move away), import streams
+// a chunk of frozen pairs into their new owner, commit flips the epoch and
+// deletes moved keys, abort rolls a pending handoff back. Because they are
+// ordinary sequenced commands they are journaled by the write-ahead log like
+// any write — a crash mid-handoff recovers the exact migration state.
 const (
 	opPut byte = iota + 1
 	opDelete
 	opCAS
 	opGet
+	opMigrateBegin
+	opMigrateCommit
+	opMigrateAbort
+	opMigrateImport
 )
 
 var errBadCommand = errors.New("kv: malformed command")
@@ -80,6 +91,61 @@ func encodeGet(id uint64, keys []string) []byte {
 	return dst
 }
 
+// appendRouting / takeRouting encode a routing table as three uvarints.
+func appendRouting(dst []byte, rt Routing) []byte {
+	dst = binary.AppendUvarint(dst, rt.Epoch)
+	dst = binary.AppendUvarint(dst, uint64(rt.Shards))
+	return binary.AppendUvarint(dst, uint64(rt.VNodes))
+}
+
+func takeRouting(src []byte) (Routing, []byte, error) {
+	var rt Routing
+	e, w := binary.Uvarint(src)
+	if w <= 0 {
+		return rt, nil, errBadCommand
+	}
+	src = src[w:]
+	sh, w := binary.Uvarint(src)
+	if w <= 0 || sh == 0 || sh > 1<<20 {
+		return rt, nil, errBadCommand
+	}
+	src = src[w:]
+	vn, w := binary.Uvarint(src)
+	if w <= 0 || vn > 1<<20 {
+		return rt, nil, errBadCommand
+	}
+	rt.Epoch, rt.Shards, rt.VNodes = e, int(sh), int(vn)
+	return rt, src[w:], nil
+}
+
+// encodeMigrate encodes a begin, commit, or abort carrying the target table.
+func encodeMigrate(op byte, id uint64, rt Routing) []byte {
+	return appendRouting(commandHeader(op, id), rt)
+}
+
+// encodeMigrateImport encodes one chunk of pairs (and migrated dedup
+// results) streamed into their new owner, tagged with the target epoch that
+// gates its application.
+func encodeMigrateImport(id uint64, rt Routing, chunk *importChunk) []byte {
+	dst := appendRouting(commandHeader(opMigrateImport, id), rt)
+	dst = binary.AppendUvarint(dst, uint64(len(chunk.Pairs)))
+	for _, p := range chunk.Pairs {
+		dst = appendBytes(dst, []byte(p.Key))
+		dst = appendBytes(dst, p.Val)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(chunk.Results)))
+	for _, r := range chunk.Results {
+		dst = binary.BigEndian.AppendUint64(dst, r.ID)
+		if r.OK {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, []byte(r.Key))
+	}
+	return dst
+}
+
 // --- Access protocol (client ↔ service) --------------------------------------
 //
 // The shard-command codec above is what travels a shard group's total order;
@@ -88,7 +154,7 @@ func encodeGet(id uint64, keys []string) []byte {
 // line protocol — so the in-process client, the RPC proxy, and the external
 // daemon speak one protocol. Requests are self-describing and versioned:
 //
-//	ver(1) | op(1) | flags(1) | budget-ms uvarint | id(8) | op payload
+//	ver(1) | op(1) | flags(1) | budget-ms uvarint | epoch uvarint | id(8) | op payload
 //
 // and responses:
 //
@@ -97,12 +163,17 @@ func encodeGet(id uint64, keys []string) []byte {
 // Command ids are chosen by the originating client and carried end to end
 // (batch ops carry one id per element): replicas deduplicate applies by id,
 // which is what keeps retries exactly-once across RPC retransmissions,
-// ForwardRequest hops, and shard failovers. A node receiving a request whose
-// version it does not speak answers with an error response naming its own
-// version instead of guessing.
+// ForwardRequest hops, shard failovers, and routing-epoch flips. The epoch
+// is the routing table the client targeted the request with; a service at a
+// different epoch still serves the request (under its own, newer-or-older
+// table, forwarding misroutes), and attaches its table to the response so
+// the client converges. A node receiving a request whose version it does not
+// speak answers with an error response naming its own version instead of
+// guessing.
 
-// ProtoVersion is the access-protocol version this build speaks.
-const ProtoVersion = 1
+// ProtoVersion is the access-protocol version this build speaks. Version 2
+// added the routing epoch to requests and the routing table to responses.
+const ProtoVersion = 2
 
 // Request ops.
 const (
@@ -146,6 +217,10 @@ type Request struct {
 	// RPC hop so the serving node's context expires with the caller's.
 	// Zero means "server default".
 	Budget time.Duration
+	// Epoch is the routing-table epoch the client targeted this request
+	// with (0: no routing knowledge). A service whose table differs
+	// answers with its own table attached, so stale clients converge.
+	Epoch uint64
 
 	Keys          []string // ReqGet
 	Key           string   // ReqPut, ReqDelete, ReqCAS
@@ -163,6 +238,7 @@ func EncodeRequest(r *Request) []byte {
 	dst := make([]byte, 0, 64)
 	dst = append(dst, ProtoVersion, r.Op, r.Flags)
 	dst = binary.AppendUvarint(dst, uint64(r.Budget/time.Millisecond))
+	dst = binary.AppendUvarint(dst, r.Epoch)
 	dst = binary.BigEndian.AppendUint64(dst, r.ID)
 	switch r.Op {
 	case ReqGet:
@@ -210,6 +286,12 @@ func DecodeRequest(b []byte) (*Request, error) {
 		return nil, errBadRequest
 	}
 	r.Budget = time.Duration(ms) * time.Millisecond
+	rest = rest[w:]
+	epoch, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, errBadRequest
+	}
+	r.Epoch = epoch
 	rest = rest[w:]
 	if len(rest) < 8 {
 		return nil, errBadRequest
@@ -305,6 +387,10 @@ type Response struct {
 	// Values and Found answer ReqGet, aligned with the request's Keys.
 	Values [][]byte
 	Found  []bool
+	// Routing, when non-nil, is the serving node's routing table: attached
+	// whenever the request's epoch differed from the server's, so a stale
+	// client adopts the new table from any response — no config service.
+	Routing *Routing
 	// Err is a non-empty error description; all other fields are zero.
 	Err string
 }
@@ -319,6 +405,12 @@ func EncodeResponse(r *Response) []byte {
 	dst = append(dst, ProtoVersion, statusOK)
 	if r.OK {
 		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	if r.Routing != nil {
+		dst = append(dst, 1)
+		dst = appendRouting(dst, *r.Routing)
 	} else {
 		dst = append(dst, 0)
 	}
@@ -356,11 +448,20 @@ func DecodeResponse(b []byte) (*Response, error) {
 		}
 		return r, nil
 	case statusOK:
-		if len(rest) < 1 {
+		if len(rest) < 2 {
 			return nil, errBadRequest
 		}
 		r.OK = rest[0] != 0
-		rest = rest[1:]
+		hasRouting := rest[1] != 0
+		rest = rest[2:]
+		if hasRouting {
+			rt, tail, err := takeRouting(rest)
+			if err != nil {
+				return nil, errBadRequest
+			}
+			r.Routing = &rt
+			rest = tail
+		}
 		n, w := binary.Uvarint(rest)
 		if w <= 0 || n > uint64(len(rest)) {
 			return nil, errBadRequest
@@ -400,7 +501,10 @@ type command struct {
 	val           []byte
 	expectPresent bool
 	expect        []byte
-	keys          []string // opGet
+	keys          []string       // opGet
+	routing       Routing        // migrate ops: the target table
+	pairs         []Pair         // opMigrateImport
+	impResults    []importResult // opMigrateImport: migrated dedup results
 }
 
 func decodeCommand(b []byte) (command, error) {
@@ -453,6 +557,48 @@ func decodeCommand(b []byte) (command, error) {
 				return command{}, err
 			}
 			c.keys = append(c.keys, string(raw))
+		}
+	case opMigrateBegin, opMigrateCommit, opMigrateAbort:
+		if c.routing, _, err = takeRouting(rest); err != nil {
+			return command{}, err
+		}
+	case opMigrateImport:
+		if c.routing, rest, err = takeRouting(rest); err != nil {
+			return command{}, err
+		}
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)) {
+			return command{}, errBadCommand
+		}
+		rest = rest[w:]
+		c.pairs = make([]Pair, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return command{}, err
+			}
+			key := string(raw)
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return command{}, err
+			}
+			c.pairs = append(c.pairs, Pair{Key: key, Val: append([]byte(nil), raw...)})
+		}
+		n, w = binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)) {
+			return command{}, errBadCommand
+		}
+		rest = rest[w:]
+		c.impResults = make([]importResult, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(rest) < 9 {
+				return command{}, errBadCommand
+			}
+			ir := importResult{ID: binary.BigEndian.Uint64(rest), OK: rest[8] != 0}
+			rest = rest[9:]
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return command{}, err
+			}
+			ir.Key = string(raw)
+			c.impResults = append(c.impResults, ir)
 		}
 	default:
 		return command{}, fmt.Errorf("kv: unknown op %d: %w", c.op, errBadCommand)

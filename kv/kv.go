@@ -22,6 +22,11 @@
 // i's sequencer on node i mod nodes) or added later with Join (which
 // state-transfers every hosted shard).
 //
+// The shard count is NOT frozen at Bootstrap: Store.Resharding splits or
+// merges a live store's shard groups under load, coordinating the handoff
+// through an epoch-versioned routing table (see Routing and reshard.go) —
+// the way the paper's Amoeba applications added groups as load grew.
+//
 // # Consistency
 //
 // Writes (Put, Delete, CAS) are sequenced through the owning shard's total
@@ -37,7 +42,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amoeba"
@@ -46,8 +54,10 @@ import (
 
 // Options configures a store.
 type Options struct {
-	// Shards is the number of independent shard groups (default 4). All
-	// nodes of one store must agree on it.
+	// Shards is the number of independent shard groups at bootstrap
+	// (default 4). All nodes of one store must agree on it; the live count
+	// afterwards is governed by the routing table (Store.Routing) and
+	// changed with Store.Resharding.
 	Shards int
 	// Replication is the number of nodes hosting each shard. 0 (the
 	// default) replicates every shard on every node, so any node serves
@@ -55,7 +65,8 @@ type Options struct {
 	// {i, i+1, …, i+R−1} mod nodes: each write then interrupts only R
 	// machines instead of all of them, which is what lets aggregate
 	// throughput grow with the node count — but a Client can only reach
-	// shards its node hosts.
+	// shards its node hosts, and live resharding requires full
+	// replication.
 	Replication int
 	// Nodes is the cluster's node count — the modulus of the placement
 	// rule. Bootstrap fills it in; Join with bounded replication requires
@@ -82,6 +93,11 @@ type Options struct {
 	// WALSync fsyncs every journal append: durability against power loss
 	// rather than process crashes, at a throughput cost.
 	WALSync bool
+	// WALSyncDelay, with WALSync, coalesces fsyncs across delivery
+	// bursts: an append marks the log dirty and the fsync runs at most
+	// this long after it, so a slow disk batches group commits instead of
+	// paying one rotation per burst. Zero syncs every append.
+	WALSyncDelay time.Duration
 	// CheckpointEvery is the number of journaled commands between
 	// snapshot checkpoints per shard (default 1024).
 	CheckpointEvery int
@@ -135,16 +151,50 @@ func hostsShard(i, nodeIndex, nodes, repl int) bool {
 // in flight across the swap fail with ErrStopped internally and are retried
 // against the new replica (commands are deduplicated by id, so a retry of an
 // already-applied command is not re-executed).
+//
+// A store also follows the routing table: when a migrate-begin announcing
+// new shard groups is applied by any hosted replica, a topology worker
+// creates or joins the groups this node should host, and when an epoch flip
+// retires shards (a merge), it leaves their groups and reclaims their logs.
+// Every node converges on the table independently — the coordinator only
+// drives the sequenced commands.
 type Store struct {
 	name   string
 	opts   Options
-	ring   *ring
 	kernel *amoeba.Kernel
 
+	// The node-local view of the replicated routing table: the highest
+	// epoch any hosted replica has applied, plus the per-shard pending
+	// (mid-handoff) tables still installed. pendingRt derives from
+	// shardPending: it stays non-nil while ANY hosted shard still
+	// carries a pending table — even after the store-level epoch already
+	// flipped (a crash between per-shard commits leaves stragglers whose
+	// freeze only the resume path can lift). Guarded by routeMu;
+	// routeWake is closed and replaced on every change (see
+	// RoutingWatch).
+	routeMu      sync.RWMutex
+	routing      Routing
+	ring         *ring
+	pendingRt    *Routing
+	shardPending map[int]Routing
+	routeWake    chan struct{}
+
+	// idNonce + idSeq mint command ids for this store's own sequenced
+	// commands (migration protocol).
+	idNonce uint64
+	idSeq   atomic.Uint64
+
+	// reshardMu serialises coordinators on this node; coordinating marks
+	// an active handoff driven from this node (it elects this node the
+	// creator of in-memory split groups).
+	reshardMu    sync.Mutex
+	coordinating atomic.Bool
+
 	mu     sync.RWMutex
-	shards []*shared.Replica
+	shards []*shared.Replica // index = shard id; grows on split
 	closed bool
 
+	ensureCh   chan struct{}
 	healCtx    context.Context
 	healCancel context.CancelFunc
 	healWG     sync.WaitGroup
@@ -152,27 +202,139 @@ type Store struct {
 
 func newStore(name string, k *amoeba.Kernel, opts Options) *Store {
 	ctx, cancel := context.WithCancel(context.Background())
+	rt := Routing{Epoch: 0, Shards: opts.Shards, VNodes: opts.VirtualNodes}
 	return &Store{
-		name:       name,
-		opts:       opts,
-		ring:       newRing(name, opts.Shards, opts.VirtualNodes),
-		kernel:     k,
-		shards:     make([]*shared.Replica, opts.Shards),
-		healCtx:    ctx,
-		healCancel: cancel,
+		name:         name,
+		opts:         opts,
+		kernel:       k,
+		routing:      rt,
+		ring:         rt.ring(name),
+		shardPending: make(map[int]Routing),
+		routeWake:    make(chan struct{}),
+		idNonce:      clientNonce(),
+		shards:       make([]*shared.Replica, opts.Shards),
+		ensureCh:     make(chan struct{}, 1),
+		healCtx:      ctx,
+		healCancel:   cancel,
 	}
 }
 
-// startSelfHeal launches one watcher per hosted shard; called once
-// construction succeeded.
+// newShardSM builds shard i's state machine, wired to report routing changes
+// back to this store.
+func (s *Store) newShardSM(shard int) *mapSM {
+	return newMapSM(s.name, shard, s.Routing(), s.opts.ResultWindow, s.noteRouting)
+}
+
+// nextCmdID mints a command id for the store's own sequenced commands.
+func (s *Store) nextCmdID() uint64 { return s.idNonce + s.idSeq.Add(1) }
+
+// Routing returns the store's current routing table: the highest epoch any
+// hosted replica has applied.
+func (s *Store) Routing() Routing {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.routing
+}
+
+// PendingRouting returns the mid-handoff table a migrate-begin announced, or
+// nil when no handoff is in progress.
+func (s *Store) PendingRouting() *Routing {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	if s.pendingRt == nil {
+		return nil
+	}
+	rt := *s.pendingRt
+	return &rt
+}
+
+// routingRing returns the current ring and table under one lock.
+func (s *Store) routingRing() (*ring, Routing) {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.ring, s.routing
+}
+
+// RoutingWatch returns a channel closed at the next routing change (epoch
+// flip or handoff start). Re-call after each wakeup for the next one.
+func (s *Store) RoutingWatch() <-chan struct{} {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.routeWake
+}
+
+// noteRouting folds one replica's routing state into the node-local view.
+// It is called by shard state machines under their replica lock (including
+// during write-ahead-log recovery), so it must not call back into replicas;
+// topology work happens on the worker goroutine it nudges.
+func (s *Store) noteRouting(shard int, cur Routing, pending Routing, hasPending bool) {
+	s.routeMu.Lock()
+	changed := false
+	if cur.Epoch > s.routing.Epoch || (cur.Epoch == s.routing.Epoch && cur.Shards != s.routing.Shards) {
+		s.routing = cur
+		s.ring = cur.ring(s.name)
+		changed = true
+	}
+	if hasPending {
+		if prev, ok := s.shardPending[shard]; !ok || prev != pending {
+			s.shardPending[shard] = pending
+			changed = true
+		}
+	} else if _, ok := s.shardPending[shard]; ok {
+		delete(s.shardPending, shard)
+		changed = true
+	}
+	// The derived pending view: the highest-epoch table any hosted shard
+	// still carries. NOT gated on the store-level epoch — a straggler
+	// whose siblings already committed must keep the handoff resumable.
+	var best *Routing
+	for _, p := range s.shardPending {
+		if best == nil || p.Epoch > best.Epoch {
+			p := p
+			best = &p
+		}
+	}
+	switch {
+	case best == nil && s.pendingRt != nil,
+		best != nil && (s.pendingRt == nil || *best != *s.pendingRt):
+		s.pendingRt = best
+		changed = true
+	}
+	if changed {
+		close(s.routeWake)
+		s.routeWake = make(chan struct{})
+	}
+	s.routeMu.Unlock()
+	if changed {
+		s.nudgeTopology()
+	}
+}
+
+// nudgeTopology asks the topology worker to reconcile hosted shards with the
+// routing table.
+func (s *Store) nudgeTopology() {
+	select {
+	case s.ensureCh <- struct{}{}:
+	default:
+	}
+}
+
+// startSelfHeal launches the per-shard watchers and the topology worker;
+// called once construction succeeded.
 func (s *Store) startSelfHeal() {
-	for i := range s.shards {
-		if s.shards[i] == nil {
+	s.mu.RLock()
+	n := len(s.shards)
+	s.mu.RUnlock()
+	for i := 0; i < n; i++ {
+		if s.Replica(i) == nil {
 			continue // not hosted under bounded replication
 		}
 		s.healWG.Add(1)
 		go s.watchShard(i)
 	}
+	s.healWG.Add(1)
+	go s.topologyWorker()
+	s.nudgeTopology()
 }
 
 // watchShard rejoins shard i whenever its replica stops underneath us.
@@ -180,8 +342,14 @@ func (s *Store) watchShard(i int) {
 	defer s.healWG.Done()
 	for {
 		s.mu.RLock()
-		r := s.shards[i]
+		var r *shared.Replica
+		if i < len(s.shards) {
+			r = s.shards[i]
+		}
 		s.mu.RUnlock()
+		if r == nil {
+			return // retired (or never hosted)
+		}
 		// Block until the replica stops; the always-false predicate makes
 		// Wait return only on ErrStopped (expelled or closed) or ctx end.
 		err := r.Wait(s.healCtx, func(shared.StateMachine) bool { return false })
@@ -190,12 +358,16 @@ func (s *Store) watchShard(i int) {
 		}
 		s.mu.RLock()
 		closed := s.closed
+		current := i < len(s.shards) && s.shards[i] == r
 		s.mu.RUnlock()
-		if closed {
-			return
+		if closed || !current {
+			return // store closing, or the shard was retired/swapped
+		}
+		if rt := s.Routing(); i >= rt.Shards && s.PendingRouting() == nil {
+			return // shard retired by a merge: nothing to heal
 		}
 		r.Close() // release the expelled replica's transfer service (and log)
-		rep, err := openShard(s.healCtx, s.kernel, s.name, i, s.opts, false)
+		rep, err := s.openShard(s.healCtx, i, false)
 		if err != nil {
 			if s.healCtx.Err() != nil {
 				return
@@ -222,6 +394,134 @@ func (s *Store) watchShard(i int) {
 	}
 }
 
+// topologyWorker reconciles the set of hosted shard replicas with the
+// routing table: joining or creating the groups a pending split announced,
+// and retiring the groups an epoch flip removed (merge). It is the half of
+// the handoff every node runs independently; the coordinator only drives
+// the sequenced migration commands.
+func (s *Store) topologyWorker() {
+	defer s.healWG.Done()
+	for {
+		select {
+		case <-s.healCtx.Done():
+			return
+		case <-s.ensureCh:
+		}
+		s.reconcileTopology()
+	}
+}
+
+func (s *Store) reconcileTopology() {
+	s.routeMu.RLock()
+	cur := s.routing
+	pending := s.pendingRt
+	s.routeMu.RUnlock()
+	want := cur.Shards
+	if pending != nil && pending.Shards > want {
+		want = pending.Shards
+	}
+	nodes := s.opts.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	// Grow: open replicas for announced shards this node should host.
+	for i := 0; i < want; i++ {
+		if !hostsShard(i, s.opts.NodeIndex, nodes, s.opts.Replication) {
+			continue
+		}
+		s.mu.Lock()
+		for len(s.shards) < want {
+			s.shards = append(s.shards, nil)
+		}
+		have := s.shards[i] != nil
+		closed := s.closed
+		s.mu.Unlock()
+		if have || closed {
+			continue
+		}
+		// Bound each attempt so one unreachable group cannot wedge the
+		// worker; a failure re-arms a retry nudge.
+		attemptCtx, cancel := context.WithTimeout(s.healCtx, 30*time.Second)
+		rep, err := s.openNewShard(attemptCtx, i)
+		cancel()
+		if err != nil {
+			if s.healCtx.Err() == nil {
+				time.AfterFunc(250*time.Millisecond, s.nudgeTopology)
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closed || s.shards[i] != nil {
+			s.mu.Unlock()
+			rep.Close()
+			continue
+		}
+		s.shards[i] = rep
+		s.mu.Unlock()
+		s.healWG.Add(1)
+		go s.watchShard(i)
+	}
+	// Shrink: retire shards the committed table no longer contains.
+	if pending == nil {
+		s.mu.RLock()
+		n := len(s.shards)
+		s.mu.RUnlock()
+		for i := cur.Shards; i < n; i++ {
+			if r := s.Replica(i); r != nil {
+				s.healWG.Add(1)
+				go s.retireShard(i, r, cur.Epoch)
+			}
+		}
+	}
+}
+
+// openNewShard obtains a replica of a shard announced by a pending split.
+// Durable stores run the write-ahead-log path's cold-start election (virgin
+// logs everywhere: the best candidate among the nodes that are UP creates,
+// so a dead preferred rank cannot strand the shard). In-memory stores have
+// no election machinery, so the handoff coordinator — alive by definition —
+// creates the group and everyone else joins with retry; a fixed designated
+// creator would deadlock the split if that node happened to be the one
+// whose death the resharding is racing.
+func (s *Store) openNewShard(ctx context.Context, i int) (*shared.Replica, error) {
+	if s.opts.DataDir != "" {
+		return s.openShard(ctx, i, false)
+	}
+	if s.coordinating.Load() {
+		return shared.Create(ctx, s.kernel, shardGroupName(s.name, i), s.newShardSM(i), s.opts.Group)
+	}
+	return s.joinShard(ctx, i)
+}
+
+// retireShard removes a shard a merge deleted: wait until the local replica
+// has applied its own epoch flip (so the departure is sequenced after the
+// commit), leave the group in total order, and reclaim the log directory.
+func (s *Store) retireShard(i int, r *shared.Replica, epoch uint64) {
+	defer s.healWG.Done()
+	err := r.Wait(s.healCtx, func(sm shared.StateMachine) bool {
+		return sm.(*mapSM).routing.Epoch >= epoch
+	})
+	s.mu.Lock()
+	if s.closed || i >= len(s.shards) || s.shards[i] != r {
+		s.mu.Unlock()
+		return
+	}
+	s.shards[i] = nil
+	s.mu.Unlock()
+	if err == nil {
+		leaveCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = r.Leave(leaveCtx)
+		cancel()
+	}
+	r.Close()
+	if s.opts.DataDir != "" {
+		// The shard's history now lives (merged) in the surviving shards'
+		// logs; a leftover directory would only resurrect a zombie group
+		// at the next restart.
+		_ = os.RemoveAll(shardDataDir(s.opts.DataDir, s.name, s.opts.NodeIndex, i))
+	}
+}
+
 // Bootstrap creates a store named name across the given kernels (one node
 // per kernel) and returns a Store handle per node, in kernel order. Shard
 // i's group is created by node i mod len(kernels) — spreading the
@@ -230,10 +530,13 @@ func (s *Store) watchShard(i int) {
 //
 // With Options.DataDir set the store is durable, and Bootstrap doubles as
 // the restart path: when the store's directory already exists, every node
-// recovers its shards from their write-ahead logs and the shards' groups
-// are reformed from the longest surviving log each (see shared.Open) — so
-// re-running Bootstrap after killing every node brings the store back with
-// all data intact.
+// recovers its shards from their write-ahead logs (including shards a past
+// Resharding added — the shard count is discovered from the logs, not taken
+// from Options) and the shards' groups are reformed from the longest
+// surviving log each (see shared.Open) — so re-running Bootstrap after
+// killing every node brings the store back with all data intact. A handoff
+// the crash interrupted is resumed (or, if it had already committed
+// anywhere, completed) before Bootstrap returns; see Store.Resharding.
 //
 // Group creation is not atomic (paper §5); Bootstrap assumes no concurrent
 // store of the same name is being created on the same network.
@@ -261,7 +564,7 @@ func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts 
 	for i := 0; i < opts.Shards; i++ {
 		creator := i % len(kernels)
 		group := shardGroupName(name, i)
-		r, err := shared.Create(ctx, kernels[creator], group, newMapSM(opts.ResultWindow), opts.Group)
+		r, err := shared.Create(ctx, kernels[creator], group, stores[creator].newShardSM(i), opts.Group)
 		if err != nil {
 			return fail(fmt.Errorf("kv: creating %s: %w", group, err))
 		}
@@ -278,7 +581,7 @@ func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				rep, err := joinShard(ctx, kernels[n], group, opts)
+				rep, err := stores[n].joinShard(ctx, i)
 				if err != nil {
 					errs[n] = fmt.Errorf("kv: node %d joining %s: %w", n, group, err)
 					return
@@ -299,6 +602,26 @@ func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts 
 	return stores, nil
 }
 
+// discoverShardCount inspects one node's data directory for shard logs a
+// past Resharding may have added beyond the configured bootstrap count.
+func discoverShardCount(dataDir, store string, node, configured int) int {
+	n := configured
+	entries, err := os.ReadDir(filepath.Join(dataDir, store, fmt.Sprintf("node-%d", node)))
+	if err != nil {
+		return n
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, "shard-") {
+			continue
+		}
+		if i, err := strconv.Atoi(name[len("shard-"):]); err == nil && i+1 > n {
+			n = i + 1
+		}
+	}
+	return n
+}
+
 // bootstrapDurable boots (or restarts) a durable store: every node opens
 // its hosted shards through the write-ahead-log path concurrently. A store
 // directory that does not exist yet marks a genuine first boot, letting each
@@ -307,11 +630,22 @@ func Bootstrap(ctx context.Context, kernels []*amoeba.Kernel, name string, opts 
 func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string, opts Options) ([]*Store, error) {
 	_, err := os.Stat(filepath.Join(opts.DataDir, name))
 	fresh := os.IsNotExist(err)
+	shardCount := opts.Shards
+	if !fresh {
+		for n := range kernels {
+			shardCount = discoverShardCount(opts.DataDir, name, n, shardCount)
+		}
+	}
 	stores := make([]*Store, len(kernels))
 	for n := range kernels {
 		o := opts
 		o.NodeIndex = n
 		stores[n] = newStore(name, kernels[n], o)
+		stores[n].mu.Lock()
+		for len(stores[n].shards) < shardCount {
+			stores[n].shards = append(stores[n].shards, nil)
+		}
+		stores[n].mu.Unlock()
 	}
 	// One shard failing must cancel its siblings: a joiner whose creator
 	// never came up retries until its context ends, so without this a
@@ -324,7 +658,7 @@ func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string
 		firstErr error
 	)
 	for n := range kernels {
-		for i := 0; i < opts.Shards; i++ {
+		for i := 0; i < shardCount; i++ {
 			if !hostsShard(i, n, len(kernels), opts.Replication) {
 				continue
 			}
@@ -332,7 +666,7 @@ func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				rep, err := openShard(openCtx, kernels[n], name, i, stores[n].opts, fresh)
+				rep, err := stores[n].openShard(openCtx, i, fresh)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -342,7 +676,9 @@ func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string
 					cancel()
 					return
 				}
+				stores[n].mu.Lock()
 				stores[n].shards[i] = rep
+				stores[n].mu.Unlock()
 			}()
 		}
 	}
@@ -355,6 +691,16 @@ func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string
 	}
 	for _, s := range stores {
 		s.startSelfHeal()
+	}
+	// A crash mid-handoff leaves pending routing in the recovered state;
+	// finish the migration deterministically before handing the store out.
+	if !fresh {
+		if err := stores[0].resumeResharding(ctx); err != nil {
+			for _, s := range stores {
+				s.Close()
+			}
+			return nil, fmt.Errorf("kv: resuming interrupted resharding of %q: %w", name, err)
+		}
 	}
 	return stores, nil
 }
@@ -387,12 +733,21 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*St
 	if opts.DataDir != "" && opts.Nodes <= 0 {
 		return nil, fmt.Errorf("kv: joining %q durably requires Options.Nodes and Options.NodeIndex (the cold-start election needs the node's slot)", name)
 	}
+	shardCount := opts.Shards
+	if opts.DataDir != "" {
+		shardCount = discoverShardCount(opts.DataDir, name, opts.NodeIndex, shardCount)
+	}
 	s := newStore(name, k, opts)
+	s.mu.Lock()
+	for len(s.shards) < shardCount {
+		s.shards = append(s.shards, nil)
+	}
+	s.mu.Unlock()
 	var (
 		wg   sync.WaitGroup
-		errs = make([]error, opts.Shards)
+		errs = make([]error, shardCount)
 	)
-	for i := 0; i < opts.Shards; i++ {
+	for i := 0; i < shardCount; i++ {
 		if !hostsShard(i, opts.NodeIndex, opts.Nodes, opts.Replication) {
 			continue
 		}
@@ -400,12 +755,14 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*St
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rep, err := openShard(ctx, k, name, i, opts, false)
+			rep, err := s.openShard(ctx, i, false)
 			if err != nil {
 				errs[i] = fmt.Errorf("kv: joining shard %d of %q: %w", i, name, err)
 				return
 			}
+			s.mu.Lock()
 			s.shards[i] = rep
+			s.mu.Unlock()
 		}()
 	}
 	wg.Wait()
@@ -424,25 +781,25 @@ func Join(ctx context.Context, k *amoeba.Kernel, name string, opts Options) (*St
 // shared.Open — recover the write-ahead log, join the live group if one
 // exists, otherwise elect the longest surviving log to reform it. bootstrap
 // marks a declared first boot (see shared.Durability.Bootstrap).
-func openShard(ctx context.Context, k *amoeba.Kernel, name string, shard int, opts Options, bootstrap bool) (*shared.Replica, error) {
-	group := shardGroupName(name, shard)
-	if opts.DataDir == "" {
-		return joinShard(ctx, k, group, opts)
+func (s *Store) openShard(ctx context.Context, shard int, bootstrap bool) (*shared.Replica, error) {
+	if s.opts.DataDir == "" {
+		return s.joinShard(ctx, shard)
 	}
-	nodes := opts.Nodes
+	nodes := s.opts.Nodes
 	if nodes <= 0 {
 		nodes = 1
 	}
 	dur := shared.Durability{
-		Dir:             shardDataDir(opts.DataDir, name, opts.NodeIndex, shard),
-		Sync:            opts.WALSync,
-		CheckpointEvery: opts.CheckpointEvery,
-		Rank:            opts.NodeIndex,
+		Dir:             shardDataDir(s.opts.DataDir, s.name, s.opts.NodeIndex, shard),
+		Sync:            s.opts.WALSync,
+		SyncDelay:       s.opts.WALSyncDelay,
+		CheckpointEvery: s.opts.CheckpointEvery,
+		Rank:            s.opts.NodeIndex,
 		Peers:           nodes,
 		Preferred:       shard % nodes,
 		Bootstrap:       bootstrap,
 	}
-	return shared.Open(ctx, k, group, newMapSM(opts.ResultWindow), opts.Group, dur)
+	return shared.Open(ctx, s.kernel, shardGroupName(s.name, shard), s.newShardSM(shard), s.opts.Group, dur)
 }
 
 // joinShard joins one shard group, retrying the failures that a group in
@@ -452,9 +809,10 @@ func openShard(ctx context.Context, k *amoeba.Kernel, name string, shard int, op
 // recovery excluded the half-joined member before the transfer finished).
 // The caller's ctx bounds the retries; a group whose survivors never
 // recover fails when ctx does.
-func joinShard(ctx context.Context, k *amoeba.Kernel, group string, opts Options) (*shared.Replica, error) {
+func (s *Store) joinShard(ctx context.Context, shard int) (*shared.Replica, error) {
+	group := shardGroupName(s.name, shard)
 	for {
-		rep, err := shared.Join(ctx, k, group, newMapSM(opts.ResultWindow), opts.Group)
+		rep, err := shared.Join(ctx, s.kernel, group, s.newShardSM(shard), s.opts.Group)
 		if err == nil {
 			return rep, nil
 		}
@@ -481,7 +839,7 @@ func (s *Store) abandon() {
 	s.mu.Unlock()
 	s.healCancel()
 	var wg sync.WaitGroup
-	for _, r := range s.shards {
+	for _, r := range s.snapshotShards() {
 		if r == nil {
 			continue
 		}
@@ -500,14 +858,38 @@ func (s *Store) abandon() {
 // Name returns the store's name.
 func (s *Store) Name() string { return s.name }
 
-// Shards returns the shard count.
-func (s *Store) Shards() int { return s.opts.Shards }
+// Shards returns the live shard count under the current routing table.
+func (s *Store) Shards() int { return s.Routing().Shards }
 
-// ShardFor returns the shard owning key.
-func (s *Store) ShardFor(key string) int { return s.ring.shard(key) }
+// ShardFor returns the shard owning key under the current routing table.
+func (s *Store) ShardFor(key string) int {
+	r, _ := s.routingRing()
+	return r.shard(key)
+}
 
 // HostsShard reports whether this node hosts a replica of shard i.
 func (s *Store) HostsShard(i int) bool { return s.Replica(i) != nil }
+
+// expectsShard reports whether this node's placement slot should host shard
+// i under the current (or pending) table — true with a nil Replica means
+// the topology worker is still opening it (mid-split), and local callers
+// should wait rather than assume a remote owner.
+func (s *Store) expectsShard(i int) bool {
+	s.routeMu.RLock()
+	want := s.routing.Shards
+	if s.pendingRt != nil && s.pendingRt.Shards > want {
+		want = s.pendingRt.Shards
+	}
+	s.routeMu.RUnlock()
+	if i < 0 || i >= want {
+		return false
+	}
+	nodes := s.opts.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	return hostsShard(i, s.opts.NodeIndex, nodes, s.opts.Replication)
+}
 
 // Replica exposes shard i's underlying replica, for group-level operations
 // (Reset, Info, Applied) and advanced reads. After a self-heal the handle a
@@ -516,6 +898,9 @@ func (s *Store) HostsShard(i int) bool { return s.Replica(i) != nil }
 func (s *Store) Replica(i int) *shared.Replica {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
 	return s.shards[i]
 }
 

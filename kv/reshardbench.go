@@ -1,0 +1,225 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amoeba"
+)
+
+// This file measures live resharding: what a 4→8 split costs a store under
+// continuous client load (ops/s before, during, and after the handoff) and
+// how much data it moves — the consistent-hash ring's (new−old)/new against
+// the (new−1)/new an assignment that ignores placement would move. Like the
+// proxied and durable benches it runs on the live in-memory fabric in real
+// time, so absolute ops/s vary by host; the during/before RATIO and the
+// moved fraction are the measurement. cmd/amoeba-bench renders it as the
+// "reshard" experiment and CI commits it as BENCH_reshard.json.
+
+// ReshardPhase is one load window's throughput.
+type ReshardPhase struct {
+	Phase      string  `json:"phase"` // before | during | after
+	Ops        uint64  `json:"ops"`
+	DurationMs float64 `json:"duration_ms"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// ReshardBenchResult is the machine-readable result for BENCH_reshard.json.
+type ReshardBenchResult struct {
+	OldShards int `json:"old_shards"`
+	NewShards int `json:"new_shards"`
+	Nodes     int `json:"nodes"`
+	Keys      int `json:"keys"`
+
+	Phases []ReshardPhase `json:"phases"`
+	// DuringVsBefore is the throughput retained while the handoff ran.
+	DuringVsBefore float64 `json:"during_vs_before"`
+	// ReshardMs is the wall-clock duration of Resharding under load.
+	ReshardMs float64 `json:"reshard_ms"`
+
+	// MovedKeys/MovedRatio: keys whose owner changed under the new table
+	// (consistent hashing: ≈ (new−old)/new). NaiveRatio is the fraction an
+	// independent reassignment of the same keys moves (≈ (new−1)/new) —
+	// the rehash a placement-oblivious scheme would pay.
+	MovedKeys  int     `json:"moved_keys"`
+	MovedRatio float64 `json:"moved_ratio"`
+	NaiveRatio float64 `json:"naive_ratio"`
+
+	// Errors counts client operations that failed during the whole run
+	// (must be 0: the handoff holds, it does not fail).
+	Errors uint64 `json:"errors"`
+}
+
+// MeasureReshard runs the split-under-load measurement.
+func MeasureReshard() (*ReshardBenchResult, error) {
+	const (
+		nodes     = 4
+		oldShards = 4
+		newShards = 8
+		keys      = 2000
+		clients   = 8
+		window    = 700 * time.Millisecond
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := net.NewKernel(fmt.Sprintf("reshard-node-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		kernels[i] = k
+	}
+	stores, err := Bootstrap(ctx, kernels, "reshard-bench", Options{Shards: oldShards})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	// Seed the keyspace and precompute the movement ratios.
+	seed := stores[0].NewClient()
+	pairs := make([]Pair, keys)
+	allKeys := make([]string, keys)
+	for i := range pairs {
+		k := fmt.Sprintf("bench-%05d", i)
+		pairs[i] = Pair{Key: k, Val: []byte(fmt.Sprintf("v%05d", i))}
+		allKeys[i] = k
+	}
+	if err := seed.BatchPut(ctx, pairs); err != nil {
+		return nil, fmt.Errorf("seeding: %w", err)
+	}
+	seed.Close()
+	oldRing := Routing{Shards: oldShards, VNodes: defaultVirtualNodes}.ring("reshard-bench")
+	newRing := Routing{Shards: newShards, VNodes: defaultVirtualNodes}.ring("reshard-bench")
+	moved, naiveMoved := 0, 0
+	for _, k := range allKeys {
+		if oldRing.shard(k) != newRing.shard(k) {
+			moved++
+		}
+		// An independent reassignment keeps a key only by the 1/new
+		// chance that the fresh placement lands where it already was.
+		if int(hash64(k+"#independent-rehash")%uint64(newShards)) != oldRing.shard(k) {
+			naiveMoved++
+		}
+	}
+
+	// Continuous load for the whole run; phase boundaries are sampled from
+	// the shared counter.
+	var (
+		ops               atomic.Uint64
+		errs              atomic.Uint64
+		wg                sync.WaitGroup
+		loadCtx, stopLoad = context.WithCancel(ctx)
+	)
+	defer stopLoad()
+	for c := 0; c < clients; c++ {
+		cl := stores[c%nodes].NewClient()
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cl.Close()
+			for i := 0; loadCtx.Err() == nil; i++ {
+				k := allKeys[(c*31+i)%len(allKeys)]
+				var err error
+				if i%5 == 0 {
+					_, _, err = cl.Get(loadCtx, k)
+				} else {
+					err = cl.Put(loadCtx, k, []byte("w"))
+				}
+				switch {
+				case err == nil:
+					ops.Add(1)
+				case loadCtx.Err() != nil:
+					return
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+
+	phase := func(name string, run func() error) (ReshardPhase, error) {
+		startOps, start := ops.Load(), time.Now()
+		err := run()
+		d, n := time.Since(start), ops.Load()-startOps
+		return ReshardPhase{
+			Phase:      name,
+			Ops:        n,
+			DurationMs: float64(d.Microseconds()) / 1000,
+			OpsPerSec:  float64(n) / d.Seconds(),
+		}, err
+	}
+	sleep := func() error {
+		select {
+		case <-time.After(window):
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	res := &ReshardBenchResult{
+		OldShards: oldShards, NewShards: newShards, Nodes: nodes, Keys: keys,
+		MovedKeys:  moved,
+		MovedRatio: float64(moved) / keys,
+		NaiveRatio: float64(naiveMoved) / keys,
+	}
+	before, err := phase("before", sleep)
+	if err != nil {
+		return nil, err
+	}
+	during, err := phase("during", func() error { return stores[1].Resharding(ctx, newShards) })
+	if err != nil {
+		return nil, fmt.Errorf("resharding under load: %w", err)
+	}
+	after, err := phase("after", sleep)
+	if err != nil {
+		return nil, err
+	}
+	stopLoad()
+	wg.Wait()
+	res.Phases = []ReshardPhase{before, during, after}
+	res.ReshardMs = during.DurationMs
+	if before.OpsPerSec > 0 {
+		res.DuringVsBefore = during.OpsPerSec / before.OpsPerSec
+	}
+	res.Errors = errs.Load()
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("%d client operations failed during the handoff", res.Errors)
+	}
+	// Sanity: the final table must serve every key exactly once.
+	check := stores[2].NewClient()
+	defer check.Close()
+	for i := 0; i < keys; i += 97 {
+		if _, ok, err := check.Get(ctx, allKeys[i]); err != nil || !ok {
+			return nil, fmt.Errorf("key %q after split: found=%v err=%v", allKeys[i], ok, err)
+		}
+	}
+	return res, nil
+}
+
+// ReshardJSON renders the measurement for BENCH_reshard.json.
+func ReshardJSON(res *ReshardBenchResult) ([]byte, error) {
+	out := struct {
+		Experiment string              `json:"experiment"`
+		Unit       string              `json:"unit"`
+		Note       string              `json:"note"`
+		Result     *ReshardBenchResult `json:"result"`
+	}{
+		Experiment: "reshard",
+		Unit:       "aggregate client ops/s, live in-memory fabric (host-dependent; compare the during/before ratio)",
+		Note:       "live 4→8 split under continuous load; moved_ratio is the consistent-hash movement (≈1/2 for doubling) vs naive_ratio for an independent rehash (≈7/8)",
+		Result:     res,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

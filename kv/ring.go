@@ -11,11 +11,38 @@ import (
 // counts this package targets.
 const defaultVirtualNodes = 64
 
+// Routing is the store's epoch-versioned shard routing table: everything a
+// party needs to map keys onto shard groups, small enough to travel in every
+// request and response. It is a first-class replicated object — each shard's
+// state machine carries the routing it operates under, updated only by
+// sequenced migration commands through the shard's total order, so every
+// replica (and every write-ahead log) agrees on which epoch owns which keys.
+//
+// The Epoch strictly increases with every completed resharding. Two tables
+// with the same Epoch are identical; a party holding the higher Epoch holds
+// the newer truth. Clients stamp their epoch on requests, and a service
+// answering a stale epoch attaches its own table to the response — in-flight
+// clients converge on the new routing without any config service.
+type Routing struct {
+	// Epoch is the table's version; 0 is the bootstrap table.
+	Epoch uint64
+	// Shards is the shard-group count under this table.
+	Shards int
+	// VNodes is the consistent-hash points per shard.
+	VNodes int
+}
+
+// ring materialises a Routing for key lookups.
+func (rt Routing) ring(store string) *ring {
+	return newRing(store, rt.Shards, rt.VNodes)
+}
+
 // ring maps keys to shards by consistent hashing: each shard owns
 // virtualNodes points on a 64-bit circle and a key belongs to the shard
 // owning the first point at or after the key's hash. Adding a shard moves
-// only the keys that land on its new points, which is what will keep a
-// future rebalancer's data movement proportional to 1/shards.
+// only the keys that land on its new points, which is what keeps live
+// resharding's data movement proportional to (new−old)/new instead of the
+// (new−1)/new a naive rehash would move.
 type ring struct {
 	points []ringPoint // sorted by hash
 	shards int
@@ -73,3 +100,6 @@ func (r *ring) shard(key string) int {
 	}
 	return r.points[i].shard
 }
+
+// owns reports whether shard s owns key under this ring.
+func (r *ring) owns(s int, key string) bool { return r.shard(key) == s }

@@ -8,6 +8,7 @@ package kv
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,15 @@ func NodeAddr(store string, node int) amoeba.Addr {
 	return amoeba.AddrForName(fmt.Sprintf("kv/%s/node/%d", store, node))
 }
 
+// StoreAddr returns the store-wide anycast entry address: every node's
+// Service registers it in the FLIP name registry, so a client needs nothing
+// but the store's name (DialOptions.Anycast) — FLIP's locate finds
+// whichever node answers, and retransmissions re-locate a survivor when
+// that node dies.
+func StoreAddr(store string) amoeba.Addr {
+	return amoeba.AddrForName(fmt.Sprintf("kv/%s/entry", store))
+}
+
 // ServiceStats counts what a node's service did with the requests it
 // received.
 type ServiceStats struct {
@@ -42,26 +52,42 @@ type ServiceStats struct {
 	// Scattered counts multi-shard requests (a client with no or stale
 	// ring knowledge) this node split and scatter-gathered itself.
 	Scattered uint64
+	// StaleEpochs counts requests whose routing epoch differed from this
+	// node's; each was served under the node's table and answered with
+	// that table attached, converging the client.
+	StaleEpochs uint64
 	// Errors counts requests answered with an error response.
 	Errors uint64
 }
 
 // Service serves the kv access protocol for one node of a store: one RPC
 // server per hosted shard group at ShardAddr, plus the node's entry point at
-// NodeAddr. Requests for hosted shards execute in process (sequenced reads
-// run the read marker through the local replica — linearizable); misroutes —
-// a client with a stale ring, a shard mid-rebalance, a Dial'd client that
-// knows nothing but this node — are answered with a ForwardRequest to an
-// owning node, so a client holding one address reaches every key.
+// NodeAddr and the store-wide anycast entry at StoreAddr. Requests for
+// hosted shards execute in process (sequenced reads run the read marker
+// through the local replica — linearizable); misroutes — a client with a
+// stale routing table, a shard mid-rebalance, a Dial'd client that knows
+// nothing but this node — are answered with a ForwardRequest to an owning
+// node, so a client holding one address reaches every key.
+//
+// The service follows the routing table: when a resharding commits, servers
+// for new shard groups are registered and servers for retired ones close,
+// and responses to requests from another epoch carry the node's table so
+// the requester converges.
 type Service struct {
 	store  *Store
 	client *Client
-	srvs   []*amoeba.RPCServer
 
-	served    atomic.Uint64
-	forwarded atomic.Uint64
-	scattered atomic.Uint64
-	errors    atomic.Uint64
+	mu        sync.Mutex
+	srvs      []*amoeba.RPCServer // fixed entries: node + store anycast
+	shardSrvs map[int]*amoeba.RPCServer
+	closed    bool
+	watchDone chan struct{}
+
+	served      atomic.Uint64
+	forwarded   atomic.Uint64
+	scattered   atomic.Uint64
+	staleEpochs atomic.Uint64
+	errors      atomic.Uint64
 
 	// defaultBudget bounds requests that carry no caller budget;
 	// maxBudget caps even explicit ones, so a client that vanished
@@ -77,10 +103,14 @@ func NewService(s *Store) (*Service, error) {
 	svc := &Service{
 		store:         s,
 		client:        s.NewClient(),
+		shardSrvs:     make(map[int]*amoeba.RPCServer),
+		watchDone:     make(chan struct{}),
 		defaultBudget: 10 * time.Second,
 		maxBudget:     2 * time.Minute,
 	}
 	fail := func(err error) (*Service, error) {
+		close(svc.watchDone) // watcher never started
+		svc.watchDone = nil
 		svc.Close()
 		return nil, err
 	}
@@ -90,38 +120,112 @@ func NewService(s *Store) (*Service, error) {
 		return fail(fmt.Errorf("kv: serving node entry point: %w", err))
 	}
 	svc.srvs = append(svc.srvs, srv)
-	for i := 0; i < s.opts.Shards; i++ {
-		if !hostsShard(i, s.opts.NodeIndex, s.opts.Nodes, s.opts.Replication) {
+	srv, err = s.kernel.NewRPCServerWith(StoreAddr(s.name), svc.handle,
+		amoeba.RPCServerOptions{Concurrent: true})
+	if err != nil {
+		return fail(fmt.Errorf("kv: serving store anycast entry: %w", err))
+	}
+	svc.srvs = append(svc.srvs, srv)
+	if err := svc.reconcileShards(); err != nil {
+		return fail(err)
+	}
+	go svc.watchRouting()
+	return svc, nil
+}
+
+// reconcileShards aligns the per-shard RPC servers with the shards this
+// node currently hosts under the routing table.
+func (svc *Service) reconcileShards() error {
+	s := svc.store
+	rt := s.Routing()
+	want := rt.Shards
+	if pend := s.PendingRouting(); pend != nil && pend.Shards > want {
+		want = pend.Shards
+	}
+	svc.mu.Lock()
+	defer svc.mu.Unlock()
+	if svc.closed {
+		return nil
+	}
+	for i, srv := range svc.shardSrvs {
+		if i >= want || s.Replica(i) == nil {
+			srv.Close()
+			delete(svc.shardSrvs, i)
+		}
+	}
+	for i := 0; i < want; i++ {
+		if svc.shardSrvs[i] != nil || s.Replica(i) == nil {
 			continue
 		}
 		srv, err := s.kernel.NewRPCServerWith(ShardAddr(s.name, i), svc.handle,
 			amoeba.RPCServerOptions{Concurrent: true})
 		if err != nil {
-			return fail(fmt.Errorf("kv: serving shard %d: %w", i, err))
+			return fmt.Errorf("kv: serving shard %d: %w", i, err)
 		}
-		svc.srvs = append(svc.srvs, srv)
+		svc.shardSrvs[i] = srv
 	}
-	return svc, nil
+	return nil
+}
+
+// watchRouting re-registers shard servers whenever the routing table (or
+// the hosted replica set) changes — the service half of live resharding.
+func (svc *Service) watchRouting() {
+	defer close(svc.watchDone)
+	for {
+		wake := svc.store.RoutingWatch()
+		svc.mu.Lock()
+		closed := svc.closed
+		svc.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-svc.store.healCtx.Done():
+			return
+		case <-time.After(time.Second):
+			// Periodic sweep: replica creation lags the routing nudge, so
+			// re-check hosted shards even without a table change.
+		}
+		_ = svc.reconcileShards() // transient failures retried next sweep
+	}
 }
 
 // Stats returns a snapshot of the service's request counters.
 func (svc *Service) Stats() ServiceStats {
 	return ServiceStats{
-		Served:    svc.served.Load(),
-		Forwarded: svc.forwarded.Load(),
-		Scattered: svc.scattered.Load(),
-		Errors:    svc.errors.Load(),
+		Served:      svc.served.Load(),
+		Forwarded:   svc.forwarded.Load(),
+		Scattered:   svc.scattered.Load(),
+		StaleEpochs: svc.staleEpochs.Load(),
+		Errors:      svc.errors.Load(),
 	}
 }
 
 // Close stops serving. In-flight requests fail at their clients' RPC layer
 // and are retried against surviving nodes.
 func (svc *Service) Close() {
-	for _, srv := range svc.srvs {
+	svc.mu.Lock()
+	if svc.closed {
+		svc.mu.Unlock()
+		return
+	}
+	svc.closed = true
+	srvs := svc.srvs
+	svc.srvs = nil
+	for _, srv := range svc.shardSrvs {
+		srvs = append(srvs, srv)
+	}
+	svc.shardSrvs = map[int]*amoeba.RPCServer{}
+	done := svc.watchDone
+	svc.mu.Unlock()
+	for _, srv := range srvs {
 		srv.Close()
 	}
-	svc.srvs = nil
 	svc.client.Close()
+	if done != nil {
+		<-done
+	}
 }
 
 // handle serves one access-protocol request. It runs on its own goroutine
@@ -132,23 +236,38 @@ func (svc *Service) handle(raw []byte) (reply []byte, forward amoeba.Addr) {
 		svc.errors.Add(1)
 		return EncodeResponse(&Response{Err: err.Error()}), 0
 	}
+	rt := svc.store.Routing()
+	stale := req.Epoch != rt.Epoch
+	if stale {
+		svc.staleEpochs.Add(1)
+	}
+	// attach teaches the requester this node's table whenever the epochs
+	// disagreed (re-read at answer time: the handoff may have flipped the
+	// epoch while the request executed).
+	attach := func(resp *Response) []byte {
+		if now := svc.store.Routing(); req.Epoch != now.Epoch {
+			resp.Routing = &now
+		}
+		return EncodeResponse(resp)
+	}
 	shards := svc.shardsOf(req)
 	if len(shards) == 1 && svc.store.Replica(shards[0]) == nil {
 		// Misroute: the one shard this request needs lives elsewhere.
 		if req.Flags&flagForwarded != 0 {
-			// Already forwarded once; rings disagree. Answer rather
-			// than bounce the request around.
+			// Already forwarded once; routing tables disagree. Answer
+			// rather than bounce the request around.
 			svc.errors.Add(1)
-			return EncodeResponse(&Response{Err: fmt.Sprintf(
-				"shard %d not hosted at forward target (ring mismatch?)", shards[0])}), 0
+			return attach(&Response{Err: fmt.Sprintf(
+				"shard %d not hosted at forward target (routing mismatch?)", shards[0])}), 0
 		}
 		svc.forwarded.Add(1)
 		fwd := *req
 		fwd.Flags |= flagForwarded
+		fwd.Epoch = rt.Epoch // forward under this node's (newer) table
 		return EncodeRequest(&fwd), ShardAddr(svc.store.name, shards[0])
 	}
 	if len(shards) > 1 {
-		// A client with no (or stale) ring knowledge packed several
+		// A client with no (or stale) routing knowledge packed several
 		// shards' keys into one request: this node re-scatters it, local
 		// parts in process and remote parts over RPC — the full proxy.
 		svc.scattered.Add(1)
@@ -164,22 +283,23 @@ func (svc *Service) handle(raw []byte) (reply []byte, forward amoeba.Addr) {
 	ctx, cancel := context.WithTimeout(context.Background(), budget)
 	defer cancel()
 	// Sub-requests the client issues for re-scattered parts are fresh
-	// requests (no forwarded flag), targeted by this node's ring.
+	// requests (no forwarded flag), targeted by this node's routing.
 	resp, err := svc.client.Do(ctx, req)
 	if err != nil {
 		svc.errors.Add(1)
-		return EncodeResponse(&Response{Err: err.Error()}), 0
+		return attach(&Response{Err: err.Error()}), 0
 	}
-	return EncodeResponse(resp), 0
+	return attach(resp), 0
 }
 
 // shardsOf lists the distinct shards a request touches, under this node's
-// ring.
+// current routing table.
 func (svc *Service) shardsOf(req *Request) []int {
+	ring, _ := svc.store.routingRing()
 	seen := make(map[int]bool)
 	var out []int
 	add := func(key string) {
-		s := svc.store.ring.shard(key)
+		s := ring.shard(key)
 		if !seen[s] {
 			seen[s] = true
 			out = append(out, s)

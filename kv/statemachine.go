@@ -23,29 +23,75 @@ type result struct {
 	// command's key list.
 	Values [][]byte `json:"values,omitempty"`
 	Found  []bool   `json:"found,omitempty"`
+	// Key is the mutated key (write ops only). It lets a resharding
+	// migrate the result alongside the data: a command retried after the
+	// epoch flip routes to the key's NEW owner, and only if the result
+	// moved with the key does the dedup window still answer it there —
+	// exactly-once across reshardings. (Sequenced reads carry no key;
+	// re-executing a read under a retry is just a later linearizable
+	// read.)
+	Key string `json:"key,omitempty"`
+	// Moved reports that the command touched a key this shard does not
+	// serve at the command's position in the total order: either the key
+	// range is frozen mid-handoff (owned now, but moving under the pending
+	// routing) or it already moved (a stale client's routing lags the
+	// epoch). The command was NOT executed; the caller re-resolves the
+	// owner and retries — and because a Moved result does not arm the
+	// dedup suppression, the retried id executes normally wherever it
+	// lands.
+	Moved bool `json:"moved,omitempty"`
 }
 
-// mapSM is the per-shard replicated state machine: the key-value items plus
-// a bounded FIFO window of command results. Apply is deterministic; shared
-// serialises all access.
+// mapSM is the per-shard replicated state machine: the key-value items, a
+// bounded FIFO window of command results, and the routing table the shard
+// operates under. Apply is deterministic; shared serialises all access.
 type mapSM struct {
 	items   map[string][]byte
 	results map[uint64]result
 	order   []uint64 // result ids, oldest first, for deterministic eviction
 	window  int
+
+	// Identity (constructor-set, not part of the replicated state: every
+	// replica of one shard is built with the same values).
+	store string
+	shard int
+	// onRouting, when non-nil, is nudged after any apply or restore that
+	// changed routing or pending — the hook the hosting Store uses to keep
+	// its node-local routing view current. It runs under the replica lock
+	// and must not call back into the replica.
+	onRouting func(shard int, cur Routing, pending Routing, hasPending bool)
+
+	// routing is the epoch table this shard currently serves under;
+	// pending, when non-nil, is the next table a migrate-begin announced
+	// (the shard is mid-handoff: keys moving away are frozen). Both are
+	// replicated state, changed only by sequenced migration commands.
+	routing Routing
+	pending *Routing
+	// curRing/pendRing are derived from routing/pending (deterministic
+	// function of the replicated state; rebuilt on restore).
+	curRing  *ring
+	pendRing *ring
 }
 
 var _ shared.StateMachine = (*mapSM)(nil)
 
-func newMapSM(window int) *mapSM {
+func newMapSM(store string, shard int, rt Routing, window int, onRouting func(int, Routing, Routing, bool)) *mapSM {
 	if window <= 0 {
 		window = defaultResultWindow
 	}
-	return &mapSM{
-		items:   make(map[string][]byte),
-		results: make(map[uint64]result),
-		window:  window,
+	s := &mapSM{
+		items:     make(map[string][]byte),
+		results:   make(map[uint64]result),
+		window:    window,
+		store:     store,
+		shard:     shard,
+		onRouting: onRouting,
+		routing:   rt,
 	}
+	if rt.Shards > 0 {
+		s.curRing = rt.ring(store)
+	}
+	return s
 }
 
 func (s *mapSM) setResult(id uint64, r result) {
@@ -59,35 +105,86 @@ func (s *mapSM) setResult(id uint64, r result) {
 	}
 }
 
+// serves reports whether this shard serves key at this point in the total
+// order: the key must be owned under the current table AND not be mid-move
+// under a pending one. A key moving away is frozen from migrate-begin until
+// this shard's migrate-commit — reads too, so a moved key is never served
+// stale from the source while the target may already have accepted a newer
+// write (linearizability across the epoch flip).
+func (s *mapSM) serves(key string) bool {
+	if s.curRing == nil {
+		return true // no routing installed: single-table legacy shard
+	}
+	if s.curRing.shard(key) != s.shard {
+		return false
+	}
+	if s.pendRing != nil && s.pendRing.shard(key) != s.shard {
+		return false
+	}
+	return true
+}
+
+// notifyRouting nudges the hosting store after a routing/pending change.
+func (s *mapSM) notifyRouting() {
+	if s.onRouting == nil {
+		return
+	}
+	var pend Routing
+	if s.pending != nil {
+		pend = *s.pending
+	}
+	s.onRouting(s.shard, s.routing, pend, s.pending != nil)
+}
+
 // Apply executes one committed command. Malformed commands are ignored (a
 // byzantine client must not be able to diverge or crash the replicas), and a
-// command whose id already has a result is not re-executed: clients retry
-// across replica swaps, and a retried CAS must not observe its own first
-// execution.
+// command whose id already has a real result is not re-executed: clients
+// retry across replica swaps and routing epochs, and a retried CAS must not
+// observe its own first execution. Moved results do not suppress the retry —
+// the command never executed, and the total order decides afresh whether the
+// shard serves the key by then.
 func (s *mapSM) Apply(cmd []byte) {
 	c, err := decodeCommand(cmd)
 	if err != nil {
 		return
 	}
-	if _, done := s.results[c.id]; done {
+	if prev, done := s.results[c.id]; done && !prev.Moved {
 		return
 	}
 	switch c.op {
 	case opPut:
+		if !s.serves(c.key) {
+			s.setResult(c.id, result{Moved: true})
+			return
+		}
 		s.items[c.key] = c.val
-		s.setResult(c.id, result{OK: true})
+		s.setResult(c.id, result{OK: true, Key: c.key})
 	case opDelete:
+		if !s.serves(c.key) {
+			s.setResult(c.id, result{Moved: true})
+			return
+		}
 		_, existed := s.items[c.key]
 		delete(s.items, c.key)
-		s.setResult(c.id, result{OK: existed})
+		s.setResult(c.id, result{OK: existed, Key: c.key})
 	case opCAS:
+		if !s.serves(c.key) {
+			s.setResult(c.id, result{Moved: true})
+			return
+		}
 		cur, present := s.items[c.key]
 		ok := present == c.expectPresent && (!present || string(cur) == string(c.expect))
 		if ok {
 			s.items[c.key] = c.val
 		}
-		s.setResult(c.id, result{OK: ok})
+		s.setResult(c.id, result{OK: ok, Key: c.key})
 	case opGet:
+		for _, k := range c.keys {
+			if !s.serves(k) {
+				s.setResult(c.id, result{Moved: true})
+				return
+			}
+		}
 		r := result{
 			OK:     true,
 			Values: make([][]byte, len(c.keys)),
@@ -100,7 +197,93 @@ func (s *mapSM) Apply(cmd []byte) {
 			}
 		}
 		s.setResult(c.id, r)
+	case opMigrateBegin:
+		s.applyMigrateBegin(c)
+	case opMigrateCommit:
+		s.applyMigrateCommit(c)
+	case opMigrateAbort:
+		s.applyMigrateAbort(c)
+	case opMigrateImport:
+		s.applyMigrateImport(c)
 	}
+}
+
+// applyMigrateBegin installs the pending routing table, freezing the key
+// ranges that move away from this shard. Begins are idempotent, and a begin
+// for an epoch the shard already reached (or passed) is a no-op — the retry
+// of a completed handoff must not re-freeze anything.
+func (s *mapSM) applyMigrateBegin(c command) {
+	ok := false
+	switch {
+	case c.routing.Epoch <= s.routing.Epoch:
+		// Already at (or past) that epoch: the handoff completed.
+		ok = true
+	case s.pending != nil && *s.pending == c.routing:
+		ok = true // duplicate begin of the handoff in progress
+	case s.pending == nil && c.routing.Epoch == s.routing.Epoch+1:
+		rt := c.routing
+		s.pending = &rt
+		s.pendRing = rt.ring(s.store)
+		ok = true
+		s.notifyRouting()
+	}
+	s.setResult(c.id, result{OK: ok})
+}
+
+// applyMigrateCommit flips the shard to the new routing table: moved keys
+// (exported to their new owners before the commit was sequenced) are
+// deleted, the freeze lifts, and from this position in the total order the
+// shard serves exactly the ranges the new table assigns it.
+func (s *mapSM) applyMigrateCommit(c command) {
+	if c.routing.Epoch <= s.routing.Epoch {
+		s.setResult(c.id, result{OK: true}) // duplicate commit
+		return
+	}
+	s.routing = c.routing
+	s.curRing = c.routing.ring(s.store)
+	s.pending = nil
+	s.pendRing = nil
+	for k := range s.items {
+		if s.curRing.shard(k) != s.shard {
+			delete(s.items, k)
+		}
+	}
+	s.setResult(c.id, result{OK: true})
+	s.notifyRouting()
+}
+
+// applyMigrateAbort rolls a pending handoff back: the freeze lifts and the
+// shard keeps serving under its current table. Only the exact pending epoch
+// can be aborted, and never after the shard committed it.
+func (s *mapSM) applyMigrateAbort(c command) {
+	ok := false
+	if s.pending != nil && s.pending.Epoch == c.routing.Epoch {
+		s.pending = nil
+		s.pendRing = nil
+		ok = true
+		s.notifyRouting()
+	}
+	s.setResult(c.id, result{OK: ok})
+}
+
+// applyMigrateImport installs a chunk of keys (and the dedup results that
+// travel with them) streamed out of a source shard. Imports are epoch-gated:
+// they apply only while this shard has not yet committed the target epoch —
+// after the flip clients may write the moved ranges here, and a late
+// (re-driven) import must never overwrite a newer client write with the
+// source's frozen value.
+func (s *mapSM) applyMigrateImport(c command) {
+	if s.routing.Epoch >= c.routing.Epoch {
+		s.setResult(c.id, result{Moved: true}) // late chunk: already flipped
+		return
+	}
+	for _, p := range c.pairs {
+		s.items[p.Key] = p.Val
+	}
+	for _, r := range c.impResults {
+		s.setResult(r.ID, result{OK: r.OK, Key: r.Key})
+	}
+	s.setResult(c.id, result{OK: true})
 }
 
 // snapshotState is the wire form of a shard snapshot. Results travel in FIFO
@@ -109,6 +292,8 @@ type snapshotState struct {
 	Items   map[string][]byte `json:"items"`
 	Results []savedResult     `json:"results"`
 	Window  int               `json:"window"`
+	Routing Routing           `json:"routing"`
+	Pending *Routing          `json:"pending,omitempty"`
 }
 
 type savedResult struct {
@@ -122,6 +307,8 @@ func (s *mapSM) Snapshot() ([]byte, error) {
 		Items:   s.items,
 		Results: make([]savedResult, 0, len(s.order)),
 		Window:  s.window,
+		Routing: s.routing,
+		Pending: s.pending,
 	}
 	for _, id := range s.order {
 		st.Results = append(st.Results, savedResult{ID: id, result: s.results[id]})
@@ -148,5 +335,78 @@ func (s *mapSM) Restore(snap []byte) error {
 	if st.Window > 0 {
 		s.window = st.Window
 	}
+	if st.Routing.Shards > 0 {
+		s.routing = st.Routing
+		s.curRing = st.Routing.ring(s.store)
+	}
+	s.pending = st.Pending
+	s.pendRing = nil
+	if s.pending != nil {
+		s.pendRing = s.pending.ring(s.store)
+	}
+	s.notifyRouting()
 	return nil
+}
+
+// migrationView is a consistent read of the shard's routing state, for the
+// handoff coordinator and the resume path.
+type migrationView struct {
+	Routing Routing
+	Pending *Routing
+	Keys    int
+}
+
+// importChunk is one migrate-import command's cargo: moved key/value pairs
+// plus the dedup results whose keys move with them (tombstoned deletes
+// included — their result must follow the key even though the item is gone).
+type importChunk struct {
+	Pairs   []Pair
+	Results []importResult
+}
+
+// importResult is one migrated dedup-window entry.
+type importResult struct {
+	ID  uint64
+	OK  bool
+	Key string
+}
+
+// exportChunks enumerates everything this shard loses under next — items
+// and keyed results — grouped by destination shard and chunked to stay
+// under maxBytes per chunk (at least one element per chunk). Caller must
+// hold the replica lock (Read).
+func (s *mapSM) exportChunks(next *ring, maxBytes int) map[int][]*importChunk {
+	out := make(map[int][]*importChunk)
+	size := make(map[int]int)
+	chunkFor := func(dest, need int) *importChunk {
+		chunks := out[dest]
+		if len(chunks) == 0 || size[dest]+need > maxBytes {
+			chunks = append(chunks, &importChunk{})
+			out[dest] = chunks
+			size[dest] = 0
+		}
+		size[dest] += need
+		return chunks[len(chunks)-1]
+	}
+	for k, v := range s.items {
+		dest := next.shard(k)
+		if dest == s.shard {
+			continue
+		}
+		ch := chunkFor(dest, len(k)+len(v)+16)
+		ch.Pairs = append(ch.Pairs, Pair{Key: k, Val: append([]byte(nil), v...)})
+	}
+	for _, id := range s.order {
+		r := s.results[id]
+		if r.Key == "" {
+			continue // reads and migration markers stay behind
+		}
+		dest := next.shard(r.Key)
+		if dest == s.shard {
+			continue
+		}
+		ch := chunkFor(dest, len(r.Key)+16)
+		ch.Results = append(ch.Results, importResult{ID: id, OK: r.OK, Key: r.Key})
+	}
+	return out
 }

@@ -60,6 +60,12 @@ type Durability struct {
 	// at apply time, so this covers everything the replica has applied;
 	// see the wal package's durability contract for the bound.
 	Sync bool
+	// SyncDelay, with Sync, coalesces fsyncs across delivery bursts: an
+	// append marks the log dirty and the fsync runs at most this long
+	// after it, so a slow disk pays one rotation for many group commits.
+	// The power-loss window widens by at most SyncDelay; zero syncs every
+	// append record (see wal.Options.SyncDelay).
+	SyncDelay time.Duration
 
 	// Rank is this replica's slot among the group's durable hosts, in
 	// [0, Peers); it names the replica's recovery beacon.
@@ -214,7 +220,7 @@ func Open(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, o
 		return nil, errors.New("shared: Durability.Dir is required")
 	}
 	dur = dur.withDefaults()
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentSize: dur.SegmentSize, Sync: dur.Sync})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentSize: dur.SegmentSize, Sync: dur.Sync, SyncDelay: dur.SyncDelay})
 	if err != nil {
 		return nil, fmt.Errorf("shared: opening log for %q: %w", name, err)
 	}

@@ -56,6 +56,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Entry is one totally-ordered command: the payload applied to the state
@@ -74,6 +77,16 @@ type Options struct {
 	// Sync forces an fsync after every append, extending durability from
 	// process crashes to power loss. Checkpoints are fsynced regardless.
 	Sync bool
+	// SyncDelay, with Sync, coalesces fsyncs across append bursts: an
+	// append marks the segment dirty and the fsync runs at most SyncDelay
+	// later, covering every append since the previous one — group commit
+	// across delivery bursts, so a slow disk pays one rotation for many
+	// bursts instead of one each. The durability window widens from "the
+	// append has returned" to "at most SyncDelay after the append
+	// returned"; a replica already journals at apply time (after the ack),
+	// so the protocol-level guarantee is unchanged in kind, only the
+	// bound moves. Zero (the default) syncs inside every Append.
+	SyncDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +100,10 @@ func (o Options) withDefaults() Options {
 type Stats struct {
 	// Appends counts Append calls (records written).
 	Appends uint64
+	// Syncs counts fsyncs issued for appended records (immediate under
+	// Sync, or delayed-and-coalesced under SyncDelay: one sync may cover
+	// many appends). Checkpoint and seal fsyncs are not counted.
+	Syncs uint64
 	// Entries counts entries journaled inside those records.
 	Entries uint64
 	// Checkpoints counts snapshot checkpoints written.
@@ -178,6 +195,15 @@ type Log struct {
 	hasCkpt  bool   // a checkpoint file exists (even one at seq 0)
 	closed   bool
 	stats    Stats
+
+	// Delayed-sync state. Unlike the rest of the log this is touched by
+	// the timer goroutine too, so it has its own lock; syncs is read by
+	// Stats while the timer may fire.
+	syncMu    sync.Mutex
+	syncTimer *time.Timer
+	syncFile  *os.File // segment the pending delayed sync covers
+	syncErr   error    // first delayed-fsync failure, surfaced by the next Append/Sync
+	syncs     atomic.Uint64
 }
 
 // Open opens (creating if needed) the log directory, validates the tail of
@@ -311,9 +337,66 @@ func scanSegment(path string, visit func(Entry) error, afterSeq uint32) (validLe
 	return off, maxSeq, int64(len(buf)) != off, nil
 }
 
+// armDelayedSync schedules (or coalesces into) the pending delayed fsync of
+// the active segment: the first dirty append arms the timer, later appends
+// inside the window ride the same fsync — group commit across bursts. A
+// failure of an earlier delayed fsync is returned here (and from Sync), so
+// a dying disk degrades the log exactly as the immediate-sync path would —
+// one window late, never silently.
+func (l *Log) armDelayedSync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.syncErr != nil {
+		return fmt.Errorf("wal: delayed fsync failed: %w", l.syncErr)
+	}
+	l.syncFile = l.active
+	if l.syncTimer != nil {
+		return nil // an fsync is already scheduled; this append joins it
+	}
+	l.syncTimer = time.AfterFunc(l.opts.SyncDelay, l.fireDelayedSync)
+	return nil
+}
+
+// fireDelayedSync runs on the timer goroutine: flush whatever segment the
+// window's appends landed in. *os.File is safe for concurrent Sync/Write; a
+// segment sealed meanwhile was already fsynced by rotate.
+func (l *Log) fireDelayedSync() {
+	l.syncMu.Lock()
+	f := l.syncFile
+	l.syncTimer = nil
+	l.syncFile = nil
+	l.syncMu.Unlock()
+	if f == nil {
+		return
+	}
+	if err := f.Sync(); err != nil {
+		l.syncMu.Lock()
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+		l.syncMu.Unlock()
+		return
+	}
+	l.syncs.Add(1)
+}
+
+// flushDelayedSync cancels the pending delayed fsync, if any; callers are
+// about to fsync (or close) the segment themselves.
+func (l *Log) flushDelayedSync() {
+	l.syncMu.Lock()
+	if l.syncTimer != nil {
+		l.syncTimer.Stop()
+		l.syncTimer = nil
+		l.syncs.Add(1) // the caller's explicit fsync stands in for it
+	}
+	l.syncFile = nil
+	l.syncMu.Unlock()
+}
+
 // rotate seals the active segment and starts a new one based at lastSeq.
 func (l *Log) rotate() error {
 	if l.active != nil {
+		l.flushDelayedSync()
 		if err := l.active.Sync(); err != nil {
 			return fmt.Errorf("wal: syncing sealed segment: %w", err)
 		}
@@ -371,8 +454,15 @@ func (l *Log) Append(entries []Entry) error {
 		return fmt.Errorf("wal: appending: %w", err)
 	}
 	if l.opts.Sync {
-		if err := l.active.Sync(); err != nil {
-			return fmt.Errorf("wal: syncing append: %w", err)
+		if l.opts.SyncDelay > 0 {
+			if err := l.armDelayedSync(); err != nil {
+				return err
+			}
+		} else {
+			if err := l.active.Sync(); err != nil {
+				return fmt.Errorf("wal: syncing append: %w", err)
+			}
+			l.syncs.Add(1)
 		}
 	}
 	l.activeSz += int64(len(rec))
@@ -526,6 +616,7 @@ func (l *Log) Reset(seq uint32, snapshot []byte) error {
 		return ErrClosed
 	}
 	if l.active != nil {
+		l.flushDelayedSync()
 		l.active.Close()
 		l.active = nil
 	}
@@ -577,18 +668,30 @@ func (l *Log) CheckpointSeq() uint32 { return l.ckptSeq }
 func (l *Log) Virgin() bool { return !l.hasCkpt && l.lastSeq == 0 }
 
 // Stats returns a snapshot of the log's counters.
-func (l *Log) Stats() Stats { return l.stats }
+func (l *Log) Stats() Stats {
+	st := l.stats
+	st.Syncs = l.syncs.Load()
+	return st
+}
 
 // Dir returns the log's directory.
 func (l *Log) Dir() string { return l.dir }
 
-// Sync flushes the active segment to stable storage.
+// Sync flushes the active segment to stable storage, absorbing any pending
+// delayed fsync.
 func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
 	}
 	if l.active == nil {
 		return nil
+	}
+	l.flushDelayedSync()
+	l.syncMu.Lock()
+	err := l.syncErr
+	l.syncMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: delayed fsync failed: %w", err)
 	}
 	return l.active.Sync()
 }
@@ -603,6 +706,7 @@ func (l *Log) Close() error {
 	if l.active == nil {
 		return nil
 	}
+	l.flushDelayedSync()
 	err := l.active.Sync()
 	if cerr := l.active.Close(); err == nil {
 		err = cerr
