@@ -39,6 +39,14 @@
 //	                   changed only by sequenced migrate-begin/chunk/
 //	                   commit commands, so the handoff is exactly-once
 //	                   and (with the wal) crash-resumable
+//	(measurement)      The paper's evaluation decomposed protocol cost per
+//	                   stage (request → sequencer → multicast → delivery)
+//	                   with offline instrumentation. GroupOptions.Obs wires
+//	                   the same decomposition in as a live facility: the
+//	                   obs package's stage-latency histograms, cross-node
+//	                   op traces keyed by command ids, and a flight
+//	                   recorder of recent protocol events, exported as
+//	                   Prometheus text by cmd/amoeba-kv's -metrics-addr
 //
 // All primitives are blocking, as in Amoeba; obtain concurrency by calling
 // them from multiple goroutines (the paper's "parallelism through

@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"amoeba/internal/experiments"
 	"amoeba/internal/netsim"
@@ -108,6 +109,36 @@ func reshardTable(res *kv.ReshardBenchResult) *experiments.Table {
 		[]string{"keys moved (consistent hash)", fmt.Sprintf("%.1f%%", 100*res.MovedRatio), fmt.Sprintf("%d of %d", res.MovedKeys, res.Keys)},
 		[]string{"keys an independent rehash would move", fmt.Sprintf("%.1f%%", 100*res.NaiveRatio), "≈ (new−1)/new"},
 	)
+	return t
+}
+
+// observedTable renders the instrumentation-cost experiment. Like the other
+// live-fabric experiments it measures real time on the host, so the
+// per-stage numbers vary by machine; the overhead percentage is the claim.
+func observedTable(res *kv.ObservedBenchResult) *experiments.Table {
+	t := &experiments.Table{
+		ID:    "Observed",
+		Title: "pipeline instrumentation: per-stage latency and enabled-vs-disabled cost",
+		PaperNote: fmt.Sprintf("overhead %.2f%% (disabled %.0f ops/s, enabled %.0f ops/s, %d runs per mode, mirrored schedule)",
+			res.OverheadPercent, res.DisabledOpsPerSec, res.EnabledOpsPerSec, res.Trials),
+		Columns: []string{"stage", "count", "p50", "p90", "p99", "max"},
+	}
+	ns := func(v uint64) string {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	for _, s := range res.Stages {
+		p50, p90, p99, max := ns(s.P50), ns(s.P90), ns(s.P99), ns(s.Max)
+		if strings.HasSuffix(s.Stage, "_fill") {
+			// Unitless histogram (batch occupancy), not a duration.
+			p50 = fmt.Sprintf("%d", s.P50)
+			p90 = fmt.Sprintf("%d", s.P90)
+			p99 = fmt.Sprintf("%d", s.P99)
+			max = fmt.Sprintf("%d", s.Max)
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Stage, fmt.Sprintf("%d", s.Count), p50, p90, p99, max,
+		})
+	}
 	return t
 }
 
@@ -210,9 +241,26 @@ func run() int {
 				return reshardTable(res), buf, err
 			},
 		},
+		"observed": {
+			run: func(netsim.CostModel) (*experiments.Table, error) {
+				res, err := kv.MeasureObserved()
+				if err != nil {
+					return nil, err
+				}
+				return observedTable(res), nil
+			},
+			json: func(netsim.CostModel) (*experiments.Table, []byte, error) {
+				res, err := kv.MeasureObserved()
+				if err != nil {
+					return nil, nil, err
+				}
+				buf, err := kv.ObservedJSON(res)
+				return observedTable(res), buf, err
+			},
+		},
 	}
 	order := []string{"table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable", "reshard"}
+		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable", "reshard", "observed"}
 
 	if *list {
 		ids := make([]string, 0, len(exps))

@@ -19,7 +19,14 @@
 //	MGET <key> <key> ...         -> VALUE <k>=<v> ...
 //	RESHARD <n>                  -> OK epoch=<e> shards=<n>            (live split/merge)
 //	STATS                        -> shards, epoch, members, proxy counters
+//	METRICS                      -> Prometheus text, terminated by END
+//	TRACE <id>                   -> a sampled op's cross-node timeline, terminated by END
+//	TRACES                       -> retained trace ids, terminated by END
 //	QUIT                         -> closes the connection
+//
+// The same metrics are served over HTTP with -metrics-addr: GET /metrics is
+// the Prometheus scrape target, GET /flight dumps the flight recorder's
+// recent protocol events, GET /trace?id=N one sampled op's timeline.
 //
 // Keys and values are single whitespace-free tokens; values may be quoted Go
 // strings (e.g. "two words") and replies quote values that need it.
@@ -50,6 +57,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -59,6 +67,7 @@ import (
 
 	"amoeba"
 	"amoeba/kv"
+	"amoeba/obs"
 )
 
 func main() {
@@ -78,29 +87,71 @@ func main() {
 		duration     = flag.Duration("duration", 5*time.Second, "load duration")
 		valueSize    = flag.Int("value-size", 64, "load value size in bytes")
 		readFrac     = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /flight, and /trace?id=N over HTTP on this address")
+		traceMod     = flag.Uint64("trace-mod", 1024, "trace every Nth command id (1 traces everything)")
 	)
 	flag.Parse()
 
 	switch {
 	case *selftest:
-		os.Exit(runSelftest(*nodes, *resilience, *duration))
+		os.Exit(runSelftest(*nodes, *resilience, *duration, *metricsAddr))
 	case *load:
 		os.Exit(runLoad(*addr, *clients, *duration, *valueSize, *readFrac))
 	default:
 		if *serveAddr == "" {
 			*serveAddr = ":7070"
 		}
-		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay))
+		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay, *metricsAddr, *traceMod))
 	}
+}
+
+// newHub builds the process-wide observability hub and, when metricsAddr is
+// set, starts the HTTP exporter on it. The whole in-process cluster shares
+// one hub: every node's stage histograms and counters land in one registry
+// (gauges are delta-updated, so sharing is coherent), which is exactly the
+// per-process scrape surface Prometheus wants.
+func newHub(node string, traceMod uint64, metricsAddr string) *obs.Hub {
+	hub := obs.NewHub(obs.Options{Node: node, TraceMod: traceMod})
+	if metricsAddr == "" {
+		return hub
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = hub.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprint(w, hub.Flight().Format())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		id, err := strconv.ParseUint(r.URL.Query().Get("id"), 0, 64)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			fmt.Fprintf(w, "bad id: %v\n", err)
+			return
+		}
+		fmt.Fprint(w, obs.FormatTrace(id, hub.Tracer().Trace(id)))
+	})
+	ln, err := net.Listen("tcp", metricsAddr)
+	if err != nil {
+		log.Printf("amoeba-kv: metrics listen %s: %v", metricsAddr, err)
+		return hub
+	}
+	log.Printf("amoeba-kv: metrics on http://%s/metrics", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+	return hub
 }
 
 // serve boots the cluster — recovering it from the write-ahead logs when
 // -data-dir names an existing deployment — and answers line-protocol
 // connections forever.
-func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration) int {
+func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration, metricsAddr string, traceMod uint64) int {
 	ctx := context.Background()
 	network := amoeba.NewMemoryNetwork()
 	defer network.Close()
+	hub := newHub("amoeba-kv", traceMod, metricsAddr)
 	kernels := make([]*amoeba.Kernel, nodes)
 	for i := range kernels {
 		k, err := network.NewKernel(fmt.Sprintf("kv-node-%d", i))
@@ -108,6 +159,7 @@ func serve(addr string, shards, nodes, resilience, replication int, dataDir stri
 			log.Printf("amoeba-kv: kernel %d: %v", i, err)
 			return 1
 		}
+		k.RegisterObs(hub)
 		kernels[i] = k
 	}
 	opts := kv.Options{Shards: shards, Replication: replication,
@@ -116,6 +168,7 @@ func serve(addr string, shards, nodes, resilience, replication int, dataDir stri
 			Resilience:   resilience,
 			AutoReset:    true,
 			MinSurvivors: 1,
+			Obs:          hub,
 		}}
 	if dataDir != "" {
 		log.Printf("amoeba-kv: durable store under %s (wal-sync=%v)", dataDir, walSync)
@@ -165,7 +218,7 @@ func serve(addr string, shards, nodes, resilience, replication int, dataDir stri
 		}
 		// Spread connections across nodes, as a shard-aware proxy would.
 		n := next.Add(1) % uint64(len(stores))
-		go handleConn(ctx, conn, stores[n], services)
+		go handleConn(ctx, conn, stores[n], services, hub)
 	}
 }
 
@@ -226,7 +279,7 @@ func untoken(tok string) ([]byte, error) {
 	return []byte(tok), nil
 }
 
-func handleConn(ctx context.Context, conn net.Conn, s *kv.Store, services []*kv.Service) {
+func handleConn(ctx context.Context, conn net.Conn, s *kv.Store, services []*kv.Service, hub *obs.Hub) {
 	defer conn.Close()
 	cl := s.NewClient()
 	defer cl.Close()
@@ -249,7 +302,7 @@ func handleConn(ctx context.Context, conn net.Conn, s *kv.Store, services []*kv.
 			continue
 		}
 		opCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
-		ok := dispatch(opCtx, cl, s, services, fields, reply)
+		ok := dispatch(opCtx, cl, s, services, hub, fields, reply)
 		cancel()
 		if !ok {
 			return
@@ -341,8 +394,41 @@ func renderResponse(verb string, req *kv.Request, resp *kv.Response, reply func(
 	}
 }
 
-func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Service, fields []string, reply func(string, ...any) bool) bool {
+func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Service, hub *obs.Hub, fields []string, reply func(string, ...any) bool) bool {
+	// multiline streams a multi-line body over the single-line protocol,
+	// terminated by END so a scripted client knows where the dump stops.
+	multiline := func(body string) bool {
+		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			if !reply("%s", line) {
+				return false
+			}
+		}
+		return reply("END")
+	}
 	switch strings.ToUpper(fields[0]) {
+	case "METRICS":
+		var b strings.Builder
+		if err := hub.Registry().WritePrometheus(&b); err != nil {
+			return reply("ERR %v", err)
+		}
+		return multiline(b.String())
+	case "TRACE":
+		if len(fields) != 2 {
+			return reply("ERR usage: TRACE id")
+		}
+		id, err := strconv.ParseUint(fields[1], 0, 64)
+		if err != nil {
+			return reply("ERR bad trace id %q", fields[1])
+		}
+		return multiline(obs.FormatTrace(id, hub.Tracer().Trace(id)))
+	case "TRACES":
+		var b strings.Builder
+		for _, id := range hub.Tracer().IDs() {
+			fmt.Fprintf(&b, "%d\n", id)
+		}
+		return multiline(b.String())
+	case "FLIGHT":
+		return multiline(hub.Flight().Format())
 	case "LGET":
 		if len(fields) != 2 {
 			return reply("ERR usage: LGET key")
@@ -460,15 +546,21 @@ func runLoad(addr string, clients int, duration time.Duration, valueSize int, re
 // runSelftest sweeps shard counts with the in-process workload, then drives
 // the same workload through the RPC proxy path: bounded replication, every
 // client holding one node's address, foreign shards reached by forwarding.
-func runSelftest(nodes, resilience int, duration time.Duration) int {
+// The whole run feeds one observability hub (served over HTTP when
+// -metrics-addr is set), and the selftest fails if any required metric
+// family is missing from the export — the pipeline instrumentation is part
+// of what is being self-tested.
+func runSelftest(nodes, resilience int, duration time.Duration, metricsAddr string) int {
 	if duration <= 0 || duration > 2*time.Second {
 		duration = time.Second
 	}
 	ctx := context.Background()
+	hub := newHub("selftest", 64, metricsAddr)
 	group := amoeba.GroupOptions{
 		Resilience:   resilience,
 		AutoReset:    true,
 		MinSurvivors: 1,
+		Obs:          hub,
 	}
 	fmt.Println("in-process load sweep (aggregate ops/s; single host, so this measures protocol overhead):")
 	for _, shards := range []int{1, 2, 4, 8} {
@@ -510,16 +602,66 @@ func runSelftest(nodes, resilience int, duration time.Duration) int {
 		log.Printf("amoeba-kv: selftest proxied: no requests were forwarded — the proxy path went unexercised")
 		return 1
 	}
-	if rc := runReshardSelftest(nodes, resilience); rc != 0 {
+	if rc := runReshardSelftest(nodes, resilience, hub); rc != 0 {
 		return rc
 	}
-	return runDurableSelftest(nodes, resilience)
+	if rc := runDurableSelftest(nodes, resilience, hub); rc != 0 {
+		return rc
+	}
+	return checkMetrics(hub)
+}
+
+// checkMetrics renders the hub's Prometheus export and fails if any metric
+// family the pipeline instrumentation is supposed to populate is absent —
+// a regression guard on the observability layer itself.
+func checkMetrics(hub *obs.Hub) int {
+	var b strings.Builder
+	if err := hub.Registry().WritePrometheus(&b); err != nil {
+		log.Printf("amoeba-kv: selftest metrics: render: %v", err)
+		return 1
+	}
+	out := b.String()
+	required := []string{
+		// Sequencer pipeline stages.
+		"amoeba_seq_append_ns",
+		"amoeba_seq_multicast_ns",
+		"amoeba_seq_batch_fill",
+		// Delivery and apply.
+		"amoeba_group_deliver_wait_ns",
+		"amoeba_replica_apply_ns",
+		// Durable tier (populated by the durable sweep).
+		"amoeba_wal_append_ns",
+		"amoeba_wal_appends_total",
+		// Core protocol counters.
+		"amoeba_core_sent_total",
+		"amoeba_core_ordered_total",
+		"amoeba_core_delivered_total",
+		// Access tier.
+		"amoeba_kv_client_local_ops_total",
+		"amoeba_kv_client_remote_ops_total",
+		"amoeba_kv_service_served_total",
+		"amoeba_kv_service_forwarded_total",
+		"amoeba_kv_load_op_ns",
+	}
+	missing := 0
+	for _, name := range required {
+		if !strings.Contains(out, name+"{") && !strings.Contains(out, name+" ") {
+			log.Printf("amoeba-kv: selftest metrics: required family %s missing from export", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		return 1
+	}
+	fmt.Printf("metrics export: all %d required families present (%d bytes of Prometheus text)\n",
+		len(required), len(out))
+	return 0
 }
 
 // runReshardSelftest splits a live store 4→8 and merges it back 8→4 under a
 // background writer: every key must survive both handoffs exactly once, the
 // epoch must advance twice, and no client operation may fail.
-func runReshardSelftest(nodes, resilience int) int {
+func runReshardSelftest(nodes, resilience int, hub *obs.Hub) int {
 	fmt.Println("reshard sweep (live 4→8 split and 8→4 merge under load):")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -543,6 +685,7 @@ func runReshardSelftest(nodes, resilience int) int {
 			Resilience:   resilience,
 			AutoReset:    true,
 			MinSurvivors: 1,
+			Obs:          hub,
 		},
 	})
 	if err != nil {
@@ -632,7 +775,7 @@ func runReshardSelftest(nodes, resilience int) int {
 // runDurableSelftest kills and restarts a whole durable cluster: every key
 // must come back from the write-ahead logs, and a command retried across
 // the restart must stay exactly-once (its dedup state recovered too).
-func runDurableSelftest(nodes, resilience int) int {
+func runDurableSelftest(nodes, resilience int, hub *obs.Hub) int {
 	fmt.Println("durable sweep (write, kill every node, recover from the write-ahead logs):")
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -653,6 +796,7 @@ func runDurableSelftest(nodes, resilience int) int {
 			Resilience:   resilience,
 			AutoReset:    true,
 			MinSurvivors: 1,
+			Obs:          hub,
 		},
 	}
 	boot := func(gen int) ([]*kv.Store, *amoeba.MemoryNetwork, error) {

@@ -3,8 +3,10 @@ package amoeba
 import (
 	"context"
 	"sync"
+	"time"
 
 	"amoeba/internal/core"
+	"amoeba/obs"
 )
 
 // MsgKind labels what a received Message represents.
@@ -105,11 +107,12 @@ type GroupInfo struct {
 // Group is one process's membership in a group. Methods are safe for
 // concurrent use; Send and Receive block, per the paper's primitive design.
 type Group struct {
-	kernel *Kernel
-	name   string
-	tr     *core.FLIPTransport
-	ep     *core.Endpoint
-	queue  *deliveryQueue
+	kernel   *Kernel
+	name     string
+	tr       *core.FLIPTransport
+	ep       *core.Endpoint
+	queue    *deliveryQueue
+	obsUnreg func() // detaches the stats source from the hub registry
 }
 
 // Name returns the group's name.
@@ -248,6 +251,9 @@ func (g *Group) Close() {
 	g.ep.Close()
 	g.tr.Unbind()
 	g.queue.close()
+	if g.obsUnreg != nil {
+		g.obsUnreg()
+	}
 }
 
 // deliveryQueue buffers ordered deliveries between the protocol goroutines
@@ -255,8 +261,18 @@ func (g *Group) Close() {
 type deliveryQueue struct {
 	mu     sync.Mutex
 	msgs   []Message
+	at     []time.Time // enqueue stamps, parallel to msgs; only kept when waitH != nil
+	pushed uint64      // pushes since start, for the wait-sampling rule
 	notify chan struct{}
 	closed bool
+
+	// Instruments (nil = no-op): waitH observes how long a message sat
+	// queued before Receive picked it up (amoeba_group_deliver_wait_ns),
+	// sampled 1-in-4 so the per-delivery wall-clock stamp stays off most
+	// of the hot path; depth tracks the queue occupancy
+	// (amoeba_group_queue_depth, delta-updated so groups can share it).
+	waitH *obs.Histogram
+	depth *obs.Gauge
 }
 
 func newDeliveryQueue(size int) *deliveryQueue {
@@ -280,6 +296,15 @@ func (q *deliveryQueue) push(d core.Delivery) {
 		return
 	}
 	q.msgs = append(q.msgs, m)
+	if q.waitH != nil {
+		var at time.Time // zero = unsampled; pop skips the observation
+		if q.pushed&3 == 0 {
+			at = time.Now()
+		}
+		q.pushed++
+		q.at = append(q.at, at)
+	}
+	q.depth.Add(1)
 	q.mu.Unlock()
 	select {
 	case q.notify <- struct{}{}:
@@ -293,6 +318,15 @@ func (q *deliveryQueue) pop(ctx context.Context) (Message, error) {
 		if len(q.msgs) > 0 {
 			m := q.msgs[0]
 			q.msgs = q.msgs[1:]
+			if q.waitH != nil && len(q.at) > 0 {
+				if !q.at[0].IsZero() {
+					q.waitH.Observe(time.Since(q.at[0]))
+				}
+				q.at = q.at[1:]
+			}
+			if !q.closed {
+				q.depth.Add(-1)
+			}
 			more := len(q.msgs) > 0
 			q.mu.Unlock()
 			if more {
@@ -324,6 +358,11 @@ func (q *deliveryQueue) pop(ctx context.Context) (Message, error) {
 
 func (q *deliveryQueue) close() {
 	q.mu.Lock()
+	if !q.closed {
+		// Surrender the gauge's claim on still-buffered messages now;
+		// post-close pops (which may never come) skip the decrement.
+		q.depth.Add(-int64(len(q.msgs)))
+	}
 	q.closed = true
 	q.mu.Unlock()
 	select {
@@ -335,3 +374,29 @@ func (q *deliveryQueue) close() {
 // Debug renders the membership's internal protocol state for diagnostics.
 // The format is unstable; log it, do not parse it.
 func (g *Group) Debug() string { return g.ep.DebugSnapshot() }
+
+// registerStatsSource exposes the endpoint's protocol counters through the
+// hub's registry. Counters keep living in core's Stats struct — the registry
+// pulls a snapshot at render time and sums same-named samples across groups.
+// Close unregisters the source (its final values are retained as retired
+// totals) so the registry does not pin a dead group's endpoint in memory.
+func (g *Group) registerStatsSource(hub *obs.Hub) {
+	ep := g.ep
+	g.obsUnreg = hub.Registry().RegisterSource(func() []obs.Sample {
+		s := ep.Stats()
+		return []obs.Sample{
+			{Name: "amoeba_core_sent_total", Value: s.Sent},
+			{Name: "amoeba_core_delivered_total", Value: s.Delivered},
+			{Name: "amoeba_core_ordered_total", Value: s.Ordered},
+			{Name: "amoeba_core_ordered_batches_total", Value: s.OrderedBatches},
+			{Name: "amoeba_core_batched_msgs_total", Value: s.BatchedMsgs},
+			{Name: "amoeba_core_request_retries_total", Value: s.RequestRetries},
+			{Name: "amoeba_core_retransmitted_total", Value: s.Retransmitted},
+			{Name: "amoeba_core_naks_sent_total", Value: s.NaksSent},
+			{Name: "amoeba_core_acks_sent_total", Value: s.AcksSent},
+			{Name: "amoeba_core_lost_gaps_total", Value: s.LostGaps},
+			{Name: "amoeba_core_resets_total", Value: s.Resets},
+			{Name: "amoeba_core_dropped_full_total", Value: s.DroppedFull},
+		}
+	})
+}

@@ -6,7 +6,39 @@ import (
 	"amoeba/internal/cost"
 	"amoeba/internal/flip"
 	"amoeba/internal/sim"
+	"amoeba/obs"
 )
+
+// Obs is the endpoint's observability wiring: stage-latency histograms for
+// the sequencer pipeline (history append, multicast, resilience-ack
+// completion), occupancy gauges for the sender pipeline, and the flight
+// recorder for protocol events. Every field is optional — a nil instrument
+// is the no-op sink — so the zero Obs disables everything at the cost of
+// nil checks.
+type Obs struct {
+	// Append observes the sequencer's receive→history-append latency per
+	// ordered entry (amoeba_seq_append_ns).
+	Append *obs.Histogram
+	// Multicast observes receive→multicast-transmitted latency: the order
+	// decision plus the deferred transport send (amoeba_seq_multicast_ns).
+	Multicast *obs.Histogram
+	// AckComplete observes order→resilience-acceptance latency for
+	// tentative entries (amoeba_seq_ack_complete_ns).
+	AckComplete *obs.Histogram
+	// BatchFill observes the per-entry batch size in messages
+	// (amoeba_seq_batch_fill).
+	BatchFill *obs.Histogram
+	// SendQueue tracks queued ordering requests (amoeba_send_queue_depth);
+	// SendWindow tracks the in-flight subset (amoeba_send_window_active).
+	// Both are delta-updated, so several endpoints can share them.
+	SendQueue  *obs.Gauge
+	SendWindow *obs.Gauge
+	// Flight records protocol events (expulsions, NAKs, retransmissions,
+	// recoveries) for postmortems.
+	Flight *obs.Recorder
+	// Tag scopes this endpoint's flight events, e.g. "core/<group>".
+	Tag string
+}
 
 // Method selects the broadcast wire strategy.
 type Method uint8
@@ -198,6 +230,10 @@ type Config struct {
 	// never concurrently, and never while internal locks are held (the
 	// handler may call back into the endpoint).
 	OnDeliver func(Delivery)
+
+	// Obs wires the endpoint into a node's observability hub; the zero
+	// value is the no-op sink.
+	Obs Obs
 }
 
 func (c *Config) applyDefaults() {

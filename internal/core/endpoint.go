@@ -165,6 +165,10 @@ type Endpoint struct {
 	sendQ       []*sendOp
 	sendTimer   sim.Timer
 	resending   bool // window retransmission in progress: pump suppressed
+	// Last values pushed to the shared send gauges (delta-updated so
+	// several endpoints can share one gauge).
+	obsQueued int64
+	obsActive int64
 	// Sequencer self-send batching: the sequencer's own requests are not
 	// ordered inline but deferred one drain-cycle, so a burst coalesces
 	// into batch entries like a remote member's does.
@@ -173,6 +177,7 @@ type Endpoint struct {
 
 	// Sequencer.
 	globalSeq       uint32 // highest assigned seqno
+	ordTick         uint64 // ordering decisions so far, for the stage-timing sampling rule
 	lastRecv        map[MemberID]uint32
 	dedup           map[MemberID]dedupEntry
 	syncTimer       sim.Timer
@@ -313,6 +318,28 @@ func (ep *Endpoint) failSendQLocked(err error) {
 		})
 	}
 	ep.sendQ = nil
+	ep.syncSendGaugesLocked()
+}
+
+// syncSendGaugesLocked reconciles the shared send-pipeline gauges with this
+// endpoint's queue. The gauges are delta-updated — each endpoint pushes only
+// the change since its last sync — so every group on a node can feed the same
+// node-level gauge.
+func (ep *Endpoint) syncSendGaugesLocked() {
+	o := &ep.cfg.Obs
+	if o.SendQueue == nil && o.SendWindow == nil {
+		return
+	}
+	var queued, active int64
+	for _, op := range ep.sendQ {
+		queued += int64(len(op.payloads))
+		if op.active {
+			active++
+		}
+	}
+	o.SendQueue.Add(queued - ep.obsQueued)
+	o.SendWindow.Add(active - ep.obsActive)
+	ep.obsQueued, ep.obsActive = queued, active
 }
 
 // drain runs queued actions. Caller must NOT hold ep.mu.
@@ -404,6 +431,7 @@ func (ep *Endpoint) SendMany(payloads [][]byte, dones []func(error)) {
 		}
 	}
 	ep.pumpSendLocked()
+	ep.syncSendGaugesLocked()
 	ep.mu.Unlock()
 	ep.drain()
 }

@@ -1,5 +1,7 @@
 package core
 
+import "time"
+
 // entry is one ordered message — or one ordered batch of messages — retained
 // in a history buffer. A KindBatch entry covers the contiguous seqno range
 // [seq, seq+count-1] and the contiguous localID range
@@ -28,6 +30,10 @@ type entry struct {
 	acks int
 	// acked records which members acked, to ignore duplicates.
 	acked map[MemberID]bool
+	// orderedAt is the clock reading when the sequencer ordered the entry,
+	// recorded only when ack-completion latency is being observed (0
+	// otherwise); cleared once the acceptance latency is recorded.
+	orderedAt time.Duration
 }
 
 // span is the number of sequence numbers the entry covers.

@@ -203,10 +203,12 @@ func (ep *Endpoint) retrySendLocked() {
 	if op.retries > ep.cfg.MaxRetries {
 		// The sequencer is not responding: the paper's failure
 		// detector has spoken.
+		ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "sequencer suspected dead after %d request retries (autoReset=%v)", op.retries-1, ep.cfg.AutoReset)
 		if ep.cfg.AutoReset && !ep.isSeq {
 			for _, o := range ep.sendQ {
 				o.active = false // re-pumped after recovery
 			}
+			ep.syncSendGaugesLocked()
 			ep.initiateResetLocked(ep.cfg.MinSurvivors)
 			return
 		}
@@ -215,6 +217,7 @@ func (ep *Endpoint) retrySendLocked() {
 	}
 	ep.resendWindowLocked()
 	ep.armSendRetryLocked()
+	ep.syncSendGaugesLocked()
 }
 
 // resendWindowLocked retransmits every in-flight op in FIFO order. The pump
@@ -267,6 +270,7 @@ func (ep *Endpoint) finishSendLocked(op *sendOp, err error) {
 		}
 	}
 	ep.pumpSendLocked()
+	ep.syncSendGaugesLocked()
 }
 
 // completeSendsUpToLocked completes every in-flight send of ours covered by
@@ -615,6 +619,7 @@ func (ep *Endpoint) expelledLocked() {
 		return
 	}
 	ep.st = stDead
+	ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "expelled from group (member %d, incarnation %d)", ep.self, ep.view.incarnation)
 	ep.stopTimersLocked()
 	ep.deliverLocked(Delivery{Kind: KindExpelled, Sender: ep.self, SenderAddr: ep.cfg.Self})
 	ep.failSendQLocked(ErrNotMember)
@@ -731,6 +736,7 @@ func (ep *Endpoint) fireNakLocked() {
 		}
 	}
 	ep.stats.NaksSent++
+	ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "nak [%d,%d] (next %d, maxSeen %d)", lo, hi, ep.nextDeliver, ep.maxSeen)
 	if ep.nakBackoff >= ep.cfg.RetryInterval {
 		// The sequencer has not answered several requests — it may be
 		// gone (a crash, or a departure we have not yet delivered).

@@ -346,6 +346,7 @@ func (ep *Endpoint) completeRecoveryLocked() {
 	ep.rec = nil
 	ep.st = stNormal
 	ep.stats.Resets++
+	ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "recovery complete: incarnation %d, %d members, sequencer %d (self=%d)", ep.view.incarnation, len(ep.view.members), ep.view.sequencer, ep.self)
 	for _, d := range ep.resetWaiters {
 		d := d
 		ep.enqueue(func() { d(nil) })

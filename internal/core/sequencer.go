@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"time"
 
 	"amoeba/internal/flip"
 )
@@ -96,6 +97,20 @@ func wireBatchCount(body []byte) int {
 // message is NOT ordered and the sender's retry will try again later — the
 // protocol's backpressure.
 func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, payload []byte) bool {
+	// Stage timing (paper-style per-stage decomposition): t0 is when the
+	// ordering decision starts; the append histogram closes after the
+	// history insert, the multicast histogram closes when the deferred
+	// transport send actually executes (actions run in enqueue order, so
+	// observing right after the multicast action measures the transmit).
+	// Sampled 1-in-4: an append is ~1µs, so stamping the clock around
+	// every one would cost a measurable slice of the stage it measures.
+	o := &ep.cfg.Obs
+	timed := (o.Append != nil || o.Multicast != nil || o.AckComplete != nil) && ep.ordTick&3 == 0
+	ep.ordTick++
+	var t0 time.Duration
+	if timed {
+		t0 = ep.cfg.Clock.Now()
+	}
 	var e *entry
 	if kind == KindBatch {
 		e = newBatchEntry(ep.globalSeq+1, sender, localID, payload)
@@ -111,6 +126,7 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 		ep.tryPruneLocked()
 		if !ep.hist.hasRoom(int(e.span())) {
 			ep.stats.DroppedFull++
+			o.Flight.Recordf(o.Tag, "order refused: history full at seq %d (sender %d)", ep.globalSeq, sender)
 			ep.solicitStatusLocked()
 			return false
 		}
@@ -118,6 +134,10 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 	seq := e.seq
 	ep.globalSeq = e.lastSeq()
 	ep.hist.add(e)
+	if timed {
+		o.Append.Observe(ep.cfg.Clock.Now() - t0)
+	}
+	o.BatchFill.ObserveValue(uint64(e.span()))
 	ep.stats.Ordered += uint64(e.span())
 	if e.span() > 1 {
 		ep.stats.OrderedBatches++
@@ -134,11 +154,17 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 	if ep.cfg.Resilience > 0 {
 		e.tentative = true
 		e.acked = make(map[MemberID]bool)
+		if timed {
+			e.orderedAt = t0
+		}
 		ep.multicastPkt(packet{
 			typ: ptTentative, kind: kind, seq: seq, localID: localID,
 			aux: uint32(ep.cfg.Resilience), aux2: ep.hist.floor,
 			payload: e.payload, sender: sender,
 		})
+		if timed {
+			ep.observeMulticastLocked(t0)
+		}
 		// With no other members to ack (tiny group), finalise at once.
 		ep.maybeAcceptLocked(e)
 		ep.armTentativeRetryLocked()
@@ -148,6 +174,9 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 		typ: ptBcast, kind: kind, seq: seq, localID: localID,
 		aux: ep.hist.floor, sender: sender, payload: e.payload,
 	})
+	if timed {
+		ep.observeMulticastLocked(t0)
+	}
 	// Only data kinds complete sends: membership kinds reuse the localID
 	// field for other purposes (a leave names the successor there).
 	if kind == KindData || kind == KindBatch {
@@ -156,13 +185,34 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 	return true
 }
 
+// observeMulticastLocked enqueues a stage-timing observation directly
+// behind the multicast action just enqueued: actions run in order, so the
+// observation fires when the transport send has executed, closing the
+// receive→multicast-transmitted histogram. No-op without the instrument.
+func (ep *Endpoint) observeMulticastLocked(t0 time.Duration) {
+	h := ep.cfg.Obs.Multicast
+	if h == nil {
+		return
+	}
+	clock := ep.cfg.Clock
+	ep.enqueue(func() { h.Observe(clock.Now() - t0) })
+}
+
 // orderBBLocked sequences a message whose payload arrived by sender
 // multicast (BB method): only the short accept goes out.
 func (ep *Endpoint) orderBBLocked(sender MemberID, localID uint32, kind MsgKind, payload []byte) bool {
+	o := &ep.cfg.Obs
+	timed := (o.Append != nil || o.Multicast != nil) && ep.ordTick&3 == 0
+	ep.ordTick++
+	var t0 time.Duration
+	if timed {
+		t0 = ep.cfg.Clock.Now()
+	}
 	if ep.hist.full() {
 		ep.tryPruneLocked()
 		if ep.hist.full() {
 			ep.stats.DroppedFull++
+			o.Flight.Recordf(o.Tag, "BB order refused: history full at seq %d (sender %d)", ep.globalSeq, sender)
 			ep.solicitStatusLocked()
 			return false
 		}
@@ -172,6 +222,10 @@ func (ep *Endpoint) orderBBLocked(sender MemberID, localID uint32, kind MsgKind,
 	pl := make([]byte, len(payload))
 	copy(pl, payload)
 	ep.hist.add(&entry{seq: seq, kind: kind, sender: sender, localID: localID, payload: pl})
+	if timed {
+		o.Append.Observe(ep.cfg.Clock.Now() - t0)
+	}
+	o.BatchFill.ObserveValue(1)
 	ep.stats.Ordered++
 	ep.dedup[sender] = dedupEntry{localID: localID, seq: seq}
 	if seq > ep.maxSeen {
@@ -181,6 +235,9 @@ func (ep *Endpoint) orderBBLocked(sender MemberID, localID uint32, kind MsgKind,
 		typ: ptAccept, kind: kind, seq: seq, localID: localID,
 		aux: ep.hist.floor, aux2: uint32(sender),
 	})
+	if timed {
+		ep.observeMulticastLocked(t0)
+	}
 	ep.completeSendsUpToLocked(sender, localID)
 	return true
 }
@@ -243,6 +300,12 @@ func (ep *Endpoint) maybeAcceptLocked(e *entry) {
 	}
 	for e != nil {
 		e.tentative = false
+		if e.orderedAt != 0 {
+			if h := ep.cfg.Obs.AckComplete; h != nil {
+				h.Observe(ep.cfg.Clock.Now() - e.orderedAt)
+			}
+			e.orderedAt = 0
+		}
 		ep.multicastPkt(packet{
 			typ: ptAccept, kind: e.kind, seq: e.seq, localID: e.localID,
 			aux: ep.hist.floor, aux2: uint32(noMember),
@@ -377,6 +440,7 @@ func (ep *Endpoint) handleNak(p packet, from flip.Address) {
 // retransmitLocked unicasts one ordered message back to a member.
 func (ep *Endpoint) retransmitLocked(to flip.Address, e *entry) {
 	ep.stats.Retransmitted++
+	ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "retransmit seq %d (kind %d) to %v", e.seq, e.kind, to)
 	ep.sendPkt(to, packet{
 		typ: ptRetrans, kind: e.kind, seq: e.seq, localID: e.localID,
 		aux: ep.hist.floor, aux2: uint32(e.sender), payload: e.payload,
@@ -491,6 +555,7 @@ func (ep *Endpoint) probeMemberLocked(m Member) {
 // intact (and possibly blocked on history space) until the application calls
 // Reset — the paper's user-requested recovery.
 func (ep *Endpoint) memberSuspectedDeadLocked(m Member) {
+	ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "member %d suspected dead (autoReset=%v)", m.ID, ep.cfg.AutoReset)
 	if ep.cfg.AutoReset {
 		ep.initiateResetLocked(ep.cfg.MinSurvivors)
 	}

@@ -9,15 +9,17 @@ import (
 	"amoeba/internal/flip"
 	"amoeba/internal/netw"
 	"amoeba/internal/sim"
+	"amoeba/obs"
 )
 
 // Kernel is one machine's communication endpoint: a FLIP protocol stack over
 // a network attachment, hosting group memberships and RPC endpoints — the
 // role the Amoeba kernel plays in the paper's Table 2 layering.
 type Kernel struct {
-	name  string
-	stack *flip.Stack
-	clock sim.Clock
+	name     string
+	stack    *flip.Stack
+	clock    sim.Clock
+	obsUnreg func() // detaches the FLIP stats source from the hub registry
 }
 
 // NewKernel attaches a kernel to the network. The name is used only in
@@ -45,7 +47,33 @@ func newKernel(name string, station netw.Station) *Kernel {
 
 // Close shuts the kernel down. Groups hosted on it stop communicating — the
 // machine has, from the network's point of view, crashed.
-func (k *Kernel) Close() { k.stack.Close() }
+func (k *Kernel) Close() {
+	k.stack.Close()
+	if k.obsUnreg != nil {
+		k.obsUnreg()
+	}
+}
+
+// RegisterObs exposes this kernel's FLIP stack counters through the hub's
+// registry as amoeba_flip_*_total series. Counters keep living in the stack;
+// the registry pulls a snapshot at render time, and several kernels sharing
+// one hub sum. Safe with a nil hub (no-op); Close detaches the source.
+func (k *Kernel) RegisterObs(hub *obs.Hub) {
+	stack := k.stack
+	k.obsUnreg = hub.Registry().RegisterSource(func() []obs.Sample {
+		s := stack.Stats()
+		return []obs.Sample{
+			{Name: "amoeba_flip_packets_out_total", Value: s.PacketsOut},
+			{Name: "amoeba_flip_packets_in_total", Value: s.PacketsIn},
+			{Name: "amoeba_flip_garbled_total", Value: s.Garbled},
+			{Name: "amoeba_flip_messages_delivered_total", Value: s.MessagesDelivered},
+			{Name: "amoeba_flip_locates_sent_total", Value: s.LocatesSent},
+			{Name: "amoeba_flip_locate_failures_total", Value: s.LocateFailures},
+			{Name: "amoeba_flip_reassembly_drops_total", Value: s.ReassemblyDrops},
+			{Name: "amoeba_flip_no_handler_total", Value: s.NoHandler},
+		}
+	})
+}
 
 // Method selects the group broadcast strategy; see the paper's §3.1.
 type Method int
@@ -106,6 +134,13 @@ type GroupOptions struct {
 	// ReceiveBuffer bounds messages queued for Receive before Send-side
 	// backpressure (default 1024).
 	ReceiveBuffer int
+	// Obs, when non-nil, wires the group's pipeline into the node's
+	// observability hub: sequencer stage-latency histograms, delivery-queue
+	// wait times, queue-depth gauges, and the flight recorder. Nil (the
+	// default) is the no-op sink — instrumentation stays compiled in but
+	// costs only nil checks. Several groups on one node normally share one
+	// hub; gauges are delta-updated so the shared values stay coherent.
+	Obs *obs.Hub
 }
 
 func (o GroupOptions) coreConfig() core.Config {
@@ -135,6 +170,7 @@ func (k *Kernel) CreateGroup(ctx context.Context, name string, opts GroupOptions
 		return nil, fmt.Errorf("amoeba: creating group %q: %w", name, err)
 	}
 	g.ep = ep
+	g.registerStatsSource(opts.Obs)
 	g.tr.Bind(ep)
 	ep.Start()
 	return g, nil
@@ -151,6 +187,7 @@ func (k *Kernel) JoinGroup(ctx context.Context, name string, opts GroupOptions) 
 		return nil, fmt.Errorf("amoeba: joining group %q: %w", name, err)
 	}
 	g.ep = ep
+	g.registerStatsSource(opts.Obs)
 	g.tr.Bind(ep)
 	ep.Start()
 	select {
@@ -185,6 +222,20 @@ func (k *Kernel) newGroup(name string, opts GroupOptions) (*Group, core.Config) 
 	cfg.Transport = g.tr
 	cfg.Clock = k.clock
 	cfg.OnDeliver = g.queue.push
+	if hub := opts.Obs; hub != nil {
+		cfg.Obs = core.Obs{
+			Append:      hub.Histogram("amoeba_seq_append_ns"),
+			Multicast:   hub.Histogram("amoeba_seq_multicast_ns"),
+			AckComplete: hub.Histogram("amoeba_seq_ack_complete_ns"),
+			BatchFill:   hub.Histogram("amoeba_seq_batch_fill"),
+			SendQueue:   hub.Gauge("amoeba_send_queue_depth"),
+			SendWindow:  hub.Gauge("amoeba_send_window_active"),
+			Flight:      hub.Flight(),
+			Tag:         "core/" + name,
+		}
+		g.queue.waitH = hub.Histogram("amoeba_group_deliver_wait_ns")
+		g.queue.depth = hub.Gauge("amoeba_group_queue_depth")
+	}
 	return g, cfg
 }
 

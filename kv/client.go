@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"amoeba"
+	"amoeba/obs"
 	"amoeba/shared"
 )
 
@@ -74,6 +75,31 @@ type Client struct {
 	localOps  atomic.Uint64
 	remoteOps atomic.Uint64
 	rtUpdates atomic.Uint64
+
+	// Observability (nil = no-op): submit→reply latency split by access
+	// path, plus the op tracer keyed by command ids.
+	localH   *obs.Histogram // amoeba_kv_client_local_ns
+	directH  *obs.Histogram // amoeba_kv_client_direct_ns
+	fwdH     *obs.Histogram // amoeba_kv_client_forwarded_ns
+	tracer   *obs.Tracer
+	obsUnreg func() // detaches the stats source from the hub registry
+}
+
+// wireObs resolves the client's instruments from a hub (nil hub = no-op).
+func (c *Client) wireObs(hub *obs.Hub) {
+	c.localH = hub.Histogram("amoeba_kv_client_local_ns")
+	c.directH = hub.Histogram("amoeba_kv_client_direct_ns")
+	c.fwdH = hub.Histogram("amoeba_kv_client_forwarded_ns")
+	c.tracer = hub.Tracer()
+	if reg := hub.Registry(); reg != nil {
+		c.obsUnreg = reg.RegisterSource(func() []obs.Sample {
+			return []obs.Sample{
+				{Name: "amoeba_kv_client_local_ops_total", Value: c.localOps.Load()},
+				{Name: "amoeba_kv_client_remote_ops_total", Value: c.remoteOps.Load()},
+				{Name: "amoeba_kv_client_routing_updates_total", Value: c.rtUpdates.Load()},
+			}
+		})
+	}
 }
 
 // ClientStats counts which access paths a client's operations took.
@@ -104,12 +130,14 @@ func (c *Client) Stats() ClientStats {
 // addresses, provided the hosting nodes run a Service. The client shares
 // the node's routing table, so it follows reshardings as they commit.
 func (s *Store) NewClient() *Client {
-	return &Client{
+	c := &Client{
 		s:       s,
 		kernel:  s.kernel,
 		cluster: s.name,
 		nonce:   clientNonce(),
 	}
+	c.wireObs(s.opts.Group.Obs)
+	return c
 }
 
 // DialOptions configures Dial.
@@ -136,6 +164,10 @@ type DialOptions struct {
 	// VirtualNodes matches Options.VirtualNodes (default 64). Meaningful
 	// only with Shards.
 	VirtualNodes int
+	// Obs wires the client into an observability hub: access-path latency
+	// histograms, op counters, and trace spans for sampled command ids.
+	// Nil (the default) is the no-op sink.
+	Obs *obs.Hub
 }
 
 // Dial returns a client that reaches the named store over RPC only: it holds
@@ -169,6 +201,7 @@ func Dial(k *amoeba.Kernel, cluster string, o DialOptions) (*Client, error) {
 		c.rt = Routing{Epoch: 0, Shards: o.Shards, VNodes: vn}
 		c.cring = c.rt.ring(cluster)
 	}
+	c.wireObs(o.Obs)
 	return c, nil
 }
 
@@ -229,6 +262,10 @@ func (c *Client) Close() {
 		c.rpccl.Close()
 		c.rpccl = nil
 	}
+	if c.obsUnreg != nil {
+		c.obsUnreg()
+		c.obsUnreg = nil
+	}
 }
 
 // rpcClient lazily creates the shared RPC client.
@@ -279,7 +316,14 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 		if req.ID == 0 {
 			req.ID = c.nextID()
 		}
-		return c.doShard(ctx, c.shardFor(req.Key), req)
+		c.tracer.Addf(req.ID, "submitted op=%d key=%q", req.Op, req.Key)
+		resp, err := c.doShard(ctx, c.shardFor(req.Key), req)
+		if err != nil {
+			c.tracer.Addf(req.ID, "failed: %v", err)
+		} else {
+			c.tracer.Add(req.ID, "replied")
+		}
+		return resp, err
 	case ReqGet:
 		if len(req.Keys) == 0 {
 			return nil, fmt.Errorf("kv: get of zero keys")
@@ -287,11 +331,16 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 		if req.ID == 0 {
 			req.ID = c.nextID()
 		}
+		c.tracer.Addf(req.ID, "submitted op=get keys=%d", len(req.Keys))
 		for {
 			resp, err := c.doGet(ctx, req)
 			if !errors.Is(err, errMoved) {
+				if err == nil {
+					c.tracer.Add(req.ID, "replied")
+				}
 				return resp, err
 			}
+			c.tracer.Add(req.ID, "moved, retrying")
 			if err := sleepCtx(ctx, movedRetryDelay); err != nil {
 				return nil, err
 			}
@@ -471,10 +520,18 @@ func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Respons
 		c.localOps.Add(1)
 		_, rt := c.routingRing()
 		req.Epoch = rt.Epoch
+		var t0 time.Time
+		if c.localH != nil {
+			t0 = time.Now()
+		}
 		resp, err := c.s.execLocal(ctx, shard, req)
 		if !errors.Is(err, errMoved) {
+			if err == nil && c.localH != nil {
+				c.localH.Observe(time.Since(t0))
+			}
 			return resp, err
 		}
+		c.tracer.Addf(req.ID, "moved at shard %d, retrying", shard)
 		if req.Op == ReqGet || req.Op == ReqBatchPut {
 			return nil, err // re-split at the Do level
 		}
@@ -532,6 +589,22 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 		}
 		target := targets[try%len(targets)]
 		c.remoteOps.Add(1)
+		// Direct = the shard's own well-known address (one hop); anything
+		// else enters through a proxy node that may forward.
+		direct := shard >= 0 && target == ShardAddr(c.cluster, shard)
+		pathH := c.fwdH
+		if direct {
+			pathH = c.directH
+		}
+		if direct {
+			c.tracer.Addf(req.ID, "sent direct to shard %d", shard)
+		} else {
+			c.tracer.Addf(req.ID, "sent via entry %v", target)
+		}
+		var t0 time.Time
+		if pathH != nil {
+			t0 = time.Now()
+		}
 		reply, err := cl.Call(ctx, target, EncodeRequest(req))
 		if err != nil {
 			lastErr = err
@@ -543,6 +616,9 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 		resp, err := DecodeResponse(reply)
 		if err != nil {
 			return nil, c.remoteErr(shard, err)
+		}
+		if pathH != nil {
+			pathH.Observe(time.Since(t0))
 		}
 		if resp.Routing != nil {
 			c.adoptRouting(*resp.Routing)

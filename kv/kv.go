@@ -222,7 +222,12 @@ func newStore(name string, k *amoeba.Kernel, opts Options) *Store {
 // newShardSM builds shard i's state machine, wired to report routing changes
 // back to this store.
 func (s *Store) newShardSM(shard int) *mapSM {
-	return newMapSM(s.name, shard, s.Routing(), s.opts.ResultWindow, s.noteRouting)
+	sm := newMapSM(s.name, shard, s.Routing(), s.opts.ResultWindow, s.noteRouting)
+	if hub := s.opts.Group.Obs; hub != nil {
+		sm.tracer = hub.Tracer()
+		sm.flight = hub.Flight()
+	}
+	return sm
 }
 
 // nextCmdID mints a command id for the store's own sequenced commands.

@@ -1,0 +1,106 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"amoeba/obs"
+)
+
+// This file measures the observability layer itself: what the compiled-in
+// instrumentation costs when enabled, and the per-stage latency breakdown it
+// produces. It runs the sharded workload repeatedly — with no hub (every
+// instrument is the nil no-op sink) and with a full hub (histograms,
+// counters, tracer, flight recorder all live) — in a mirrored ABBA schedule
+// so host warm-up drift cancels instead of biasing either side.
+// cmd/amoeba-bench renders it as the "observed" experiment and CI commits it
+// as BENCH_observed.json.
+
+// ObservedBenchResult is the machine-readable output for
+// BENCH_observed.json: the enabled-vs-disabled throughput comparison plus
+// the per-stage latency quantiles the enabled run collected.
+type ObservedBenchResult struct {
+	// Trials is the number of runs per mode in the ABBA schedule.
+	Trials int `json:"trials"`
+	// DisabledOpsPerSec / EnabledOpsPerSec are the aggregate ordered-op
+	// throughputs (total ops over total measured time) without and with
+	// the hub attached.
+	DisabledOpsPerSec float64 `json:"disabled_ops_per_sec"`
+	EnabledOpsPerSec  float64 `json:"enabled_ops_per_sec"`
+	// OverheadPercent is (1 − enabled/disabled)·100 — negative means the
+	// enabled runs were faster (noise floor).
+	OverheadPercent float64 `json:"overhead_percent"`
+	// Stages is every pipeline stage the enabled runs observed — sequencer
+	// append/multicast, delivery wait, replica apply, client paths — with
+	// p50/p90/p99/max in power-of-two-ns bucket bounds.
+	Stages []obs.StageQuantiles `json:"stages"`
+}
+
+// observedSchedule is the run order: D = hub detached, E = hub attached.
+// The host's throughput drifts slowly (warm-up, background load) by more
+// than the effect measured, so runs are laid out in mirrored ABBA blocks —
+// DEED then EDDE — which cancel any linear drift component exactly: both
+// modes occupy the same average position in time.
+const observedSchedule = "DEEDEDDEEDDEDEED"
+
+// MeasureObserved runs the enabled-vs-disabled comparison and returns the
+// throughput delta plus the enabled runs' stage summary.
+func MeasureObserved() (*ObservedBenchResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	base := LoadOptions{
+		Shards:       4,
+		Nodes:        4,
+		Clients:      16,
+		Duration:     time.Second,
+		ReadFraction: 0.2,
+		Seed:         1,
+	}
+	// One hub across every enabled run: the stage summary aggregates all
+	// enabled observations.
+	hub := obs.NewHub(obs.Options{Node: "bench", TraceMod: 1024})
+	var dOps, eOps uint64
+	var dTime, eTime time.Duration
+	for _, mode := range observedSchedule {
+		o := base
+		if mode == 'E' {
+			o.Group.Obs = hub
+		}
+		rep, err := RunLoad(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		if mode == 'E' {
+			eOps += rep.Ops
+			eTime += rep.Elapsed
+		} else {
+			dOps += rep.Ops
+			dTime += rep.Elapsed
+		}
+	}
+	res := &ObservedBenchResult{
+		Trials:            len(observedSchedule) / 2,
+		DisabledOpsPerSec: float64(dOps) / dTime.Seconds(),
+		EnabledOpsPerSec:  float64(eOps) / eTime.Seconds(),
+		Stages:            hub.Registry().StageSummary(),
+	}
+	res.OverheadPercent = (1 - res.EnabledOpsPerSec/res.DisabledOpsPerSec) * 100
+	return res, nil
+}
+
+// ObservedJSON renders the result for BENCH_observed.json.
+func ObservedJSON(res *ObservedBenchResult) ([]byte, error) {
+	out := struct {
+		Experiment string `json:"experiment"`
+		Unit       string `json:"unit"`
+		Note       string `json:"note"`
+		*ObservedBenchResult
+	}{
+		Experiment:          "observed",
+		Unit:                "ops/s (throughput), ns (stage quantiles, power-of-two bucket bounds)",
+		Note:                "instrumentation cost: same sharded workload with the obs hub detached (nil no-op sinks) vs attached (histograms+tracer+flight live); mirrored ABBA run schedule, aggregate throughput per mode",
+		ObservedBenchResult: res,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

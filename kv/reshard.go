@@ -107,6 +107,10 @@ func (s *Store) reshardTo(ctx context.Context, target Routing) error {
 	}
 	s.coordinating.Store(true)
 	defer s.coordinating.Store(false)
+	flight := s.opts.Group.Obs.Flight()
+	tag := "kv/" + s.name + "/coord"
+	flight.Recordf(tag, "reshard: driving epoch %d (%d -> %d shards)",
+		target.Epoch, cur.Shards, target.Shards)
 	if target.Epoch == cur.Epoch {
 		// The table already committed somewhere (that is how the store
 		// epoch reached it), but straggler shards still carry the pending
@@ -126,6 +130,9 @@ func (s *Store) reshardTo(ctx context.Context, target Routing) error {
 	committed, err := s.anyShardAtEpoch(ctx, maxN, target.Epoch)
 	if err != nil {
 		return err
+	}
+	if committed {
+		flight.Recordf(tag, "reshard: epoch %d partially committed, resuming at flip", target.Epoch)
 	}
 	if !committed {
 		// Phase 1: freeze. Every old shard installs the pending table; the
@@ -157,13 +164,18 @@ func (s *Store) reshardTo(ctx context.Context, target Routing) error {
 				return err
 			}
 		}
+		flight.Recordf(tag, "reshard: epoch %d streamed, flipping", target.Epoch)
 	} else if target.Shards > oldN {
 		if err := s.waitHosted(ctx, oldN, target.Shards); err != nil {
 			return err
 		}
 	}
 	// Phase 4: flip.
-	return s.commitAll(ctx, target)
+	if err := s.commitAll(ctx, target); err != nil {
+		return err
+	}
+	flight.Recordf(tag, "reshard: epoch %d committed (%d shards)", target.Epoch, target.Shards)
+	return nil
 }
 
 // commitAll drives migrate-commit through every shard that could still be

@@ -4,12 +4,14 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"amoeba"
+	"amoeba/obs"
 	"amoeba/shared"
 )
 
@@ -361,12 +363,18 @@ func TestReshardingUnderChurn(t *testing.T) {
 		Seed:     7,
 	})
 	defer net.Close()
+	// A failure in this test is exactly what the flight recorder exists
+	// for: dump the last protocol events (membership churn, NAKs, migrate
+	// phases) as a postmortem artifact instead of "rerun with prints".
+	hub := obs.NewHub(obs.Options{Node: "churn", FlightSize: 4096})
+	hub.Flight().DumpOnFailure(t)
 	stores := newCluster(t, ctx, net, "churn", 3, Options{
 		Shards: 4,
 		Group: amoeba.GroupOptions{
 			Resilience:   1,
 			AutoReset:    true,
 			MinSurvivors: 1,
+			Obs:          hub,
 		},
 	})
 	closed := make([]bool, len(stores))
@@ -427,6 +435,15 @@ func TestReshardingUnderChurn(t *testing.T) {
 	}
 	if ok, err := cl2.CAS(ctx, "churn-lock", nil, []byte("usurper")); err != nil || ok {
 		t.Fatalf("fresh CAS create after churn = %v %v", ok, err)
+	}
+
+	// The flight ring must have captured the handoff it just survived:
+	// the commit thaw on the shards and the coordinator's final flip.
+	dump := hub.Flight().Format()
+	for _, want := range []string{"migrate commit: epoch 1", "reshard: epoch 1 committed"} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("flight recorder missing %q:\n%s", want, dump)
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"amoeba"
+	"amoeba/obs"
 )
 
 // ShardAddr returns the well-known RPC address at which every node hosting
@@ -95,6 +96,8 @@ type Service struct {
 	// carries deadlines forward but not cancellations).
 	defaultBudget time.Duration
 	maxBudget     time.Duration
+
+	obsUnreg func() // detaches the stats source from the hub registry
 }
 
 // NewService starts serving this node's shards. Close the service before
@@ -128,6 +131,17 @@ func NewService(s *Store) (*Service, error) {
 	svc.srvs = append(svc.srvs, srv)
 	if err := svc.reconcileShards(); err != nil {
 		return fail(err)
+	}
+	if reg := s.opts.Group.Obs.Registry(); reg != nil {
+		svc.obsUnreg = reg.RegisterSource(func() []obs.Sample {
+			return []obs.Sample{
+				{Name: "amoeba_kv_service_served_total", Value: svc.served.Load()},
+				{Name: "amoeba_kv_service_forwarded_total", Value: svc.forwarded.Load()},
+				{Name: "amoeba_kv_service_scattered_total", Value: svc.scattered.Load()},
+				{Name: "amoeba_kv_service_stale_epochs_total", Value: svc.staleEpochs.Load()},
+				{Name: "amoeba_kv_service_errors_total", Value: svc.errors.Load()},
+			}
+		})
 	}
 	go svc.watchRouting()
 	return svc, nil
@@ -226,6 +240,9 @@ func (svc *Service) Close() {
 	if done != nil {
 		<-done
 	}
+	if svc.obsUnreg != nil {
+		svc.obsUnreg()
+	}
 }
 
 // handle serves one access-protocol request. It runs on its own goroutine
@@ -261,6 +278,7 @@ func (svc *Service) handle(raw []byte) (reply []byte, forward amoeba.Addr) {
 				"shard %d not hosted at forward target (routing mismatch?)", shards[0])}), 0
 		}
 		svc.forwarded.Add(1)
+		svc.client.tracer.Addf(req.ID, "forwarded to shard %d", shards[0])
 		fwd := *req
 		fwd.Flags |= flagForwarded
 		fwd.Epoch = rt.Epoch // forward under this node's (newer) table

@@ -2,7 +2,9 @@ package kv
 
 import (
 	"encoding/json"
+	"fmt"
 
+	"amoeba/obs"
 	"amoeba/shared"
 )
 
@@ -71,9 +73,18 @@ type mapSM struct {
 	// function of the replicated state; rebuilt on restore).
 	curRing  *ring
 	pendRing *ring
+
+	// Observability (node-local, never replicated; nil = no-op). tracer
+	// stamps "applied@seq" spans for sampled command ids, flight records
+	// migrate phase transitions; seq is the sequence number of the command
+	// currently applying, set by ApplySeq for the duration of one Apply.
+	tracer *obs.Tracer
+	flight *obs.Recorder
+	seq    uint32
 }
 
 var _ shared.StateMachine = (*mapSM)(nil)
+var _ shared.SeqApplier = (*mapSM)(nil)
 
 func newMapSM(store string, shard int, rt Routing, window int, onRouting func(int, Routing, Routing, bool)) *mapSM {
 	if window <= 0 {
@@ -136,6 +147,15 @@ func (s *mapSM) notifyRouting() {
 	s.onRouting(s.shard, s.routing, pend, s.pending != nil)
 }
 
+// ApplySeq is Apply with the command's sequence number alongside — the
+// shared.SeqApplier extension. The sequence number is not state: it only
+// feeds the "applied@seq" trace span for sampled command ids.
+func (s *mapSM) ApplySeq(seq uint32, cmd []byte) {
+	s.seq = seq
+	s.Apply(cmd)
+	s.seq = 0
+}
+
 // Apply executes one committed command. Malformed commands are ignored (a
 // byzantine client must not be able to diverge or crash the replicas), and a
 // command whose id already has a real result is not re-executed: clients
@@ -149,8 +169,10 @@ func (s *mapSM) Apply(cmd []byte) {
 		return
 	}
 	if prev, done := s.results[c.id]; done && !prev.Moved {
+		s.tracer.Addf(c.id, "dedup hit at shard %d (seq %d)", s.shard, s.seq)
 		return
 	}
+	s.tracer.Addf(c.id, "applied@seq %d op=%d shard=%d", s.seq, c.op, s.shard)
 	switch c.op {
 	case opPut:
 		if !s.serves(c.key) {
@@ -225,9 +247,16 @@ func (s *mapSM) applyMigrateBegin(c command) {
 		s.pending = &rt
 		s.pendRing = rt.ring(s.store)
 		ok = true
+		s.flight.Recordf(s.flightTag(), "migrate begin: epoch %d -> %d (%d -> %d shards)",
+			s.routing.Epoch, rt.Epoch, s.routing.Shards, rt.Shards)
 		s.notifyRouting()
 	}
 	s.setResult(c.id, result{OK: ok})
+}
+
+// flightTag labels this shard's flight-recorder events.
+func (s *mapSM) flightTag() string {
+	return fmt.Sprintf("kv/%s/%d", s.store, s.shard)
 }
 
 // applyMigrateCommit flips the shard to the new routing table: moved keys
@@ -243,11 +272,15 @@ func (s *mapSM) applyMigrateCommit(c command) {
 	s.curRing = c.routing.ring(s.store)
 	s.pending = nil
 	s.pendRing = nil
+	dropped := 0
 	for k := range s.items {
 		if s.curRing.shard(k) != s.shard {
 			delete(s.items, k)
+			dropped++
 		}
 	}
+	s.flight.Recordf(s.flightTag(), "migrate commit: epoch %d, %d moved keys dropped, %d kept",
+		c.routing.Epoch, dropped, len(s.items))
 	s.setResult(c.id, result{OK: true})
 	s.notifyRouting()
 }
@@ -261,6 +294,8 @@ func (s *mapSM) applyMigrateAbort(c command) {
 		s.pending = nil
 		s.pendRing = nil
 		ok = true
+		s.flight.Recordf(s.flightTag(), "migrate abort: epoch %d rolled back, serving epoch %d",
+			c.routing.Epoch, s.routing.Epoch)
 		s.notifyRouting()
 	}
 	s.setResult(c.id, result{OK: ok})

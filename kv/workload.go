@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"amoeba"
+	"amoeba/obs"
 )
 
 // LoadOptions configures a self-contained load run: an in-process store on a
@@ -100,6 +101,13 @@ type LoadReport struct {
 	// over RPC.
 	Forwarded uint64
 	RemoteOps uint64
+
+	// Client-observed per-operation latency quantiles in nanoseconds
+	// (power-of-two bucket upper bounds, exact to a factor of two).
+	LatencyP50 uint64 `json:"latency_p50_ns"`
+	LatencyP90 uint64 `json:"latency_p90_ns"`
+	LatencyP99 uint64 `json:"latency_p99_ns"`
+	LatencyMax uint64 `json:"latency_max_ns"`
 }
 
 // OpsPerSec is the aggregate throughput across all shards.
@@ -119,6 +127,12 @@ func (r LoadReport) String() string {
 	}
 	if r.RemoteOps > 0 || r.Forwarded > 0 {
 		s += fmt.Sprintf("; proxied: remote=%d forwarded=%d", r.RemoteOps, r.Forwarded)
+	}
+	if r.LatencyP50 > 0 {
+		s += fmt.Sprintf("; latency p50=%v p99=%v max=%v",
+			time.Duration(r.LatencyP50).Round(time.Microsecond),
+			time.Duration(r.LatencyP99).Round(time.Microsecond),
+			time.Duration(r.LatencyMax).Round(time.Microsecond))
 	}
 	return s
 }
@@ -179,6 +193,13 @@ func driveLoad(ctx context.Context, stores []*Store, svcs []*Service, o LoadOpti
 		wg        sync.WaitGroup
 	)
 	value := make([]byte, o.ValueSize)
+	// latH captures client-observed per-op latency. When the run carries a
+	// hub the histogram joins its registry (visible on the metrics endpoint
+	// during the run); otherwise it is standalone and only feeds the report.
+	latH := o.Group.Obs.Histogram("amoeba_kv_load_op_ns")
+	if latH == nil {
+		latH = obs.NewHistogram("amoeba_kv_load_op_ns")
+	}
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	start := time.Now()
@@ -223,7 +244,7 @@ func driveLoad(ctx context.Context, stores []*Store, svcs []*Service, o LoadOpti
 			// the node proxies the rest of the keyspace.
 			node := i % len(stores)
 			var err error
-			cl, err = Dial(stores[node].kernel, stores[node].name, DialOptions{Node: node})
+			cl, err = Dial(stores[node].kernel, stores[node].name, DialOptions{Node: node, Obs: o.Group.Obs})
 			if err != nil {
 				return LoadReport{}, fmt.Errorf("kv: load dial: %w", err)
 			}
@@ -247,6 +268,7 @@ func driveLoad(ctx context.Context, stores []*Store, svcs []*Service, o LoadOpti
 					key = fmt.Sprintf("key-%06d", rng.Intn(o.Keys))
 				}
 				var err error
+				t0 := time.Now()
 				if rng.Float64() < o.ReadFraction {
 					if o.LocalReads {
 						cl.LocalGet(key)
@@ -258,6 +280,7 @@ func driveLoad(ctx context.Context, stores []*Store, svcs []*Service, o LoadOpti
 				}
 				switch {
 				case err == nil:
+					latH.Observe(time.Since(t0))
 					atomic.AddUint64(&ops, 1)
 				case runCtx.Err() != nil:
 					return // cancellation, not a workload error
@@ -300,6 +323,12 @@ func driveLoad(ctx context.Context, stores []*Store, svcs []*Service, o LoadOpti
 	}
 	for _, cl := range clients {
 		rep.RemoteOps += cl.Stats().RemoteOps
+	}
+	if snap := latH.Snapshot(); snap.Count > 0 {
+		rep.LatencyP50 = snap.Quantile(0.50)
+		rep.LatencyP90 = snap.Quantile(0.90)
+		rep.LatencyP99 = snap.Quantile(0.99)
+		rep.LatencyMax = snap.Max
 	}
 	return rep, nil
 }

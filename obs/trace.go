@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timestamped event in a sampled operation's cross-node
+// timeline: which node saw the op reach which pipeline stage.
+type Span struct {
+	Node  string
+	Event string
+	At    time.Time
+}
+
+// Tracer collects span events for sampled operations. The command ids that
+// already flow end-to-end (kv dedup ids, per-pair batch ids) are the trace
+// keys: every node applies the same id % mod == 0 sampling rule, so all
+// nodes trace the same operations with no coordination, and a trace is
+// reassembled by merging each node's spans for one id. A nil *Tracer is the
+// no-op sink.
+type Tracer struct {
+	node string
+	mod  uint64
+	keep int
+
+	mu     sync.Mutex
+	traces map[uint64][]Span
+	order  []uint64 // insertion order, oldest first, for eviction
+}
+
+func newTracer(node string, mod uint64, keep int) *Tracer {
+	return &Tracer{node: node, mod: mod, keep: keep, traces: make(map[uint64][]Span)}
+}
+
+// Sampled reports whether operations with this id are traced. Id 0 is
+// never sampled: it is the "no id assigned yet" sentinel at several call
+// sites and would otherwise always satisfy the modulus.
+func (t *Tracer) Sampled(id uint64) bool {
+	return t != nil && id != 0 && id%t.mod == 0
+}
+
+// Add appends a span event for id, if sampled, stamped with this tracer's
+// node and the wall clock.
+func (t *Tracer) Add(id uint64, event string) {
+	if !t.Sampled(id) {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	if _, ok := t.traces[id]; !ok {
+		t.order = append(t.order, id)
+		for len(t.order) > t.keep {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	t.traces[id] = append(t.traces[id], Span{Node: t.node, Event: event, At: now})
+	t.mu.Unlock()
+}
+
+// Addf is Add with a formatted event, evaluated only when id is sampled so
+// unsampled hot paths pay no formatting cost.
+func (t *Tracer) Addf(id uint64, format string, args ...any) {
+	if !t.Sampled(id) {
+		return
+	}
+	t.Add(id, fmt.Sprintf(format, args...))
+}
+
+// Trace returns this node's spans for id (copy), nil if not retained.
+func (t *Tracer) Trace(id uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.traces[id]...)
+}
+
+// IDs lists the retained trace ids, oldest first.
+func (t *Tracer) IDs() []uint64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]uint64(nil), t.order...)
+}
+
+// MergeTraces reassembles one operation's cross-node timeline from several
+// nodes' tracers, sorted by timestamp (stable on ties, so same-node
+// ordering survives clock granularity).
+func MergeTraces(id uint64, tracers ...*Tracer) []Span {
+	var out []Span
+	for _, t := range tracers {
+		out = append(out, t.Trace(id)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// FormatTrace renders a merged timeline, one span per line with the offset
+// from the first event:
+//
+//	trace 4096
+//	  +0        node-0  submitted op=put key=k1
+//	  +312µs    node-1  sequenced@17
+func FormatTrace(id uint64, spans []Span) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d\n", id)
+	if len(spans) == 0 {
+		b.WriteString("  (no spans retained)\n")
+		return b.String()
+	}
+	t0 := spans[0].At
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  +%-10v %-12s %s\n", s.At.Sub(t0).Round(time.Microsecond), s.Node, s.Event)
+	}
+	return b.String()
+}

@@ -220,7 +220,7 @@ func Open(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, o
 		return nil, errors.New("shared: Durability.Dir is required")
 	}
 	dur = dur.withDefaults()
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentSize: dur.SegmentSize, Sync: dur.Sync, SyncDelay: dur.SyncDelay})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentSize: dur.SegmentSize, Sync: dur.Sync, SyncDelay: dur.SyncDelay, Obs: opts.Obs})
 	if err != nil {
 		return nil, fmt.Errorf("shared: opening log for %q: %w", name, err)
 	}
@@ -332,7 +332,7 @@ func createSeeded(ctx context.Context, k *amoeba.Kernel, name string, sm StateMa
 		log.Close()
 		return nil, fmt.Errorf("shared: re-creating %q: %w", name, err)
 	}
-	r := newReplica(k, g, name, sm)
+	r := newReplica(k, g, name, sm, opts.Obs)
 	r.lastApplied = recovered
 	r.log = log
 	r.dur = dur

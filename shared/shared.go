@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"amoeba"
+	"amoeba/obs"
 	"amoeba/wal"
 )
 
@@ -41,6 +42,15 @@ type StateMachine interface {
 	Snapshot() ([]byte, error)
 	// Restore replaces the state with a snapshot.
 	Restore(snapshot []byte) error
+}
+
+// SeqApplier is an optional StateMachine extension: a state machine that
+// wants the sequence number alongside each command (e.g. to stamp
+// "applied@seq" span events into an op trace) implements ApplySeq, and the
+// replica calls it instead of Apply. The two must be behaviourally
+// identical.
+type SeqApplier interface {
+	ApplySeq(seq uint32, cmd []byte)
 }
 
 // Errors returned by the package.
@@ -82,6 +92,12 @@ type Replica struct {
 	sinceCkpt int
 	walErr    error
 
+	// Observability (all nil-safe no-ops when the group carries no hub).
+	seqApply   SeqApplier     // sm, when it implements SeqApplier
+	applyH     *obs.Histogram // amoeba_replica_apply_ns (1-in-8 sampled)
+	applyCount uint64         // applies since start, for the sampling rule
+	flight     *obs.Recorder
+
 	done   chan struct{}
 	cancel context.CancelFunc
 }
@@ -93,7 +109,7 @@ func Create(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine,
 	if err != nil {
 		return nil, fmt.Errorf("shared: creating %q: %w", name, err)
 	}
-	r := newReplica(k, g, name, sm)
+	r := newReplica(k, g, name, sm, opts.Obs)
 	if err := r.serveTransfers(); err != nil {
 		g.Close()
 		return nil, err
@@ -121,7 +137,7 @@ func joinWithLog(ctx context.Context, k *amoeba.Kernel, name string, sm StateMac
 	if err != nil {
 		return nil, fmt.Errorf("shared: joining %q: %w", name, err)
 	}
-	r := newReplica(k, g, name, sm)
+	r := newReplica(k, g, name, sm, opts.Obs)
 
 	// The first delivery is our own join at seq J: nothing before J will
 	// ever be delivered to us, so the snapshot must reflect at least J.
@@ -180,8 +196,8 @@ func joinWithLog(ctx context.Context, k *amoeba.Kernel, name string, sm StateMac
 	return r, nil
 }
 
-func newReplica(k *amoeba.Kernel, g *amoeba.Group, name string, sm StateMachine) *Replica {
-	return &Replica{
+func newReplica(k *amoeba.Kernel, g *amoeba.Group, name string, sm StateMachine, hub *obs.Hub) *Replica {
+	r := &Replica{
 		group:     g,
 		kernel:    k,
 		name:      name,
@@ -189,6 +205,12 @@ func newReplica(k *amoeba.Kernel, g *amoeba.Group, name string, sm StateMachine)
 		applyWake: make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	r.seqApply, _ = sm.(SeqApplier)
+	if hub != nil {
+		r.applyH = hub.Histogram("amoeba_replica_apply_ns")
+		r.flight = hub.Flight()
+	}
+	return r
 }
 
 // transferAddr is the well-known RPC address of a member's snapshot service.
@@ -319,8 +341,6 @@ func (r *Replica) apply(m amoeba.Message) {
 // so a crash never leaves applied-but-unjournaled state behind.
 func (r *Replica) applyBurst(ms []amoeba.Message) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	defer r.wakeLocked()
 	if r.log != nil {
 		var entries []wal.Entry
 		last := r.lastApplied
@@ -341,7 +361,42 @@ func (r *Replica) applyBurst(ms []amoeba.Message) {
 	for i := range ms {
 		r.applyLocked(ms[i])
 	}
-	r.maybeCheckpointLocked()
+	log, seq, snap := r.prepareCheckpointLocked()
+	r.wakeLocked()
+	r.mu.Unlock()
+	if log == nil {
+		return
+	}
+	// The checkpoint's disk I/O runs on the log's own mutex, not the
+	// replica lock: Read/Wait callers are not stalled behind a snapshot
+	// fsync every CheckpointEvery entries. The apply loop is the only
+	// appender, and it is here — nothing appends concurrently, so the
+	// checkpoint still covers exactly the entries journaled so far.
+	if err := log.Checkpoint(seq, snap); err != nil {
+		r.mu.Lock()
+		// The log may have been retired (or swapped by Close) meanwhile;
+		// only degrade the one that failed.
+		if r.log == log {
+			r.walFailLocked(err)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// prepareCheckpointLocked decides whether a checkpoint is due and, if so,
+// serialises the snapshot under the lock (the consistent read) and resets
+// the countdown, returning the log to checkpoint into. The disk write
+// itself happens at the caller, outside r.mu.
+func (r *Replica) prepareCheckpointLocked() (*wal.Log, uint32, []byte) {
+	if r.log == nil || r.sinceCkpt < r.dur.CheckpointEvery {
+		return nil, 0, nil
+	}
+	snap, err := r.sm.Snapshot()
+	if err != nil {
+		return nil, 0, nil // not fatal: try again after the next burst
+	}
+	r.sinceCkpt = 0
+	return r.log, r.lastApplied, snap
 }
 
 // applyLocked folds one delivery into the state machine; r.mu must be held.
@@ -351,7 +406,22 @@ func (r *Replica) applyLocked(m amoeba.Message) {
 		if m.Seq <= r.lastApplied {
 			return // already reflected by the snapshot
 		}
-		r.sm.Apply(m.Payload)
+		// Sample 1-in-8 applies: a median apply is ~1µs, so stamping the
+		// wall clock around every one costs more than the work measured.
+		var t0 time.Time
+		timed := r.applyH != nil && r.applyCount&7 == 0
+		r.applyCount++
+		if timed {
+			t0 = time.Now()
+		}
+		if r.seqApply != nil {
+			r.seqApply.ApplySeq(m.Seq, m.Payload)
+		} else {
+			r.sm.Apply(m.Payload)
+		}
+		if timed {
+			r.applyH.Observe(time.Since(t0))
+		}
 		r.lastApplied = m.Seq
 	case amoeba.Join, amoeba.Leave, amoeba.Reset:
 		r.members = m.Members
@@ -363,23 +433,6 @@ func (r *Replica) applyLocked(m amoeba.Message) {
 	}
 }
 
-// maybeCheckpointLocked writes a snapshot checkpoint once enough entries
-// have been journaled since the last one, truncating dead log segments.
-func (r *Replica) maybeCheckpointLocked() {
-	if r.log == nil || r.sinceCkpt < r.dur.CheckpointEvery {
-		return
-	}
-	snap, err := r.sm.Snapshot()
-	if err != nil {
-		return // not fatal: try again after the next burst
-	}
-	if err := r.log.Checkpoint(r.lastApplied, snap); err != nil {
-		r.walFailLocked(err)
-		return
-	}
-	r.sinceCkpt = 0
-}
-
 // walFailLocked retires a failing log: the replica stays live (the group
 // still replicates in memory, and state transfer can heal a restart), but
 // durability is lost and reported through DurabilityStats.
@@ -387,6 +440,7 @@ func (r *Replica) walFailLocked(err error) {
 	if r.walErr == nil {
 		r.walErr = err
 	}
+	r.flight.Recordf("replica/"+r.name, "wal degraded, running in memory only: %v", err)
 	r.log.Close()
 	r.log = nil
 }

@@ -59,6 +59,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"amoeba/obs"
 )
 
 // Entry is one totally-ordered command: the payload applied to the state
@@ -87,6 +89,10 @@ type Options struct {
 	// so the protocol-level guarantee is unchanged in kind, only the
 	// bound moves. Zero (the default) syncs inside every Append.
 	SyncDelay time.Duration
+	// Obs, when non-nil, records per-append and per-fsync latencies into
+	// the hub's amoeba_wal_append_ns / amoeba_wal_fsync_ns histograms and
+	// reports degradations to its flight recorder. Nil is the no-op sink.
+	Obs *obs.Hub
 }
 
 func (o Options) withDefaults() Options {
@@ -180,13 +186,18 @@ type segment struct {
 }
 
 // Log is an open write-ahead log directory. Methods are safe for concurrent
-// use, though the intended caller — a replica's apply loop — is serial.
+// use: the log serialises itself on its own mutex, so a slow Checkpoint (a
+// snapshot write and fsync) excludes concurrent Appends without the caller
+// holding any wider lock across the disk I/O — the shared package's replica
+// lock used to serialise the log, which made every read on a replica stall
+// behind its periodic checkpoint.
 type Log struct {
 	dir  string
 	opts Options
 
-	// Guarded by the caller's serialisation (the shared package holds the
-	// replica lock across every call); the log itself performs no locking.
+	// mu guards everything below (the delayed-sync state keeps its own
+	// finer lock, shared with the timer goroutine).
+	mu       sync.Mutex
 	segments []segment // sorted by base; the last is active
 	active   *os.File
 	activeSz int64
@@ -204,6 +215,12 @@ type Log struct {
 	syncFile  *os.File // segment the pending delayed sync covers
 	syncErr   error    // first delayed-fsync failure, surfaced by the next Append/Sync
 	syncs     atomic.Uint64
+
+	// Stage-latency instruments, resolved once at Open (nil without Obs).
+	appendH  *obs.Histogram
+	fsyncH   *obs.Histogram
+	flight   *obs.Recorder
+	obsUnreg func() // detaches the stats source from the hub registry
 }
 
 // Open opens (creating if needed) the log directory, validates the tail of
@@ -216,6 +233,21 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
 	}
 	l := &Log{dir: dir, opts: opts}
+	l.appendH = opts.Obs.Histogram("amoeba_wal_append_ns")
+	l.fsyncH = opts.Obs.Histogram("amoeba_wal_fsync_ns")
+	l.flight = opts.Obs.Flight()
+	l.obsUnreg = opts.Obs.Registry().RegisterSource(func() []obs.Sample {
+		s := l.Stats()
+		return []obs.Sample{
+			{Name: "amoeba_wal_appends_total", Value: s.Appends},
+			{Name: "amoeba_wal_syncs_total", Value: s.Syncs},
+			{Name: "amoeba_wal_entries_total", Value: s.Entries},
+			{Name: "amoeba_wal_checkpoints_total", Value: s.Checkpoints},
+			{Name: "amoeba_wal_segments_removed_total", Value: s.SegmentsRemoved},
+			{Name: "amoeba_wal_reset_discarded_total", Value: s.ResetDiscarded},
+			{Name: "amoeba_wal_recovered_entries_total", Value: s.RecoveredEntries},
+		}
+	})
 	names, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: reading %s: %w", dir, err)
@@ -369,14 +401,17 @@ func (l *Log) fireDelayedSync() {
 	if f == nil {
 		return
 	}
+	s0 := time.Now()
 	if err := f.Sync(); err != nil {
 		l.syncMu.Lock()
 		if l.syncErr == nil {
 			l.syncErr = err
 		}
 		l.syncMu.Unlock()
+		l.flight.Recordf("wal", "delayed fsync failed in %s: %v", l.dir, err)
 		return
 	}
+	l.fsyncH.Observe(time.Since(s0))
 	l.syncs.Add(1)
 }
 
@@ -423,12 +458,16 @@ func (l *Log) rotate() error {
 // batch-awareness that lets a coalesced delivery burst pay the disk once).
 // Sequence numbers must strictly ascend past everything already logged.
 func (l *Log) Append(entries []Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
 	if len(entries) == 0 {
 		return nil
 	}
+	start := time.Now()
+	defer func() { l.appendH.Observe(time.Since(start)) }()
 	last := l.lastSeq
 	for _, e := range entries {
 		if e.Seq <= last {
@@ -459,9 +498,11 @@ func (l *Log) Append(entries []Entry) error {
 				return err
 			}
 		} else {
+			s0 := time.Now()
 			if err := l.active.Sync(); err != nil {
 				return fmt.Errorf("wal: syncing append: %w", err)
 			}
+			l.fsyncH.Observe(time.Since(s0))
 			l.syncs.Add(1)
 		}
 	}
@@ -482,6 +523,8 @@ func (l *Log) Append(entries []Entry) error {
 // crash — and at any callback error. It returns the highest sequence number
 // the log knows (checkpoint or entry), the caller's recovery baseline.
 func (l *Log) Recover(restore func(snapshot []byte, seq uint32) error, apply func(Entry) error) (uint32, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
 	}
@@ -575,6 +618,12 @@ func (l *Log) readBestCheckpoint() ([]byte, uint32, bool) {
 // After a checkpoint, recovery restores the snapshot and replays only the
 // suffix beyond it.
 func (l *Log) Checkpoint(seq uint32, snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkpointLocked(seq, snapshot)
+}
+
+func (l *Log) checkpointLocked(seq uint32, snapshot []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -612,6 +661,8 @@ func (l *Log) Checkpoint(seq uint32, snapshot []byte) error {
 // is authoritative, and entries journaled on the replica's previous timeline
 // (before it crashed or was expelled) must not resurface in a later replay.
 func (l *Log) Reset(seq uint32, snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
@@ -622,6 +673,7 @@ func (l *Log) Reset(seq uint32, snapshot []byte) error {
 	}
 	if l.lastSeq > seq {
 		l.stats.ResetDiscarded += uint64(l.lastSeq - seq)
+		l.flight.Recordf("wal", "reset discarded %d entries beyond seq %d in %s", l.lastSeq-seq, seq, l.dir)
 	}
 	for _, seg := range l.segments {
 		if err := os.Remove(seg.path); err != nil {
@@ -631,7 +683,7 @@ func (l *Log) Reset(seq uint32, snapshot []byte) error {
 	}
 	l.segments = nil
 	l.lastSeq = seq
-	if err := l.Checkpoint(seq, snapshot); err != nil {
+	if err := l.checkpointLocked(seq, snapshot); err != nil {
 		return err
 	}
 	return l.rotate()
@@ -657,19 +709,33 @@ func (l *Log) dropDeadSegments() error {
 }
 
 // LastSeq reports the highest sequence number logged or checkpointed.
-func (l *Log) LastSeq() uint32 { return l.lastSeq }
+func (l *Log) LastSeq() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastSeq
+}
 
 // CheckpointSeq reports the newest checkpoint's sequence number (0: none).
-func (l *Log) CheckpointSeq() uint32 { return l.ckptSeq }
+func (l *Log) CheckpointSeq() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptSeq
+}
 
 // Virgin reports whether the log has never recorded anything: no entries and
 // no checkpoint, even an empty one. A virgin log distinguishes a node's
 // first-ever boot from a restart.
-func (l *Log) Virgin() bool { return !l.hasCkpt && l.lastSeq == 0 }
+func (l *Log) Virgin() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.hasCkpt && l.lastSeq == 0
+}
 
 // Stats returns a snapshot of the log's counters.
 func (l *Log) Stats() Stats {
+	l.mu.Lock()
 	st := l.stats
+	l.mu.Unlock()
 	st.Syncs = l.syncs.Load()
 	return st
 }
@@ -680,6 +746,8 @@ func (l *Log) Dir() string { return l.dir }
 // Sync flushes the active segment to stable storage, absorbing any pending
 // delayed fsync.
 func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
@@ -699,10 +767,19 @@ func (l *Log) Sync() error {
 // Close flushes and closes the log. The directory remains ready for the next
 // Open.
 func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
 	l.closed = true
+	if l.obsUnreg != nil {
+		unreg := l.obsUnreg
+		l.obsUnreg = nil
+		l.mu.Unlock()
+		unreg() // reads Stats, which takes l.mu
+		l.mu.Lock()
+	}
 	if l.active == nil {
 		return nil
 	}
