@@ -94,10 +94,15 @@ type MemoryNetworkConfig struct {
 	DropRate float64
 	// DupRate is the probability that a frame is duplicated.
 	DupRate float64
+	// ReorderRate is the probability that a frame is held back and
+	// delivered after the next frame bound for the same station.
+	ReorderRate float64
 	// CorruptRate is the probability that a frame is corrupted in
 	// transit (detected and discarded by the FLIP checksum).
 	CorruptRate float64
-	// Seed makes fault injection reproducible.
+	// Seed makes fault injection reproducible: every fault decision is
+	// drawn from one source seeded here, so a fixed seed and a fixed
+	// traffic sequence produce identical faults.
 	Seed int64
 }
 
@@ -122,6 +127,7 @@ func NewMemoryNetworkWithFaults(cfg MemoryNetworkConfig) *MemoryNetwork {
 	return &MemoryNetwork{net: memnet.New(memnet.Config{
 		DropRate:    cfg.DropRate,
 		DupRate:     cfg.DupRate,
+		ReorderRate: cfg.ReorderRate,
 		CorruptRate: cfg.CorruptRate,
 		Seed:        cfg.Seed,
 	})}
@@ -129,6 +135,38 @@ func NewMemoryNetworkWithFaults(cfg MemoryNetworkConfig) *MemoryNetwork {
 
 // Close shuts down the network and every kernel attached to it.
 func (n *MemoryNetwork) Close() { n.net.Close() }
+
+// SetDropRate changes the frame-loss probability at runtime — a schedulable
+// fault for adversarial tests (see the fuzz package).
+func (n *MemoryNetwork) SetDropRate(p float64) { n.net.SetDropRate(p) }
+
+// SetDuplicateRate changes the frame-duplication probability at runtime.
+func (n *MemoryNetwork) SetDuplicateRate(p float64) { n.net.SetDuplicateRate(p) }
+
+// SetReorderRate changes the frame-reordering probability at runtime.
+func (n *MemoryNetwork) SetReorderRate(p float64) { n.net.SetReorderRate(p) }
+
+// Partition cuts the link between two kernels: frames between them, either
+// direction, are silently dropped until Heal. Both keep talking to everyone
+// else — the split-brain pattern that drives conflicting failure suspicions.
+func (n *MemoryNetwork) Partition(a, b *Kernel) {
+	if a == nil || b == nil || a.station == nil || b.station == nil {
+		return
+	}
+	n.net.Partition(a.station.ID(), b.station.ID())
+}
+
+// Heal removes every pairwise partition installed by Partition.
+func (n *MemoryNetwork) Heal() { n.net.Heal() }
+
+// Isolate cuts (or, with false, restores) every link of one kernel: a cable
+// pull. The kernel keeps running — unlike Close, it can come back.
+func (n *MemoryNetwork) Isolate(k *Kernel, partitioned bool) {
+	if k == nil || k.station == nil {
+		return
+	}
+	n.net.Isolate(k.station.ID(), partitioned)
+}
 
 // UDPNetwork is a network fabric over real UDP sockets on the loopback
 // interface: kernels exchange genuine datagrams, with the loss, duplication,

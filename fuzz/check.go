@@ -1,0 +1,287 @@
+// Package fuzz is the adversarial harness of the repository: deterministic,
+// seeded fault schedules driven against a live kv cluster under a concurrent
+// recorded workload, with a linearizability checker deciding the verdict and
+// a shrinker reducing failing schedules to replayable minima.
+//
+// The paper evaluates the group protocol's fault tolerance by argument and
+// by targeted experiments; this package turns that into a machine check.
+// A Schedule (schedule.go) is a pure function of its seed: crashes, restarts
+// from the write-ahead log, partitions, message loss/reordering/duplication,
+// disk-full and torn-tail log faults, reshardings, sequencer kills — all at
+// fixed offsets. Harness.Run (harness.go) replays the schedule against a
+// cluster while recording every client operation's invocation window
+// (kv.History); Check (this file) searches the recorded history for a
+// per-key linearization; Shrink (shrink.go) reduces a failing schedule while
+// it still fails, and the result prints as one replayable line.
+package fuzz
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"amoeba/kv"
+)
+
+// The checker implements the Wing & Gong linearizability search with
+// Lowe-style memoisation (the algorithm behind porcupine and knossos),
+// specialised to the store's per-key register model:
+//
+//	get          → (value, found) at the op's linearization point
+//	put          → value := v
+//	delete       → found := false; returns whether the key existed
+//	cas(e, v)    → if current matches e: value := v, returns true
+//	              (expect absent = atomic create); else returns false
+//
+// Per-key checking is sound because per-key linearizability is the store's
+// documented guarantee: every key lives on exactly one shard at any routing
+// epoch, and each shard's total order linearizes its keys. Cross-key
+// operations (MGet, BatchPut) decompose into per-key events at recording
+// time with shared windows — exactly the claim the API documents.
+//
+// Failed operations have unknown outcomes: a failed write (Return < 0) may
+// commit at any later point, so its window extends to infinity and its
+// output is unconstrained; a failed read observed nothing and is dropped.
+
+// CheckResult is the checker's verdict over one history.
+type CheckResult struct {
+	// Linearizable reports that every key's subhistory has a valid
+	// linearization (or the search timed out before refuting one).
+	Linearizable bool
+	// Timeout reports the search hit its time budget: the history was NOT
+	// proven linearizable, but no violation was found either.
+	Timeout bool
+	// Key is the first key whose subhistory has no linearization (empty
+	// when Linearizable).
+	Key string
+	// Ops counts the events checked (after dropping failed reads).
+	Ops int
+}
+
+func (r CheckResult) String() string {
+	switch {
+	case r.Timeout:
+		return fmt.Sprintf("undecided (search timeout) over %d ops", r.Ops)
+	case r.Linearizable:
+		return fmt.Sprintf("linearizable over %d ops", r.Ops)
+	default:
+		return fmt.Sprintf("NOT linearizable: key %q has no valid linearization (%d ops checked)", r.Key, r.Ops)
+	}
+}
+
+// Check searches the history for a per-key linearization, spending at most
+// budget on the search (0 means a generous default). The search is
+// worst-case exponential; the budget turns a pathological history into an
+// undecided verdict instead of a hang.
+func Check(events []kv.HistoryEvent, budget time.Duration) CheckResult {
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	byKey := make(map[string][]kv.HistoryEvent)
+	ops := 0
+	for _, e := range events {
+		if e.Op == kv.OpGet && e.Failed() {
+			continue // observed nothing; constrains nothing
+		}
+		byKey[e.Key] = append(byKey[e.Key], e)
+		ops++
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic verdicts and failure attribution
+	for _, k := range keys {
+		ok, timedOut := checkKey(byKey[k], deadline)
+		if timedOut {
+			return CheckResult{Linearizable: true, Timeout: true, Ops: ops}
+		}
+		if !ok {
+			return CheckResult{Key: k, Ops: ops}
+		}
+	}
+	return CheckResult{Linearizable: true, Ops: ops}
+}
+
+// regState is one key's state: the value, or absence.
+type regState struct {
+	present bool
+	val     []byte
+}
+
+// apply linearizes e against s, reporting whether e's recorded output is
+// consistent and the post-state. Transitions are deterministic in the
+// pre-state; failed ops (unknown output) skip the output check.
+func apply(s regState, e kv.HistoryEvent) (regState, bool) {
+	unknown := e.Failed()
+	switch e.Op {
+	case kv.OpGet:
+		if !unknown {
+			if e.Found != s.present {
+				return s, false
+			}
+			if s.present && !bytes.Equal(e.Val, s.val) {
+				return s, false
+			}
+		}
+		return s, true
+	case kv.OpPut:
+		return regState{present: true, val: e.Val}, true
+	case kv.OpDelete:
+		if !unknown && e.Found != s.present {
+			return s, false
+		}
+		return regState{}, true
+	case kv.OpCAS:
+		matched := false
+		if e.ExpectPresent {
+			matched = s.present && bytes.Equal(s.val, e.Expect)
+		} else {
+			matched = !s.present
+		}
+		if !unknown && e.Found != matched {
+			return s, false
+		}
+		if matched {
+			return regState{present: true, val: e.Val}, true
+		}
+		return s, true
+	}
+	return s, false
+}
+
+// checkKey runs the linearization search over one key's events. Reports
+// (linearizable, timedOut); timedOut true means the search gave up.
+func checkKey(evs []kv.HistoryEvent, deadline time.Time) (bool, bool) {
+	n := len(evs)
+	if n == 0 {
+		return true, false
+	}
+	inv := make([]int64, n)
+	ret := make([]int64, n)
+	order := make([]int, n)
+	for i := range evs {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return evs[order[a]].Invoke < evs[order[b]].Invoke })
+	sorted := make([]kv.HistoryEvent, n)
+	for i, idx := range order {
+		sorted[i] = evs[idx]
+		inv[i] = sorted[i].Invoke
+		ret[i] = sorted[i].Return
+		if ret[i] < 0 { // never returned / outcome unknown: window open-ended
+			ret[i] = math.MaxInt64
+		}
+	}
+
+	// retOrder lists op indices by ascending return time; the minimality
+	// test below needs only the two smallest returns among remaining ops.
+	retOrder := make([]int, n)
+	for i := range retOrder {
+		retOrder[i] = i
+	}
+	sort.SliceStable(retOrder, func(a, b int) bool { return ret[retOrder[a]] < ret[retOrder[b]] })
+
+	words := (n + 63) / 64
+	done := make([]uint64, words)
+	// seen memoises refuted (linearized-set, state) configurations.
+	seen := make(map[string]bool)
+	type frame struct {
+		state regState
+		// next is the candidate index to try at this depth.
+		next int
+		// chosen is the op linearized to descend from this frame.
+		chosen int
+	}
+	stack := make([]frame, 1, n+1)
+	stack[0] = frame{state: regState{}, chosen: -1}
+	linearized := 0
+	checks := 0
+
+	memoKey := func(s regState) string {
+		b := make([]byte, 0, words*8+1+len(s.val))
+		for _, w := range done {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+		if s.present {
+			b = append(b, '=')
+			b = append(b, s.val...)
+		}
+		return string(b)
+	}
+
+	for {
+		if checks++; checks&1023 == 0 && time.Now().After(deadline) {
+			return true, true
+		}
+		if linearized == n {
+			return true, false
+		}
+		top := &stack[len(stack)-1]
+		// The two earliest returns among remaining ops: candidate i is a
+		// legal first op iff no OTHER remaining op returned before i
+		// invoked, i.e. the earliest remaining return excluding i is not
+		// before inv[i]. The done set is fixed for the whole candidate
+		// scan, so two values cover every candidate in O(1).
+		min1, min2 := int64(math.MaxInt64), int64(math.MaxInt64)
+		min1idx := -1
+		for _, idx := range retOrder {
+			if done[idx/64]&(1<<(idx%64)) != 0 {
+				continue
+			}
+			if min1idx < 0 {
+				min1, min1idx = ret[idx], idx
+				continue
+			}
+			min2 = ret[idx]
+			break
+		}
+		advanced := false
+		for i := top.next; i < n; i++ {
+			if done[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			minOther := min1
+			if i == min1idx {
+				minOther = min2
+			}
+			if minOther < inv[i] {
+				continue
+			}
+			next, ok := apply(top.state, sorted[i])
+			if !ok {
+				continue
+			}
+			done[i/64] |= 1 << (i % 64)
+			key := memoKey(next)
+			if seen[key] {
+				done[i/64] &^= 1 << (i % 64)
+				continue
+			}
+			top.next = i + 1
+			top.chosen = i
+			linearized++
+			stack = append(stack, frame{state: next, chosen: -1})
+			advanced = true
+			break
+		}
+		if advanced {
+			continue
+		}
+		// Dead end: every remaining choice refuted. Record and backtrack.
+		seen[memoKey(top.state)] = true
+		if len(stack) == 1 {
+			return false, false
+		}
+		stack = stack[:len(stack)-1]
+		parent := &stack[len(stack)-1]
+		i := parent.chosen
+		done[i/64] &^= 1 << (i % 64)
+		linearized--
+		parent.chosen = -1
+	}
+}

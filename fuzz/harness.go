@@ -1,0 +1,646 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"amoeba"
+	"amoeba/kv"
+	"amoeba/obs"
+	"amoeba/wal"
+)
+
+// Config shapes one harness run. The zero value is a usable 3-node,
+// 2-shard cluster under 4 clients.
+type Config struct {
+	// Nodes is the cluster size (default 3). Every node hosts every shard
+	// (full replication), so restarts always have live donors.
+	Nodes int
+	// Shards is the bootstrap shard count (default 2).
+	Shards int
+	// Clients is the number of concurrent recording workload clients
+	// (default 4).
+	Clients int
+	// Keys is the number of distinct keys the workload contends on
+	// (default 4). Fewer keys = more contention = stronger histories.
+	Keys int
+	// Resilience is the shard groups' resilience degree r. 0 (the
+	// default) means Nodes-1 — no completed write is lost to any crash
+	// short of the whole cluster, which the write-ahead logs cover; a
+	// clean run is then expected to verdict linearizable. Negative values
+	// mean a literal r = 0, the paper's performance configuration, whose
+	// documented crash window the checker WILL catch.
+	Resilience int
+	// MinSurvivors gates group recovery: a reset only completes when at
+	// least this many members answer. 0 (the default) means a majority,
+	// Nodes/2+1 — without it, a partition that also kills the sequencer
+	// lets BOTH sides reform independently and diverge (split brain; the
+	// quorum-less config is pinned as a failing regression schedule in
+	// the tests). Negative values mean a literal 1: recovery with no
+	// quorum at all.
+	MinSurvivors int
+	// Tail extends the workload past the last scheduled event (default
+	// 500ms) so post-fault recovery is itself observed.
+	Tail time.Duration
+	// OpTimeout bounds one client operation (default 2s): ops stuck
+	// behind a dead cluster give up and record an unknown outcome.
+	OpTimeout time.Duration
+	// CheckBudget bounds the linearizability search (default 30s).
+	CheckBudget time.Duration
+	// DataDir hosts the nodes' write-ahead logs. Empty (the default)
+	// uses a fresh temp directory, removed when the run ends.
+	DataDir string
+	// PlantStaleRead corrupts the recorded history before checking: one
+	// successful read is rewritten to observe a value no write ever
+	// produced. The run's verdict MUST be non-linearizable — the
+	// self-test that keeps the checker honest.
+	PlantStaleRead bool
+	// PlantLostWrite corrupts the recorded history before checking: the
+	// write that produced some successfully-read value is deleted, as if
+	// the system had invented the value. The verdict MUST be
+	// non-linearizable.
+	PlantLostWrite bool
+	// Logf, when non-nil, receives progress lines (schedule events as
+	// they fire, verdicts). Nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Keys <= 0 {
+		c.Keys = 4
+	}
+	if c.Resilience == 0 {
+		c.Resilience = c.Nodes - 1
+	} else if c.Resilience < 0 {
+		c.Resilience = 0
+	}
+	if c.MinSurvivors == 0 {
+		c.MinSurvivors = c.Nodes/2 + 1
+	} else if c.MinSurvivors < 0 {
+		c.MinSurvivors = 1
+	}
+	if c.Tail <= 0 {
+		c.Tail = 500 * time.Millisecond
+	}
+	if c.OpTimeout <= 0 {
+		c.OpTimeout = 2 * time.Second
+	}
+	if c.CheckBudget <= 0 {
+		c.CheckBudget = 30 * time.Second
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Result is one run's outcome.
+type Result struct {
+	// Schedule is the schedule that ran (for the replay line).
+	Schedule Schedule
+	// Check is the linearizability verdict over the recorded history.
+	Check CheckResult
+	// Ops counts recorded history events; Failed counts the subset whose
+	// outcome is unknown (errored or timed out).
+	Ops    int
+	Failed int
+	// Applied counts schedule events that fired.
+	Applied int
+	// Err reports a harness-level failure (bootstrap or restart machinery
+	// broke) — distinct from a checker verdict.
+	Err error
+	// Flight is the cluster's flight-recorder dump, captured when the
+	// verdict failed (empty otherwise): the postmortem to read first.
+	Flight string
+}
+
+// Ok reports a fully clean run: harness intact and history linearizable.
+func (r Result) Ok() bool { return r.Err == nil && r.Check.Linearizable }
+
+// String renders the result as the one-line report the CLI prints.
+func (r Result) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("HARNESS ERROR: %v [replay: %s]", r.Err, r.Schedule)
+	}
+	if !r.Check.Linearizable {
+		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
+			r.Check, r.Ops, r.Failed, r.Schedule)
+	}
+	if r.Check.Timeout {
+		return fmt.Sprintf("UNDECIDED: %s (%d recorded, %d unknown outcome), %d/%d events applied [replay: %s]",
+			r.Check, r.Ops, r.Failed, r.Applied, len(r.Schedule.Events), r.Schedule)
+	}
+	return fmt.Sprintf("ok: %s (%d recorded, %d unknown outcome), %d/%d events applied",
+		r.Check, r.Ops, r.Failed, r.Applied, len(r.Schedule.Events))
+}
+
+// walController routes schedule-injected log faults to the right replica
+// logs: one process-wide hook, targeted by the node index embedded in each
+// log's directory path.
+type walController struct {
+	mu       sync.Mutex
+	diskFull map[int]int  // node -> remaining appends to fail ENOSPC
+	torn     map[int]bool // node -> tear the next append
+}
+
+func newWALController() *walController {
+	return &walController{diskFull: make(map[int]int), torn: make(map[int]bool)}
+}
+
+func (w *walController) injectDiskFull(node, appends int) {
+	w.mu.Lock()
+	w.diskFull[node] += appends
+	w.mu.Unlock()
+}
+
+func (w *walController) injectTorn(node int) {
+	w.mu.Lock()
+	w.torn[node] = true
+	w.mu.Unlock()
+}
+
+// hook implements wal.FaultHook. Only appends are targeted: sync and
+// checkpoint failures exercise the same degradation paths with less
+// schedule-visible effect.
+func (w *walController) hook(dir string, op wal.FaultOp) wal.InjectedFault {
+	if op != wal.FaultAppend {
+		return wal.NoFault
+	}
+	node, ok := nodeOfDir(dir)
+	if !ok {
+		return wal.NoFault
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.torn[node] {
+		delete(w.torn, node)
+		return wal.TornWrite
+	}
+	if w.diskFull[node] > 0 {
+		w.diskFull[node]--
+		return wal.DiskFull
+	}
+	return wal.NoFault
+}
+
+// nodeOfDir extracts the node index from a shard log directory
+// (…/node-<n>/shard-<i>).
+func nodeOfDir(dir string) (int, bool) {
+	i := strings.LastIndex(dir, "/node-")
+	if i < 0 {
+		return 0, false
+	}
+	rest := dir[i+len("/node-"):]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[:j]
+	}
+	var n int
+	if _, err := fmt.Sscanf(rest, "%d", &n); err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// cluster is the harness's mutable view of the nodes: which are alive,
+// their kernels, and the machinery to crash and restart them.
+type cluster struct {
+	cfg     Config
+	net     *amoeba.MemoryNetwork
+	name    string
+	opts    kv.Options
+	hub     *obs.Hub
+	baseCtx context.Context
+
+	mu      sync.Mutex
+	stores  []*kv.Store
+	kernels []*amoeba.Kernel
+	booting map[int]bool // restarts in flight
+	gen     int          // kernel-name generation counter
+	wg      sync.WaitGroup
+}
+
+// live returns a running store, preferring node pref, or nil when the whole
+// cluster is down.
+func (c *cluster) live(pref int) *kv.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < len(c.stores); i++ {
+		if s := c.stores[(pref+i)%len(c.stores)]; s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// crash closes node n's store and kernel with no protocol goodbye.
+func (c *cluster) crash(n int) {
+	c.mu.Lock()
+	s, k := c.stores[n], c.kernels[n]
+	c.stores[n], c.kernels[n] = nil, nil
+	c.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+	if k != nil {
+		k.Close()
+	}
+}
+
+// restart brings node n back from its write-ahead logs, asynchronously (a
+// rejoin can take a while under concurrent faults; the scheduler must keep
+// pace). No-op while the node is alive or already booting.
+func (c *cluster) restart(n int) {
+	c.mu.Lock()
+	if c.stores[n] != nil || c.booting[n] {
+		c.mu.Unlock()
+		return
+	}
+	c.booting[n] = true
+	c.gen++
+	gen := c.gen
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			c.mu.Lock()
+			delete(c.booting, n)
+			c.mu.Unlock()
+		}()
+		k, err := c.net.NewKernel(fmt.Sprintf("%s-node-%d-g%d", c.name, n, gen))
+		if err != nil {
+			c.cfg.logf("restart(%d): kernel: %v", n, err)
+			return
+		}
+		o := c.opts
+		o.NodeIndex = n
+		s, err := kv.Open(c.baseCtx, k, c.name, o)
+		if err != nil {
+			c.cfg.logf("restart(%d): %v", n, err)
+			k.Close()
+			return
+		}
+		c.mu.Lock()
+		dead := c.baseCtx.Err() != nil
+		if !dead {
+			c.stores[n], c.kernels[n] = s, k
+		}
+		c.mu.Unlock()
+		if dead { // the run ended while we were booting
+			s.Close()
+			k.Close()
+		} else {
+			c.cfg.logf("restart(%d): rejoined", n)
+		}
+	}()
+}
+
+// restartAll restarts every dead node. When the whole cluster is down this
+// is the cold start: each node recovers its logs independently and the
+// beacon election reforms each shard group from the longest log.
+func (c *cluster) restartAll() {
+	c.mu.Lock()
+	var dead []int
+	for n, s := range c.stores {
+		if s == nil && !c.booting[n] {
+			dead = append(dead, n)
+		}
+	}
+	c.mu.Unlock()
+	for _, n := range dead {
+		c.restart(n)
+	}
+}
+
+// crashSequencer crashes whichever live node currently sequences shard's
+// group (no-op if no live node does — mid-recovery, say).
+func (c *cluster) crashSequencer(shard int) {
+	c.mu.Lock()
+	victim := -1
+	for n, s := range c.stores {
+		if s == nil {
+			continue
+		}
+		r := s.Replica(shard)
+		if r != nil && r.Info().IsSequencer {
+			victim = n
+			break
+		}
+	}
+	c.mu.Unlock()
+	if victim >= 0 {
+		c.cfg.logf("crashseq(%d): sequencer is node %d", shard, victim)
+		c.crash(victim)
+	}
+}
+
+// apply fires one schedule event against the cluster.
+func (c *cluster) apply(e Event, walCtl *walController) {
+	c.cfg.logf("event %s", e)
+	switch e.Kind {
+	case EvCrash:
+		c.crash(e.A % c.cfg.Nodes)
+	case EvRestart:
+		c.restart(e.A % c.cfg.Nodes)
+	case EvKillAll:
+		for n := 0; n < c.cfg.Nodes; n++ {
+			c.crash(n)
+		}
+	case EvRestartAll:
+		c.restartAll()
+	case EvPartition:
+		c.mu.Lock()
+		a, b := c.kernels[e.A%c.cfg.Nodes], c.kernels[e.B%c.cfg.Nodes]
+		c.mu.Unlock()
+		c.net.Partition(a, b) // nil-safe: dead ends are already cut
+	case EvHeal:
+		c.net.Heal()
+	case EvLoss:
+		c.net.SetDropRate(e.Rate)
+	case EvReorder:
+		c.net.SetReorderRate(e.Rate)
+	case EvDuplicate:
+		c.net.SetDuplicateRate(e.Rate)
+	case EvNetClean:
+		c.net.SetDropRate(0)
+		c.net.SetReorderRate(0)
+		c.net.SetDuplicateRate(0)
+	case EvDiskFull:
+		c.walCtlInject(walCtl, e)
+	case EvTornWrite:
+		walCtl.injectTorn(e.A % c.cfg.Nodes)
+	case EvReshard:
+		s := c.live(0)
+		if s == nil || e.A <= 0 {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			if err := s.Resharding(c.baseCtx, e.A); err != nil {
+				c.cfg.logf("reshard(%d): %v", e.A, err)
+			}
+		}()
+	case EvCrashSequencer:
+		c.crashSequencer(e.A % c.cfg.Shards)
+	}
+}
+
+func (c *cluster) walCtlInject(walCtl *walController, e Event) {
+	n := e.B
+	if n <= 0 {
+		n = 4
+	}
+	walCtl.injectDiskFull(e.A%c.cfg.Nodes, n)
+}
+
+// closeAll tears the cluster down and waits for stragglers.
+func (c *cluster) closeAll() {
+	c.wg.Wait() // restarts and reshards first: they hold kernels
+	c.mu.Lock()
+	stores := append([]*kv.Store(nil), c.stores...)
+	c.mu.Unlock()
+	for _, s := range stores {
+		if s != nil {
+			s.Close()
+		}
+	}
+	c.net.Close() // closes the kernels too
+}
+
+// Run replays one schedule against a fresh durable cluster under the
+// recording workload and checks the history. Fault injection, the workload's
+// op stream, and the schedule are all pure functions of sched.Seed, so the
+// same seed and schedule reproduce the same run.
+func Run(cfg Config, sched Schedule) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Schedule: sched}
+
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		d, err := os.MkdirTemp("", "amoeba-fuzz-")
+		if err != nil {
+			res.Err = fmt.Errorf("fuzz: temp data dir: %w", err)
+			return res
+		}
+		defer os.RemoveAll(d)
+		dataDir = d
+	}
+
+	hub := obs.NewHub(obs.Options{Node: "fuzz"})
+	walCtl := newWALController()
+	net := amoeba.NewMemoryNetworkWithFaults(amoeba.MemoryNetworkConfig{Seed: sched.Seed})
+
+	horizon := cfg.Tail
+	for _, e := range sched.Events {
+		if e.At+cfg.Tail > horizon {
+			horizon = e.At + cfg.Tail
+		}
+	}
+	runCtx, cancelRun := context.WithTimeout(context.Background(), horizon+60*time.Second)
+	defer cancelRun()
+
+	opts := kv.Options{
+		Shards:          cfg.Shards,
+		Nodes:           cfg.Nodes,
+		DataDir:         dataDir,
+		CheckpointEvery: 32, // small cadence: restarts exercise snapshot + suffix replay
+		WALFaultHook:    walCtl.hook,
+		Group: amoeba.GroupOptions{
+			Resilience:   cfg.Resilience,
+			AutoReset:    true,
+			MinSurvivors: cfg.MinSurvivors,
+			Obs:          hub,
+		},
+	}
+	kernels := make([]*amoeba.Kernel, cfg.Nodes)
+	for i := range kernels {
+		k, err := net.NewKernel(fmt.Sprintf("fuzz-node-%d", i))
+		if err != nil {
+			res.Err = fmt.Errorf("fuzz: kernel %d: %w", i, err)
+			net.Close()
+			return res
+		}
+		kernels[i] = k
+	}
+	stores, err := kv.Bootstrap(runCtx, kernels, "fuzz", opts)
+	if err != nil {
+		res.Err = fmt.Errorf("fuzz: bootstrap: %w", err)
+		net.Close()
+		return res
+	}
+	cl := &cluster{
+		cfg: cfg, net: net, name: "fuzz", opts: opts, hub: hub,
+		baseCtx: runCtx, stores: stores, kernels: kernels,
+		booting: make(map[int]bool),
+	}
+
+	// The workload: cfg.Clients recording clients, each a deterministic op
+	// stream drawn from the seed, rebinding to a live node when its node
+	// crashes.
+	hist := kv.NewHistory()
+	wlCtx, cancelWL := context.WithCancel(context.Background())
+	var wl sync.WaitGroup
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wl.Add(1)
+		go func(ci int) {
+			defer wl.Done()
+			runClient(wlCtx, cfg, cl, hist, sched.Seed, ci)
+		}(ci)
+	}
+
+	// The scheduler: fire events at their offsets.
+	start := time.Now()
+	for _, e := range sched.Events {
+		if d := time.Until(start.Add(e.At)); d > 0 {
+			time.Sleep(d)
+		}
+		cl.apply(e, walCtl)
+		res.Applied++
+	}
+	if d := time.Until(start.Add(horizon)); d > 0 {
+		time.Sleep(d)
+	}
+
+	cancelWL()
+	wl.Wait()
+	cancelRun()
+	cl.closeAll()
+
+	events := hist.Events()
+	if cfg.PlantStaleRead {
+		events = plantStaleRead(events)
+	}
+	if cfg.PlantLostWrite {
+		events = plantLostWrite(events)
+	}
+	res.Ops = len(events)
+	for _, e := range events {
+		if e.Failed() {
+			res.Failed++
+		}
+	}
+	res.Check = Check(events, cfg.CheckBudget)
+	if !res.Check.Linearizable {
+		res.Flight = hub.Flight().Format()
+	}
+	cfg.logf("%s", res)
+	return res
+}
+
+// runClient is one workload client: a deterministic stream of contended
+// operations with globally unique write values (uniqueness is what lets the
+// checker pin every observed value to exactly one write).
+func runClient(ctx context.Context, cfg Config, cl *cluster, hist *kv.History, seed int64, ci int) {
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(ci)))
+	var cur *kv.Client
+	var curStore *kv.Store
+	defer func() {
+		if cur != nil {
+			cur.Close()
+		}
+	}()
+	for opn := 0; ; opn++ {
+		if ctx.Err() != nil {
+			return
+		}
+		s := cl.live(ci % cfg.Nodes)
+		if s == nil {
+			// Whole cluster down: nothing to invoke against. (rng is
+			// drawn per op below, so the stream stays aligned with opn.)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			continue
+		}
+		if s != curStore {
+			if cur != nil {
+				cur.Close()
+			}
+			cur, curStore = s.NewClient(), s
+		}
+		rc := kv.Record(cur, hist, ci)
+		key := fmt.Sprintf("key-%d", rng.Intn(cfg.Keys))
+		val := []byte(fmt.Sprintf("c%d-%d", ci, opn))
+		opCtx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
+		switch r := rng.Intn(100); {
+		case r < 30:
+			_ = rc.Put(opCtx, key, val)
+		case r < 60:
+			_, _, _ = rc.Get(opCtx, key)
+		case r < 75:
+			// CAS against the last value observed by a quick read —
+			// contended enough to exercise both outcomes.
+			if v, ok, err := rc.Get(opCtx, key); err == nil {
+				if ok {
+					_, _ = rc.CAS(opCtx, key, v, val)
+				} else {
+					_, _ = rc.CAS(opCtx, key, nil, val)
+				}
+			}
+		case r < 85:
+			_, _ = rc.Delete(opCtx, key)
+		case r < 95:
+			k2 := fmt.Sprintf("key-%d", rng.Intn(cfg.Keys))
+			_, _ = rc.MGet(opCtx, key, k2)
+		default:
+			k2 := fmt.Sprintf("key-%d", rng.Intn(cfg.Keys))
+			_ = rc.BatchPut(opCtx, []kv.Pair{
+				{Key: key, Val: val},
+				{Key: k2, Val: []byte(fmt.Sprintf("c%d-%db", ci, opn))},
+			})
+		}
+		cancel()
+	}
+}
+
+// plantStaleRead corrupts the history for checker self-validation: the last
+// successful read that found a value is rewritten to observe a value no
+// write ever produced — the purest stale read. A checker that passes this
+// history is broken.
+func plantStaleRead(events []kv.HistoryEvent) []kv.HistoryEvent {
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Op == kv.OpGet && !e.Failed() && e.Found {
+			events[i].Val = []byte("__planted-stale-read__")
+			return events
+		}
+	}
+	return events
+}
+
+// plantLostWrite corrupts the history the other way: the write whose value
+// some successful read observed is deleted, leaving the read unexplainable —
+// as if the store had invented the value.
+func plantLostWrite(events []kv.HistoryEvent) []kv.HistoryEvent {
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Op == kv.OpGet && !e.Failed() && e.Found {
+			for j, w := range events {
+				if w.Op == kv.OpPut && w.Key == e.Key && string(w.Val) == string(e.Val) {
+					return append(events[:j:j], events[j+1:]...)
+				}
+			}
+		}
+	}
+	return events
+}

@@ -1,0 +1,123 @@
+package fuzz
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Nodes: 3, Shards: 2, Events: 12}
+	a := Generate(42, p)
+	b := Generate(42, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%s\n%s", a, b)
+	}
+	c := Generate(43, p)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical schedules: %s", a)
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Fatalf("events not sorted by offset: %s", a)
+		}
+	}
+}
+
+func TestScheduleStringRoundtrip(t *testing.T) {
+	s := Schedule{Seed: 7, Events: []Event{
+		{At: 200 * time.Millisecond, Kind: EvCrash, A: 1},
+		{At: 300 * time.Millisecond, Kind: EvLoss, Rate: 0.25},
+		{At: 400 * time.Millisecond, Kind: EvPartition, A: 0, B: 2},
+		{At: 500 * time.Millisecond, Kind: EvDiskFull, A: 2, B: 6},
+		{At: 700 * time.Millisecond, Kind: EvHeal},
+		{At: 900 * time.Millisecond, Kind: EvKillAll},
+		{At: 1200 * time.Millisecond, Kind: EvRestartAll},
+		{At: 1500 * time.Millisecond, Kind: EvReshard, A: 4},
+		{At: 1800 * time.Millisecond, Kind: EvCrashSequencer, A: 1},
+		{At: 2 * time.Second, Kind: EvTornWrite, A: 0},
+		{At: 2200 * time.Millisecond, Kind: EvReorder, Rate: 0.1},
+		{At: 2400 * time.Millisecond, Kind: EvDuplicate, Rate: 0.3},
+		{At: 2600 * time.Millisecond, Kind: EvNetClean},
+		{At: 2800 * time.Millisecond, Kind: EvRestart, A: 1},
+	}}
+	line := s.String()
+	got, err := ParseSchedule(line)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", line, err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("roundtrip mismatch:\n in: %#v\nout: %#v", s, got)
+	}
+	// Generated schedules roundtrip too.
+	g := Generate(99, Profile{Events: 20})
+	got, err = ParseSchedule(g.String())
+	if err != nil {
+		t.Fatalf("ParseSchedule(generated): %v", err)
+	}
+	if !reflect.DeepEqual(g, got) {
+		t.Fatalf("generated roundtrip mismatch:\n in: %s\nout: %s", g, got)
+	}
+}
+
+func TestParseScheduleRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"events=[crash(1)@1s]",
+		"seed=x events=[]",
+		"seed=1 events=[wat@1s]",
+		"seed=1 events=[crash@1s]",      // missing arg
+		"seed=1 events=[crash(1,2)@1s]", // too many args
+		"seed=1 events=[crash(1)]",      // missing offset
+		"seed=1 events=[heal(3)@1s]",    // arg on no-arg kind
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("ParseSchedule(%q) should fail", bad)
+		}
+	}
+}
+
+// TestShrinkFindsMinimalTrigger: a synthetic failure predicate that needs
+// exactly two specific events (the 3rd and the 7th) must shrink to just
+// those two — prefix truncation plus event dropping, at a fixed point.
+func TestShrinkFindsMinimalTrigger(t *testing.T) {
+	full := Generate(5, Profile{Events: 10})
+	trigger := []Event{full.Events[2], full.Events[6]}
+	contains := func(s Schedule, e Event) bool {
+		for _, x := range s.Events {
+			if x == e {
+				return true
+			}
+		}
+		return false
+	}
+	runs := 0
+	fails := func(s Schedule) bool {
+		runs++
+		return contains(s, trigger[0]) && contains(s, trigger[1])
+	}
+	got := Shrink(full, fails)
+	if len(got.Events) != 2 || got.Events[0] != trigger[0] || got.Events[1] != trigger[1] {
+		t.Fatalf("shrunk to %s, want exactly the two trigger events", got)
+	}
+	if got.Seed != full.Seed {
+		t.Fatalf("shrinking changed the seed: %d != %d", got.Seed, full.Seed)
+	}
+	if runs > 100 {
+		t.Fatalf("shrinker used %d runs for a 10-event schedule", runs)
+	}
+}
+
+// TestShrinkKeepsUnshrinkable: when every event is needed, Shrink returns
+// the schedule intact; when the predicate never fails, it returns the input.
+func TestShrinkKeepsUnshrinkable(t *testing.T) {
+	s := Generate(11, Profile{Events: 4})
+	all := func(c Schedule) bool { return len(c.Events) == 4 }
+	if got := Shrink(s, all); !reflect.DeepEqual(got, s) {
+		t.Fatalf("unshrinkable schedule changed: %s -> %s", s, got)
+	}
+	never := func(Schedule) bool { return false }
+	if got := Shrink(s, never); !reflect.DeepEqual(got, s) {
+		t.Fatalf("non-failing schedule changed: %s -> %s", s, got)
+	}
+}

@@ -1,0 +1,61 @@
+package fuzz
+
+// Shrinking: a failing schedule is rarely minimal — six faults fired, one
+// broke the protocol. Shrink reduces the schedule while the failure still
+// reproduces, so the replay line that lands in a bug report (and in the
+// regression suite as a pinned seed) is the smallest trigger we can find.
+//
+// The predicate re-runs the harness, so shrinking an expensive failure costs
+// a handful of re-runs: prefix truncation is a binary search (O(log n)
+// runs), event dropping one pass of O(n) runs, repeated until a fixed point.
+
+// Shrink returns the smallest schedule it can derive from s that still
+// satisfies fails. fails must be true for s itself (callers pass the
+// schedule that just failed); if it is not, s is returned unchanged. The
+// seed is never altered — determinism ties the failure to it.
+func Shrink(s Schedule, fails func(Schedule) bool) Schedule {
+	if !fails(s) {
+		return s
+	}
+	for {
+		before := len(s.Events)
+		s = shrinkPrefix(s, fails)
+		s = shrinkDrop(s, fails)
+		if len(s.Events) >= before {
+			return s
+		}
+	}
+}
+
+// shrinkPrefix binary-searches the shortest failing prefix: events after the
+// trigger are noise by construction.
+func shrinkPrefix(s Schedule, fails func(Schedule) bool) Schedule {
+	lo, hi := 0, len(s.Events) // invariant: prefix of hi fails; prefix of lo unknown-or-passes
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cand := Schedule{Seed: s.Seed, Events: s.Events[:mid]}
+		if fails(cand) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return Schedule{Seed: s.Seed, Events: s.Events[:hi]}
+}
+
+// shrinkDrop removes events one at a time, keeping each removal that still
+// fails. One left-to-right pass; the fixed-point loop in Shrink reruns it
+// after truncation exposes new droppables.
+func shrinkDrop(s Schedule, fails func(Schedule) bool) Schedule {
+	for i := 0; i < len(s.Events); {
+		cand := Schedule{Seed: s.Seed, Events: make([]Event, 0, len(s.Events)-1)}
+		cand.Events = append(cand.Events, s.Events[:i]...)
+		cand.Events = append(cand.Events, s.Events[i+1:]...)
+		if fails(cand) {
+			s = cand
+			continue // same index now names the next event
+		}
+		i++
+	}
+	return s
+}

@@ -22,9 +22,18 @@ type Config struct {
 	// DropRate is the probability in [0,1) that any frame is silently
 	// discarded in transit.
 	DropRate float64
-	// DupRate is the probability that a delivered frame is delivered
+	// DuplicateRate is the probability that a delivered frame is delivered
 	// twice.
+	DuplicateRate float64
+	// DupRate is a legacy alias for DuplicateRate, honoured when
+	// DuplicateRate is zero.
 	DupRate float64
+	// ReorderRate is the probability that a frame is held back and
+	// delivered after the next frame bound for the same station: the
+	// pairwise swap real switches and retransmission races produce.
+	// A held frame with no successor is released when the rate is set
+	// back to zero (or the station closes).
+	ReorderRate float64
 	// CorruptRate is the probability that a delivered frame has one byte
 	// flipped. Corruption is detected by the FLIP checksum, so corrupted
 	// frames exercise the "garbled message" recovery path.
@@ -33,7 +42,10 @@ type Config struct {
 	// at a full ring are dropped, as on the paper's Lance interfaces.
 	// Defaults to 1024; the simulator uses the paper's 32.
 	RingSize int
-	// Seed drives the fault-injection randomness.
+	// Seed drives the fault-injection randomness. All fault decisions are
+	// drawn from one seeded source under the network lock, so a fixed seed
+	// and a fixed transmit sequence produce identical faults — the
+	// reproducibility the fuzz harness's schedules rely on.
 	Seed int64
 }
 
@@ -45,7 +57,10 @@ type Network struct {
 	rng      *rand.Rand
 	stations []*station
 	isolated map[netw.NodeID]bool
-	dropped  uint64
+	// cut holds pairwise partitions installed by Partition: frames between
+	// the two stations (either direction) are silently dropped.
+	cut     map[[2]netw.NodeID]bool
+	dropped uint64
 }
 
 var _ netw.Network = (*Network)(nil)
@@ -55,10 +70,14 @@ func New(cfg Config) *Network {
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 1024
 	}
+	if cfg.DuplicateRate == 0 {
+		cfg.DuplicateRate = cfg.DupRate
+	}
 	return &Network{
 		cfg:      cfg,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		isolated: make(map[netw.NodeID]bool),
+		cut:      make(map[[2]netw.NodeID]bool),
 	}
 }
 
@@ -72,6 +91,71 @@ func (n *Network) Isolate(id netw.NodeID, partitioned bool) {
 		n.isolated[id] = true
 	} else {
 		delete(n.isolated, id)
+	}
+}
+
+// cutKey orders a station pair canonically.
+func cutKey(a, b netw.NodeID) [2]netw.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]netw.NodeID{a, b}
+}
+
+// Partition cuts the link between two stations: frames between them, in
+// either direction, are silently dropped until Heal. Unlike Isolate, both
+// stations keep talking to everyone else — the asymmetric split that drives
+// a group's members to conflicting failure suspicions.
+func (n *Network) Partition(a, b netw.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[cutKey(a, b)] = true
+}
+
+// Heal removes every pairwise partition installed by Partition (isolations
+// installed by Isolate are independent and stay).
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = make(map[[2]netw.NodeID]bool)
+}
+
+// SetDropRate changes the frame-loss probability at runtime.
+func (n *Network) SetDropRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DropRate = p
+}
+
+// SetDuplicateRate changes the frame-duplication probability at runtime.
+func (n *Network) SetDuplicateRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DuplicateRate = p
+}
+
+// SetReorderRate changes the frame-reordering probability at runtime.
+// Setting it to zero releases any frames still held back for a swap.
+func (n *Network) SetReorderRate(p float64) {
+	n.mu.Lock()
+	n.cfg.ReorderRate = p
+	var flush []*station
+	if p <= 0 {
+		for _, s := range n.stations {
+			if s.held != nil {
+				flush = append(flush, s)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, s := range flush {
+		n.mu.Lock()
+		f := s.held
+		s.held = nil
+		n.mu.Unlock()
+		if f != nil {
+			n.enqueue(s, *f, 1)
+		}
 	}
 }
 
@@ -132,14 +216,14 @@ func (n *Network) transmit(f netw.Frame) {
 		return
 	}
 	copies := 1
-	if n.roll(n.cfg.DupRate) {
+	if n.roll(n.cfg.DuplicateRate) {
 		copies = 2
 	}
 	corrupt := n.roll(n.cfg.CorruptRate)
 	var targets []*station
 	if f.Dst == netw.Broadcast {
 		for _, s := range n.stations {
-			if s.id == f.Src || n.isolated[s.id] {
+			if s.id == f.Src || n.isolated[s.id] || n.cut[cutKey(f.Src, s.id)] {
 				continue
 			}
 			s.mu.Lock()
@@ -149,8 +233,33 @@ func (n *Network) transmit(f netw.Frame) {
 				targets = append(targets, s)
 			}
 		}
-	} else if int(f.Dst) < len(n.stations) && f.Dst >= 0 && !n.isolated[f.Dst] {
+	} else if int(f.Dst) < len(n.stations) && f.Dst >= 0 && !n.isolated[f.Dst] && !n.cut[cutKey(f.Src, f.Dst)] {
 		targets = append(targets, n.stations[f.Dst])
+	}
+	// Reorder decisions draw once per target while the lock still
+	// serialises the rng, keeping the draw sequence a pure function of the
+	// transmit sequence. A held-back frame is released behind the next
+	// frame bound for the same station — the pairwise swap.
+	type delivery struct {
+		s      *station
+		frames []netw.Frame
+	}
+	plan := make([]delivery, 0, len(targets))
+	for _, s := range targets {
+		d := delivery{s: s}
+		if prev := s.held; prev != nil {
+			s.held = nil
+			d.frames = append(d.frames, f, *prev)
+		} else if n.roll(n.cfg.ReorderRate) {
+			held := f
+			held.Payload = append([]byte(nil), f.Payload...)
+			s.held = &held
+		} else {
+			d.frames = append(d.frames, f)
+		}
+		if len(d.frames) > 0 {
+			plan = append(plan, d)
+		}
 	}
 	n.mu.Unlock()
 
@@ -163,22 +272,34 @@ func (n *Network) transmit(f netw.Frame) {
 		i := n.rng.Intn(len(b))
 		n.mu.Unlock()
 		b[i] ^= 0x40
-		f.Payload = b
+		// frames[0] is always the frame transmitted now (a released
+		// held frame rides second and keeps its original bytes).
+		for pi := range plan {
+			plan[pi].frames[0].Payload = b
+		}
 	}
 
-	for _, s := range targets {
-		for c := 0; c < copies; c++ {
-			// Per-receiver copy: receivers own their frame buffers.
-			dup := f
-			dup.Payload = make([]byte, len(f.Payload))
-			copy(dup.Payload, f.Payload)
-			select {
-			case s.ring <- dup:
-			default: // receive ring overflow: drop, as the Lance does
-				n.mu.Lock()
-				n.dropped++
-				n.mu.Unlock()
-			}
+	for _, d := range plan {
+		for _, fr := range d.frames {
+			n.enqueue(d.s, fr, copies)
+		}
+	}
+}
+
+// enqueue delivers one frame to a station's receive ring, copies times,
+// dropping on overflow.
+func (n *Network) enqueue(s *station, f netw.Frame, copies int) {
+	for c := 0; c < copies; c++ {
+		// Per-receiver copy: receivers own their frame buffers.
+		dup := f
+		dup.Payload = make([]byte, len(f.Payload))
+		copy(dup.Payload, f.Payload)
+		select {
+		case s.ring <- dup:
+		default: // receive ring overflow: drop, as the Lance does
+			n.mu.Lock()
+			n.dropped++
+			n.mu.Unlock()
 		}
 	}
 }
@@ -198,6 +319,9 @@ type station struct {
 	ring chan netw.Frame
 	done chan struct{}
 	wg   sync.WaitGroup
+	// held is a frame delayed by ReorderRate, waiting for the next frame
+	// bound for this station to swap behind. Guarded by net.mu.
+	held *netw.Frame
 
 	mu      sync.Mutex
 	handler netw.Handler

@@ -333,3 +333,137 @@ func TestConcurrentSendersNoRace(t *testing.T) {
 	wg.Wait()
 	cr.waitFor(t, senders*per)
 }
+
+func TestReorderInjectionSwapsAdjacentFrames(t *testing.T) {
+	n := New(Config{ReorderRate: 1.0, Seed: 7})
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	// With ReorderRate=1 every frame is held until the next one arrives:
+	// frame 0 is held, frame 1 arrives and is delivered first with frame 0
+	// released behind it, frame 2 is held (slot now free), and so on.
+	for i := 0; i < 6; i++ {
+		_ = a.Send(b.ID(), []byte{byte(i)})
+	}
+	frames := cb.waitFor(t, 6)
+	var got []byte
+	for _, f := range frames {
+		got = append(got, f.Payload[0])
+	}
+	want := []byte{1, 0, 3, 2, 5, 4}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("delivery order = %v, want %v", got, want)
+	}
+}
+
+func TestSetReorderRateZeroReleasesHeldFrame(t *testing.T) {
+	n := New(Config{ReorderRate: 1.0, Seed: 7})
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	_ = a.Send(b.ID(), []byte{42}) // held, waiting for a successor
+	time.Sleep(10 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatalf("held frame delivered early (%d frames)", cb.count())
+	}
+	n.SetReorderRate(0)
+	frames := cb.waitFor(t, 1)
+	if frames[0].Payload[0] != 42 {
+		t.Fatalf("released frame payload = %d", frames[0].Payload[0])
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := NewReliable()
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	c, _ := n.Attach("c")
+	cb := newCollector(b)
+	cc := newCollector(c)
+
+	n.Partition(a.ID(), b.ID())
+	_ = a.Send(b.ID(), []byte("cut"))
+	_ = b.Send(a.ID(), []byte("cut-back"))
+	_ = a.Send(c.ID(), []byte("ok"))
+	cc.waitFor(t, 1) // the uncut pair still flows
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatalf("partitioned pair delivered %d frames", cb.count())
+	}
+
+	// Multicast honours the cut too: b subscribed but partitioned from a.
+	const ch netw.ChannelID = 5
+	b.Subscribe(ch)
+	c.Subscribe(ch)
+	_ = a.Multicast(ch, []byte("mc"))
+	cc.waitFor(t, 2)
+	time.Sleep(20 * time.Millisecond)
+	if cb.count() != 0 {
+		t.Fatalf("partitioned subscriber got the multicast")
+	}
+
+	n.Heal()
+	_ = a.Send(b.ID(), []byte("healed"))
+	frames := cb.waitFor(t, 1)
+	if string(frames[0].Payload) != "healed" {
+		t.Fatalf("post-heal payload = %q", frames[0].Payload)
+	}
+}
+
+// runFaultScript drives one seeded network through a fixed single-threaded
+// transmit sequence and returns the delivery order observed at the receiver
+// plus the drop counter — the network's observable fault fingerprint.
+func runFaultScript(t *testing.T, cfg Config) ([]byte, uint64) {
+	t.Helper()
+	n := New(cfg)
+	defer n.Close()
+	a, _ := n.Attach("a")
+	b, _ := n.Attach("b")
+	cb := newCollector(b)
+	const frames = 400
+	for i := 0; i < frames; i++ {
+		_ = a.Send(b.ID(), []byte{byte(i)})
+	}
+	n.SetReorderRate(0) // flush any frame still held for a swap
+	// Every frame was either delivered (maybe twice, maybe reordered) or
+	// counted dropped; wait until the books balance.
+	deadline := time.After(2 * time.Second)
+	for {
+		if uint64(cb.count())+n.Dropped() >= frames {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d delivered + %d dropped of %d", cb.count(), n.Dropped(), frames)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // absorb trailing duplicates
+	var got []byte
+	cb.mu.Lock()
+	for _, f := range cb.frames {
+		got = append(got, f.Payload[0])
+	}
+	cb.mu.Unlock()
+	return got, n.Dropped()
+}
+
+func TestFaultInjectionDeterministicForFixedSeed(t *testing.T) {
+	cfg := Config{DropRate: 0.2, DuplicateRate: 0.1, ReorderRate: 0.3, Seed: 99}
+	order1, dropped1 := runFaultScript(t, cfg)
+	order2, dropped2 := runFaultScript(t, cfg)
+	if !bytes.Equal(order1, order2) || dropped1 != dropped2 {
+		t.Fatalf("same seed diverged: %d vs %d frames, %d vs %d dropped",
+			len(order1), len(order2), dropped1, dropped2)
+	}
+	// And a different seed must actually change the fingerprint — the test
+	// would otherwise pass on a network that ignores its seed entirely.
+	cfg.Seed = 100
+	order3, dropped3 := runFaultScript(t, cfg)
+	if bytes.Equal(order1, order3) && dropped1 == dropped3 {
+		t.Fatal("different seeds produced identical fault fingerprints")
+	}
+}

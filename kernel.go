@@ -17,6 +17,7 @@ import (
 // role the Amoeba kernel plays in the paper's Table 2 layering.
 type Kernel struct {
 	name     string
+	station  netw.Station // the link attachment, for network-level fault control
 	stack    *flip.Stack
 	clock    sim.Clock
 	obsUnreg func() // detaches the FLIP stats source from the hub registry
@@ -36,7 +37,8 @@ func (n *MemoryNetwork) NewKernel(name string) (*Kernel, error) {
 func newKernel(name string, station netw.Station) *Kernel {
 	clock := sim.NewRealClock()
 	return &Kernel{
-		name: name,
+		name:    name,
+		station: station,
 		stack: flip.NewStack(flip.Config{
 			Station: station,
 			Clock:   clock,
@@ -129,7 +131,13 @@ type GroupOptions struct {
 	// Amoeba), the application decides by calling Reset.
 	AutoReset bool
 	// MinSurvivors is the quorum automatic recovery requires
-	// (default 1).
+	// (default 1). 1 favours availability: any member that suspects the
+	// sequencer can reform the group alone. Under a network partition
+	// that also loses the sequencer this lets BOTH sides reform —
+	// divergent total orders (split brain), demonstrated by the fuzz
+	// harness's pinned regression schedule. Deployments that must stay
+	// consistent across partitions should set a majority of the
+	// replication factor; the fuzz harness defaults to that.
 	MinSurvivors int
 	// ReceiveBuffer bounds messages queued for Receive before Send-side
 	// backpressure (default 1024).

@@ -1,0 +1,224 @@
+package kv
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// This file is the measurement half of the adversarial harness (see the fuzz
+// package): a client wrapper that records the complete concurrent operation
+// history — what each client invoked, when, and what came back — in the form
+// a linearizability checker consumes. Recording happens at the public-API
+// boundary, so everything below it (routing, retries, forwards, dedup,
+// resharding, recovery) is inside the system under test.
+
+// HistoryOp is the operation kind of one recorded event.
+type HistoryOp int
+
+// Operation kinds. MGet records one OpGet event per key and BatchPut one
+// OpPut per pair — per-key linearizability is the store's documented
+// guarantee (cross-shard snapshots are not), so the checker works per key.
+const (
+	OpGet HistoryOp = iota
+	OpPut
+	OpDelete
+	OpCAS
+)
+
+// String names an op for schedule dumps and checker diagnostics.
+func (o HistoryOp) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpCAS:
+		return "cas"
+	}
+	return "?"
+}
+
+// HistoryEvent is one completed (or failed) client operation: the invocation
+// window [Invoke, Return] in nanoseconds since the history's epoch, and the
+// observed outcome. A failed operation (Err != "") has an UNKNOWN outcome —
+// a write may or may not have taken effect (the command can still be applied
+// after the client gave up), a read observed nothing; the checker must treat
+// it accordingly.
+type HistoryEvent struct {
+	// Client identifies the recording client; within one client events do
+	// not overlap (the wrapper serialises per client, like a real caller).
+	Client int
+	Op     HistoryOp
+	Key    string
+	// Val is the written value (put, cas) or the observed value (get;
+	// nil when absent).
+	Val []byte
+	// Found reports presence for get, existed-for-delete, and success for
+	// cas (the compare matched).
+	Found bool
+	// Expect/ExpectPresent carry a cas's compare operand.
+	Expect        []byte
+	ExpectPresent bool
+	// Invoke and Return bound the operation in nanoseconds since the
+	// history's epoch. Return < 0 marks an operation that never returned
+	// (client still blocked when the run ended) — linearizable anywhere
+	// after Invoke.
+	Invoke int64
+	Return int64
+	// Err is the operation's failure, empty on success.
+	Err string
+}
+
+// Failed reports whether the event's outcome is unknown (errored or never
+// returned).
+func (e HistoryEvent) Failed() bool { return e.Err != "" || e.Return < 0 }
+
+// History accumulates events from concurrent recording clients. Safe for
+// concurrent use; the zero value is NOT ready — use NewHistory.
+type History struct {
+	epoch time.Time
+	mu    sync.Mutex
+	evs   []HistoryEvent
+}
+
+// NewHistory returns an empty history; event timestamps count from now.
+func NewHistory() *History { return &History{epoch: time.Now()} }
+
+// now is the history's clock: nanoseconds since the epoch.
+func (h *History) now() int64 { return time.Since(h.epoch).Nanoseconds() }
+
+// add records one completed event.
+func (h *History) add(e HistoryEvent) {
+	h.mu.Lock()
+	h.evs = append(h.evs, e)
+	h.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded so far.
+func (h *History) Events() []HistoryEvent {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]HistoryEvent, len(h.evs))
+	copy(out, h.evs)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.evs)
+}
+
+// RecordingClient wraps a Client so every operation lands in a shared
+// History with its invocation window. One RecordingClient models one
+// sequential caller: use several (each with its own id) for a concurrent
+// workload. Methods mirror the Client's signatures.
+type RecordingClient struct {
+	c  *Client
+	h  *History
+	id int
+}
+
+// Record wraps c; id must be unique among the history's clients.
+func Record(c *Client, h *History, id int) *RecordingClient {
+	return &RecordingClient{c: c, h: h, id: id}
+}
+
+// finish stamps the return edge and records the event. A failed operation
+// records Return < 0: the client stopped waiting, but a write's command may
+// still commit later, so it stays linearizable anywhere after Invoke.
+func (r *RecordingClient) finish(e HistoryEvent, err error) {
+	e.Return = r.h.now()
+	if err != nil {
+		e.Err = err.Error()
+		e.Return = -1
+	}
+	r.h.add(e)
+}
+
+// Get performs a sequenced read, recording the observed value.
+func (r *RecordingClient) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	e := HistoryEvent{Client: r.id, Op: OpGet, Key: key, Invoke: r.h.now()}
+	val, found, err := r.c.Get(ctx, key)
+	e.Val, e.Found = copyVal(val), found
+	r.finish(e, err)
+	return val, found, err
+}
+
+// Put stores key = val, recording the write.
+func (r *RecordingClient) Put(ctx context.Context, key string, val []byte) error {
+	e := HistoryEvent{Client: r.id, Op: OpPut, Key: key, Val: copyVal(val), Invoke: r.h.now()}
+	err := r.c.Put(ctx, key, val)
+	r.finish(e, err)
+	return err
+}
+
+// Delete removes key, recording whether it existed.
+func (r *RecordingClient) Delete(ctx context.Context, key string) (bool, error) {
+	e := HistoryEvent{Client: r.id, Op: OpDelete, Key: key, Invoke: r.h.now()}
+	existed, err := r.c.Delete(ctx, key)
+	e.Found = existed
+	r.finish(e, err)
+	return existed, err
+}
+
+// CAS attempts the compare-and-swap, recording operands and outcome.
+func (r *RecordingClient) CAS(ctx context.Context, key string, expect, val []byte) (bool, error) {
+	e := HistoryEvent{Client: r.id, Op: OpCAS, Key: key,
+		Val: copyVal(val), Expect: copyVal(expect), ExpectPresent: expect != nil,
+		Invoke: r.h.now()}
+	ok, err := r.c.CAS(ctx, key, expect, val)
+	e.Found = ok
+	r.finish(e, err)
+	return ok, err
+}
+
+// MGet performs the multi-key sequenced read, recording one OpGet event per
+// key. All share the MGet's invocation window: each per-shard read is
+// linearizable somewhere inside it, which is exactly what the shared window
+// claims — no more (the combined result is not a cross-shard snapshot, and
+// the per-key events do not pretend it is).
+func (r *RecordingClient) MGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
+	invoke := r.h.now()
+	out, err := r.c.MGet(ctx, keys...)
+	ret := r.h.now()
+	for _, k := range keys {
+		e := HistoryEvent{Client: r.id, Op: OpGet, Key: k, Invoke: invoke, Return: ret}
+		if err != nil {
+			e.Err = err.Error()
+			e.Return = -1
+		} else {
+			v, found := out[k]
+			e.Val, e.Found = copyVal(v), found
+		}
+		r.h.add(e)
+	}
+	return out, err
+}
+
+// BatchPut writes the pairs, recording one OpPut event per pair under the
+// batch's shared invocation window (writes to one shard apply in slice
+// order, but each key's write is individually linearizable in the window —
+// the per-key claim the checker verifies).
+func (r *RecordingClient) BatchPut(ctx context.Context, pairs []Pair) error {
+	invoke := r.h.now()
+	err := r.c.BatchPut(ctx, pairs)
+	ret := r.h.now()
+	for _, p := range pairs {
+		e := HistoryEvent{Client: r.id, Op: OpPut, Key: p.Key, Val: copyVal(p.Val),
+			Invoke: invoke, Return: ret}
+		if err != nil {
+			e.Err = err.Error()
+			e.Return = -1
+		}
+		r.h.add(e)
+	}
+	return err
+}
+
+// Close releases the wrapped client's resources.
+func (r *RecordingClient) Close() { r.c.Close() }

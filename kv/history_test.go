@@ -1,0 +1,86 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"amoeba"
+)
+
+// TestHistoryRecordsConcurrentClientsCompletely drives many concurrent
+// recording clients and verifies the history is complete and well-formed: no
+// lost or duplicated invoke-return pairs, windows ordered, per-client events
+// sequential. The checker's verdicts are only as good as this bookkeeping.
+func TestHistoryRecordsConcurrentClientsCompletely(t *testing.T) {
+	ctx := ctxT(t, 60*time.Second)
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	stores := newCluster(t, ctx, net, "hist", 2, Options{Shards: 2})
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	const (
+		clients = 6
+		opsEach = 40
+	)
+	h := NewHistory()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		rc := Record(stores[c%len(stores)].NewClient(), h, c)
+		wg.Add(1)
+		go func(c int, rc *RecordingClient) {
+			defer wg.Done()
+			defer rc.Close()
+			key := fmt.Sprintf("k%d", c%3) // contend across clients
+			for i := 0; i < opsEach; i++ {
+				switch i % 5 {
+				case 0:
+					_ = rc.Put(ctx, key, []byte(fmt.Sprintf("c%d-%d", c, i)))
+				case 1:
+					_, _, _ = rc.Get(ctx, key)
+				case 2:
+					_, _ = rc.CAS(ctx, key, nil, []byte("create"))
+				case 3:
+					_, _ = rc.MGet(ctx, "k0", "k1") // 2 events
+				case 4:
+					_, _ = rc.Delete(ctx, key)
+				}
+			}
+		}(c, rc)
+	}
+	wg.Wait()
+
+	evs := h.Events()
+	// opsEach/5 iterations hit the MGet arm, each recording 2 events
+	// instead of 1.
+	want := clients * (opsEach + opsEach/5)
+	if len(evs) != want {
+		t.Fatalf("recorded %d events, want %d", len(evs), want)
+	}
+	perClient := make(map[int][]HistoryEvent)
+	for _, e := range evs {
+		if e.Invoke < 0 {
+			t.Fatalf("event with negative invoke: %+v", e)
+		}
+		if e.Return >= 0 && e.Return < e.Invoke {
+			t.Fatalf("event returns before it invokes: %+v", e)
+		}
+		if e.Err != "" && e.Return >= 0 {
+			t.Fatalf("failed event with a definite return: %+v", e)
+		}
+		perClient[e.Client] = append(perClient[e.Client], e)
+	}
+	if len(perClient) != clients {
+		t.Fatalf("events from %d clients, want %d", len(perClient), clients)
+	}
+	for c, ces := range perClient {
+		if len(ces) != opsEach+opsEach/5 {
+			t.Fatalf("client %d recorded %d events, want %d", c, len(ces), opsEach+opsEach/5)
+		}
+	}
+}

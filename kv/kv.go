@@ -50,6 +50,7 @@ import (
 
 	"amoeba"
 	"amoeba/shared"
+	"amoeba/wal"
 )
 
 // Options configures a store.
@@ -98,6 +99,12 @@ type Options struct {
 	// this long after it, so a slow disk batches group commits instead of
 	// paying one rotation per burst. Zero syncs every append.
 	WALSyncDelay time.Duration
+	// WALFaultHook, when non-nil, is passed to every shard replica's log so
+	// adversarial tests can inject disk-full and torn-tail failures mid-run;
+	// the hook receives each log's directory, so one process-wide hook can
+	// target a single replica (see wal.Options.FaultHook). Nil injects
+	// nothing.
+	WALFaultHook wal.FaultHook
 	// CheckpointEvery is the number of journaled commands between
 	// snapshot checkpoints per shard (default 1024).
 	CheckpointEvery int
@@ -799,6 +806,7 @@ func (s *Store) openShard(ctx context.Context, shard int, bootstrap bool) (*shar
 		Sync:            s.opts.WALSync,
 		SyncDelay:       s.opts.WALSyncDelay,
 		CheckpointEvery: s.opts.CheckpointEvery,
+		FaultHook:       s.opts.WALFaultHook,
 		Rank:            s.opts.NodeIndex,
 		Peers:           nodes,
 		Preferred:       shard % nodes,

@@ -66,6 +66,10 @@ type Durability struct {
 	// The power-loss window widens by at most SyncDelay; zero syncs every
 	// append record (see wal.Options.SyncDelay).
 	SyncDelay time.Duration
+	// FaultHook, when non-nil, is passed to the log so tests and the fuzz
+	// harness can inject disk-full and torn-tail failures mid-run (see
+	// wal.Options.FaultHook). Nil injects nothing.
+	FaultHook wal.FaultHook
 
 	// Rank is this replica's slot among the group's durable hosts, in
 	// [0, Peers); it names the replica's recovery beacon.
@@ -220,7 +224,7 @@ func Open(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, o
 		return nil, errors.New("shared: Durability.Dir is required")
 	}
 	dur = dur.withDefaults()
-	log, err := wal.Open(dur.Dir, wal.Options{SegmentSize: dur.SegmentSize, Sync: dur.Sync, SyncDelay: dur.SyncDelay, Obs: opts.Obs})
+	log, err := wal.Open(dur.Dir, wal.Options{SegmentSize: dur.SegmentSize, Sync: dur.Sync, SyncDelay: dur.SyncDelay, Obs: opts.Obs, FaultHook: dur.FaultHook})
 	if err != nil {
 		return nil, fmt.Errorf("shared: opening log for %q: %w", name, err)
 	}

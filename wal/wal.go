@@ -70,6 +70,43 @@ type Entry struct {
 	Payload []byte
 }
 
+// FaultOp names an injectable I/O site inside the log.
+type FaultOp int
+
+const (
+	// FaultAppend is the entry-record write in Append.
+	FaultAppend FaultOp = iota
+	// FaultSync is an fsync of appended records (immediate or delayed).
+	FaultSync
+	// FaultCheckpoint is the checkpoint snapshot write.
+	FaultCheckpoint
+)
+
+// InjectedFault is what a FaultHook asks the log to simulate at a fault
+// point.
+type InjectedFault int
+
+const (
+	// NoFault lets the operation run normally.
+	NoFault InjectedFault = iota
+	// DiskFull fails the operation cleanly with ErrDiskFull before any
+	// byte reaches the file — ENOSPC. The log stays usable; a later
+	// operation may succeed if the hook stops injecting.
+	DiskFull
+	// TornWrite lets only a prefix of the record reach the file before
+	// failing — the half-written tail a power cut leaves behind. The log
+	// poisons itself (see ErrPoisoned): nothing may be appended after a
+	// partial record, because replay stops at the first invalid record and
+	// would silently lose every entry behind it.
+	TornWrite
+)
+
+// FaultHook decides, per operation, whether to inject a fault. It is called
+// with the log's directory (so one process-wide hook can target a specific
+// replica's log) and the operation about to run. Hooks run under the log
+// mutex: keep them fast and do not call back into the log.
+type FaultHook func(dir string, op FaultOp) InjectedFault
+
 // Options tunes a log; the zero value is ready to use.
 type Options struct {
 	// SegmentSize is the size at which the active segment is sealed and a
@@ -93,6 +130,11 @@ type Options struct {
 	// the hub's amoeba_wal_append_ns / amoeba_wal_fsync_ns histograms and
 	// reports degradations to its flight recorder. Nil is the no-op sink.
 	Obs *obs.Hub
+	// FaultHook, when non-nil, is consulted before appends, fsyncs, and
+	// checkpoints so tests and the fuzz harness can inject disk-full and
+	// torn-tail failures mid-run instead of crafting fixtures offline.
+	// Nil injects nothing.
+	FaultHook FaultHook
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +178,14 @@ var (
 	// ErrOutOfOrder reports an append whose sequence numbers do not
 	// strictly ascend past everything already logged.
 	ErrOutOfOrder = errors.New("wal: entries out of order")
+	// ErrDiskFull reports an injected out-of-space failure.
+	ErrDiskFull = errors.New("wal: disk full")
+	// ErrPoisoned reports an append to a log whose active segment holds a
+	// partial record: an earlier write failed midway, and anything
+	// appended after it would be unreachable to replay (recovery stops at
+	// the first invalid record). The caller must retire the log; the next
+	// Open truncates the torn tail and starts clean.
+	ErrPoisoned = errors.New("wal: log poisoned by a partial write")
 )
 
 // Record layout:
@@ -205,6 +255,12 @@ type Log struct {
 	ckptSeq  uint32 // newest valid checkpoint's seq (0: none)
 	hasCkpt  bool   // a checkpoint file exists (even one at seq 0)
 	closed   bool
+	// writeErr poisons the log after a record write failed partway: the
+	// active segment may hold a partial record, and appending past it
+	// would strand every later entry beyond replay's reach (recovery
+	// stops at the first invalid record). Sticky until Close; the next
+	// Open truncates the tail and starts clean.
+	writeErr error
 	stats    Stats
 
 	// Delayed-sync state. Unlike the rest of the log this is touched by
@@ -463,6 +519,9 @@ func (l *Log) Append(entries []Entry) error {
 	if l.closed {
 		return ErrClosed
 	}
+	if l.writeErr != nil {
+		return l.writeErr
+	}
 	if len(entries) == 0 {
 		return nil
 	}
@@ -489,7 +548,31 @@ func (l *Log) Append(entries []Entry) error {
 	binary.BigEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(body))
 	copy(rec[recordHeaderSize:], body)
 
-	if _, err := l.active.Write(rec); err != nil {
+	if hook := l.opts.FaultHook; hook != nil {
+		switch hook(l.dir, FaultAppend) {
+		case DiskFull:
+			// ENOSPC before any byte landed: a clean failure the caller
+			// may retry once space frees; the segment stays readable.
+			return fmt.Errorf("wal: appending: %w", ErrDiskFull)
+		case TornWrite:
+			// Half the record reaches the disk — the tail a power cut
+			// tears. The file now ends in garbage, so the log poisons
+			// itself: see ErrPoisoned.
+			n, _ := l.active.Write(rec[:recordHeaderSize+len(body)/2])
+			l.activeSz += int64(n)
+			l.writeErr = ErrPoisoned
+			return fmt.Errorf("wal: appending: torn write: %w", ErrPoisoned)
+		}
+	}
+	if n, err := l.active.Write(rec); err != nil {
+		if n > 0 {
+			// A partial record is on disk. Without poisoning, the next
+			// successful append would sit behind an invalid record and
+			// replay — which stops at the first bad record — would
+			// silently lose it and everything after it.
+			l.activeSz += int64(n)
+			l.writeErr = ErrPoisoned
+		}
 		return fmt.Errorf("wal: appending: %w", err)
 	}
 	if l.opts.Sync {
@@ -498,6 +581,9 @@ func (l *Log) Append(entries []Entry) error {
 				return err
 			}
 		} else {
+			if hook := l.opts.FaultHook; hook != nil && hook(l.dir, FaultSync) != NoFault {
+				return fmt.Errorf("wal: syncing append: %w", ErrDiskFull)
+			}
 			s0 := time.Now()
 			if err := l.active.Sync(); err != nil {
 				return fmt.Errorf("wal: syncing append: %w", err)
@@ -626,6 +712,11 @@ func (l *Log) Checkpoint(seq uint32, snapshot []byte) error {
 func (l *Log) checkpointLocked(seq uint32, snapshot []byte) error {
 	if l.closed {
 		return ErrClosed
+	}
+	if hook := l.opts.FaultHook; hook != nil && hook(l.dir, FaultCheckpoint) != NoFault {
+		// Checkpoints are atomic (temp + rename), so any injected failure is
+		// the clean kind: the previous checkpoint stays in force.
+		return fmt.Errorf("wal: writing checkpoint: %w", ErrDiskFull)
 	}
 	buf := make([]byte, 8+len(snapshot))
 	binary.BigEndian.PutUint32(buf[4:], seq)

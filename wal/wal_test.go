@@ -2,6 +2,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -446,5 +447,154 @@ func TestSyncWithoutDelaySyncsEveryAppend(t *testing.T) {
 	}
 	if st := l.Stats(); st.Syncs != n {
 		t.Fatalf("syncs=%d, want %d (one per append without SyncDelay)", st.Syncs, n)
+	}
+}
+
+// scriptedHook injects a scripted fault for one FaultOp: the nth matching
+// operation (0-based) fails, everything else runs clean.
+type scriptedHook struct {
+	op    FaultOp
+	at    int
+	fault InjectedFault
+	seen  int
+}
+
+func (h *scriptedHook) hook(dir string, op FaultOp) InjectedFault {
+	if op != h.op {
+		return NoFault
+	}
+	h.seen++
+	if h.seen-1 == h.at {
+		return h.fault
+	}
+	return NoFault
+}
+
+func TestInjectedDiskFullIsCleanAndRetryable(t *testing.T) {
+	dir := t.TempDir()
+	h := &scriptedHook{op: FaultAppend, at: 1, fault: DiskFull}
+	l, err := Open(dir, Options{FaultHook: h.hook})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append([]Entry{entry(1)}); err != nil {
+		t.Fatalf("Append 1: %v", err)
+	}
+	if err := l.Append([]Entry{entry(2)}); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("Append 2 = %v, want ErrDiskFull", err)
+	}
+	// Disk-full is clean: no byte hit the file, so the retry succeeds and
+	// the log carries on.
+	if err := l.Append([]Entry{entry(2)}); err != nil {
+		t.Fatalf("retry after disk full: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	_, _, entries, last := replayAll(t, l2)
+	if last != 2 || len(entries) != 2 {
+		t.Fatalf("recovered last=%d entries=%d, want 2 and 2", last, len(entries))
+	}
+}
+
+func TestInjectedTornWritePoisonsUntilReopen(t *testing.T) {
+	dir := t.TempDir()
+	h := &scriptedHook{op: FaultAppend, at: 1, fault: TornWrite}
+	l, err := Open(dir, Options{FaultHook: h.hook})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append([]Entry{entry(1)}); err != nil {
+		t.Fatalf("Append 1: %v", err)
+	}
+	if err := l.Append([]Entry{entry(2)}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("torn Append = %v, want ErrPoisoned", err)
+	}
+	// The partial record is on disk; every later append must refuse, or
+	// replay (which stops at the first invalid record) would silently lose
+	// it.
+	if err := l.Append([]Entry{entry(3)}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Append after torn write = %v, want ErrPoisoned", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Reopen truncates the torn tail and the log starts clean.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if st := l2.Stats(); !st.TailTruncated {
+		t.Fatal("reopen should report TailTruncated")
+	}
+	_, _, entries, last := replayAll(t, l2)
+	if last != 1 || len(entries) != 1 {
+		t.Fatalf("recovered last=%d entries=%d, want 1 and 1", last, len(entries))
+	}
+	if err := l2.Append([]Entry{entry(2)}); err != nil {
+		t.Fatalf("Append after reopen: %v", err)
+	}
+}
+
+func TestInjectedCheckpointFailureKeepsPreviousCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	h := &scriptedHook{op: FaultCheckpoint, at: 1, fault: DiskFull}
+	l, err := Open(dir, Options{FaultHook: h.hook})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Append([]Entry{entry(1), entry(2)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Checkpoint(2, []byte("snap-2")); err != nil {
+		t.Fatalf("Checkpoint 2: %v", err)
+	}
+	if err := l.Append([]Entry{entry(3)}); err != nil {
+		t.Fatalf("Append 3: %v", err)
+	}
+	if err := l.Checkpoint(3, []byte("snap-3")); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("Checkpoint 3 = %v, want ErrDiskFull", err)
+	}
+	if got := l.CheckpointSeq(); got != 2 {
+		t.Fatalf("CheckpointSeq = %d, want 2 (previous stays in force)", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	snap, snapSeq, entries, last := replayAll(t, l2)
+	if string(snap) != "snap-2" || snapSeq != 2 {
+		t.Fatalf("recovered snapshot %q at %d, want snap-2 at 2", snap, snapSeq)
+	}
+	if last != 3 || len(entries) != 1 || entries[0].Seq != 3 {
+		t.Fatalf("recovered last=%d entries=%v, want 3 and [3]", last, entries)
+	}
+}
+
+func TestInjectedSyncFailureSurfacesFromAppend(t *testing.T) {
+	dir := t.TempDir()
+	h := &scriptedHook{op: FaultSync, at: 0, fault: DiskFull}
+	l, err := Open(dir, Options{Sync: true, FaultHook: h.hook})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Append([]Entry{entry(1)}); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("Append = %v, want ErrDiskFull from failed sync", err)
+	}
+	// The record itself landed; the next append (whose sync succeeds)
+	// continues the sequence.
+	if err := l.Append([]Entry{entry(2)}); err != nil {
+		t.Fatalf("Append 2: %v", err)
 	}
 }
