@@ -39,6 +39,16 @@
 //	                   changed only by sequenced migrate-begin/chunk/
 //	                   commit commands, so the handoff is exactly-once
 //	                   and (with the wal) crash-resumable
+//	(cross-group       The paper's groups are independent orders; Amoeba
+//	 atomicity)        offered nothing atomic across them. The kv package
+//	                   builds it from the primitives above: kv.Client.Txn
+//	                   runs sequenced two-phase commit where prepare and
+//	                   resolve records ride each participant shard's total
+//	                   order (and WAL), the home shard's order arbitrates
+//	                   the outcome, and recovery re-answers decisions from
+//	                   the journaled portions — atomic multi-key commits
+//	                   and consistent snapshots (kv.Client.MGet) across
+//	                   shard groups, exactly-once under retry
 //	(measurement)      The paper's evaluation decomposed protocol cost per
 //	                   stage (request → sequencer → multicast → delivery)
 //	                   with offline instrumentation. GroupOptions.Obs wires

@@ -142,6 +142,31 @@ func observedTable(res *kv.ObservedBenchResult) *experiments.Table {
 	return t
 }
 
+// txnTable renders the 2PC-width experiment. Like the other live-fabric
+// experiments it measures real time on the host, so absolute ops/s vary by
+// machine; each width's txn-vs-batch ratio is the claim.
+func txnTable(res *kv.TxnBenchResult) *experiments.Table {
+	t := &experiments.Table{
+		ID:    "Txn",
+		Title: "cross-shard transactions: sequenced 2PC at 1/2/4 participant shards vs same-width single-shard batches",
+		PaperNote: fmt.Sprintf("%d nodes, %d shards, %d clients on disjoint keys (%d conflict retries)",
+			res.Nodes, res.Shards, res.Clients, res.Conflicts),
+		Columns: []string{"commit", "shards", "writes", "ops/s", "mean", "p99", "vs batch"},
+	}
+	for _, c := range res.Cases {
+		t.Rows = append(t.Rows, []string{
+			c.Name,
+			fmt.Sprintf("%d", c.Participants),
+			fmt.Sprintf("%d", c.Writes),
+			fmt.Sprintf("%.0f", c.OpsPerSec),
+			fmt.Sprintf("%.2fms", c.MeanMs),
+			fmt.Sprintf("%.2fms", c.P99Ms),
+			fmt.Sprintf("%.2fx", c.VsBatch),
+		})
+	}
+	return t
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -258,9 +283,26 @@ func run() int {
 				return observedTable(res), buf, err
 			},
 		},
+		"txn": {
+			run: func(netsim.CostModel) (*experiments.Table, error) {
+				res, err := kv.MeasureTxn()
+				if err != nil {
+					return nil, err
+				}
+				return txnTable(res), nil
+			},
+			json: func(netsim.CostModel) (*experiments.Table, []byte, error) {
+				res, err := kv.MeasureTxn()
+				if err != nil {
+					return nil, nil, err
+				}
+				buf, err := kv.TxnJSON(res)
+				return txnTable(res), buf, err
+			},
+		},
 	}
 	order := []string{"table3", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable", "reshard", "observed"}
+		"rpc", "cm", "userspace", "placement", "processing", "sharded", "batched", "proxied", "durable", "reshard", "observed", "txn"}
 
 	if *list {
 		ids := make([]string, 0, len(exps))

@@ -49,6 +49,7 @@ func main() {
 		shards   = flag.Int("shards", 2, "bootstrap shard count")
 		clients  = flag.Int("clients", 4, "concurrent workload clients")
 		keys     = flag.Int("keys", 4, "distinct contended keys")
+		accounts = flag.Int("accounts", 4, "bank accounts the transactional workload transfers between")
 		minSurv  = flag.Int("min-survivors", 0, "recovery quorum (0 = majority; 1 reproduces quorum-less split brain)")
 		timebox  = flag.Duration("timebox", 0, "stop starting new seeds after this long (0 = run all)")
 		replay   = flag.String("replay", "", "replay one schedule line (seed=N events=[...]) instead of sweeping")
@@ -57,7 +58,8 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := fuzz.Config{Nodes: *nodes, Shards: *shards, Clients: *clients, Keys: *keys, MinSurvivors: *minSurv}
+	cfg := fuzz.Config{Nodes: *nodes, Shards: *shards, Clients: *clients, Keys: *keys,
+		Accounts: *accounts, MinSurvivors: *minSurv}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
@@ -123,7 +125,7 @@ func main() {
 			fmt.Println("shrinking…")
 			shrunk := fuzz.Shrink(sched, func(s fuzz.Schedule) bool {
 				r := fuzz.Run(cfg, s)
-				return r.Err == nil && !r.Check.Linearizable
+				return r.Err == nil && (!r.Check.Linearizable || !r.Atomic.Ok())
 			})
 			fmt.Printf("MINIMAL REPLAY: %s\n", shrunk)
 		} else {

@@ -17,6 +17,8 @@
 //	DEL <key>                    -> OK true|false              (existed?)
 //	CAS <key> <old|-> <new>      -> OK true|false              ("-" = expect absent)
 //	MGET <key> <key> ...         -> VALUE <k>=<v> ...
+//	TXN [GET k] [PUT k v]
+//	    [DEL k] [IF k v|-] ...   -> COMMITTED <k>=<v> ... | ABORTED   (atomic cross-shard txn)
 //	RESHARD <n>                  -> OK epoch=<e> shards=<n>            (live split/merge)
 //	STATS                        -> shards, epoch, members, proxy counters
 //	METRICS                      -> Prometheus text, terminated by END
@@ -361,6 +363,67 @@ func parseRequest(fields []string) (*kv.Request, error) {
 		}
 		req.Val = val
 		return req, nil
+	case "TXN":
+		// One atomic multi-key transaction: any mix of clauses, evaluated
+		// against one locked cross-shard snapshot.
+		//
+		//	TXN [GET key]... [PUT key value]... [DEL key]... [IF key value|-]...
+		//
+		// IF key - requires the key to be absent; IF key value requires
+		// equality. Any failing IF aborts the whole transaction (ABORTED);
+		// otherwise every PUT/DEL lands atomically and the GETs answer the
+		// snapshot (COMMITTED k=v ...).
+		req := &kv.Request{Op: kv.ReqTxn}
+		for i := 1; i < len(fields); {
+			switch strings.ToUpper(fields[i]) {
+			case "GET":
+				if i+1 >= len(fields) {
+					return nil, fmt.Errorf("TXN GET needs a key")
+				}
+				req.Keys = append(req.Keys, fields[i+1])
+				i += 2
+			case "PUT":
+				if i+2 >= len(fields) {
+					return nil, fmt.Errorf("TXN PUT needs key and value")
+				}
+				val, err := untoken(fields[i+2])
+				if err != nil {
+					return nil, err
+				}
+				req.Writes = append(req.Writes, kv.TxnWrite{Key: fields[i+1], Val: val})
+				i += 3
+			case "DEL":
+				if i+1 >= len(fields) {
+					return nil, fmt.Errorf("TXN DEL needs a key")
+				}
+				req.Writes = append(req.Writes, kv.TxnWrite{Key: fields[i+1], Delete: true})
+				i += 2
+			case "IF":
+				if i+2 >= len(fields) {
+					return nil, fmt.Errorf("TXN IF needs key and value (or - for absent)")
+				}
+				cond := kv.TxnCond{Key: fields[i+1]}
+				if fields[i+2] != "-" {
+					expect, err := untoken(fields[i+2])
+					if err != nil {
+						return nil, err
+					}
+					if expect == nil {
+						expect = []byte{}
+					}
+					cond.ExpectPresent = true
+					cond.Expect = expect
+				}
+				req.Conds = append(req.Conds, cond)
+				i += 3
+			default:
+				return nil, fmt.Errorf("TXN: unknown clause %q (want GET, PUT, DEL, or IF)", fields[i])
+			}
+		}
+		if len(req.Keys)+len(req.Writes)+len(req.Conds) == 0 {
+			return nil, fmt.Errorf("usage: TXN [GET k] [PUT k v] [DEL k] [IF k v|-] ...")
+		}
+		return req, nil
 	default:
 		return nil, fmt.Errorf("unknown command %q", fields[0])
 	}
@@ -389,6 +452,23 @@ func renderResponse(verb string, req *kv.Request, resp *kv.Response, reply func(
 			}
 		}
 		return reply("VALUE %s", strings.Join(parts, " "))
+	case kv.ReqTxn:
+		if resp.CondFailed {
+			return reply("ABORTED")
+		}
+		if !resp.OK {
+			return reply("ERR transaction did not commit")
+		}
+		parts := make([]string, 0, len(req.Keys))
+		for i, k := range req.Keys {
+			if i < len(resp.Found) && resp.Found[i] {
+				parts = append(parts, fmt.Sprintf("%s=%s", k, token(resp.Values[i])))
+			}
+		}
+		if len(parts) == 0 {
+			return reply("COMMITTED")
+		}
+		return reply("COMMITTED %s", strings.Join(parts, " "))
 	default:
 		return reply("ERR unrenderable op %d", req.Op)
 	}
@@ -608,6 +688,9 @@ func runSelftest(nodes, resilience int, duration time.Duration, metricsAddr stri
 	if rc := runDurableSelftest(nodes, resilience, hub); rc != 0 {
 		return rc
 	}
+	if rc := runTxnSelftest(nodes, resilience, duration, hub); rc != 0 {
+		return rc
+	}
 	return checkMetrics(hub)
 }
 
@@ -642,6 +725,12 @@ func checkMetrics(hub *obs.Hub) int {
 		"amoeba_kv_service_served_total",
 		"amoeba_kv_service_forwarded_total",
 		"amoeba_kv_load_op_ns",
+		// Transaction tier (populated by the txn sweep).
+		"amoeba_kv_txn_prepare_ns",
+		"amoeba_kv_txn_resolve_ns",
+		"amoeba_kv_txn_total_ns",
+		"amoeba_kv_client_txn_committed_total",
+		"amoeba_kv_client_txn_conflict_retries_total",
 	}
 	missing := 0
 	for _, name := range required {
@@ -883,5 +972,194 @@ func runDurableSelftest(nodes, resilience int, hub *obs.Hub) int {
 	}
 	fmt.Printf("  %d keys + dedup state survived a full-cluster restart (write %v, recover %v)\n",
 		keys, writeTime.Round(time.Millisecond), recoveryTime.Round(time.Millisecond))
+	return 0
+}
+
+// runTxnSelftest hammers the cross-shard transaction path: concurrent
+// conditional transfers between bank accounts spread over every shard, a
+// conserved-sum invariant read through consistent snapshots (MGET-as-txn),
+// and a pinned-id retry that must answer the original commit instead of
+// re-executing — the same exactly-once discipline the durable sweep pins
+// for CAS, here across a whole 2PC.
+func runTxnSelftest(nodes, resilience int, duration time.Duration, hub *obs.Hub) int {
+	fmt.Println("txn sweep (concurrent cross-shard transfers + snapshot sum + pinned-id retry):")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if nodes < 2 {
+		nodes = 2
+	}
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := network.NewKernel(fmt.Sprintf("txn-node-%d", i))
+		if err != nil {
+			log.Printf("amoeba-kv: selftest txn: %v", err)
+			return 1
+		}
+		kernels[i] = k
+	}
+	stores, err := kv.Bootstrap(ctx, kernels, "selftest-txn", kv.Options{
+		Shards: 4,
+		Group: amoeba.GroupOptions{
+			Resilience:   resilience,
+			AutoReset:    true,
+			MinSurvivors: 1,
+			Obs:          hub,
+		},
+	})
+	if err != nil {
+		log.Printf("amoeba-kv: selftest txn boot: %v", err)
+		return 1
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	const (
+		accounts = 8
+		balance  = 100
+	)
+	acct := func(i int) string { return fmt.Sprintf("txn-acct-%d", i) }
+	seed := stores[0].NewClient()
+	pairs := make([]kv.Pair, accounts)
+	for i := range pairs {
+		pairs[i] = kv.Pair{Key: acct(i), Val: []byte(strconv.Itoa(balance))}
+	}
+	if err := seed.BatchPut(ctx, pairs); err != nil {
+		seed.Close()
+		log.Printf("amoeba-kv: selftest txn seed: %v", err)
+		return 1
+	}
+	seed.Close()
+
+	// Concurrent transfers: snapshot two accounts, move 1 conditionally on
+	// both observed balances. A CondFailed abort means another transfer got
+	// there first — reread and retry, like any CAS loop.
+	var (
+		commits   atomic.Uint64
+		condFails atomic.Uint64
+		wg        sync.WaitGroup
+		failed    atomic.Bool
+	)
+	deadline := time.Now().Add(duration)
+	for w := 0; w < 2*nodes; w++ {
+		w := w
+		cl := stores[w%nodes].NewClient()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cl.Close()
+			for i := 0; time.Now().Before(deadline); i++ {
+				a, b := acct((w+i)%accounts), acct((w+i+1+w%3)%accounts)
+				if a == b {
+					continue
+				}
+				snap, err := cl.MGet(ctx, a, b)
+				if err != nil {
+					log.Printf("amoeba-kv: selftest txn snapshot: %v", err)
+					failed.Store(true)
+					return
+				}
+				ba, _ := strconv.Atoi(string(snap[a]))
+				bb, _ := strconv.Atoi(string(snap[b]))
+				if ba < 1 {
+					continue
+				}
+				res, err := cl.Txn(ctx, kv.TxnOp{
+					Conds: []kv.TxnCond{
+						{Key: a, ExpectPresent: true, Expect: snap[a]},
+						{Key: b, ExpectPresent: true, Expect: snap[b]},
+					},
+					Writes: []kv.TxnWrite{
+						{Key: a, Val: []byte(strconv.Itoa(ba - 1))},
+						{Key: b, Val: []byte(strconv.Itoa(bb + 1))},
+					},
+				})
+				if err != nil {
+					log.Printf("amoeba-kv: selftest txn transfer: %v", err)
+					failed.Store(true)
+					return
+				}
+				if res.Committed {
+					commits.Add(1)
+				} else {
+					condFails.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return 1
+	}
+	if commits.Load() == 0 {
+		log.Printf("amoeba-kv: selftest txn: no transfer committed — the txn path went unexercised")
+		return 1
+	}
+
+	// The invariant: one consistent snapshot over all accounts sums to the
+	// seeded total, however the transfers interleaved.
+	cl := stores[nodes-1].NewClient()
+	defer cl.Close()
+	keys := make([]string, accounts)
+	for i := range keys {
+		keys[i] = acct(i)
+	}
+	snap, err := cl.MGet(ctx, keys...)
+	if err != nil {
+		log.Printf("amoeba-kv: selftest txn sum snapshot: %v", err)
+		return 1
+	}
+	sum := 0
+	for _, k := range keys {
+		v, ok := snap[k]
+		if !ok {
+			log.Printf("amoeba-kv: selftest txn: account %s missing from snapshot", k)
+			return 1
+		}
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			log.Printf("amoeba-kv: selftest txn: account %s = %q unparseable", k, v)
+			return 1
+		}
+		sum += n
+	}
+	if sum != accounts*balance {
+		log.Printf("amoeba-kv: selftest txn: accounts sum to %d, want %d — a transfer tore", sum, accounts*balance)
+		return 1
+	}
+
+	// Exactly-once: a retried coordinator request (same pinned id) must
+	// answer the original commit from the recorded decision. Re-execution
+	// would fail the condition (the balance already moved) and answer
+	// ABORTED instead.
+	const txnID = 0xCAFE_2BC0
+	v0 := snap[acct(0)]
+	n0, _ := strconv.Atoi(string(v0))
+	req := &kv.Request{Op: kv.ReqTxn, ID: txnID,
+		Conds: []kv.TxnCond{{Key: acct(0), ExpectPresent: true, Expect: v0}},
+		Writes: []kv.TxnWrite{
+			{Key: acct(0), Val: []byte(strconv.Itoa(n0 - 1))},
+			{Key: acct(1), Val: append([]byte(nil), snap[acct(1)]...)},
+		}}
+	resp, err := cl.Do(ctx, req)
+	if err != nil || !resp.OK {
+		log.Printf("amoeba-kv: selftest txn pinned commit: %+v, %v", resp, err)
+		return 1
+	}
+	resp, err = cl.Do(ctx, req)
+	if err != nil || !resp.OK || resp.CondFailed {
+		log.Printf("amoeba-kv: selftest txn retried commit: %+v, %v (re-executed instead of re-answered?)", resp, err)
+		return 1
+	}
+	if v, _, err := cl.Get(ctx, acct(0)); err != nil || string(v) != strconv.Itoa(n0-1) {
+		log.Printf("amoeba-kv: selftest txn: account 0 = %q %v after retry, want %d applied exactly once", v, err, n0-1)
+		return 1
+	}
+	fmt.Printf("  %d transfers committed (%d conflict aborts retried), sum conserved at %d, pinned-id retry answered the original commit\n",
+		commits.Load(), condFails.Load(), accounts*balance)
 	return 0
 }

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"amoeba/kv"
@@ -83,7 +85,7 @@ func Check(events []kv.HistoryEvent, budget time.Duration) CheckResult {
 	deadline := time.Now().Add(budget)
 	byKey := make(map[string][]kv.HistoryEvent)
 	ops := 0
-	for _, e := range events {
+	for _, e := range decompose(events) {
 		if e.Op == kv.OpGet && e.Failed() {
 			continue // observed nothing; constrains nothing
 		}
@@ -105,6 +107,241 @@ func Check(events []kv.HistoryEvent, budget time.Duration) CheckResult {
 		}
 	}
 	return CheckResult{Linearizable: true, Ops: ops}
+}
+
+// decompose flattens multi-key OpTxn events into the per-key events the
+// register-model search consumes. The per-key claims are sound projections
+// of the transactional ones: a committed transaction's write to key k is a
+// put on k somewhere in the transaction's window, and each snapshot read is
+// a get in the same window. What the projection deliberately drops — that
+// the writes share ONE linearization point — is the atomicity claim, which
+// CheckAtomic verifies separately over the undecomposed events.
+func decompose(events []kv.HistoryEvent) []kv.HistoryEvent {
+	out := make([]kv.HistoryEvent, 0, len(events))
+	for _, e := range events {
+		if e.Op != kv.OpTxn {
+			out = append(out, e)
+			continue
+		}
+		if e.Failed() {
+			// Unknown outcome: the writes may land at any later point
+			// (open window), the reads observed nothing.
+			for _, w := range e.Writes {
+				out = append(out, kv.HistoryEvent{Client: e.Client, Op: kv.OpPut,
+					Key: w.Key, Val: w.Val, Invoke: e.Invoke, Return: -1, Err: e.Err})
+			}
+			continue
+		}
+		for i, k := range e.ReadKeys {
+			out = append(out, kv.HistoryEvent{Client: e.Client, Op: kv.OpGet, Key: k,
+				Val: e.ReadVals[i], Found: e.ReadFound[i], Invoke: e.Invoke, Return: e.Return})
+		}
+		if !e.Committed {
+			continue // known abort: no write landed
+		}
+		for _, w := range e.Writes {
+			pe := kv.HistoryEvent{Client: e.Client, Key: w.Key, Invoke: e.Invoke, Return: e.Return}
+			if w.Delete {
+				// The txn API reports no per-key existed-before bit, so
+				// the delete's output is unobserved: mark the outcome
+				// unknown (the weaker, still-sound constraint).
+				pe.Op, pe.Err, pe.Return = kv.OpDelete, "txn delete: output unobserved", -1
+			} else {
+				pe.Op, pe.Val = kv.OpPut, w.Val
+			}
+			out = append(out, pe)
+		}
+	}
+	return out
+}
+
+// BankSpec names the bank-account keys the workload maintains by balance-
+// conserving transfers, and the sum every consistent snapshot of all of
+// them must observe. Values encode the balance as a decimal prefix
+// terminated by '|' (the suffix keeps writes globally unique).
+type BankSpec struct {
+	Keys  []string
+	Total int64
+}
+
+// bankBalance parses the balance prefix of a bank value.
+func bankBalance(val []byte) (int64, bool) {
+	s := string(val)
+	if i := strings.IndexByte(s, '|'); i >= 0 {
+		s = s[:i]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n, err == nil
+}
+
+// AtomicResult is the multi-key atomicity verdict over a history's
+// transactions and snapshots.
+type AtomicResult struct {
+	// Atomic reports that no torn transaction and no bank-invariant
+	// violation was found.
+	Atomic bool
+	// Torn describes the first snapshot observed to contain a partially
+	// applied committed transaction (empty if none).
+	Torn string
+	// BankViolation describes the first full-coverage snapshot whose
+	// balances do not sum to the spec total (empty if none).
+	BankViolation string
+	// Snapshots counts the successful multi-key snapshots examined.
+	Snapshots int
+}
+
+// Ok reports a clean verdict.
+func (r AtomicResult) Ok() bool { return r.Atomic }
+
+func (r AtomicResult) String() string {
+	switch {
+	case r.Torn != "":
+		return "TORN TRANSACTION: " + r.Torn
+	case r.BankViolation != "":
+		return "BANK INVARIANT VIOLATED: " + r.BankViolation
+	default:
+		return fmt.Sprintf("atomic over %d snapshots", r.Snapshots)
+	}
+}
+
+// CheckAtomic verifies the multi-key claims the per-key search cannot see:
+//
+//   - No torn transactions: a snapshot that observes SOME of a committed
+//     transaction's writes must not, for another key the transaction wrote,
+//     observe a value that certainly predates the transaction (its writer
+//     returned before the transaction was invoked). Real-time certainty
+//     makes the test sound under concurrency — overlapping writers are
+//     never flagged.
+//   - The bank invariant: every successful snapshot covering all of
+//     spec.Keys sums to spec.Total. Transfers move balance between
+//     accounts atomically, so any other sum is a torn or lost update.
+//
+// spec may be nil to skip the bank check.
+func CheckAtomic(events []kv.HistoryEvent, spec *BankSpec) AtomicResult {
+	// writers pins every unique written value to its event, for the
+	// predates-the-transaction test.
+	writers := make(map[string]kv.HistoryEvent)
+	note := func(val []byte, e kv.HistoryEvent) {
+		if len(val) > 0 {
+			writers[string(val)] = e
+		}
+	}
+	var snaps, txns []kv.HistoryEvent
+	for _, e := range events {
+		switch e.Op {
+		case kv.OpPut:
+			note(e.Val, e)
+		case kv.OpCAS:
+			if !e.Failed() && e.Found {
+				note(e.Val, e)
+			}
+		case kv.OpTxn:
+			if e.Failed() {
+				continue
+			}
+			if e.Committed {
+				for _, w := range e.Writes {
+					if !w.Delete {
+						note(w.Val, e)
+					}
+				}
+				if len(e.Writes) >= 2 {
+					txns = append(txns, e)
+				}
+			}
+			if len(e.ReadKeys) > 0 {
+				snaps = append(snaps, e)
+			}
+		}
+	}
+
+	res := AtomicResult{Atomic: true, Snapshots: len(snaps)}
+	for _, s := range snaps {
+		obs := make(map[string]int, len(s.ReadKeys))
+		for i, k := range s.ReadKeys {
+			obs[k] = i
+		}
+		for _, t := range txns {
+			var covered, seen []string
+			for _, w := range t.Writes {
+				i, ok := obs[w.Key]
+				if !ok || w.Delete {
+					continue
+				}
+				covered = append(covered, w.Key)
+				if s.ReadFound[i] && bytes.Equal(s.ReadVals[i], w.Val) {
+					seen = append(seen, w.Key)
+				}
+			}
+			if len(covered) < 2 || len(seen) == 0 || len(seen) == len(covered) {
+				continue
+			}
+			// Partial observation: torn only if an unseen key's observed
+			// value certainly predates the transaction. An absent key is
+			// never flagged here — a later delete explains it (the bank
+			// check separately rejects absent accounts).
+			for _, k := range covered {
+				i := obs[k]
+				if bytesContains(seen, k) || !s.ReadFound[i] {
+					continue
+				}
+				w, ok := writers[string(s.ReadVals[i])]
+				if ok && !w.Failed() && w.Return < t.Invoke {
+					res.Atomic = false
+					res.Torn = fmt.Sprintf(
+						"snapshot by client %d at [%d,%d] observes txn (client %d at [%d,%d]) write to %q but a pre-txn value for %q",
+						s.Client, s.Invoke, s.Return, t.Client, t.Invoke, t.Return, seen[0], k)
+					return res
+				}
+			}
+		}
+	}
+
+	if spec != nil {
+		for _, s := range snaps {
+			obs := make(map[string]int, len(s.ReadKeys))
+			for i, k := range s.ReadKeys {
+				obs[k] = i
+			}
+			sum, full := int64(0), true
+			for _, k := range spec.Keys {
+				i, ok := obs[k]
+				if !ok {
+					full = false
+					break
+				}
+				if !s.ReadFound[i] {
+					res.Atomic = false
+					res.BankViolation = fmt.Sprintf(
+						"snapshot by client %d at [%d,%d] finds account %q absent", s.Client, s.Invoke, s.Return, k)
+					return res
+				}
+				b, ok2 := bankBalance(s.ReadVals[i])
+				if !ok2 {
+					full = false
+					break
+				}
+				sum += b
+			}
+			if full && sum != spec.Total {
+				res.Atomic = false
+				res.BankViolation = fmt.Sprintf(
+					"snapshot by client %d at [%d,%d] sums to %d, want %d", s.Client, s.Invoke, s.Return, sum, spec.Total)
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// bytesContains reports whether list contains k.
+func bytesContains(list []string, k string) bool {
+	for _, s := range list {
+		if s == k {
+			return true
+		}
+	}
+	return false
 }
 
 // regState is one key's state: the value, or absence.

@@ -29,6 +29,13 @@ type Config struct {
 	// Keys is the number of distinct keys the workload contends on
 	// (default 4). Fewer keys = more contention = stronger histories.
 	Keys int
+	// Accounts is the number of bank-account keys the transactional half
+	// of the workload transfers balance between (default 4). The accounts
+	// are seeded before the workload starts; every transfer conserves the
+	// total, and CheckAtomic holds every full snapshot to it.
+	Accounts int
+	// Balance is each account's seeded starting balance (default 100).
+	Balance int64
 	// Resilience is the shard groups' resilience degree r. 0 (the
 	// default) means Nodes-1 — no completed write is lost to any crash
 	// short of the whole cluster, which the write-ahead logs cover; a
@@ -65,6 +72,11 @@ type Config struct {
 	// the system had invented the value. The verdict MUST be
 	// non-linearizable.
 	PlantLostWrite bool
+	// PlantTornTxn corrupts the recorded history before checking: one
+	// successful snapshot is rewritten to observe a committed
+	// transaction's write to one key alongside a pre-transaction value
+	// for another — a torn transaction. The atomicity verdict MUST fail.
+	PlantTornTxn bool
 	// Logf, when non-nil, receives progress lines (schedule events as
 	// they fire, verdicts). Nil is silent.
 	Logf func(format string, args ...any)
@@ -82,6 +94,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Keys <= 0 {
 		c.Keys = 4
+	}
+	if c.Accounts <= 0 {
+		c.Accounts = 4
+	}
+	if c.Balance <= 0 {
+		c.Balance = 100
 	}
 	if c.Resilience == 0 {
 		c.Resilience = c.Nodes - 1
@@ -117,6 +135,9 @@ type Result struct {
 	Schedule Schedule
 	// Check is the linearizability verdict over the recorded history.
 	Check CheckResult
+	// Atomic is the multi-key atomicity verdict: no torn transactions, and
+	// every full bank snapshot sums to the seeded total.
+	Atomic AtomicResult
 	// Ops counts recorded history events; Failed counts the subset whose
 	// outcome is unknown (errored or timed out).
 	Ops    int
@@ -131,13 +152,18 @@ type Result struct {
 	Flight string
 }
 
-// Ok reports a fully clean run: harness intact and history linearizable.
-func (r Result) Ok() bool { return r.Err == nil && r.Check.Linearizable }
+// Ok reports a fully clean run: harness intact, history linearizable, and
+// every multi-key claim atomic.
+func (r Result) Ok() bool { return r.Err == nil && r.Check.Linearizable && r.Atomic.Ok() }
 
 // String renders the result as the one-line report the CLI prints.
 func (r Result) String() string {
 	if r.Err != nil {
 		return fmt.Sprintf("HARNESS ERROR: %v [replay: %s]", r.Err, r.Schedule)
+	}
+	if !r.Atomic.Ok() {
+		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
+			r.Atomic, r.Ops, r.Failed, r.Schedule)
 	}
 	if !r.Check.Linearizable {
 		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
@@ -147,8 +173,8 @@ func (r Result) String() string {
 		return fmt.Sprintf("UNDECIDED: %s (%d recorded, %d unknown outcome), %d/%d events applied [replay: %s]",
 			r.Check, r.Ops, r.Failed, r.Applied, len(r.Schedule.Events), r.Schedule)
 	}
-	return fmt.Sprintf("ok: %s (%d recorded, %d unknown outcome), %d/%d events applied",
-		r.Check, r.Ops, r.Failed, r.Applied, len(r.Schedule.Events))
+	return fmt.Sprintf("ok: %s, %s (%d recorded, %d unknown outcome), %d/%d events applied",
+		r.Check, r.Atomic, r.Ops, r.Failed, r.Applied, len(r.Schedule.Events))
 }
 
 // walController routes schedule-injected log faults to the right replica
@@ -492,10 +518,31 @@ func Run(cfg Config, sched Schedule) Result {
 		booting: make(map[int]bool),
 	}
 
+	// Seed the bank accounts before any client runs: transfers conserve
+	// the total from here on, and the seed writes are recorded (client id
+	// cfg.Clients) so the checker can explain every observed balance.
+	hist := kv.NewHistory()
+	{
+		seedCl := stores[0].NewClient()
+		rc := kv.Record(seedCl, hist, cfg.Clients)
+		pairs := make([]kv.Pair, cfg.Accounts)
+		for i := range pairs {
+			pairs[i] = kv.Pair{Key: bankKey(i), Val: bankVal(cfg.Balance, "s", 0, i)}
+		}
+		seedCtx, cancelSeed := context.WithTimeout(runCtx, 10*time.Second)
+		err := rc.BatchPut(seedCtx, pairs)
+		cancelSeed()
+		seedCl.Close()
+		if err != nil {
+			res.Err = fmt.Errorf("fuzz: seeding bank accounts: %w", err)
+			cl.closeAll()
+			return res
+		}
+	}
+
 	// The workload: cfg.Clients recording clients, each a deterministic op
 	// stream drawn from the seed, rebinding to a live node when its node
 	// crashes.
-	hist := kv.NewHistory()
 	wlCtx, cancelWL := context.WithCancel(context.Background())
 	var wl sync.WaitGroup
 	for ci := 0; ci < cfg.Clients; ci++ {
@@ -531,18 +578,35 @@ func Run(cfg Config, sched Schedule) Result {
 	if cfg.PlantLostWrite {
 		events = plantLostWrite(events)
 	}
+	if cfg.PlantTornTxn {
+		events = plantTornTxn(events)
+	}
 	res.Ops = len(events)
 	for _, e := range events {
 		if e.Failed() {
 			res.Failed++
 		}
 	}
+	spec := &BankSpec{Total: cfg.Balance * int64(cfg.Accounts)}
+	for i := 0; i < cfg.Accounts; i++ {
+		spec.Keys = append(spec.Keys, bankKey(i))
+	}
+	res.Atomic = CheckAtomic(events, spec)
 	res.Check = Check(events, cfg.CheckBudget)
-	if !res.Check.Linearizable {
+	if !res.Check.Linearizable || !res.Atomic.Ok() {
 		res.Flight = hub.Flight().Format()
 	}
 	cfg.logf("%s", res)
 	return res
+}
+
+// bankKey names account i.
+func bankKey(i int) string { return fmt.Sprintf("acct-%d", i) }
+
+// bankVal encodes a balance with a globally unique suffix, the format
+// bankBalance parses.
+func bankVal(balance int64, who string, ci, opn int) []byte {
+	return []byte(fmt.Sprintf("%d|%s%d-%d", balance, who, ci, opn))
 }
 
 // runClient is one workload client: a deterministic stream of contended
@@ -583,11 +647,11 @@ func runClient(ctx context.Context, cfg Config, cl *cluster, hist *kv.History, s
 		val := []byte(fmt.Sprintf("c%d-%d", ci, opn))
 		opCtx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
 		switch r := rng.Intn(100); {
-		case r < 30:
+		case r < 25:
 			_ = rc.Put(opCtx, key, val)
-		case r < 60:
+		case r < 50:
 			_, _, _ = rc.Get(opCtx, key)
-		case r < 75:
+		case r < 62:
 			// CAS against the last value observed by a quick read —
 			// contended enough to exercise both outcomes.
 			if v, ok, err := rc.Get(opCtx, key); err == nil {
@@ -597,17 +661,53 @@ func runClient(ctx context.Context, cfg Config, cl *cluster, hist *kv.History, s
 					_, _ = rc.CAS(opCtx, key, nil, val)
 				}
 			}
-		case r < 85:
+		case r < 70:
 			_, _ = rc.Delete(opCtx, key)
-		case r < 95:
+		case r < 78:
 			k2 := fmt.Sprintf("key-%d", rng.Intn(cfg.Keys))
 			_, _ = rc.MGet(opCtx, key, k2)
-		default:
+		case r < 85:
 			k2 := fmt.Sprintf("key-%d", rng.Intn(cfg.Keys))
 			_ = rc.BatchPut(opCtx, []kv.Pair{
 				{Key: key, Val: val},
 				{Key: k2, Val: []byte(fmt.Sprintf("c%d-%db", ci, opn))},
 			})
+		case r < 95:
+			// Bank transfer: move balance between two accounts with a
+			// conditional cross-shard transaction — the atomicity
+			// workload. A concurrent transfer changes a balance under
+			// us: the conditions fail, which is a recorded known abort.
+			a := rng.Intn(cfg.Accounts)
+			b := (a + 1 + rng.Intn(cfg.Accounts-1)) % cfg.Accounts
+			amt := int64(1 + rng.Intn(5))
+			ka, kb := bankKey(a), bankKey(b)
+			m, err := rc.MGet(opCtx, ka, kb)
+			if err != nil || m[ka] == nil || m[kb] == nil {
+				break
+			}
+			ba, ok1 := bankBalance(m[ka])
+			bb, ok2 := bankBalance(m[kb])
+			if !ok1 || !ok2 || ba < amt {
+				break
+			}
+			_, _ = rc.Txn(opCtx, kv.TxnOp{
+				Conds: []kv.TxnCond{
+					{Key: ka, ExpectPresent: true, Expect: m[ka]},
+					{Key: kb, ExpectPresent: true, Expect: m[kb]},
+				},
+				Writes: []kv.TxnWrite{
+					{Key: ka, Val: bankVal(ba-amt, "c", ci, opn)},
+					{Key: kb, Val: bankVal(bb+amt, "c", ci, opn+1000000)},
+				},
+			})
+		default:
+			// Full-bank snapshot: the observation the bank invariant is
+			// checked against.
+			keys := make([]string, cfg.Accounts)
+			for i := range keys {
+				keys[i] = bankKey(i)
+			}
+			_, _ = rc.MGet(opCtx, keys...)
 		}
 		cancel()
 	}
@@ -622,6 +722,61 @@ func plantStaleRead(events []kv.HistoryEvent) []kv.HistoryEvent {
 		e := events[i]
 		if e.Op == kv.OpGet && !e.Failed() && e.Found {
 			events[i].Val = []byte("__planted-stale-read__")
+			return events
+		}
+	}
+	return events
+}
+
+// plantTornTxn corrupts a recorded snapshot to observe a committed
+// transaction's write to its first key alongside a certainly-pre-transaction
+// value for its second — the exact half-applied state the atomicity checker
+// exists to refute. A checker that passes this history is broken.
+func plantTornTxn(events []kv.HistoryEvent) []kv.HistoryEvent {
+	for i := len(events) - 1; i >= 0; i-- {
+		t := events[i]
+		if t.Op != kv.OpTxn || t.Failed() || !t.Committed || len(t.Writes) < 2 {
+			continue
+		}
+		ka, kb := t.Writes[0].Key, t.Writes[1].Key
+		// A value for kb whose writer certainly returned before t began.
+		var pre []byte
+		for _, w := range events {
+			if w.Failed() || w.Return >= t.Invoke {
+				continue
+			}
+			switch {
+			case w.Op == kv.OpPut && w.Key == kb:
+				pre = w.Val
+			case w.Op == kv.OpTxn && w.Committed:
+				for _, tw := range w.Writes {
+					if tw.Key == kb && !tw.Delete {
+						pre = tw.Val
+					}
+				}
+			}
+		}
+		if pre == nil {
+			continue
+		}
+		for j, s := range events {
+			if s.Op != kv.OpTxn || s.Failed() || len(s.ReadKeys) == 0 {
+				continue
+			}
+			ia, ib := -1, -1
+			for k, rk := range s.ReadKeys {
+				if rk == ka {
+					ia = k
+				}
+				if rk == kb {
+					ib = k
+				}
+			}
+			if ia < 0 || ib < 0 {
+				continue
+			}
+			events[j].ReadVals[ia], events[j].ReadFound[ia] = t.Writes[0].Val, true
+			events[j].ReadVals[ib], events[j].ReadFound[ib] = pre, true
 			return events
 		}
 	}

@@ -120,14 +120,24 @@ func (ep *Endpoint) deferSelfOrderLocked(op *sendOp) {
 // pending. Ops that completed meanwhile (a retransmission round raced the
 // flush) or whose endpoint stopped sequencing (recovery, handoff) are
 // skipped — the normal send path re-homes the survivors.
+//
+// The flush walks the send queue, NOT the deferral list: the queue is the
+// authoritative per-sender FIFO. A flush that bails on a full history can
+// leave earlier ops unordered while a second flush — enqueued by a pump
+// that ran mid-flush — holds only later ones; ordering from that younger
+// deferral list would advance the self-dedup state past the stranded ops,
+// falsely completing them via the prefix rule without ever sequencing them.
+// Walking the queue makes every flush retry the oldest unordered op first.
 func (ep *Endpoint) flushSelfOrdersLocked() {
 	ep.selfFlush = false
-	pend := ep.selfPend
+	if len(ep.selfPend) == 0 {
+		return
+	}
 	ep.selfPend = nil
 	if ep.st != stNormal || !ep.isSeq {
 		return
 	}
-	for _, op := range pend {
+	for _, op := range append([]*sendOp(nil), ep.sendQ...) {
 		if !ep.opQueuedLocked(op) || !op.active {
 			continue
 		}

@@ -83,6 +83,14 @@ type Client struct {
 	fwdH     *obs.Histogram // amoeba_kv_client_forwarded_ns
 	tracer   *obs.Tracer
 	obsUnreg func() // detaches the stats source from the hub registry
+
+	// Transaction instrumentation (see txn.go).
+	txnPrepH     *obs.Histogram // amoeba_kv_txn_prepare_ns
+	txnResH      *obs.Histogram // amoeba_kv_txn_resolve_ns
+	txnTotalH    *obs.Histogram // amoeba_kv_txn_total_ns
+	txnCommitted atomic.Uint64
+	txnAborted   atomic.Uint64
+	txnConflicts atomic.Uint64
 }
 
 // wireObs resolves the client's instruments from a hub (nil hub = no-op).
@@ -90,6 +98,9 @@ func (c *Client) wireObs(hub *obs.Hub) {
 	c.localH = hub.Histogram("amoeba_kv_client_local_ns")
 	c.directH = hub.Histogram("amoeba_kv_client_direct_ns")
 	c.fwdH = hub.Histogram("amoeba_kv_client_forwarded_ns")
+	c.txnPrepH = hub.Histogram("amoeba_kv_txn_prepare_ns")
+	c.txnResH = hub.Histogram("amoeba_kv_txn_resolve_ns")
+	c.txnTotalH = hub.Histogram("amoeba_kv_txn_total_ns")
 	c.tracer = hub.Tracer()
 	if reg := hub.Registry(); reg != nil {
 		c.obsUnreg = reg.RegisterSource(func() []obs.Sample {
@@ -97,6 +108,9 @@ func (c *Client) wireObs(hub *obs.Hub) {
 				{Name: "amoeba_kv_client_local_ops_total", Value: c.localOps.Load()},
 				{Name: "amoeba_kv_client_remote_ops_total", Value: c.remoteOps.Load()},
 				{Name: "amoeba_kv_client_routing_updates_total", Value: c.rtUpdates.Load()},
+				{Name: "amoeba_kv_client_txn_committed_total", Value: c.txnCommitted.Load()},
+				{Name: "amoeba_kv_client_txn_aborted_total", Value: c.txnAborted.Load()},
+				{Name: "amoeba_kv_client_txn_conflict_retries_total", Value: c.txnConflicts.Load()},
 			}
 		})
 	}
@@ -364,6 +378,27 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 				return nil, err
 			}
 		}
+	case ReqTxn:
+		if req.ID == 0 {
+			req.ID = c.nextID()
+		}
+		if r, _ := c.routingRing(); r == nil {
+			// Ring-less client: the entry node's coordinator runs the 2PC.
+			return c.remoteCall(ctx, -1, req)
+		}
+		return c.txnExecute(ctx, req)
+	case ReqTxnPrepare:
+		if req.ID == 0 {
+			req.ID = c.nextID()
+		}
+		return c.doTxnPrepare(ctx, req)
+	case ReqTxnResolve:
+		if req.ID == 0 {
+			req.ID = c.nextID()
+		}
+		// Routed by the representative key; a Moved answer retries in place
+		// (doShard), chasing the portion across the epoch flip.
+		return c.doShard(ctx, c.shardFor(req.Key), req)
 	default:
 		return nil, fmt.Errorf("kv: unknown request op %d", req.Op)
 	}
@@ -506,7 +541,7 @@ func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Respons
 			// opened by the topology worker (a split in flight): wait for
 			// the local replica instead of assuming a remote owner.
 			if c.s != nil && shard >= 0 && c.s.expectsShard(shard) && !c.s.isClosed() {
-				if req.Op == ReqGet || req.Op == ReqBatchPut {
+				if req.Op == ReqGet || req.Op == ReqBatchPut || req.Op == ReqTxnPrepare {
 					return nil, errMoved // re-split at the Do level
 				}
 				if err := sleepCtx(ctx, movedRetryDelay); err != nil {
@@ -532,7 +567,7 @@ func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Respons
 			return resp, err
 		}
 		c.tracer.Addf(req.ID, "moved at shard %d, retrying", shard)
-		if req.Op == ReqGet || req.Op == ReqBatchPut {
+		if req.Op == ReqGet || req.Op == ReqBatchPut || req.Op == ReqTxnPrepare {
 			return nil, err // re-split at the Do level
 		}
 		if err := sleepCtx(ctx, movedRetryDelay); err != nil {
@@ -747,25 +782,51 @@ func (c *Client) LocalGet(key string) ([]byte, bool) {
 	return copyVal(val), found
 }
 
-// MGet performs sequenced reads of several keys, scatter-gathered across
-// their shards: keys are grouped by owning shard, each shard receives one
-// read marker for its whole key subset, and the shard reads run in parallel.
-// The result maps each found key to its value; absent keys are omitted. The
-// per-shard reads are linearizable; the combined snapshot is not a global
-// cross-shard atomic read (shards order independently — the price of
-// multi-group scaling).
+// MGet performs a consistent multi-key read: the result maps each found key
+// to its value (absent keys omitted), and the combined view is an atomic
+// snapshot — no concurrent transaction or batch is ever observed
+// half-applied. Keys on one shard are served by a single sequenced read
+// marker; keys spanning shards run as a read-only transaction on the
+// prepare machinery (every key briefly locked, values captured while all
+// locks are held — see txn.go), which is what makes the cross-shard
+// snapshot atomic.
 func (c *Client) MGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
 	if len(keys) == 0 {
 		return map[string][]byte{}, nil
 	}
-	resp, err := c.Do(ctx, &Request{Op: ReqGet, Keys: keys})
+	if r, _ := c.routingRing(); r != nil {
+		single := true
+		s0 := r.shard(keys[0])
+		for _, k := range keys[1:] {
+			if r.shard(k) != s0 {
+				single = false
+				break
+			}
+		}
+		if single {
+			resp, err := c.Do(ctx, &Request{Op: ReqGet, Keys: keys})
+			if err != nil {
+				return nil, err
+			}
+			out := make(map[string][]byte, len(keys))
+			for i, k := range keys {
+				if resp.Found[i] {
+					out[k] = resp.Values[i]
+				}
+			}
+			return out, nil
+		}
+	}
+	// Multi-shard (or ring-less, where the serving node decides): a
+	// read-only transaction captures all keys under one set of locks.
+	res, err := c.Txn(ctx, TxnOp{Reads: keys})
 	if err != nil {
 		return nil, err
 	}
 	out := make(map[string][]byte, len(keys))
 	for i, k := range keys {
-		if resp.Found[i] {
-			out[k] = resp.Values[i]
+		if i < len(res.Found) && res.Found[i] {
+			out[k] = res.Values[i]
 		}
 	}
 	return out, nil
@@ -820,6 +881,24 @@ func (s *Store) execLocal(ctx context.Context, shard int, req *Request) (*Respon
 			return nil, err
 		}
 		return &Response{OK: true}, nil
+	case ReqTxnPrepare:
+		cmd := encodeTxnPrepare(req.ID, req.TxnID, req.HomeKey, req.AllKeys, req.Keys, req.Writes, req.Conds)
+		res, err := s.do(ctx, shard, req.ID, cmd)
+		if err != nil {
+			return nil, err
+		}
+		out := &Response{OK: res.OK, TxnState: res.TxnState, Conflict: res.Conflict, CondFailed: res.CondFailed,
+			Values: make([][]byte, len(res.Values)), Found: append([]bool(nil), res.Found...)}
+		for i, v := range res.Values {
+			out.Values[i] = copyVal(v)
+		}
+		return out, nil
+	case ReqTxnResolve:
+		res, err := s.do(ctx, shard, req.ID, encodeTxnResolve(req.ID, req.TxnID, req.Commit, req.HomeKey, req.AllKeys))
+		if err != nil {
+			return nil, err
+		}
+		return &Response{OK: res.OK, TxnState: res.TxnState}, nil
 	default:
 		return nil, fmt.Errorf("kv: unknown request op %d", req.Op)
 	}

@@ -2,6 +2,7 @@ package kv
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
@@ -23,6 +24,12 @@ import (
 // deletes moved keys, abort rolls a pending handoff back. Because they are
 // ordinary sequenced commands they are journaled by the write-ahead log like
 // any write — a crash mid-handoff recovers the exact migration state.
+//
+// The txn ops are the sequenced-2PC participant protocol (see txn.go):
+// prepare locks a transaction's local keys and captures its reads at one
+// position in the shard's total order; resolve applies or discards the
+// portion. Like the migrate ops they are ordinary sequenced commands, so an
+// in-doubt transaction survives any crash the write-ahead log survives.
 const (
 	opPut byte = iota + 1
 	opDelete
@@ -32,6 +39,8 @@ const (
 	opMigrateCommit
 	opMigrateAbort
 	opMigrateImport
+	opTxnPrepare
+	opTxnResolve
 )
 
 var errBadCommand = errors.New("kv: malformed command")
@@ -124,8 +133,8 @@ func encodeMigrate(op byte, id uint64, rt Routing) []byte {
 }
 
 // encodeMigrateImport encodes one chunk of pairs (and migrated dedup
-// results) streamed into their new owner, tagged with the target epoch that
-// gates its application.
+// results and transaction portions) streamed into their new owner, tagged
+// with the target epoch that gates its application.
 func encodeMigrateImport(id uint64, rt Routing, chunk *importChunk) []byte {
 	dst := appendRouting(commandHeader(opMigrateImport, id), rt)
 	dst = binary.AppendUvarint(dst, uint64(len(chunk.Pairs)))
@@ -143,7 +152,155 @@ func encodeMigrateImport(id uint64, rt Routing, chunk *importChunk) []byte {
 		}
 		dst = appendBytes(dst, []byte(r.Key))
 	}
+	// Transaction portions travel as their snapshot (JSON) form: they are
+	// rare relative to pairs, and reusing the snapshot codec keeps the two
+	// serialisations from drifting apart.
+	dst = binary.AppendUvarint(dst, uint64(len(chunk.Txns)))
+	for _, p := range chunk.Txns {
+		blob, err := json.Marshal(p)
+		if err != nil {
+			blob = nil // unreachable: txnPortion has no unmarshalable fields
+		}
+		dst = appendBytes(dst, blob)
+	}
 	return dst
+}
+
+// appendTxnWrites / appendTxnConds encode a prepare's write and condition
+// sets, shared between the shard command and the access protocol.
+func appendTxnWrites(dst []byte, writes []TxnWrite) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(writes)))
+	for _, w := range writes {
+		dst = appendBytes(dst, []byte(w.Key))
+		if w.Delete {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, w.Val)
+	}
+	return dst
+}
+
+func takeTxnWrites(src []byte) ([]TxnWrite, []byte, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 || n > uint64(len(src)) {
+		return nil, nil, errBadCommand
+	}
+	src = src[w:]
+	out := make([]TxnWrite, 0, n)
+	for i := uint64(0); i < n; i++ {
+		raw, rest, err := takeBytes(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		tw := TxnWrite{Key: string(raw)}
+		if len(rest) < 1 {
+			return nil, nil, errBadCommand
+		}
+		tw.Delete = rest[0] != 0
+		if tw.Val, src, err = takeBytes(rest[1:]); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, tw)
+	}
+	return out, src, nil
+}
+
+func appendTxnConds(dst []byte, conds []TxnCond) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(conds)))
+	for _, c := range conds {
+		dst = appendBytes(dst, []byte(c.Key))
+		if c.ExpectPresent {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, c.Expect)
+	}
+	return dst
+}
+
+func takeTxnConds(src []byte) ([]TxnCond, []byte, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 || n > uint64(len(src)) {
+		return nil, nil, errBadCommand
+	}
+	src = src[w:]
+	out := make([]TxnCond, 0, n)
+	for i := uint64(0); i < n; i++ {
+		raw, rest, err := takeBytes(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		tc := TxnCond{Key: string(raw)}
+		if len(rest) < 1 {
+			return nil, nil, errBadCommand
+		}
+		tc.ExpectPresent = rest[0] != 0
+		if tc.Expect, src, err = takeBytes(rest[1:]); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, tc)
+	}
+	return out, src, nil
+}
+
+// appendKeys / takeKeys encode a key list.
+func appendKeys(dst []byte, keys []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendBytes(dst, []byte(k))
+	}
+	return dst
+}
+
+func takeKeys(src []byte) ([]string, []byte, error) {
+	n, w := binary.Uvarint(src)
+	if w <= 0 || n > uint64(len(src)) {
+		return nil, nil, errBadCommand
+	}
+	src = src[w:]
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		raw, rest, err := takeBytes(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, string(raw))
+		src = rest
+	}
+	return out, src, nil
+}
+
+// encodeTxnPrepare encodes a transaction prepare: lock the local keys, check
+// the conditions, capture the reads — all at one position in the shard's
+// total order. The txn id is carried in the payload (distinct from the
+// command id) so re-drives with fresh command ids still converge on one
+// portion.
+func encodeTxnPrepare(id, txnID uint64, homeKey string, allKeys, reads []string, writes []TxnWrite, conds []TxnCond) []byte {
+	dst := commandHeader(opTxnPrepare, id)
+	dst = binary.BigEndian.AppendUint64(dst, txnID)
+	dst = appendBytes(dst, []byte(homeKey))
+	dst = appendKeys(dst, allKeys)
+	dst = appendKeys(dst, reads)
+	dst = appendTxnWrites(dst, writes)
+	return appendTxnConds(dst, conds)
+}
+
+// encodeTxnResolve encodes a transaction resolve (commit or abort). It
+// carries the full key set so a shard that never saw the prepare can fence
+// the decision for the keys it serves.
+func encodeTxnResolve(id, txnID uint64, commit bool, homeKey string, allKeys []string) []byte {
+	dst := commandHeader(opTxnResolve, id)
+	dst = binary.BigEndian.AppendUint64(dst, txnID)
+	if commit {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = appendBytes(dst, []byte(homeKey))
+	return appendKeys(dst, allKeys)
 }
 
 // --- Access protocol (client ↔ service) --------------------------------------
@@ -172,8 +329,9 @@ func encodeMigrateImport(id uint64, rt Routing, chunk *importChunk) []byte {
 // guessing.
 
 // ProtoVersion is the access-protocol version this build speaks. Version 2
-// added the routing epoch to requests and the routing table to responses.
-const ProtoVersion = 2
+// added the routing epoch to requests and the routing table to responses;
+// version 3 added the transaction ops and the txn outcome byte on responses.
+const ProtoVersion = 3
 
 // Request ops.
 const (
@@ -189,6 +347,18 @@ const (
 	ReqCAS
 	// ReqBatchPut writes Pairs, each deduplicated by its own id in IDs.
 	ReqBatchPut
+	// ReqTxnPrepare locks one shard's portion of a transaction (TxnID,
+	// HomeKey, AllKeys; local reads in Keys, plus Writes and Conds) and
+	// captures its reads. Issued by the 2PC coordinator in Client.Txn.
+	ReqTxnPrepare
+	// ReqTxnResolve commits (Commit true) or aborts one shard's portion of
+	// TxnID. Key names a representative key the portion serves, so routing
+	// follows the portion across reshardings.
+	ReqTxnResolve
+	// ReqTxn is a whole transaction (reads in Keys, plus Writes and Conds):
+	// the form ring-less clients and the daemon's TXN verb send. A node (or
+	// ring-aware client) receiving it runs the 2PC coordinator itself.
+	ReqTxn
 )
 
 // Request flags.
@@ -222,8 +392,8 @@ type Request struct {
 	// answers with its own table attached, so stale clients converge.
 	Epoch uint64
 
-	Keys          []string // ReqGet
-	Key           string   // ReqPut, ReqDelete, ReqCAS
+	Keys          []string // ReqGet; txn ops: the read set (local subset for ReqTxnPrepare)
+	Key           string   // ReqPut, ReqDelete, ReqCAS; ReqTxnResolve: representative routing key
 	Val           []byte   // ReqPut, ReqCAS
 	ExpectPresent bool     // ReqCAS
 	Expect        []byte   // ReqCAS
@@ -231,6 +401,18 @@ type Request struct {
 	// IDs carries one command id per Pairs element, preserved verbatim
 	// across splits and forwards so every node deduplicates identically.
 	IDs []uint64 // ReqBatchPut
+
+	// Transaction fields (ReqTxn, ReqTxnPrepare, ReqTxnResolve). TxnID is
+	// the transaction's identity across every participant shard; HomeKey
+	// names the home portion whose shard order arbitrates the outcome;
+	// AllKeys is the full (sorted) key set, carried so any shard can fence
+	// the decision for keys it serves.
+	TxnID   uint64
+	HomeKey string
+	AllKeys []string
+	Writes  []TxnWrite // ReqTxn, ReqTxnPrepare (local subset)
+	Conds   []TxnCond  // ReqTxn, ReqTxnPrepare (local subset)
+	Commit  bool       // ReqTxnResolve: the decision being applied
 }
 
 // EncodeRequest renders a request for the wire.
@@ -267,6 +449,27 @@ func EncodeRequest(r *Request) []byte {
 			dst = appendBytes(dst, []byte(p.Key))
 			dst = appendBytes(dst, p.Val)
 		}
+	case ReqTxnPrepare:
+		dst = binary.BigEndian.AppendUint64(dst, r.TxnID)
+		dst = appendBytes(dst, []byte(r.HomeKey))
+		dst = appendKeys(dst, r.AllKeys)
+		dst = appendKeys(dst, r.Keys)
+		dst = appendTxnWrites(dst, r.Writes)
+		dst = appendTxnConds(dst, r.Conds)
+	case ReqTxnResolve:
+		dst = binary.BigEndian.AppendUint64(dst, r.TxnID)
+		if r.Commit {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendBytes(dst, []byte(r.Key))
+		dst = appendBytes(dst, []byte(r.HomeKey))
+		dst = appendKeys(dst, r.AllKeys)
+	case ReqTxn:
+		dst = appendKeys(dst, r.Keys)
+		dst = appendTxnWrites(dst, r.Writes)
+		dst = appendTxnConds(dst, r.Conds)
 	}
 	return dst
 }
@@ -366,6 +569,56 @@ func DecodeRequest(b []byte) (*Request, error) {
 			}
 			r.Pairs = append(r.Pairs, Pair{Key: key, Val: raw})
 		}
+	case ReqTxnPrepare:
+		if len(rest) < 8 {
+			return nil, errBadRequest
+		}
+		r.TxnID = binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		r.HomeKey = string(raw)
+		if r.AllKeys, rest, err = takeKeys(rest); err != nil {
+			return nil, errBadRequest
+		}
+		if r.Keys, rest, err = takeKeys(rest); err != nil {
+			return nil, errBadRequest
+		}
+		if r.Writes, rest, err = takeTxnWrites(rest); err != nil {
+			return nil, errBadRequest
+		}
+		if r.Conds, _, err = takeTxnConds(rest); err != nil {
+			return nil, errBadRequest
+		}
+	case ReqTxnResolve:
+		if len(rest) < 9 {
+			return nil, errBadRequest
+		}
+		r.TxnID = binary.BigEndian.Uint64(rest)
+		r.Commit = rest[8] != 0
+		rest = rest[9:]
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		r.Key = string(raw)
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return nil, errBadRequest
+		}
+		r.HomeKey = string(raw)
+		if r.AllKeys, _, err = takeKeys(rest); err != nil {
+			return nil, errBadRequest
+		}
+	case ReqTxn:
+		if r.Keys, rest, err = takeKeys(rest); err != nil {
+			return nil, errBadRequest
+		}
+		if r.Writes, rest, err = takeTxnWrites(rest); err != nil {
+			return nil, errBadRequest
+		}
+		if r.Conds, _, err = takeTxnConds(rest); err != nil {
+			return nil, errBadRequest
+		}
 	default:
 		return nil, fmt.Errorf("kv: unknown request op %d: %w", r.Op, errBadRequest)
 	}
@@ -391,6 +644,15 @@ type Response struct {
 	// whenever the request's epoch differed from the server's, so a stale
 	// client adopts the new table from any response — no config service.
 	Routing *Routing
+	// TxnState answers the txn ops: the portion's state after this request
+	// applied (txnStatePrepared/Committed/Aborted), zero for non-txn ops.
+	TxnState byte
+	// Conflict reports a prepare that lost to a different live transaction
+	// holding one of its keys; the coordinator retries with a fresh txn id.
+	Conflict bool
+	// CondFailed reports a prepare whose conditions did not hold; the
+	// transaction aborts without retry, like a failed CAS.
+	CondFailed bool
 	// Err is a non-empty error description; all other fields are zero.
 	Err string
 }
@@ -408,6 +670,16 @@ func EncodeResponse(r *Response) []byte {
 	} else {
 		dst = append(dst, 0)
 	}
+	// Txn outcome byte (v3): bits 0–1 TxnState, bit 2 Conflict, bit 3
+	// CondFailed. Always present; zero for non-txn responses.
+	txn := r.TxnState & 3
+	if r.Conflict {
+		txn |= 1 << 2
+	}
+	if r.CondFailed {
+		txn |= 1 << 3
+	}
+	dst = append(dst, txn)
 	if r.Routing != nil {
 		dst = append(dst, 1)
 		dst = appendRouting(dst, *r.Routing)
@@ -448,12 +720,15 @@ func DecodeResponse(b []byte) (*Response, error) {
 		}
 		return r, nil
 	case statusOK:
-		if len(rest) < 2 {
+		if len(rest) < 3 {
 			return nil, errBadRequest
 		}
 		r.OK = rest[0] != 0
-		hasRouting := rest[1] != 0
-		rest = rest[2:]
+		r.TxnState = rest[1] & 3
+		r.Conflict = rest[1]&(1<<2) != 0
+		r.CondFailed = rest[1]&(1<<3) != 0
+		hasRouting := rest[2] != 0
+		rest = rest[3:]
 		if hasRouting {
 			rt, tail, err := takeRouting(rest)
 			if err != nil {
@@ -501,10 +776,17 @@ type command struct {
 	val           []byte
 	expectPresent bool
 	expect        []byte
-	keys          []string       // opGet
+	keys          []string       // opGet; opTxnPrepare: the read set
 	routing       Routing        // migrate ops: the target table
 	pairs         []Pair         // opMigrateImport
 	impResults    []importResult // opMigrateImport: migrated dedup results
+	txns          []*txnPortion  // opMigrateImport: migrated txn portions
+	txnID         uint64         // txn ops
+	txnCommit     bool           // opTxnResolve: the decision
+	homeKey       string         // txn ops
+	allKeys       []string       // txn ops
+	writes        []TxnWrite     // opTxnPrepare
+	conds         []TxnCond      // opTxnPrepare
 }
 
 func decodeCommand(b []byte) (command, error) {
@@ -599,6 +881,58 @@ func decodeCommand(b []byte) (command, error) {
 			}
 			ir.Key = string(raw)
 			c.impResults = append(c.impResults, ir)
+		}
+		n, w = binary.Uvarint(rest)
+		if w <= 0 || n > uint64(len(rest)) {
+			return command{}, errBadCommand
+		}
+		rest = rest[w:]
+		c.txns = make([]*txnPortion, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if raw, rest, err = takeBytes(rest); err != nil {
+				return command{}, err
+			}
+			p := &txnPortion{}
+			if err := json.Unmarshal(raw, p); err != nil {
+				return command{}, errBadCommand
+			}
+			c.txns = append(c.txns, p)
+		}
+	case opTxnPrepare:
+		if len(rest) < 8 {
+			return command{}, errBadCommand
+		}
+		c.txnID = binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+		c.homeKey = string(raw)
+		if c.allKeys, rest, err = takeKeys(rest); err != nil {
+			return command{}, err
+		}
+		if c.keys, rest, err = takeKeys(rest); err != nil {
+			return command{}, err
+		}
+		if c.writes, rest, err = takeTxnWrites(rest); err != nil {
+			return command{}, err
+		}
+		if c.conds, _, err = takeTxnConds(rest); err != nil {
+			return command{}, err
+		}
+	case opTxnResolve:
+		if len(rest) < 9 {
+			return command{}, errBadCommand
+		}
+		c.txnID = binary.BigEndian.Uint64(rest)
+		c.txnCommit = rest[8] != 0
+		rest = rest[9:]
+		if raw, rest, err = takeBytes(rest); err != nil {
+			return command{}, err
+		}
+		c.homeKey = string(raw)
+		if c.allKeys, _, err = takeKeys(rest); err != nil {
+			return command{}, err
 		}
 	default:
 		return command{}, fmt.Errorf("kv: unknown op %d: %w", c.op, errBadCommand)

@@ -24,6 +24,12 @@ const (
 	OpPut
 	OpDelete
 	OpCAS
+	// OpTxn is one multi-key atomic operation: a transaction's writes
+	// (Writes, Committed) and/or its consistent snapshot reads (ReadKeys,
+	// ReadVals, ReadFound). MGet records as a read-only OpTxn — the store
+	// promises a cross-shard snapshot, so the history claims one and the
+	// checker holds it to that.
+	OpTxn
 )
 
 // String names an op for schedule dumps and checker diagnostics.
@@ -37,6 +43,8 @@ func (o HistoryOp) String() string {
 		return "delete"
 	case OpCAS:
 		return "cas"
+	case OpTxn:
+		return "txn"
 	}
 	return "?"
 }
@@ -62,6 +70,16 @@ type HistoryEvent struct {
 	// Expect/ExpectPresent carry a cas's compare operand.
 	Expect        []byte
 	ExpectPresent bool
+	// Multi-key payload (OpTxn). ReadKeys/ReadVals/ReadFound are the
+	// transaction's snapshot reads (parallel slices); Writes are the
+	// writes it committed atomically — empty unless Committed. Committed
+	// false with Err empty is a KNOWN abort (condition failed): the
+	// writes certainly did not land.
+	ReadKeys  []string
+	ReadVals  [][]byte
+	ReadFound []bool
+	Writes    []TxnWrite
+	Committed bool
 	// Invoke and Return bound the operation in nanoseconds since the
 	// history's epoch. Return < 0 marks an operation that never returned
 	// (client still blocked when the run ended) — linearizable anywhere
@@ -177,27 +195,55 @@ func (r *RecordingClient) CAS(ctx context.Context, key string, expect, val []byt
 	return ok, err
 }
 
-// MGet performs the multi-key sequenced read, recording one OpGet event per
-// key. All share the MGet's invocation window: each per-shard read is
-// linearizable somewhere inside it, which is exactly what the shared window
-// claims — no more (the combined result is not a cross-shard snapshot, and
-// the per-key events do not pretend it is).
+// MGet performs the multi-key read, recording one read-only OpTxn event:
+// the store serves MGet as a consistent cross-shard snapshot (all keys
+// captured under one set of transaction locks), and the history records
+// exactly that claim — the atomicity checker refutes torn snapshots, and
+// the per-key checker consumes the decomposed reads under the shared
+// window.
 func (r *RecordingClient) MGet(ctx context.Context, keys ...string) (map[string][]byte, error) {
-	invoke := r.h.now()
+	e := HistoryEvent{Client: r.id, Op: OpTxn, ReadKeys: append([]string(nil), keys...),
+		Committed: true, Invoke: r.h.now()}
 	out, err := r.c.MGet(ctx, keys...)
-	ret := r.h.now()
-	for _, k := range keys {
-		e := HistoryEvent{Client: r.id, Op: OpGet, Key: k, Invoke: invoke, Return: ret}
-		if err != nil {
-			e.Err = err.Error()
-			e.Return = -1
-		} else {
+	if err == nil {
+		for _, k := range keys {
 			v, found := out[k]
-			e.Val, e.Found = copyVal(v), found
+			e.ReadVals = append(e.ReadVals, copyVal(v))
+			e.ReadFound = append(e.ReadFound, found)
 		}
-		r.h.add(e)
 	}
+	r.finish(e, err)
 	return out, err
+}
+
+// Txn executes the transaction, recording one OpTxn event: its snapshot
+// reads, and — when it committed — its writes as one atomic multi-key
+// update. A condition-failed abort records Committed false with no error
+// (a known no-op); a transport failure records an unknown outcome, whose
+// writes may still land later.
+func (r *RecordingClient) Txn(ctx context.Context, op TxnOp) (*TxnResult, error) {
+	e := HistoryEvent{Client: r.id, Op: OpTxn, Invoke: r.h.now()}
+	for _, w := range op.Writes {
+		e.Writes = append(e.Writes, TxnWrite{Key: w.Key, Val: copyVal(w.Val), Delete: w.Delete})
+	}
+	res, err := r.c.Txn(ctx, op)
+	if err == nil {
+		e.Committed = res.Committed
+		if res.Committed { // a condition-failed abort captures no snapshot
+			e.ReadKeys = append([]string(nil), op.Reads...)
+			for i := range op.Reads {
+				var v []byte
+				var found bool
+				if i < len(res.Values) {
+					v, found = res.Values[i], res.Found[i]
+				}
+				e.ReadVals = append(e.ReadVals, copyVal(v))
+				e.ReadFound = append(e.ReadFound, found)
+			}
+		}
+	}
+	r.finish(e, err)
+	return res, err
 }
 
 // BatchPut writes the pairs, recording one OpPut event per pair under the

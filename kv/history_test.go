@@ -46,7 +46,7 @@ func TestHistoryRecordsConcurrentClientsCompletely(t *testing.T) {
 				case 2:
 					_, _ = rc.CAS(ctx, key, nil, []byte("create"))
 				case 3:
-					_, _ = rc.MGet(ctx, "k0", "k1") // 2 events
+					_, _ = rc.MGet(ctx, "k0", "k1") // one OpTxn event
 				case 4:
 					_, _ = rc.Delete(ctx, key)
 				}
@@ -56,9 +56,9 @@ func TestHistoryRecordsConcurrentClientsCompletely(t *testing.T) {
 	wg.Wait()
 
 	evs := h.Events()
-	// opsEach/5 iterations hit the MGet arm, each recording 2 events
-	// instead of 1.
-	want := clients * (opsEach + opsEach/5)
+	// Every arm records exactly one event: MGet is one OpTxn snapshot, not
+	// per-key gets.
+	want := clients * opsEach
 	if len(evs) != want {
 		t.Fatalf("recorded %d events, want %d", len(evs), want)
 	}
@@ -79,8 +79,8 @@ func TestHistoryRecordsConcurrentClientsCompletely(t *testing.T) {
 		t.Fatalf("events from %d clients, want %d", len(perClient), clients)
 	}
 	for c, ces := range perClient {
-		if len(ces) != opsEach+opsEach/5 {
-			t.Fatalf("client %d recorded %d events, want %d", c, len(ces), opsEach+opsEach/5)
+		if len(ces) != opsEach {
+			t.Fatalf("client %d recorded %d events, want %d", c, len(ces), opsEach)
 		}
 	}
 }

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"amoeba"
+	"amoeba/obs"
 	"amoeba/shared"
 	"amoeba/wal"
 )
@@ -108,6 +109,12 @@ type Options struct {
 	// CheckpointEvery is the number of journaled commands between
 	// snapshot checkpoints per shard (default 1024).
 	CheckpointEvery int
+	// TxnRecoveryAfter is how long a transaction's prepare locks may sit
+	// before the per-node janitor asks the home shard to arbitrate — the
+	// coordinator client died mid-2PC (default 3s). Recovery is
+	// idempotent, so a timid value only delays lock release and an eager
+	// one only races (and loses to) a live coordinator's own resolve.
+	TxnRecoveryAfter time.Duration
 	// Group configures every shard group (resilience, method, history —
 	// see amoeba.GroupOptions).
 	Group amoeba.GroupOptions
@@ -122,6 +129,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ResultWindow <= 0 {
 		o.ResultWindow = defaultResultWindow
+	}
+	if o.TxnRecoveryAfter <= 0 {
+		o.TxnRecoveryAfter = 3 * time.Second
 	}
 	return o
 }
@@ -346,7 +356,15 @@ func (s *Store) startSelfHeal() {
 	}
 	s.healWG.Add(1)
 	go s.topologyWorker()
+	s.healWG.Add(1)
+	go s.txnJanitor(s.healCtx)
 	s.nudgeTopology()
+}
+
+// flight returns the store's flight recorder (nil-safe: a nil hub records
+// nothing).
+func (s *Store) flight() *obs.Recorder {
+	return s.opts.Group.Obs.Flight()
 }
 
 // watchShard rejoins shard i whenever its replica stops underneath us.
@@ -713,6 +731,10 @@ func bootstrapDurable(ctx context.Context, kernels []*amoeba.Kernel, name string
 			}
 			return nil, fmt.Errorf("kv: resuming interrupted resharding of %q: %w", name, err)
 		}
+		// Likewise for transactions a kill-all interrupted between prepare
+		// and commit: the coordinators are certainly gone, so arbitrate
+		// every in-doubt prepare now instead of waiting out the janitor.
+		stores[0].recoverInDoubt(ctx, 0)
 	}
 	return stores, nil
 }

@@ -332,6 +332,20 @@ func (svc *Service) shardsOf(req *Request) []int {
 		for _, p := range req.Pairs {
 			add(p.Key)
 		}
+	case ReqTxn, ReqTxnPrepare:
+		// Every key the transaction touches: a multi-shard transaction is
+		// re-scattered here (this node coordinates it in process), a
+		// single-shard one can be forwarded to its owner like any write.
+		// ReqTxnResolve routes by its representative Key (default case).
+		for _, k := range req.Keys {
+			add(k)
+		}
+		for _, w := range req.Writes {
+			add(w.Key)
+		}
+		for _, cc := range req.Conds {
+			add(cc.Key)
+		}
 	default:
 		add(req.Key)
 	}

@@ -1,8 +1,11 @@
 package kv
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"time"
 
 	"amoeba/obs"
 	"amoeba/shared"
@@ -40,8 +43,169 @@ type result struct {
 	// epoch). The command was NOT executed; the caller re-resolves the
 	// owner and retries — and because a Moved result does not arm the
 	// dedup suppression, the retried id executes normally wherever it
-	// lands.
+	// lands. Ordinary writes to a prepare-locked key answer Moved too: the
+	// command did not execute and the client retries after the lock clears.
 	Moved bool `json:"moved,omitempty"`
+	// TxnState, Conflict, and CondFailed answer the txn ops (see txn.go):
+	// the portion's state after the command, a prepare that lost its keys
+	// to another live transaction, and a prepare whose conditions failed.
+	TxnState   byte `json:"txn,omitempty"`
+	Conflict   bool `json:"conflict,omitempty"`
+	CondFailed bool `json:"condFailed,omitempty"`
+}
+
+// Transaction portion states (see txn.go for the 2PC protocol).
+const (
+	txnStatePrepared  byte = 1
+	txnStateCommitted byte = 2
+	txnStateAborted   byte = 3
+)
+
+// txnTombstoneWindow bounds resolved transaction portions kept for
+// idempotent re-answers, FIFO like the result window. A transaction
+// re-driven after its tombstones evicted everywhere is presumed resolved —
+// the same horizon the result window already imposes on plain retries.
+const txnTombstoneWindow = 8192
+
+// txnPortion is one shard's slice of a cross-shard transaction: the local
+// reads (with the values captured when the prepare sequenced), writes held
+// back until the decision, and conditions. It is replicated state — created
+// by opTxnPrepare, resolved by opTxnResolve, carried in snapshots and
+// migrated with its keys during resharding. After resolution the portion
+// stays as a tombstone (writes and conds trimmed) so re-driven prepares and
+// resolves re-answer the decision instead of re-executing.
+type txnPortion struct {
+	TxnID   uint64     `json:"id"`
+	HomeKey string     `json:"home"`
+	AllKeys []string   `json:"all"`
+	State   byte       `json:"state"`
+	Reads   []string   `json:"reads,omitempty"`
+	Writes  []TxnWrite `json:"writes,omitempty"`
+	Conds   []TxnCond  `json:"conds,omitempty"`
+	Values  [][]byte   `json:"values,omitempty"`
+	Found   []bool     `json:"found,omitempty"`
+}
+
+// localKeys is the deduplicated union of the portion's read, write, and
+// condition keys — the keys this shard locks for the transaction.
+func (p *txnPortion) localKeys() []string {
+	seen := make(map[string]bool, len(p.Reads)+len(p.Writes)+len(p.Conds))
+	out := make([]string, 0, len(p.Reads)+len(p.Writes)+len(p.Conds))
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, k := range p.Reads {
+		add(k)
+	}
+	for _, w := range p.Writes {
+		add(w.Key)
+	}
+	for _, c := range p.Conds {
+		add(c.Key)
+	}
+	return out
+}
+
+func (p *txnPortion) clone() *txnPortion {
+	cp := *p
+	cp.AllKeys = append([]string(nil), p.AllKeys...)
+	cp.Reads = append([]string(nil), p.Reads...)
+	cp.Writes = append([]TxnWrite(nil), p.Writes...)
+	cp.Conds = append([]TxnCond(nil), p.Conds...)
+	cp.Values = append([][]byte(nil), p.Values...)
+	cp.Found = append([]bool(nil), p.Found...)
+	return &cp
+}
+
+// mergeReads folds t's captured reads into p (keys p lacks only).
+func (p *txnPortion) mergeReads(t *txnPortion) {
+	have := make(map[string]bool, len(p.Reads))
+	for _, k := range p.Reads {
+		have[k] = true
+	}
+	for i, k := range t.Reads {
+		if have[k] {
+			continue
+		}
+		have[k] = true
+		p.Reads = append(p.Reads, k)
+		var v []byte
+		var f bool
+		if i < len(t.Values) {
+			v = t.Values[i]
+		}
+		if i < len(t.Found) {
+			f = t.Found[i]
+		}
+		p.Values = append(p.Values, v)
+		p.Found = append(p.Found, f)
+	}
+}
+
+// mergeOps folds t's reads, writes, and conds into p (same transaction,
+// disjoint or identical per key — dedup by key).
+func (p *txnPortion) mergeOps(t *txnPortion) {
+	p.mergeReads(t)
+	haveW := make(map[string]bool, len(p.Writes))
+	for _, w := range p.Writes {
+		haveW[w.Key] = true
+	}
+	for _, w := range t.Writes {
+		if !haveW[w.Key] {
+			haveW[w.Key] = true
+			p.Writes = append(p.Writes, w)
+		}
+	}
+	haveC := make(map[string]bool, len(p.Conds))
+	for _, c := range p.Conds {
+		haveC[c.Key] = true
+	}
+	for _, c := range t.Conds {
+		if !haveC[c.Key] {
+			haveC[c.Key] = true
+			p.Conds = append(p.Conds, c)
+		}
+	}
+}
+
+// subPortion extracts the slice of p covering keys, for migration to the
+// keys' new owner.
+func (p *txnPortion) subPortion(keys []string) *txnPortion {
+	in := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		in[k] = true
+	}
+	sub := &txnPortion{TxnID: p.TxnID, HomeKey: p.HomeKey, AllKeys: p.AllKeys, State: p.State}
+	for i, k := range p.Reads {
+		if !in[k] {
+			continue
+		}
+		sub.Reads = append(sub.Reads, k)
+		var v []byte
+		var f bool
+		if i < len(p.Values) {
+			v = p.Values[i]
+		}
+		if i < len(p.Found) {
+			f = p.Found[i]
+		}
+		sub.Values = append(sub.Values, v)
+		sub.Found = append(sub.Found, f)
+	}
+	for _, w := range p.Writes {
+		if in[w.Key] {
+			sub.Writes = append(sub.Writes, w)
+		}
+	}
+	for _, c := range p.Conds {
+		if in[c.Key] {
+			sub.Conds = append(sub.Conds, c)
+		}
+	}
+	return sub
 }
 
 // mapSM is the per-shard replicated state machine: the key-value items, a
@@ -52,6 +216,18 @@ type mapSM struct {
 	results map[uint64]result
 	order   []uint64 // result ids, oldest first, for deterministic eviction
 	window  int
+
+	// Transaction state (replicated): portions keyed by txn id, the FIFO
+	// eviction queue of RESOLVED portion ids (prepared portions never
+	// evict), and the prepare locks derived from the prepared portions.
+	txns     map[uint64]*txnPortion
+	txnOrder []uint64
+	locks    map[string]uint64 // key -> txn id holding its prepare lock
+
+	// lockSeen is node-local (never replicated): when this replica last saw
+	// each prepared portion, feeding the in-doubt recovery janitor's age
+	// check. Stamped at prepare apply, restore, and import.
+	lockSeen map[uint64]time.Time
 
 	// Identity (constructor-set, not part of the replicated state: every
 	// replica of one shard is built with the same values).
@@ -94,6 +270,9 @@ func newMapSM(store string, shard int, rt Routing, window int, onRouting func(in
 		items:     make(map[string][]byte),
 		results:   make(map[uint64]result),
 		window:    window,
+		txns:      make(map[uint64]*txnPortion),
+		locks:     make(map[string]uint64),
+		lockSeen:  make(map[uint64]time.Time),
 		store:     store,
 		shard:     shard,
 		onRouting: onRouting,
@@ -175,14 +354,14 @@ func (s *mapSM) Apply(cmd []byte) {
 	s.tracer.Addf(c.id, "applied@seq %d op=%d shard=%d", s.seq, c.op, s.shard)
 	switch c.op {
 	case opPut:
-		if !s.serves(c.key) {
+		if !s.serves(c.key) || s.locked(c.key) {
 			s.setResult(c.id, result{Moved: true})
 			return
 		}
 		s.items[c.key] = c.val
 		s.setResult(c.id, result{OK: true, Key: c.key})
 	case opDelete:
-		if !s.serves(c.key) {
+		if !s.serves(c.key) || s.locked(c.key) {
 			s.setResult(c.id, result{Moved: true})
 			return
 		}
@@ -190,7 +369,7 @@ func (s *mapSM) Apply(cmd []byte) {
 		delete(s.items, c.key)
 		s.setResult(c.id, result{OK: existed, Key: c.key})
 	case opCAS:
-		if !s.serves(c.key) {
+		if !s.serves(c.key) || s.locked(c.key) {
 			s.setResult(c.id, result{Moved: true})
 			return
 		}
@@ -202,7 +381,7 @@ func (s *mapSM) Apply(cmd []byte) {
 		s.setResult(c.id, result{OK: ok, Key: c.key})
 	case opGet:
 		for _, k := range c.keys {
-			if !s.serves(k) {
+			if !s.serves(k) || s.locked(k) {
 				s.setResult(c.id, result{Moved: true})
 				return
 			}
@@ -227,6 +406,239 @@ func (s *mapSM) Apply(cmd []byte) {
 		s.applyMigrateAbort(c)
 	case opMigrateImport:
 		s.applyMigrateImport(c)
+	case opTxnPrepare:
+		s.applyTxnPrepare(c)
+	case opTxnResolve:
+		s.applyTxnResolve(c)
+	}
+}
+
+// locked reports whether key is held by a prepared transaction. Ordinary
+// commands on a locked key answer Moved (not executed, retried by the
+// client) — a write slipping between a transaction's prepare and its commit
+// would break the transaction's atomicity (its conditions were checked and
+// its reads captured at prepare; its writes land at resolve).
+func (s *mapSM) locked(key string) bool {
+	_, held := s.locks[key]
+	return held
+}
+
+// touchLock stamps the node-local last-seen time for a prepared portion.
+func (s *mapSM) touchLock(txnID uint64) {
+	s.lockSeen[txnID] = time.Now()
+}
+
+// txnPrepareResultFor renders a prepare answer from a portion, aligning the
+// captured read values to the REQUESTED read set (a merged or migrated
+// portion may hold a superset).
+func (s *mapSM) txnPrepareResultFor(p *txnPortion, reads []string) result {
+	r := result{TxnState: p.State, OK: p.State == txnStatePrepared || p.State == txnStateCommitted}
+	if len(reads) == 0 {
+		return r
+	}
+	idx := make(map[string]int, len(p.Reads))
+	for i, k := range p.Reads {
+		idx[k] = i
+	}
+	r.Values = make([][]byte, len(reads))
+	r.Found = make([]bool, len(reads))
+	for i, k := range reads {
+		if j, ok := idx[k]; ok {
+			if j < len(p.Values) {
+				r.Values[i] = p.Values[j]
+			}
+			if j < len(p.Found) {
+				r.Found[i] = p.Found[j]
+			}
+		}
+	}
+	return r
+}
+
+// applyTxnPrepare locks this shard's slice of a transaction and captures its
+// reads, all at one position in the total order. Prepares are idempotent and
+// accretive: a re-drive after a routing flip may split the same attempt
+// along different shard boundaries, so a request against an existing
+// prepared portion merges its ops in (validating only the keys it adds)
+// rather than demanding byte equality. A resolved portion answers its
+// decision — a late prepare must never relock after the outcome.
+func (s *mapSM) applyTxnPrepare(c command) {
+	p := s.txns[c.txnID]
+	if p != nil && p.State != txnStatePrepared {
+		s.setResult(c.id, s.txnPrepareResultFor(p, c.keys))
+		return
+	}
+	resident := make(map[string]bool)
+	if p != nil {
+		for _, k := range p.localKeys() {
+			resident[k] = true
+		}
+	}
+	var fresh []string
+	seen := make(map[string]bool)
+	addFresh := func(k string) {
+		if !resident[k] && !seen[k] {
+			seen[k] = true
+			fresh = append(fresh, k)
+		}
+	}
+	for _, k := range c.keys {
+		addFresh(k)
+	}
+	for _, w := range c.writes {
+		addFresh(w.Key)
+	}
+	for _, cc := range c.conds {
+		addFresh(cc.Key)
+	}
+	for _, k := range fresh {
+		if !s.serves(k) {
+			s.setResult(c.id, result{Moved: true})
+			return
+		}
+	}
+	for _, k := range fresh {
+		if owner, held := s.locks[k]; held && owner != c.txnID {
+			s.setResult(c.id, result{Conflict: true})
+			return
+		}
+	}
+	// Conditions for already-resident keys were checked when they first
+	// prepared and their values cannot have changed since (the lock blocks
+	// writes), so re-evaluating everything against items is equivalent.
+	for _, cc := range c.conds {
+		cur, present := s.items[cc.Key]
+		if present != cc.ExpectPresent || (present && !bytes.Equal(cur, cc.Expect)) {
+			s.setResult(c.id, result{CondFailed: true})
+			return
+		}
+	}
+	if p == nil {
+		p = &txnPortion{TxnID: c.txnID, HomeKey: c.homeKey, AllKeys: c.allKeys, State: txnStatePrepared}
+		s.txns[c.txnID] = p
+		s.flight.Recordf(s.flightTag(), "txn %016x prepared: %d reads %d writes %d conds",
+			c.txnID, len(c.keys), len(c.writes), len(c.conds))
+	}
+	haveRead := make(map[string]bool, len(p.Reads))
+	for _, k := range p.Reads {
+		haveRead[k] = true
+	}
+	for _, k := range c.keys {
+		if haveRead[k] {
+			continue
+		}
+		haveRead[k] = true
+		p.Reads = append(p.Reads, k)
+		v, found := s.items[k]
+		if found {
+			p.Values = append(p.Values, append([]byte(nil), v...))
+		} else {
+			p.Values = append(p.Values, nil)
+		}
+		p.Found = append(p.Found, found)
+	}
+	p.mergeOps(&txnPortion{Writes: c.writes, Conds: c.conds})
+	for _, k := range fresh {
+		s.locks[k] = c.txnID
+	}
+	s.touchLock(c.txnID)
+	s.setResult(c.id, s.txnPrepareResultFor(p, c.keys))
+}
+
+// resolvePortion applies the decision to a prepared portion: commit lands
+// the held-back writes, abort discards them; either way the locks clear and
+// the portion becomes a tombstone (payloads trimmed, reads kept for
+// idempotent re-answers).
+func (s *mapSM) resolvePortion(p *txnPortion, commit bool) {
+	if p.State != txnStatePrepared {
+		return
+	}
+	for _, k := range p.localKeys() {
+		if s.locks[k] == p.TxnID {
+			delete(s.locks, k)
+		}
+	}
+	if commit {
+		for _, w := range p.Writes {
+			if w.Delete {
+				delete(s.items, w.Key)
+			} else {
+				s.items[w.Key] = w.Val
+			}
+		}
+		p.State = txnStateCommitted
+	} else {
+		p.State = txnStateAborted
+	}
+	p.Writes = nil
+	p.Conds = nil
+	delete(s.lockSeen, p.TxnID)
+	s.txnOrder = append(s.txnOrder, p.TxnID)
+	s.evictTxns()
+	s.flight.Recordf(s.flightTag(), "txn %016x resolved: state=%d", p.TxnID, p.State)
+}
+
+// applyTxnResolve applies a commit/abort decision to this shard's portion.
+// The home shard (owner of HomeKey) arbitrates: the first resolve to
+// sequence against its prepared portion fixes the transaction's outcome,
+// and every later resolve or prepare re-answers it. A portion whose keys
+// are frozen mid-reshard answers Moved — the portion migrates with its keys
+// and the decision chases it to the new owner, which is what guarantees a
+// reshard serializes entirely before or after the commit.
+func (s *mapSM) applyTxnResolve(c command) {
+	if p := s.txns[c.txnID]; p != nil {
+		if p.State == txnStatePrepared {
+			for _, k := range p.localKeys() {
+				if !s.serves(k) {
+					s.setResult(c.id, result{Moved: true})
+					return
+				}
+			}
+			s.resolvePortion(p, c.txnCommit)
+		}
+		s.setResult(c.id, result{OK: p.State == txnStateCommitted, TxnState: p.State})
+		return
+	}
+	// No portion: this shard never saw the prepare, or already evicted the
+	// tombstone. It must at least own one of the transaction's keys —
+	// otherwise the decision belongs elsewhere (stale routing) and the
+	// caller re-resolves.
+	owned := s.curRing == nil
+	for _, k := range c.allKeys {
+		if owned {
+			break
+		}
+		owned = s.curRing.shard(k) == s.shard
+	}
+	if !owned {
+		s.setResult(c.id, result{Moved: true})
+		return
+	}
+	if c.txnCommit {
+		// Presumed resolved: a commit decision exists only if the prepare
+		// phase finished everywhere, so re-answering success is safe even
+		// past the tombstone horizon.
+		s.setResult(c.id, result{OK: true, TxnState: txnStateCommitted})
+		return
+	}
+	// Abort with no portion: plant a fence so a straggling prepare re-drive
+	// cannot lock keys after the decision (presumed abort).
+	f := &txnPortion{TxnID: c.txnID, HomeKey: c.homeKey, AllKeys: c.allKeys, State: txnStateAborted}
+	s.txns[c.txnID] = f
+	s.txnOrder = append(s.txnOrder, c.txnID)
+	s.evictTxns()
+	s.flight.Recordf(s.flightTag(), "txn %016x fenced aborted", c.txnID)
+	s.setResult(c.id, result{TxnState: txnStateAborted})
+}
+
+// evictTxns trims resolved portions past the tombstone window.
+func (s *mapSM) evictTxns() {
+	for len(s.txnOrder) > txnTombstoneWindow {
+		id := s.txnOrder[0]
+		s.txnOrder = s.txnOrder[1:]
+		if p, ok := s.txns[id]; ok && p.State != txnStatePrepared {
+			delete(s.txns, id)
+		}
 	}
 }
 
@@ -279,6 +691,45 @@ func (s *mapSM) applyMigrateCommit(c command) {
 			dropped++
 		}
 	}
+	// Transaction portions follow their keys: shrink each to the keys this
+	// shard still owns (the moved slices were exported as sub-portions
+	// before the commit sequenced) and drop portions with nothing left
+	// here. Locks are rederived from what remains.
+	for id, p := range s.txns {
+		if p.State == txnStatePrepared {
+			var keep []string
+			for _, k := range p.localKeys() {
+				if s.curRing.shard(k) == s.shard {
+					keep = append(keep, k)
+				}
+			}
+			if len(keep) == 0 {
+				delete(s.txns, id)
+				delete(s.lockSeen, id)
+				continue
+			}
+			s.txns[id] = p.subPortion(keep)
+			continue
+		}
+		anyOwned := false
+		for _, k := range p.AllKeys {
+			if s.curRing.shard(k) == s.shard {
+				anyOwned = true
+				break
+			}
+		}
+		if !anyOwned {
+			delete(s.txns, id) // txnOrder entry left behind; evict tolerates it
+		}
+	}
+	s.locks = make(map[string]uint64)
+	for id, p := range s.txns {
+		if p.State == txnStatePrepared {
+			for _, k := range p.localKeys() {
+				s.locks[k] = id
+			}
+		}
+	}
 	s.flight.Recordf(s.flightTag(), "migrate commit: epoch %d, %d moved keys dropped, %d kept",
 		c.routing.Epoch, dropped, len(s.items))
 	s.setResult(c.id, result{OK: true})
@@ -318,17 +769,75 @@ func (s *mapSM) applyMigrateImport(c command) {
 	for _, r := range c.impResults {
 		s.setResult(r.ID, result{OK: r.OK, Key: r.Key})
 	}
+	for _, t := range c.txns {
+		s.importPortion(t)
+	}
 	s.setResult(c.id, result{OK: true})
+}
+
+// importPortion merges one migrated transaction sub-portion into this
+// shard's state. The interesting cases arise when this shard already holds
+// a portion for the same transaction (it was a participant too, or earlier
+// chunks arrived first): the resident and incoming states must converge on
+// one outcome with every write applied exactly once.
+func (s *mapSM) importPortion(t *txnPortion) {
+	ex, ok := s.txns[t.TxnID]
+	if !ok {
+		cp := t.clone()
+		s.txns[t.TxnID] = cp
+		if cp.State == txnStatePrepared {
+			for _, k := range cp.localKeys() {
+				s.locks[k] = cp.TxnID
+			}
+			s.touchLock(cp.TxnID)
+		} else {
+			cp.Writes = nil
+			cp.Conds = nil
+			s.txnOrder = append(s.txnOrder, cp.TxnID)
+			s.evictTxns()
+		}
+		return
+	}
+	switch {
+	case ex.State == txnStatePrepared && t.State == txnStatePrepared:
+		ex.mergeOps(t)
+		for _, k := range t.localKeys() {
+			s.locks[k] = ex.TxnID
+		}
+		s.touchLock(ex.TxnID)
+	case ex.State == txnStatePrepared:
+		// The transaction resolved elsewhere while this slice was in
+		// flight: land the decision on the resident portion too.
+		s.resolvePortion(ex, t.State == txnStateCommitted)
+		ex.mergeReads(t)
+	case ex.State == txnStateCommitted && t.State == txnStatePrepared:
+		// Resident tombstone says committed, but the incoming keys' writes
+		// were still held back on their source when it froze: apply them
+		// here, exactly once — this is the only place they can ever land.
+		for _, w := range t.Writes {
+			if w.Delete {
+				delete(s.items, w.Key)
+			} else {
+				s.items[w.Key] = w.Val
+			}
+		}
+		ex.mergeReads(t)
+	default:
+		// Aborted + prepared (writes discarded), or both resolved.
+		ex.mergeReads(t)
+	}
 }
 
 // snapshotState is the wire form of a shard snapshot. Results travel in FIFO
 // order so the joiner rebuilds the identical eviction queue.
 type snapshotState struct {
-	Items   map[string][]byte `json:"items"`
-	Results []savedResult     `json:"results"`
-	Window  int               `json:"window"`
-	Routing Routing           `json:"routing"`
-	Pending *Routing          `json:"pending,omitempty"`
+	Items    map[string][]byte `json:"items"`
+	Results  []savedResult     `json:"results"`
+	Window   int               `json:"window"`
+	Routing  Routing           `json:"routing"`
+	Pending  *Routing          `json:"pending,omitempty"`
+	Txns     []*txnPortion     `json:"txns,omitempty"`
+	TxnOrder []uint64          `json:"txnOrder,omitempty"`
 }
 
 type savedResult struct {
@@ -348,6 +857,15 @@ func (s *mapSM) Snapshot() ([]byte, error) {
 	for _, id := range s.order {
 		st.Results = append(st.Results, savedResult{ID: id, result: s.results[id]})
 	}
+	txnIDs := make([]uint64, 0, len(s.txns))
+	for id := range s.txns {
+		txnIDs = append(txnIDs, id)
+	}
+	sort.Slice(txnIDs, func(i, j int) bool { return txnIDs[i] < txnIDs[j] })
+	for _, id := range txnIDs {
+		st.Txns = append(st.Txns, s.txns[id])
+	}
+	st.TxnOrder = s.txnOrder
 	return json.Marshal(st)
 }
 
@@ -379,6 +897,19 @@ func (s *mapSM) Restore(snap []byte) error {
 	if s.pending != nil {
 		s.pendRing = s.pending.ring(s.store)
 	}
+	s.txns = make(map[uint64]*txnPortion, len(st.Txns))
+	s.locks = make(map[string]uint64)
+	s.lockSeen = make(map[uint64]time.Time)
+	for _, p := range st.Txns {
+		s.txns[p.TxnID] = p
+		if p.State == txnStatePrepared {
+			for _, k := range p.localKeys() {
+				s.locks[k] = p.TxnID
+			}
+			s.touchLock(p.TxnID)
+		}
+	}
+	s.txnOrder = st.TxnOrder
 	s.notifyRouting()
 	return nil
 }
@@ -393,10 +924,12 @@ type migrationView struct {
 
 // importChunk is one migrate-import command's cargo: moved key/value pairs
 // plus the dedup results whose keys move with them (tombstoned deletes
-// included — their result must follow the key even though the item is gone).
+// included — their result must follow the key even though the item is gone)
+// and the transaction sub-portions covering the moved keys.
 type importChunk struct {
 	Pairs   []Pair
 	Results []importResult
+	Txns    []*txnPortion
 }
 
 // importResult is one migrated dedup-window entry.
@@ -442,6 +975,43 @@ func (s *mapSM) exportChunks(next *ring, maxBytes int) map[int][]*importChunk {
 		}
 		ch := chunkFor(dest, len(r.Key)+16)
 		ch.Results = append(ch.Results, importResult{ID: id, OK: r.OK, Key: r.Key})
+	}
+	// Transaction portions follow their keys: a prepared portion's slice
+	// moves wherever its locked keys go (the held-back writes included, so
+	// an in-flight transaction survives the reshard); a tombstone's slice
+	// follows its AllKeys so re-drives keep finding the decision.
+	for _, p := range s.txns {
+		var keys []string
+		if p.State == txnStatePrepared {
+			keys = p.localKeys()
+		} else {
+			for _, k := range p.AllKeys {
+				if s.curRing == nil || s.curRing.shard(k) == s.shard {
+					keys = append(keys, k)
+				}
+			}
+		}
+		byDest := make(map[int][]string)
+		for _, k := range keys {
+			if d := next.shard(k); d != s.shard {
+				byDest[d] = append(byDest[d], k)
+			}
+		}
+		for dest, moved := range byDest {
+			sub := p.subPortion(moved)
+			need := 64
+			for _, w := range sub.Writes {
+				need += len(w.Key) + len(w.Val) + 8
+			}
+			for i, k := range sub.Reads {
+				need += len(k) + 8
+				if i < len(sub.Values) {
+					need += len(sub.Values[i])
+				}
+			}
+			ch := chunkFor(dest, need)
+			ch.Txns = append(ch.Txns, sub)
+		}
 	}
 	return out
 }

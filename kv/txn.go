@@ -1,0 +1,563 @@
+package kv
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"amoeba/shared"
+)
+
+// Cross-shard transactions: sequenced two-phase commit on the total order.
+//
+// Each shard already has everything a transaction participant needs — a
+// total order, exactly-once command dedup, a write-ahead log, and
+// epoch-gated routing — so the commit protocol is built entirely out of
+// ordinary sequenced commands:
+//
+//	prepare(txnID, reads, writes, conds)   one per participant shard
+//	resolve(txnID, commit|abort)           one per participant shard
+//
+// A prepare locks the transaction's local keys, checks its conditions, and
+// captures its reads, all at one position in the shard's order; ordinary
+// writes to a locked key answer Moved and retry after the lock clears. The
+// home shard — the owner of the lexicographically first key — arbitrates:
+// the first resolve to sequence against its prepared portion fixes the
+// outcome, and every later resolve or prepare re-answers that decision from
+// the portion tombstone. The coordinator (any Client) therefore:
+//
+//	phase 1: prepare every participant in parallel
+//	phase 2: resolve the home portion with commit=true — the commit point
+//	phase 3: echo the home's answered decision to the other participants
+//
+// Because prepares and resolves are journaled like any command, an
+// interrupted transaction is crash-resumable exactly the way an interrupted
+// reshard handoff is: a shard that logged its resolve re-answers it, a shard
+// still prepared holds its locks until recovery — the boot pass and a
+// janitor goroutine on every node — asks the home shard to arbitrate
+// (resolve with commit=false: presumed abort if the home is still prepared,
+// the recorded decision otherwise) and echoes the answer. Prepared portions
+// migrate with their keys during live resharding, so a reshard serializes
+// entirely before or after the commit, never through it.
+
+// TxnWrite is one write in a transaction: set Key to Val, or remove it.
+type TxnWrite struct {
+	Key    string
+	Val    []byte
+	Delete bool
+}
+
+// TxnCond is one precondition: Key's value must equal Expect
+// (ExpectPresent true) or the key must be absent (ExpectPresent false).
+// Any failing condition aborts the transaction without retry.
+type TxnCond struct {
+	Key           string
+	ExpectPresent bool
+	Expect        []byte
+}
+
+// TxnOp describes one transaction: the keys to read, the writes to apply
+// atomically, and the conditions gating the commit. Keys may repeat and
+// overlap freely across the three sets.
+type TxnOp struct {
+	Reads  []string
+	Writes []TxnWrite
+	Conds  []TxnCond
+}
+
+// TxnResult is a transaction's outcome. Values and Found align with the
+// TxnOp's Reads and were captured while every key was locked — a consistent
+// cross-shard snapshot whether or not the transaction committed its writes.
+type TxnResult struct {
+	Committed  bool
+	CondFailed bool
+	Values     [][]byte
+	Found      []bool
+}
+
+// Txn executes one multi-key read-write transaction atomically across
+// however many shards its keys span: either every write lands or none does,
+// conditions are checked against the same locked snapshot the reads
+// observe, and no other operation sees a half-applied state. Conflicts with
+// concurrent transactions retry internally with fresh attempt ids;
+// CondFailed aborts are final, like a failed CAS.
+func (c *Client) Txn(ctx context.Context, op TxnOp) (*TxnResult, error) {
+	resp, err := c.Do(ctx, &Request{Op: ReqTxn, Keys: op.Reads, Writes: op.Writes, Conds: op.Conds})
+	if err != nil {
+		return nil, err
+	}
+	return &TxnResult{
+		Committed:  resp.OK,
+		CondFailed: resp.CondFailed,
+		Values:     resp.Values,
+		Found:      resp.Found,
+	}, nil
+}
+
+// txnAttemptStride derives attempt n's transaction id from the request id:
+// id + n*stride (the 64-bit golden ratio, so chains from different requests
+// do not collide). Attempt 0 uses the request id itself, which is what makes
+// a RETRIED coordinator request idempotent: the retry re-drives the same
+// attempt chain, and every portion it touches re-answers instead of
+// re-executing.
+const txnAttemptStride = 0x9E3779B97F4A7C15
+
+func txnAttemptID(base uint64, attempt int) uint64 {
+	return base + uint64(attempt)*txnAttemptStride
+}
+
+// maxTxnAttempts bounds conflict retries before surfacing an error.
+const maxTxnAttempts = 64
+
+// txnExecute is the coordinator loop behind ReqTxn: drive attempts until one
+// decides (committed, aborted-by-condition) or the attempt budget runs out.
+func (c *Client) txnExecute(ctx context.Context, req *Request) (*Response, error) {
+	allKeys := txnKeys(req)
+	if len(allKeys) == 0 {
+		return &Response{OK: true, TxnState: txnStateCommitted}, nil
+	}
+	var t0 time.Time
+	if c.txnTotalH != nil {
+		t0 = time.Now()
+	}
+	for n := 0; n < maxTxnAttempts; n++ {
+		txnID := txnAttemptID(req.ID, n)
+		res, retry, err := c.txnAttempt(ctx, txnID, allKeys, req)
+		if err != nil {
+			return nil, err
+		}
+		if retry {
+			c.txnConflicts.Add(1)
+			c.tracer.Addf(txnID, "txn conflict, retrying (attempt %d)", n+1)
+			// Jittered backoff so colliding coordinators separate.
+			d := time.Duration(n+1) * 2 * time.Millisecond
+			d += time.Duration(rand.Int63n(int64(d)))
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if c.txnTotalH != nil {
+			c.txnTotalH.Observe(time.Since(t0))
+		}
+		out := &Response{OK: res.Committed, CondFailed: res.CondFailed, Values: res.Values, Found: res.Found}
+		if res.Committed {
+			c.txnCommitted.Add(1)
+			out.TxnState = txnStateCommitted
+		} else {
+			c.txnAborted.Add(1)
+			out.TxnState = txnStateAborted
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("kv: transaction %016x: too much contention (%d attempts)", req.ID, maxTxnAttempts)
+}
+
+// txnKeys is the sorted, deduplicated union of a transaction's keys. Its
+// first element is the home key.
+func txnKeys(req *Request) []string {
+	seen := make(map[string]bool)
+	keys := make([]string, 0, len(req.Keys)+len(req.Writes)+len(req.Conds))
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range req.Keys {
+		add(k)
+	}
+	for _, w := range req.Writes {
+		add(w.Key)
+	}
+	for _, cc := range req.Conds {
+		add(cc.Key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// txnAttempt drives one attempt of the 2PC. It reports (result, retry, err):
+// retry true means the attempt lost a race (conflict, or recovery aborted
+// it) and the caller should try again under a fresh attempt id. A transport
+// error leaves the attempt in doubt — the janitor (or a retry of the same
+// request id) resolves it.
+func (c *Client) txnAttempt(ctx context.Context, txnID uint64, allKeys []string, req *Request) (*TxnResult, bool, error) {
+	homeKey := allKeys[0]
+	c.tracer.Addf(txnID, "txn prepare: %d keys, home %q", len(allKeys), homeKey)
+
+	// Phase 1: prepare every participant. One request covering the whole
+	// transaction; doTxnPrepare splits it per shard under the live table
+	// and merges the answers (re-splitting across epoch flips as needed).
+	var prepT0 time.Time
+	if c.txnPrepH != nil {
+		prepT0 = time.Now()
+	}
+	prep, err := c.Do(ctx, &Request{
+		Op: ReqTxnPrepare, TxnID: txnID, HomeKey: homeKey, AllKeys: allKeys,
+		Keys: req.Keys, Writes: req.Writes, Conds: req.Conds,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("kv: txn %016x prepare: %w", txnID, err)
+	}
+	if c.txnPrepH != nil {
+		c.txnPrepH.Observe(time.Since(prepT0))
+	}
+	mkResult := func(committed bool) *TxnResult {
+		return &TxnResult{Committed: committed, Values: prep.Values, Found: prep.Found}
+	}
+	switch {
+	case prep.TxnState == txnStateCommitted:
+		// A prior drive of this same attempt already committed (we are a
+		// retried request): make sure the echo finished and re-answer.
+		if err := c.txnResolveEcho(ctx, txnID, true, homeKey, allKeys); err != nil {
+			return nil, false, err
+		}
+		return mkResult(true), false, nil
+	case prep.Conflict || prep.TxnState == txnStateAborted:
+		// Lost a key to another live transaction, or recovery already
+		// aborted this attempt: release whatever we locked, try afresh.
+		c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys)
+		return nil, true, nil
+	case prep.CondFailed:
+		c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys)
+		return &TxnResult{CondFailed: true}, false, nil
+	}
+
+	// All portions prepared. A read-only transaction is done: the captured
+	// values are a consistent snapshot (every key was locked when the last
+	// prepare sequenced); the locks just need releasing.
+	if len(req.Writes) == 0 {
+		if err := c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys); err != nil {
+			return nil, false, err
+		}
+		return mkResult(true), false, nil
+	}
+
+	// Phase 2: resolve the home portion — the commit point. The home's
+	// sequenced answer IS the decision, whatever we asked for: if recovery
+	// aborted the home first, it answers aborted and we retry.
+	var resT0 time.Time
+	if c.txnResH != nil {
+		resT0 = time.Now()
+	}
+	home, err := c.Do(ctx, &Request{
+		Op: ReqTxnResolve, TxnID: txnID, Commit: true,
+		Key: homeKey, HomeKey: homeKey, AllKeys: allKeys,
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("kv: txn %016x commit: %w", txnID, err)
+	}
+	committed := home.TxnState == txnStateCommitted
+	c.tracer.Addf(txnID, "txn home decided: committed=%v", committed)
+
+	// Phase 3: echo the decision to every participant.
+	if err := c.txnResolveEcho(ctx, txnID, committed, homeKey, allKeys); err != nil {
+		return nil, false, err
+	}
+	if c.txnResH != nil {
+		c.txnResH.Observe(time.Since(resT0))
+	}
+	if !committed {
+		return nil, true, nil
+	}
+	return mkResult(true), false, nil
+}
+
+// txnResolveEcho delivers a decision to every shard serving any of the
+// transaction's keys: one resolve per shard group, in parallel, repeated
+// until a full round completes at a stable routing epoch (a reshard mid-echo
+// can split a group across new shards — the repeat covers the splinters).
+func (c *Client) txnResolveEcho(ctx context.Context, txnID uint64, commit bool, homeKey string, allKeys []string) error {
+	for {
+		r, rt := c.routingRing()
+		if r == nil {
+			return fmt.Errorf("kv: txn %016x: resolve echo needs ring knowledge", txnID)
+		}
+		groups := make(map[int][]string)
+		for _, k := range allKeys {
+			s := r.shard(k)
+			groups[s] = append(groups[s], k)
+		}
+		var (
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			first error
+		)
+		for _, keys := range groups {
+			keys := keys
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, err := c.Do(ctx, &Request{
+					Op: ReqTxnResolve, TxnID: txnID, Commit: commit,
+					Key: keys[0], HomeKey: homeKey, AllKeys: allKeys,
+				})
+				if err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if first != nil {
+			return fmt.Errorf("kv: txn %016x resolve echo: %w", txnID, first)
+		}
+		if _, rt2 := c.routingRing(); rt2.Epoch == rt.Epoch {
+			return nil
+		}
+	}
+}
+
+// doTxnPrepare executes one prepare request, splitting it per shard under
+// the live routing table. Moved answers (a frozen or flipped range) re-split
+// under the refreshed table — a single attempt's content may end up
+// partitioned differently across re-drives, which the state machine's
+// accretive prepare merge absorbs.
+func (c *Client) doTxnPrepare(ctx context.Context, req *Request) (*Response, error) {
+	for {
+		r, rt := c.routingRing()
+		if r == nil {
+			return c.remoteCall(ctx, -1, req)
+		}
+		req.Epoch = rt.Epoch
+		shards := make(map[int]bool)
+		for _, k := range req.Keys {
+			shards[r.shard(k)] = true
+		}
+		for _, w := range req.Writes {
+			shards[r.shard(w.Key)] = true
+		}
+		for _, cc := range req.Conds {
+			shards[r.shard(cc.Key)] = true
+		}
+		var resp *Response
+		var err error
+		if len(shards) <= 1 {
+			shard := -1
+			for s := range shards {
+				shard = s
+			}
+			resp, err = c.doShard(ctx, shard, req)
+		} else {
+			resp, err = c.txnPrepareSplit(ctx, r, rt, req)
+		}
+		if !errors.Is(err, errMoved) {
+			return resp, err
+		}
+		if err := sleepCtx(ctx, movedRetryDelay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// txnPrepareSplit fans a prepare out as per-shard sub-prepares of the same
+// transaction (fresh command ids, same txn id) and merges the answers back
+// into one response aligned with the request's read set.
+func (c *Client) txnPrepareSplit(ctx context.Context, r *ring, rt Routing, req *Request) (*Response, error) {
+	parts := make(map[int]*Request)
+	part := func(s int) *Request {
+		p := parts[s]
+		if p == nil {
+			p = &Request{Op: ReqTxnPrepare, Budget: req.Budget, Epoch: rt.Epoch,
+				TxnID: req.TxnID, HomeKey: req.HomeKey, AllKeys: req.AllKeys}
+			parts[s] = p
+		}
+		return p
+	}
+	for _, k := range req.Keys {
+		p := part(r.shard(k))
+		p.Keys = append(p.Keys, k)
+	}
+	for _, w := range req.Writes {
+		p := part(r.shard(w.Key))
+		p.Writes = append(p.Writes, w)
+	}
+	for _, cc := range req.Conds {
+		p := part(r.shard(cc.Key))
+		p.Conds = append(p.Conds, cc)
+	}
+	list := make([]*Request, 0, len(parts))
+	for _, p := range parts {
+		list = append(list, p)
+	}
+	answers := make([]*Response, len(list))
+	errs := make([]error, len(list))
+	var wg sync.WaitGroup
+	for i := range list {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			answers[i], errs[i] = c.Do(ctx, list[i])
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mergePrepareAnswers(req, list, answers), nil
+}
+
+// mergePrepareAnswers folds per-shard prepare answers into one response:
+// the most decided state wins (aborted > committed > prepared), conflict and
+// condition failures accumulate, and read values re-align to the request's
+// key order.
+func mergePrepareAnswers(req *Request, parts []*Request, answers []*Response) *Response {
+	out := &Response{TxnState: txnStatePrepared}
+	vals := make(map[string][]byte)
+	fnd := make(map[string]bool)
+	for i, resp := range answers {
+		if resp.Conflict {
+			out.Conflict = true
+		}
+		if resp.CondFailed {
+			out.CondFailed = true
+		}
+		switch resp.TxnState {
+		case txnStateAborted:
+			out.TxnState = txnStateAborted
+		case txnStateCommitted:
+			if out.TxnState != txnStateAborted {
+				out.TxnState = txnStateCommitted
+			}
+		}
+		for j, k := range parts[i].Keys {
+			if j < len(resp.Values) {
+				vals[k] = resp.Values[j]
+			}
+			if j < len(resp.Found) {
+				fnd[k] = resp.Found[j]
+			}
+		}
+	}
+	out.OK = !out.Conflict && !out.CondFailed && out.TxnState != txnStateAborted
+	if len(req.Keys) > 0 {
+		out.Values = make([][]byte, len(req.Keys))
+		out.Found = make([]bool, len(req.Keys))
+		for i, k := range req.Keys {
+			out.Values[i] = vals[k]
+			out.Found[i] = fnd[k]
+		}
+	}
+	return out
+}
+
+// --- In-doubt recovery --------------------------------------------------------
+
+// recoverTxn resolves one in-doubt transaction from the participant side,
+// used when the coordinator client died between prepare and resolve. The
+// home shard arbitrates: a resolve with commit=false aborts a still-prepared
+// home portion (presumed abort — the coordinator cannot have committed
+// without the home's sequenced decision) or re-answers the recorded
+// decision; either way the answered state is echoed everywhere.
+func (c *Client) recoverTxn(ctx context.Context, p *txnPortion) error {
+	resp, err := c.Do(ctx, &Request{
+		Op: ReqTxnResolve, TxnID: p.TxnID, Commit: false,
+		Key: p.HomeKey, HomeKey: p.HomeKey, AllKeys: p.AllKeys,
+	})
+	if err != nil {
+		return err
+	}
+	commit := resp.TxnState == txnStateCommitted
+	c.tracer.Addf(p.TxnID, "txn recovery: home arbitrated committed=%v", commit)
+	return c.txnResolveEcho(ctx, p.TxnID, commit, p.HomeKey, p.AllKeys)
+}
+
+// inDoubtTxns lists prepared portions held by this node's replicas whose
+// locks have been visible for at least minAge (minAge <= 0: all of them).
+// Only identity fields are returned — recovery needs the home and key set,
+// not the payload.
+func (s *Store) inDoubtTxns(minAge time.Duration) []*txnPortion {
+	cutoff := time.Now().Add(-minAge)
+	all := minAge <= 0
+	seen := make(map[uint64]bool)
+	var out []*txnPortion
+	for _, r := range s.snapshotShards() {
+		if r == nil {
+			continue
+		}
+		r.Read(func(m shared.StateMachine) {
+			sm := m.(*mapSM)
+			for id, p := range sm.txns {
+				if p.State != txnStatePrepared || seen[id] {
+					continue
+				}
+				if !all {
+					if t, ok := sm.lockSeen[id]; ok && t.After(cutoff) {
+						continue
+					}
+				}
+				seen[id] = true
+				out = append(out, &txnPortion{
+					TxnID:   p.TxnID,
+					HomeKey: p.HomeKey,
+					AllKeys: append([]string(nil), p.AllKeys...),
+				})
+			}
+		})
+	}
+	return out
+}
+
+// recoverInDoubt drives every in-doubt transaction at least minAge old to
+// resolution, best effort (failures stay prepared; the janitor or the next
+// boot pass retries). Used at durable-bootstrap time with minAge 0 — after a
+// kill-all crash the coordinators are certainly gone — and periodically by
+// the janitor with Options.TxnRecoveryAfter.
+func (s *Store) recoverInDoubt(ctx context.Context, minAge time.Duration) int {
+	pending := s.inDoubtTxns(minAge)
+	if len(pending) == 0 {
+		return 0
+	}
+	c := s.NewClient()
+	defer c.Close()
+	resolved := 0
+	for _, p := range pending {
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := c.recoverTxn(rctx, p)
+		cancel()
+		if err != nil {
+			s.flight().Recordf("kv/"+s.name, "txn %016x recovery failed: %v", p.TxnID, err)
+			continue
+		}
+		resolved++
+		s.flight().Recordf("kv/"+s.name, "txn %016x recovered", p.TxnID)
+	}
+	return resolved
+}
+
+// txnJanitor periodically resolves transactions whose prepare locks outlived
+// Options.TxnRecoveryAfter — the coordinator died mid-2PC. Runs on every
+// node; recovery is idempotent, so concurrent janitors (and a returning
+// coordinator) converge on the home shard's one decision.
+func (s *Store) txnJanitor(ctx context.Context) {
+	defer s.healWG.Done()
+	after := s.opts.TxnRecoveryAfter
+	interval := after / 4
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if s.isClosed() {
+			return
+		}
+		s.recoverInDoubt(ctx, after)
+	}
+}

@@ -1,0 +1,272 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"amoeba"
+)
+
+// This file measures cross-shard transactions: what sequenced 2PC costs as
+// the participant count grows, against the single-shard batch write the
+// store could use when atomicity across shards is not needed. Each txn case
+// commits W writes spread over W distinct shards (so participants = writes);
+// its paired baseline commits the same W writes as one BatchPut on one
+// shard — one sequenced command instead of prepare+resolve per participant.
+// Like the proxied, durable, and reshard benches it runs on the live
+// in-memory fabric in real time, so absolute ops/s vary by host; the
+// txn-vs-batch RATIO at each width is the measurement. cmd/amoeba-bench
+// renders it as the "txn" experiment and CI commits it as BENCH_txn.json.
+
+// TxnBenchCase is one measured configuration.
+type TxnBenchCase struct {
+	// Name is "txn" or "batch"; Participants the shards one commit spans
+	// (always 1 for batch), Writes the keys it writes.
+	Name         string `json:"name"`
+	Participants int    `json:"participants"`
+	Writes       int    `json:"writes"`
+
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	MeanMs    float64 `json:"mean_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	// VsBatch is this case's throughput over its same-width batch baseline
+	// (1.0 for the baselines themselves).
+	VsBatch float64 `json:"vs_batch"`
+}
+
+// TxnBenchResult is the machine-readable result for BENCH_txn.json.
+type TxnBenchResult struct {
+	Nodes   int            `json:"nodes"`
+	Shards  int            `json:"shards"`
+	Clients int            `json:"clients"`
+	Cases   []TxnBenchCase `json:"cases"`
+	// Conflicts counts internal txn attempt retries across the run (the
+	// workers write disjoint keys, so this should stay 0 — nonzero means
+	// the bench itself is contending).
+	Conflicts uint64 `json:"conflicts"`
+}
+
+// MeasureTxn runs the 2PC-width measurement: committed txns/s and commit
+// latency at 1, 2, and 4 participant shards, each against a single-shard
+// batch of the same write count.
+func MeasureTxn() (*TxnBenchResult, error) {
+	const (
+		nodes   = 4
+		shards  = 4
+		clients = 4
+		window  = 700 * time.Millisecond
+		name    = "txn-bench"
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := net.NewKernel(fmt.Sprintf("txn-node-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		kernels[i] = k
+	}
+	stores, err := Bootstrap(ctx, kernels, name, Options{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	// Bucket generated keys by owning shard so a case can pick exactly the
+	// shard spread it wants. Each worker owns one key per shard (reused
+	// every iteration with fresh values), so concurrent commits never
+	// conflict — the bench measures protocol cost, not lock contention.
+	ring := Routing{Shards: shards, VNodes: defaultVirtualNodes}.ring(name)
+	keysByShard := make([][]string, shards)
+	for i := 0; len(keysByShard[0]) < clients+1 || len(keysByShard[1]) < clients ||
+		len(keysByShard[2]) < clients || len(keysByShard[3]) < clients; i++ {
+		k := fmt.Sprintf("txn-bench-%05d", i)
+		s := ring.shard(k)
+		keysByShard[s] = append(keysByShard[s], k)
+	}
+
+	// One long-lived client per worker; measurement runs reuse them.
+	cls := make([]*Client, clients)
+	for c := range cls {
+		cls[c] = stores[c%nodes].NewClient()
+	}
+	defer func() {
+		for _, cl := range cls {
+			cl.Close()
+		}
+	}()
+
+	measure := func(name string, participants, writes int,
+		commit func(ctx context.Context, cl *Client, worker, iter int) error) (TxnBenchCase, error) {
+		var (
+			mu   sync.Mutex
+			lats []time.Duration
+			wg   sync.WaitGroup
+			errc = make(chan error, clients)
+		)
+		// The window is a stop SIGNAL checked between iterations, not a
+		// deadline on the operations: an in-flight commit finishes under the
+		// parent ctx. Cancelling a txn mid-2PC would orphan its prepare, and
+		// the locks it holds (until the janitor arbitrates) would stall the
+		// next case's first ops on the same keys for seconds.
+		// A short unmeasured warmup absorbs cold paths (route caches, first
+		// allocations) and the tail of the previous case's load.
+		for w := 0; w < clients; w++ {
+			if err := commit(ctx, cls[w], w, -1); err != nil {
+				return TxnBenchCase{}, fmt.Errorf("%s worker %d warmup: %w", name, w, err)
+			}
+		}
+		runCtx, stop := context.WithTimeout(ctx, window)
+		defer stop()
+		start := time.Now()
+		for w := 0; w < clients; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var mine []time.Duration
+				for i := 0; runCtx.Err() == nil; i++ {
+					t0 := time.Now()
+					if err := commit(ctx, cls[w], w, i); err != nil {
+						errc <- fmt.Errorf("%s worker %d: %w", name, w, err)
+						return
+					}
+					mine = append(mine, time.Since(t0))
+				}
+				mu.Lock()
+				lats = append(lats, mine...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return TxnBenchCase{}, err
+		default:
+		}
+		c := TxnBenchCase{Name: name, Participants: participants, Writes: writes,
+			Ops: uint64(len(lats))}
+		if len(lats) == 0 {
+			return c, fmt.Errorf("%s: no commits completed in the window", name)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		c.OpsPerSec = float64(len(lats)) / elapsed.Seconds()
+		c.MeanMs = float64((sum / time.Duration(len(lats))).Microseconds()) / 1000
+		c.P99Ms = float64(lats[len(lats)*99/100].Microseconds()) / 1000
+		return c, nil
+	}
+
+	val := func(worker, iter int) []byte { return []byte(fmt.Sprintf("w%d-i%d", worker, iter)) }
+	res := &TxnBenchResult{Nodes: nodes, Shards: shards, Clients: clients}
+	conflicts0 := txnConflictTotal(cls)
+	for _, width := range []int{1, 2, 4} {
+		width := width
+		batch, err := measure("batch", 1, width,
+			func(ctx context.Context, cl *Client, w, i int) error {
+				// width keys, all on shard 0: worker w owns indices
+				// [w*width, w*width+width) — pregenerated above only up to
+				// clients+1 keys for shard 0, so take them modulo and offset
+				// by worker to stay disjoint.
+				pairs := make([]Pair, width)
+				for j := range pairs {
+					pairs[j] = Pair{Key: shardKey(keysByShard, 0, w, j, width), Val: val(w, i)}
+				}
+				return cl.BatchPut(ctx, pairs)
+			})
+		if err != nil {
+			return nil, err
+		}
+		batch.VsBatch = 1
+		txn, err := measure("txn", width, width,
+			func(ctx context.Context, cl *Client, w, i int) error {
+				writes := make([]TxnWrite, width)
+				for j := range writes {
+					writes[j] = TxnWrite{Key: keysByShard[j][w], Val: val(w, i)}
+				}
+				r, err := cl.Txn(ctx, TxnOp{Writes: writes})
+				if err != nil {
+					return err
+				}
+				if !r.Committed {
+					return fmt.Errorf("unconditional txn aborted")
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		if batch.OpsPerSec > 0 {
+			txn.VsBatch = txn.OpsPerSec / batch.OpsPerSec
+		}
+		res.Cases = append(res.Cases, batch, txn)
+	}
+	res.Conflicts = txnConflictTotal(cls) - conflicts0
+
+	// Sanity: the last iteration's writes are all readable via one snapshot.
+	var keys []string
+	for j := 0; j < shards; j++ {
+		keys = append(keys, keysByShard[j][0])
+	}
+	snap, err := cls[0].MGet(ctx, keys...)
+	if err != nil {
+		return nil, fmt.Errorf("post-bench snapshot: %w", err)
+	}
+	for _, k := range keys {
+		if _, ok := snap[k]; !ok {
+			return nil, fmt.Errorf("post-bench snapshot missing %q", k)
+		}
+	}
+	return res, nil
+}
+
+// shardKey picks worker w's j-th key (of width per worker) on the shard,
+// wrapping modulo the bucket so the bench never indexes past what was
+// generated. Wrapping can alias two workers onto one key only when the
+// bucket is smaller than clients*width; the generator above sizes buckets
+// past that for the widths measured.
+func shardKey(byShard [][]string, shard, w, j, width int) string {
+	b := byShard[shard]
+	return b[(w*width+j)%len(b)]
+}
+
+// txnConflictTotal sums internal attempt retries across the bench clients.
+func txnConflictTotal(cls []*Client) uint64 {
+	var n uint64
+	for _, cl := range cls {
+		n += cl.txnConflicts.Load()
+	}
+	return n
+}
+
+// TxnJSON renders the measurement for BENCH_txn.json.
+func TxnJSON(res *TxnBenchResult) ([]byte, error) {
+	out := struct {
+		Experiment string          `json:"experiment"`
+		Unit       string          `json:"unit"`
+		Note       string          `json:"note"`
+		Result     *TxnBenchResult `json:"result"`
+	}{
+		Experiment: "txn",
+		Unit:       "committed ops/s and per-commit latency, live in-memory fabric (host-dependent; compare each vs_batch ratio)",
+		Note:       "sequenced 2PC at 1/2/4 participant shards vs a single-shard BatchPut of the same write count; disjoint keys, so conflicts must be 0",
+		Result:     res,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
