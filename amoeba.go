@@ -57,6 +57,17 @@
 //	                   op traces keyed by command ids, and a flight
 //	                   recorder of recent protocol events, exported as
 //	                   Prometheus text by cmd/amoeba-kv's -metrics-addr
+//	(state audit)      The total order gives every replica an identical
+//	                   view of where it stands — so the kv package audits
+//	                   with it: a periodic sequenced audit command
+//	                   (kv.Options.AuditEvery) makes every replica digest
+//	                   its state machine at the same seq; a per-node
+//	                   auditor (obs.Auditor) compares digests across
+//	                   replicas, localizes any mismatch to (shard, seq,
+//	                   key-range), and rolls per-replica apply-lag and
+//	                   staleness into the /health verdict cmd/amoeba-kv
+//	                   serves; WAL checkpoints carry the same digest so
+//	                   recovery refuses silently-rotted state
 //
 // All primitives are blocking, as in Amoeba; obtain concurrency by calling
 // them from multiple goroutines (the paper's "parallelism through

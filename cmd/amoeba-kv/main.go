@@ -89,8 +89,9 @@ func main() {
 		duration     = flag.Duration("duration", 5*time.Second, "load duration")
 		valueSize    = flag.Int("value-size", 64, "load value size in bytes")
 		readFrac     = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
-		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /flight, and /trace?id=N over HTTP on this address")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /health, /flight, and /trace?id=N over HTTP on this address")
 		traceMod     = flag.Uint64("trace-mod", 1024, "trace every Nth command id (1 traces everything)")
+		auditEvery   = flag.Duration("audit", time.Second, "sequenced state-audit period (0 disables the self-audit driver)")
 	)
 	flag.Parse()
 
@@ -103,7 +104,7 @@ func main() {
 		if *serveAddr == "" {
 			*serveAddr = ":7070"
 		}
-		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay, *metricsAddr, *traceMod))
+		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay, *metricsAddr, *traceMod, *auditEvery))
 	}
 }
 
@@ -136,6 +137,17 @@ func newHub(node string, traceMod uint64, metricsAddr string) *obs.Hub {
 		}
 		fmt.Fprint(w, obs.FormatTrace(id, hub.Tracer().Trace(id)))
 	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		aud := hub.Health()
+		// Rolled-up verdict decides the status code, so a probe needs no
+		// parsing: 200 healthy, 503 diverged or degraded.
+		if v := aud.Rollup(""); v == obs.VerdictDiverged || v == obs.VerdictDegraded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprint(w, aud.Summary(""))
+		fmt.Fprint(w, aud.Format(""))
+	})
 	ln, err := net.Listen("tcp", metricsAddr)
 	if err != nil {
 		log.Printf("amoeba-kv: metrics listen %s: %v", metricsAddr, err)
@@ -149,7 +161,7 @@ func newHub(node string, traceMod uint64, metricsAddr string) *obs.Hub {
 // serve boots the cluster — recovering it from the write-ahead logs when
 // -data-dir names an existing deployment — and answers line-protocol
 // connections forever.
-func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration, metricsAddr string, traceMod uint64) int {
+func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration, metricsAddr string, traceMod uint64, auditEvery time.Duration) int {
 	ctx := context.Background()
 	network := amoeba.NewMemoryNetwork()
 	defer network.Close()
@@ -166,6 +178,7 @@ func serve(addr string, shards, nodes, resilience, replication int, dataDir stri
 	}
 	opts := kv.Options{Shards: shards, Replication: replication,
 		DataDir: dataDir, WALSync: walSync, WALSyncDelay: walSyncDelay,
+		AuditEvery: auditEvery,
 		Group: amoeba.GroupOptions{
 			Resilience:   resilience,
 			AutoReset:    true,
@@ -509,6 +522,10 @@ func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Se
 		return multiline(b.String())
 	case "FLIGHT":
 		return multiline(hub.Flight().Format())
+	case "HEALTH":
+		return multiline(hub.Health().Summary(""))
+	case "TOP":
+		return multiline(hub.Health().Summary("") + hub.Health().Format(""))
 	case "LGET":
 		if len(fields) != 2 {
 			return reply("ERR usage: LGET key")
@@ -691,6 +708,9 @@ func runSelftest(nodes, resilience int, duration time.Duration, metricsAddr stri
 	if rc := runTxnSelftest(nodes, resilience, duration, hub); rc != 0 {
 		return rc
 	}
+	if rc := runHealthSelftest(nodes, resilience, hub); rc != 0 {
+		return rc
+	}
 	return checkMetrics(hub)
 }
 
@@ -731,6 +751,14 @@ func checkMetrics(hub *obs.Hub) int {
 		"amoeba_kv_txn_total_ns",
 		"amoeba_kv_client_txn_committed_total",
 		"amoeba_kv_client_txn_conflict_retries_total",
+		// Self-audit tier (populated by the health sweep).
+		"amoeba_health_reports_total",
+		"amoeba_health_audits_total",
+		"amoeba_health_divergence_total",
+		"amoeba_health_apply_lag",
+		"amoeba_health_audit_staleness_ms",
+		"amoeba_health_diverged",
+		"amoeba_wal_checkpoints_rejected_total",
 	}
 	missing := 0
 	for _, name := range required {
@@ -972,6 +1000,123 @@ func runDurableSelftest(nodes, resilience int, hub *obs.Hub) int {
 	}
 	fmt.Printf("  %d keys + dedup state survived a full-cluster restart (write %v, recover %v)\n",
 		keys, writeTime.Round(time.Millisecond), recoveryTime.Round(time.Millisecond))
+	return 0
+}
+
+// runHealthSelftest exercises the self-audit loop end to end: a cluster
+// auditing on a short period must roll up ok, degrade when one node is
+// killed without a goodbye (its replicas go silent and their audit reports
+// stale out), and recover to ok after the node rejoins with state transfer —
+// all without a single divergence, since every replica's state is honest.
+func runHealthSelftest(nodes, resilience int, hub *obs.Hub) int {
+	fmt.Println("health sweep (audit to ok, kill a node, degrade, rejoin, recover):")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if nodes < 3 {
+		nodes = 3
+	}
+	const period = 100 * time.Millisecond
+	aud := hub.Health()
+	aud.SetStaleAfter(6 * period)
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := network.NewKernel(fmt.Sprintf("health-node-%d", i))
+		if err != nil {
+			log.Printf("amoeba-kv: selftest health: %v", err)
+			return 1
+		}
+		kernels[i] = k
+	}
+	opts := kv.Options{
+		Shards:     2,
+		AuditEvery: period,
+		Group: amoeba.GroupOptions{
+			Resilience:   resilience,
+			AutoReset:    true,
+			MinSurvivors: 1,
+			Obs:          hub,
+		},
+	}
+	stores, err := kv.Bootstrap(ctx, kernels, "selftest-health", opts)
+	if err != nil {
+		log.Printf("amoeba-kv: selftest health boot: %v", err)
+		return 1
+	}
+	closed := make([]bool, nodes)
+	defer func() {
+		for i, s := range stores {
+			if !closed[i] {
+				s.Close()
+			}
+		}
+	}()
+	cl := stores[0].NewClient()
+	for i := 0; i < 32; i++ {
+		if err := cl.Put(ctx, fmt.Sprintf("health-%04d", i), []byte("v")); err != nil {
+			log.Printf("amoeba-kv: selftest health put: %v", err)
+			return 1
+		}
+	}
+	cl.Close()
+
+	const prefix = "kv/selftest-health/"
+	waitVerdict := func(want, phase string, timeout time.Duration) bool {
+		deadline := time.Now().Add(timeout)
+		for aud.Rollup(prefix) != want {
+			if time.Now().After(deadline) {
+				log.Printf("amoeba-kv: selftest health: %s: rollup stuck at %q, want %q\n%s",
+					phase, aud.Rollup(prefix), want, aud.Format(prefix))
+				return false
+			}
+			time.Sleep(period / 4)
+		}
+		return true
+	}
+	if !waitVerdict(obs.VerdictOK, "initial audit", 30*time.Second) {
+		return 1
+	}
+
+	// Kill the last node — no Leave, no goodbye. Its replicas stop reporting,
+	// the audit staleness clock runs out, and the rollup must degrade.
+	victim := nodes - 1
+	stores[victim].Close()
+	closed[victim] = true
+	degradeStart := time.Now()
+	if !waitVerdict(obs.VerdictDegraded, "post-kill", 30*time.Second) {
+		return 1
+	}
+	degradeTime := time.Since(degradeStart)
+
+	// Rejoin the same slot with a fresh kernel: state transfer catches the
+	// replicas up, their audit reports resume, and the rollup must heal.
+	k, err := network.NewKernel(fmt.Sprintf("health-node-%d-rejoin", victim))
+	if err != nil {
+		log.Printf("amoeba-kv: selftest health rejoin kernel: %v", err)
+		return 1
+	}
+	rejoinOpts := opts
+	rejoinOpts.NodeIndex = victim
+	recoverStart := time.Now()
+	rejoined, err := kv.Join(ctx, k, "selftest-health", rejoinOpts)
+	if err != nil {
+		log.Printf("amoeba-kv: selftest health rejoin: %v", err)
+		return 1
+	}
+	stores[victim] = rejoined
+	closed[victim] = false
+	if !waitVerdict(obs.VerdictOK, "post-rejoin", 30*time.Second) {
+		return 1
+	}
+	recoverTime := time.Since(recoverStart)
+
+	if divs := aud.Divergences(); len(divs) != 0 {
+		log.Printf("amoeba-kv: selftest health: honest cluster reported divergence: %v", divs[0])
+		return 1
+	}
+	fmt.Printf("  verdict ok -> degraded %v after kill -> ok %v after rejoin (audit period %v, no divergence)\n",
+		degradeTime.Round(time.Millisecond), recoverTime.Round(time.Millisecond), period)
 	return 0
 }
 

@@ -77,6 +77,17 @@ type Config struct {
 	// transaction's write to one key alongside a pre-transaction value
 	// for another — a torn transaction. The atomicity verdict MUST fail.
 	PlantTornTxn bool
+	// PlantDivergence bit-flips one value in one replica's LIVE state
+	// machine shortly after the workload starts — silent single-replica
+	// corruption the protocol cannot see, planted through the state (not
+	// the history), so only the sequenced audit tier can catch it. The
+	// run's verdict MUST report a divergence.
+	PlantDivergence bool
+	// AuditEvery is the sequenced state-audit period (default 100ms;
+	// negative disables). The auditor runs during every schedule, so any
+	// replica-state divergence a fault sequence provokes is reported at
+	// the audit seq where the replicas first disagree.
+	AuditEvery time.Duration
 	// Logf, when non-nil, receives progress lines (schedule events as
 	// they fire, verdicts). Nil is silent.
 	Logf func(format string, args ...any)
@@ -120,6 +131,11 @@ func (c Config) withDefaults() Config {
 	if c.CheckBudget <= 0 {
 		c.CheckBudget = 30 * time.Second
 	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 100 * time.Millisecond
+	} else if c.AuditEvery < 0 {
+		c.AuditEvery = 0
+	}
 	return c
 }
 
@@ -147,19 +163,33 @@ type Result struct {
 	// Err reports a harness-level failure (bootstrap or restart machinery
 	// broke) — distinct from a checker verdict.
 	Err error
+	// Divergences are the replica-state mismatches the sequenced auditor
+	// caught during the run, each localized to (shard scope, audit seq,
+	// key-ranges). Replicated state machines must never diverge, so any
+	// entry is a failure regardless of the history verdicts.
+	Divergences []obs.Divergence
+	// Audits counts completed cross-replica digest comparisons — proof
+	// the auditor was actually live during the schedule.
+	Audits int
 	// Flight is the cluster's flight-recorder dump, captured when the
 	// verdict failed (empty otherwise): the postmortem to read first.
 	Flight string
 }
 
-// Ok reports a fully clean run: harness intact, history linearizable, and
-// every multi-key claim atomic.
-func (r Result) Ok() bool { return r.Err == nil && r.Check.Linearizable && r.Atomic.Ok() }
+// Ok reports a fully clean run: harness intact, history linearizable, every
+// multi-key claim atomic, and no replica-state divergence.
+func (r Result) Ok() bool {
+	return r.Err == nil && r.Check.Linearizable && r.Atomic.Ok() && len(r.Divergences) == 0
+}
 
 // String renders the result as the one-line report the CLI prints.
 func (r Result) String() string {
 	if r.Err != nil {
 		return fmt.Sprintf("HARNESS ERROR: %v [replay: %s]", r.Err, r.Schedule)
+	}
+	if len(r.Divergences) > 0 {
+		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
+			r.Divergences[0], r.Ops, r.Failed, r.Schedule)
 	}
 	if !r.Atomic.Ok() {
 		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
@@ -489,6 +519,7 @@ func Run(cfg Config, sched Schedule) Result {
 		DataDir:         dataDir,
 		CheckpointEvery: 32, // small cadence: restarts exercise snapshot + suffix replay
 		WALFaultHook:    walCtl.hook,
+		AuditEvery:      cfg.AuditEvery,
 		Group: amoeba.GroupOptions{
 			Resilience:   cfg.Resilience,
 			AutoReset:    true,
@@ -553,6 +584,34 @@ func Run(cfg Config, sched Schedule) Result {
 		}(ci)
 	}
 
+	// Plant the state corruption after the workload has populated some
+	// keys, before the schedule starts: the corruption is in the replica
+	// state, invisible to the recorded history, and the sequenced audit
+	// must flag it.
+	if cfg.PlantDivergence {
+		time.Sleep(250 * time.Millisecond)
+		planted := false
+		for n := 0; n < cfg.Nodes && !planted; n++ {
+			s := cl.live(n)
+			if s == nil {
+				continue
+			}
+			for sh := 0; sh < cfg.Shards && !planted; sh++ {
+				if key, ok := s.CorruptShard(sh); ok {
+					cfg.logf("planted state corruption: shard %d key %q", sh, key)
+					planted = true
+				}
+			}
+		}
+		if !planted {
+			res.Err = fmt.Errorf("fuzz: no shard had state to corrupt")
+			cancelWL()
+			wl.Wait()
+			cl.closeAll()
+			return res
+		}
+	}
+
 	// The scheduler: fire events at their offsets.
 	start := time.Now()
 	for _, e := range sched.Events {
@@ -593,7 +652,16 @@ func Run(cfg Config, sched Schedule) Result {
 	}
 	res.Atomic = CheckAtomic(events, spec)
 	res.Check = Check(events, cfg.CheckBudget)
-	if !res.Check.Linearizable || !res.Atomic.Ok() {
+	res.Divergences = hub.Health().Divergences()
+	for _, c := range hub.Registry().Counters() {
+		if c.Name == "amoeba_health_audits_total" {
+			res.Audits = int(c.Value)
+		}
+	}
+	if cfg.PlantDivergence && len(res.Divergences) == 0 && res.Err == nil {
+		res.Err = fmt.Errorf("fuzz: planted state corruption escaped the auditor (%d audits ran)", res.Audits)
+	}
+	if !res.Ok() {
 		res.Flight = hub.Flight().Format()
 	}
 	cfg.logf("%s", res)

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -146,5 +147,57 @@ func TestHarnessQuorumlessSplitBrainRegression(t *testing.T) {
 	}
 	if !res.Check.Linearizable {
 		t.Fatalf("majority quorum should mask the schedule: %s\nflight:\n%s", res, res.Flight)
+	}
+}
+
+// TestHarnessPlantedDivergenceCaught: bit-flip one value in one replica's
+// live state — corruption the recorded history cannot see, because the
+// replica still answers the protocol correctly — and the always-on
+// sequenced auditor must flip the verdict, localized to an audit seq.
+func TestHarnessPlantedDivergenceCaught(t *testing.T) {
+	cfg := Config{
+		Clients:         2,
+		Keys:            3,
+		Tail:            1500 * time.Millisecond,
+		AuditEvery:      50 * time.Millisecond,
+		PlantDivergence: true,
+		Logf:            t.Logf,
+	}
+	res := Run(cfg, Schedule{Seed: 11})
+	if res.Err != nil {
+		t.Fatalf("harness error: %v", res.Err)
+	}
+	if len(res.Divergences) == 0 {
+		t.Fatalf("planted state corruption not detected (%d audits ran): %s", res.Audits, res)
+	}
+	if res.Ok() {
+		t.Fatalf("verdict did not flip on divergence: %s", res)
+	}
+	div := res.Divergences[0]
+	if div.Seq == 0 || div.ID == 0 || len(div.Ranges) == 0 {
+		t.Fatalf("divergence not localized: %+v", div)
+	}
+	if !strings.Contains(res.String(), "divergence") || !strings.Contains(res.String(), "seed=") {
+		t.Fatalf("failure line does not report the divergence with the replay seed: %s", res)
+	}
+	if res.Flight == "" {
+		t.Fatal("divergent run should capture a flight dump")
+	}
+}
+
+// TestHarnessAuditorLiveDuringSchedules: a clean run with the default config
+// must actually have audited — comparisons happened and no divergence was
+// found. This pins the auditor as always-on during sweeps, not an opt-in.
+func TestHarnessAuditorLiveDuringSchedules(t *testing.T) {
+	cfg := Config{Clients: 2, Keys: 2, Tail: 600 * time.Millisecond, Logf: t.Logf}
+	res := Run(cfg, Schedule{Seed: 12})
+	if res.Err != nil {
+		t.Fatalf("harness error: %v", res.Err)
+	}
+	if res.Audits == 0 {
+		t.Fatal("no cross-replica digest comparisons ran during the schedule")
+	}
+	if len(res.Divergences) != 0 {
+		t.Fatalf("clean run reported divergence: %+v", res.Divergences)
 	}
 }

@@ -1,0 +1,359 @@
+package kv
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"amoeba/obs"
+	"amoeba/shared"
+)
+
+// Sequenced state-digest audits.
+//
+// An audit is an ordinary command riding the shard's total order: the
+// sequencer (or any member) submits opAudit, every replica applies it at the
+// same sequence number, and each replica hashes its replicated state at that
+// exact point in the order. Because the state machine is deterministic, the
+// digests MUST agree — any mismatch is corruption (bit rot, a heisenbug in
+// apply, a torn snapshot) and the per-node obs.Auditor localizes it to the
+// (shard, audit seq, key-range) where the replicas first disagree.
+//
+// The digest is range-partitioned: keys hash into defaultAuditRanges buckets
+// and each bucket folds its items with an order-independent wrapping sum, so
+// two replicas' digests can be diffed bucket-by-bucket without shipping the
+// state. Everything replicated participates — items, the dedup result
+// window, routing epoch and pending table, transaction portions — while
+// node-local fields (lockSeen, rings, trace hooks) are excluded by
+// construction. The same fold (collapsed to one range) stamps WAL
+// checkpoints via shared.Digester, so cold-start recovery verifies the state
+// it restores.
+
+const (
+	// defaultAuditRanges is the key-range partition count the audit driver
+	// requests: fine enough to localize a divergence to ~1/16th of the key
+	// space, coarse enough that a digest report is a few hundred bytes.
+	defaultAuditRanges = 16
+	// maxAuditRanges bounds the partition count a decoded audit command may
+	// request — a byzantine client must not make replicas allocate
+	// unbounded digest vectors.
+	maxAuditRanges = 4096
+)
+
+// FNV-64a, inlined so the digest needs no hasher allocation per fold.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+func fnvBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
+}
+
+// fnvAdd folds one 64-bit word, byte by byte big-endian.
+func fnvAdd(h, v uint64) uint64 {
+	for shift := 56; shift >= 0; shift -= 8 {
+		h = (h ^ (v >> shift & 0xff)) * fnvPrime64
+	}
+	return h
+}
+
+// resultSum folds one dedup-window entry: id, outcome flags, key, and the
+// SHAPE of read results — lengths and found bits; the values themselves are
+// derived from items at apply time, and hashing lengths keeps the fold
+// cheap. setResult maintains the wrapping sum of these across the window
+// (mapSM.dedupSum) so digestState reads the whole window in O(1).
+func resultSum(id uint64, r result) uint64 {
+	var flags uint64
+	if r.OK {
+		flags |= 1
+	}
+	if r.Moved {
+		flags |= 1 << 1
+	}
+	if r.Conflict {
+		flags |= 1 << 2
+	}
+	if r.CondFailed {
+		flags |= 1 << 3
+	}
+	flags |= uint64(r.TxnState) << 4
+	h := fnvAdd(fnvOffset64, id)
+	h = fnvAdd(h, flags)
+	h = fnvStr(h, r.Key)
+	h = fnvAdd(h, uint64(len(r.Values)))
+	for i, v := range r.Values {
+		h = fnvAdd(h, uint64(len(v)))
+		if i < len(r.Found) && r.Found[i] {
+			h = fnvAdd(h, 1)
+		} else {
+			h = fnvAdd(h, 0)
+		}
+	}
+	return h
+}
+
+// digestState hashes the replicated state into n key-range digests plus a
+// meta digest. It is a pure function of the replicated state: every replica
+// of one shard computes the identical result at the same position in the
+// total order, and a replica restored from a snapshot (nil vs empty slices
+// normalised by the JSON round-trip) computes the same value as the replica
+// that took it.
+func (s *mapSM) digestState(n int) obs.Digest {
+	if n <= 0 {
+		n = 1
+	}
+	d := obs.Digest{
+		Epoch:  s.routing.Epoch,
+		Keys:   len(s.items),
+		Ranges: make([]uint64, n),
+	}
+	// Items: per-key fold, bucketed by key hash, combined with a wrapping
+	// sum so map iteration order cannot matter.
+	for k, v := range s.items {
+		h := fnvAdd(fnvOffset64, uint64(len(k)))
+		h = fnvStr(h, k)
+		h = fnvAdd(h, uint64(len(v)))
+		h = fnvBytes(h, v)
+		bucket := fnvStr(fnvOffset64, k) % uint64(n)
+		d.Ranges[bucket] += h
+	}
+	// Meta: the dedup window as its incrementally-maintained wrapping sum
+	// of per-entry folds (see resultSum; setResult keeps dedupSum current),
+	// plus the entry count. The sum is order-independent, but honest
+	// replicas apply the same total order and so hold the same FIFO — a
+	// membership difference is what divergence looks like, and walking a
+	// 64Ki-entry window on every audit is what the sum avoids. Then
+	// routing, pending, and transaction state.
+	m := uint64(fnvOffset64)
+	m = fnvAdd(m, uint64(len(s.order)))
+	m = fnvAdd(m, s.dedupSum)
+	m = fnvAdd(m, s.routing.Epoch)
+	m = fnvAdd(m, uint64(s.routing.Shards))
+	m = fnvAdd(m, uint64(s.routing.VNodes))
+	if s.pending != nil {
+		m = fnvAdd(m, s.pending.Epoch)
+		m = fnvAdd(m, uint64(s.pending.Shards))
+		m = fnvAdd(m, uint64(s.pending.VNodes))
+	}
+	// Transaction portions, sorted by id for determinism, folded fully —
+	// an in-flight portion's held-back writes are replicated state too.
+	txnIDs := make([]uint64, 0, len(s.txns))
+	for id := range s.txns {
+		txnIDs = append(txnIDs, id)
+	}
+	sort.Slice(txnIDs, func(i, j int) bool { return txnIDs[i] < txnIDs[j] })
+	m = fnvAdd(m, uint64(len(txnIDs)))
+	for _, id := range txnIDs {
+		p := s.txns[id]
+		m = fnvAdd(m, p.TxnID)
+		m = fnvAdd(m, uint64(p.State))
+		m = fnvStr(m, p.HomeKey)
+		m = fnvAdd(m, uint64(len(p.AllKeys)))
+		for _, k := range p.AllKeys {
+			m = fnvStr(m, k)
+		}
+		m = fnvAdd(m, uint64(len(p.Reads)))
+		for i, k := range p.Reads {
+			m = fnvStr(m, k)
+			if i < len(p.Values) {
+				m = fnvAdd(m, uint64(len(p.Values[i])))
+				m = fnvBytes(m, p.Values[i])
+			}
+			if i < len(p.Found) && p.Found[i] {
+				m = fnvAdd(m, 1)
+			} else {
+				m = fnvAdd(m, 0)
+			}
+		}
+		m = fnvAdd(m, uint64(len(p.Writes)))
+		for _, w := range p.Writes {
+			m = fnvStr(m, w.Key)
+			m = fnvBytes(m, w.Val)
+			if w.Delete {
+				m = fnvAdd(m, 1)
+			} else {
+				m = fnvAdd(m, 0)
+			}
+		}
+		m = fnvAdd(m, uint64(len(p.Conds)))
+		for _, cc := range p.Conds {
+			m = fnvStr(m, cc.Key)
+			m = fnvBytes(m, cc.Expect)
+			if cc.ExpectPresent {
+				m = fnvAdd(m, 1)
+			} else {
+				m = fnvAdd(m, 0)
+			}
+		}
+	}
+	m = fnvAdd(m, uint64(len(s.txnOrder)))
+	for _, id := range s.txnOrder {
+		m = fnvAdd(m, id)
+	}
+	d.Meta = m
+	// Sum folds the meta and every range into one word — the value a WAL
+	// checkpoint is stamped with.
+	sum := fnvAdd(fnvOffset64, m)
+	for _, r := range d.Ranges {
+		sum = fnvAdd(sum, r)
+	}
+	d.Sum = sum
+	return d
+}
+
+// StateDigest implements shared.Digester: the single-range collapse of the
+// audit digest, stamped onto WAL checkpoints so recovery can verify the
+// snapshot it restores (see wal.Log.RecoverVerified).
+func (s *mapSM) StateDigest() uint64 {
+	return s.digestState(1).Sum
+}
+
+var _ shared.Digester = (*mapSM)(nil)
+
+// applyAudit evaluates one sequenced audit: hash the state as it stands at
+// this position in the order (BEFORE recording the audit's own result), hand
+// the digest to the node-local auditor hook, and record an OK result so the
+// submitter's Wait completes. Dedup suppresses re-execution of a retried
+// audit id, so one id yields at most one report per replica per timeline;
+// WAL replay re-reporting an id recomputes the identical digest — harmless.
+func (s *mapSM) applyAudit(c command) {
+	if s.onAudit != nil {
+		d := s.digestState(c.ranges)
+		d.ID = c.id
+		d.Seq = s.seq
+		s.onAudit(s.shard, d)
+	}
+	s.setResult(c.id, result{OK: true})
+}
+
+// auditScope names one shard's audit stream — the same label the shard's
+// flight-recorder events use, so a divergence dump and the shard's recent
+// history line up.
+func auditScope(store string, shard int) string {
+	return fmt.Sprintf("kv/%s/%d", store, shard)
+}
+
+// auditNodeName labels this node's reports in the auditor.
+func auditNodeName(nodeIndex int) string {
+	return fmt.Sprintf("node-%d", nodeIndex)
+}
+
+// auditDriver periodically submits audit commands and reports apply
+// progress. Every hosting node runs a driver (reporting its replicas'
+// applied seq each tick, which feeds the apply-lag gauge), but only the
+// shard's sequencer submits the audit command — one audit per shard per
+// period, not one per replica.
+func (s *Store) auditDriver(ctx context.Context) {
+	defer s.healWG.Done()
+	t := time.NewTicker(s.opts.AuditEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.auditTick(ctx)
+		}
+	}
+}
+
+// auditTick runs one audit period: progress reports for every hosted
+// replica, plus an audit submission for each shard this node sequences.
+func (s *Store) auditTick(ctx context.Context) {
+	aud := s.opts.Group.Obs.Health()
+	node := auditNodeName(s.opts.NodeIndex)
+	for i, r := range s.snapshotShards() {
+		if r == nil {
+			continue
+		}
+		aud.Progress(auditScope(s.name, i), node, r.Applied())
+		info := r.Info()
+		if !info.IsSequencer {
+			continue
+		}
+		cmd := encodeAudit(s.nextCmdID(), defaultAuditRanges)
+		sctx, cancel := context.WithTimeout(ctx, s.opts.AuditEvery)
+		err := r.Submit(sctx, cmd)
+		cancel()
+		if err != nil && ctx.Err() == nil {
+			s.flight().Recordf(auditScope(s.name, i), "audit submit failed: %v", err)
+		}
+	}
+}
+
+// AuditNow submits one audit to every hosted shard and waits for each to
+// apply locally, regardless of whether a periodic driver is running. Tests
+// and the wire-protocol HEALTH path use it to force a fresh comparison.
+func (s *Store) AuditNow(ctx context.Context) error {
+	aud := s.opts.Group.Obs.Health()
+	node := auditNodeName(s.opts.NodeIndex)
+	for i, r := range s.snapshotShards() {
+		if r == nil {
+			continue
+		}
+		id := s.nextCmdID()
+		if err := r.Submit(ctx, encodeAudit(id, defaultAuditRanges)); err != nil {
+			return fmt.Errorf("kv: audit shard %d: %w", i, err)
+		}
+		err := r.Wait(ctx, func(sm shared.StateMachine) bool {
+			_, done := sm.(*mapSM).results[id]
+			return done
+		})
+		if err != nil {
+			return fmt.Errorf("kv: audit shard %d: %w", i, err)
+		}
+		aud.Progress(auditScope(s.name, i), node, r.Applied())
+	}
+	return nil
+}
+
+// CorruptShard bit-flips one byte of one value in shard i's LOCAL replica —
+// silent single-replica state corruption, exactly what the audit tier
+// exists to catch. It reports the damaged key. Test hook: the fuzz
+// harness's planted-divergence self-test and the kv regression test use it
+// to prove a divergence is detected and localized.
+func (s *Store) CorruptShard(i int) (string, bool) {
+	r := s.Replica(i)
+	if r == nil {
+		return "", false
+	}
+	var key string
+	var ok bool
+	r.Read(func(m shared.StateMachine) {
+		sm := m.(*mapSM)
+		keys := make([]string, 0, len(sm.items))
+		for k := range sm.items {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if len(sm.items[k]) == 0 {
+				continue
+			}
+			nv := append([]byte(nil), sm.items[k]...)
+			nv[0] ^= 0x80
+			sm.items[k] = nv
+			key, ok = k, true
+			return
+		}
+		// Only empty values: corrupt by growing one instead.
+		for _, k := range keys {
+			sm.items[k] = []byte{0xff}
+			key, ok = k, true
+			return
+		}
+	})
+	return key, ok
+}

@@ -1,0 +1,127 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"amoeba/obs"
+)
+
+// This file measures what the self-audit costs: the same sharded workload
+// with the periodic sequenced audit off and on, in the observed-bench's
+// mirrored ABBA schedule so host warm-up drift cancels. Both modes run with
+// the obs hub attached — the audit rides on top of the instrumentation, so
+// the comparison isolates the audit itself: the extra sequenced commands,
+// the per-replica digest scans, and the cross-replica comparisons.
+// cmd/amoeba-bench renders it as the "audit" experiment and CI commits it as
+// BENCH_audit.json.
+
+// auditBenchPeriod is the audit period the enabled runs use — the default a
+// production deployment would start from (10 digests/s per shard).
+const auditBenchPeriod = 100 * time.Millisecond
+
+// auditSchedule doubles the observed-bench ABBA layout with its mirror
+// image. The audit's true cost is small — a digest scan is linear in a
+// shard's state, and one extra sequenced command per period is noise against
+// thousands of ordered ops — so the measurement needs better drift
+// cancellation than the effect-sized observed bench: 16 runs per mode, and
+// each mode occupies the same average position in time at two block scales.
+const auditSchedule = observedSchedule + "EDDEDEEDDEEDEDDE"
+
+// AuditBenchResult is the machine-readable output for BENCH_audit.json.
+type AuditBenchResult struct {
+	// Trials is the number of runs per mode in the ABBA schedule.
+	Trials int `json:"trials"`
+	// AuditEveryMS is the audit period the enabled runs used.
+	AuditEveryMS int64 `json:"audit_every_ms"`
+	// DisabledOpsPerSec / EnabledOpsPerSec are the aggregate ordered-op
+	// throughputs without and with the audit driver running.
+	DisabledOpsPerSec float64 `json:"disabled_ops_per_sec"`
+	EnabledOpsPerSec  float64 `json:"enabled_ops_per_sec"`
+	// OverheadPercent is (1 − enabled/disabled)·100 — negative means the
+	// audited runs were faster (noise floor).
+	OverheadPercent float64 `json:"overhead_percent"`
+	// Audits is the number of cross-replica digest comparisons the enabled
+	// runs completed; zero would mean the "enabled" side measured nothing.
+	Audits uint64 `json:"audits"`
+	// Divergences must be zero: an honest workload digesting differently
+	// on different replicas is a bug, not overhead.
+	Divergences int `json:"divergences"`
+}
+
+// MeasureAudit runs the audit-on-vs-off comparison on the mirrored ABBA
+// schedule (see observedSchedule for why) and returns the throughput delta.
+func MeasureAudit() (*AuditBenchResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	base := LoadOptions{
+		Shards:       4,
+		Nodes:        4,
+		Clients:      16,
+		Duration:     time.Second,
+		ReadFraction: 0.2,
+		Seed:         1,
+	}
+	// One hub for both modes: the audit toggles, the instrumentation does
+	// not, so the delta is the audit alone.
+	hub := obs.NewHub(obs.Options{Node: "bench", TraceMod: 1024})
+	base.Group.Obs = hub
+	var dOps, eOps uint64
+	var dTime, eTime time.Duration
+	for _, mode := range auditSchedule {
+		o := base
+		if mode == 'E' {
+			o.AuditEvery = auditBenchPeriod
+		}
+		rep, err := RunLoad(ctx, o)
+		if err != nil {
+			return nil, err
+		}
+		if mode == 'E' {
+			eOps += rep.Ops
+			eTime += rep.Elapsed
+		} else {
+			dOps += rep.Ops
+			dTime += rep.Elapsed
+		}
+	}
+	res := &AuditBenchResult{
+		Trials:            len(auditSchedule) / 2,
+		AuditEveryMS:      auditBenchPeriod.Milliseconds(),
+		DisabledOpsPerSec: float64(dOps) / dTime.Seconds(),
+		EnabledOpsPerSec:  float64(eOps) / eTime.Seconds(),
+		Divergences:       len(hub.Health().Divergences()),
+	}
+	res.OverheadPercent = (1 - res.EnabledOpsPerSec/res.DisabledOpsPerSec) * 100
+	for _, c := range hub.Registry().Counters() {
+		if c.Name == "amoeba_health_audits_total" {
+			res.Audits = c.Value
+		}
+	}
+	if res.Audits == 0 {
+		return nil, fmt.Errorf("kv: audit bench ran no digest comparisons — the enabled side measured nothing")
+	}
+	if res.Divergences != 0 {
+		return nil, fmt.Errorf("kv: audit bench found %d divergences on an honest workload: %v",
+			res.Divergences, hub.Health().Divergences()[0])
+	}
+	return res, nil
+}
+
+// AuditJSON renders the result for BENCH_audit.json.
+func AuditJSON(res *AuditBenchResult) ([]byte, error) {
+	out := struct {
+		Experiment string `json:"experiment"`
+		Unit       string `json:"unit"`
+		Note       string `json:"note"`
+		*AuditBenchResult
+	}{
+		Experiment:       "audit",
+		Unit:             "ops/s (throughput)",
+		Note:             "self-audit cost: same sharded workload with the periodic sequenced state audit off vs on (digest scan + sequenced audit command + cross-replica comparison); obs hub attached in both modes, mirrored ABBA run schedule",
+		AuditBenchResult: res,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -41,6 +41,12 @@ const (
 	opMigrateImport
 	opTxnPrepare
 	opTxnResolve
+	// opAudit is the sequenced self-audit: every replica computes a
+	// range-partitioned digest of its replicated state at the command's
+	// position in the total order and reports it to the node's auditor (see
+	// audit.go). Riding the order like any op is what makes the digests
+	// comparable — all replicas evaluate the identical state.
+	opAudit
 )
 
 var errBadCommand = errors.New("kv: malformed command")
@@ -74,6 +80,11 @@ func encodePut(id uint64, key string, val []byte) []byte {
 
 func encodeDelete(id uint64, key string) []byte {
 	return appendBytes(commandHeader(opDelete, id), []byte(key))
+}
+
+// encodeAudit encodes a sequenced audit over ranges digest partitions.
+func encodeAudit(id uint64, ranges int) []byte {
+	return binary.AppendUvarint(commandHeader(opAudit, id), uint64(ranges))
 }
 
 // encodeCAS encodes a compare-and-swap. expectPresent=false means the swap
@@ -787,6 +798,7 @@ type command struct {
 	allKeys       []string       // txn ops
 	writes        []TxnWrite     // opTxnPrepare
 	conds         []TxnCond      // opTxnPrepare
+	ranges        int            // opAudit: digest partition count
 }
 
 func decodeCommand(b []byte) (command, error) {
@@ -934,6 +946,12 @@ func decodeCommand(b []byte) (command, error) {
 		if c.allKeys, _, err = takeKeys(rest); err != nil {
 			return command{}, err
 		}
+	case opAudit:
+		n, w := binary.Uvarint(rest)
+		if w <= 0 || n == 0 || n > maxAuditRanges {
+			return command{}, errBadCommand
+		}
+		c.ranges = int(n)
 	default:
 		return command{}, fmt.Errorf("kv: unknown op %d: %w", c.op, errBadCommand)
 	}

@@ -115,6 +115,15 @@ type Options struct {
 	// idempotent, so a timid value only delays lock release and an eager
 	// one only races (and loses to) a live coordinator's own resolve.
 	TxnRecoveryAfter time.Duration
+	// AuditEvery, when positive, runs the self-audit driver: every period
+	// each hosted shard's sequencer submits a sequenced audit command, all
+	// replicas digest their state at the same position in the total order,
+	// and the node-local auditor (Group.Obs.Health) compares the digests —
+	// flagging any divergence with its shard, audit seq, and key-range.
+	// Zero (the default) disables the periodic driver; AuditNow still
+	// works, and replicas still report digests for audits other nodes
+	// submit.
+	AuditEvery time.Duration
 	// Group configures every shard group (resilience, method, history —
 	// see amoeba.GroupOptions).
 	Group amoeba.GroupOptions
@@ -243,6 +252,10 @@ func (s *Store) newShardSM(shard int) *mapSM {
 	if hub := s.opts.Group.Obs; hub != nil {
 		sm.tracer = hub.Tracer()
 		sm.flight = hub.Flight()
+		aud, node := hub.Health(), auditNodeName(s.opts.NodeIndex)
+		sm.onAudit = func(shard int, d obs.Digest) {
+			aud.Report(auditScope(s.name, shard), node, d)
+		}
 	}
 	return sm
 }
@@ -358,6 +371,10 @@ func (s *Store) startSelfHeal() {
 	go s.topologyWorker()
 	s.healWG.Add(1)
 	go s.txnJanitor(s.healCtx)
+	if s.opts.AuditEvery > 0 && s.opts.Group.Obs != nil {
+		s.healWG.Add(1)
+		go s.auditDriver(s.healCtx)
+	}
 	s.nudgeTopology()
 }
 

@@ -216,6 +216,13 @@ type mapSM struct {
 	results map[uint64]result
 	order   []uint64 // result ids, oldest first, for deterministic eviction
 	window  int
+	// resultSums/dedupSum maintain the audit digest of the result window
+	// incrementally: per-entry folds (see resultSum in audit.go) combined
+	// with a wrapping sum, added on insert and subtracted on eviction, so
+	// digesting the window is O(1) instead of a 64Ki-entry walk per audit.
+	// Derived from results — rebuilt on restore, never snapshotted.
+	resultSums map[uint64]uint64
+	dedupSum   uint64
 
 	// Transaction state (replicated): portions keyed by txn id, the FIFO
 	// eviction queue of RESOLVED portion ids (prepared portions never
@@ -230,9 +237,12 @@ type mapSM struct {
 	lockSeen map[uint64]time.Time
 
 	// Identity (constructor-set, not part of the replicated state: every
-	// replica of one shard is built with the same values).
-	store string
-	shard int
+	// replica of one shard is built with the same values). initRouting is
+	// the constructor's routing table, kept so Restore(nil) can reset to
+	// the same state a fresh replica boots with.
+	store       string
+	shard       int
+	initRouting Routing
 	// onRouting, when non-nil, is nudged after any apply or restore that
 	// changed routing or pending — the hook the hosting Store uses to keep
 	// its node-local routing view current. It runs under the replica lock
@@ -257,6 +267,10 @@ type mapSM struct {
 	tracer *obs.Tracer
 	flight *obs.Recorder
 	seq    uint32
+	// onAudit, when non-nil, receives the digest this replica computed for
+	// each applied audit command (see audit.go). Node-local like onRouting:
+	// it runs under the replica lock and must not call back into replicas.
+	onAudit func(shard int, d obs.Digest)
 }
 
 var _ shared.StateMachine = (*mapSM)(nil)
@@ -267,16 +281,18 @@ func newMapSM(store string, shard int, rt Routing, window int, onRouting func(in
 		window = defaultResultWindow
 	}
 	s := &mapSM{
-		items:     make(map[string][]byte),
-		results:   make(map[uint64]result),
-		window:    window,
-		txns:      make(map[uint64]*txnPortion),
-		locks:     make(map[string]uint64),
-		lockSeen:  make(map[uint64]time.Time),
-		store:     store,
-		shard:     shard,
-		onRouting: onRouting,
-		routing:   rt,
+		items:       make(map[string][]byte),
+		results:     make(map[uint64]result),
+		resultSums:  make(map[uint64]uint64),
+		window:      window,
+		txns:        make(map[uint64]*txnPortion),
+		locks:       make(map[string]uint64),
+		lockSeen:    make(map[uint64]time.Time),
+		store:       store,
+		shard:       shard,
+		initRouting: rt,
+		onRouting:   onRouting,
+		routing:     rt,
 	}
 	if rt.Shards > 0 {
 		s.curRing = rt.ring(store)
@@ -287,10 +303,18 @@ func newMapSM(store string, shard int, rt Routing, window int, onRouting func(in
 func (s *mapSM) setResult(id uint64, r result) {
 	if _, dup := s.results[id]; !dup {
 		s.order = append(s.order, id)
+	} else {
+		s.dedupSum -= s.resultSums[id]
 	}
 	s.results[id] = r
+	h := resultSum(id, r)
+	s.resultSums[id] = h
+	s.dedupSum += h
 	for len(s.order) > s.window {
-		delete(s.results, s.order[0])
+		old := s.order[0]
+		s.dedupSum -= s.resultSums[old]
+		delete(s.resultSums, old)
+		delete(s.results, old)
 		s.order = s.order[1:]
 	}
 }
@@ -410,6 +434,8 @@ func (s *mapSM) Apply(cmd []byte) {
 		s.applyTxnPrepare(c)
 	case opTxnResolve:
 		s.applyTxnResolve(c)
+	case opAudit:
+		s.applyAudit(c)
 	}
 }
 
@@ -869,8 +895,31 @@ func (s *mapSM) Snapshot() ([]byte, error) {
 	return json.Marshal(st)
 }
 
-// Restore replaces the shard state with a snapshot.
+// Restore replaces the shard state with a snapshot. A nil snapshot resets
+// the shard to its zero state — the wal recovery path uses this when every
+// digest-stamped checkpoint was refused and replay must start from scratch
+// (see wal.Log.RecoverVerified).
 func (s *mapSM) Restore(snap []byte) error {
+	if snap == nil {
+		s.items = make(map[string][]byte)
+		s.results = make(map[uint64]result)
+		s.resultSums = make(map[uint64]uint64)
+		s.dedupSum = 0
+		s.order = nil
+		s.txns = make(map[uint64]*txnPortion)
+		s.txnOrder = nil
+		s.locks = make(map[string]uint64)
+		s.lockSeen = make(map[uint64]time.Time)
+		s.routing = s.initRouting
+		s.curRing = nil
+		if s.routing.Shards > 0 {
+			s.curRing = s.routing.ring(s.store)
+		}
+		s.pending = nil
+		s.pendRing = nil
+		s.notifyRouting()
+		return nil
+	}
 	var st snapshotState
 	if err := json.Unmarshal(snap, &st); err != nil {
 		return err
@@ -880,10 +929,15 @@ func (s *mapSM) Restore(snap []byte) error {
 		s.items = make(map[string][]byte)
 	}
 	s.results = make(map[uint64]result, len(st.Results))
+	s.resultSums = make(map[uint64]uint64, len(st.Results))
+	s.dedupSum = 0
 	s.order = make([]uint64, 0, len(st.Results))
 	for _, r := range st.Results {
 		s.order = append(s.order, r.ID)
 		s.results[r.ID] = r.result
+		h := resultSum(r.ID, r.result)
+		s.resultSums[r.ID] = h
+		s.dedupSum += h
 	}
 	if st.Window > 0 {
 		s.window = st.Window

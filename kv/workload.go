@@ -53,6 +53,9 @@ type LoadOptions struct {
 	LocalReads bool
 	// Seed drives each client's key/op choice.
 	Seed int64
+	// AuditEvery enables the periodic sequenced state audit on every node
+	// (see Options.AuditEvery); zero leaves it off.
+	AuditEvery time.Duration
 	// Group configures the shard groups.
 	Group amoeba.GroupOptions
 }
@@ -157,6 +160,7 @@ func RunLoad(ctx context.Context, o LoadOptions) (LoadReport, error) {
 	stores, err := Bootstrap(ctx, kernels, "loadgen", Options{
 		Shards:      o.Shards,
 		Replication: o.Replication,
+		AuditEvery:  o.AuditEvery,
 		Group:       o.Group,
 	})
 	if err != nil {

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func digestWith(id uint64, seq uint32, ranges []uint64, meta uint64) Digest {
+	d := Digest{ID: id, Seq: seq, Ranges: ranges, Meta: meta}
+	sum := uint64(fnvTestOffset)
+	for _, r := range ranges {
+		sum = sum*31 + r
+	}
+	d.Sum = sum*31 + meta
+	return d
+}
+
+const fnvTestOffset = 1469598103934665603
+
+func TestAuditorAgreementIsOK(t *testing.T) {
+	h := NewHub(Options{Node: "test"})
+	a := h.Health()
+	d := digestWith(100, 7, []uint64{1, 2, 3}, 42)
+	a.Report("kv/s/0", "node-0", d)
+	if got := a.Rollup("kv/s/"); got != VerdictUnknown {
+		t.Fatalf("verdict with one report = %q, want unknown (nothing to compare)", got)
+	}
+	a.Report("kv/s/0", "node-1", d)
+	a.Report("kv/s/0", "node-2", d)
+	if got := a.Rollup("kv/s/"); got != VerdictOK {
+		t.Fatalf("verdict = %q, want ok", got)
+	}
+	if len(a.Divergences()) != 0 {
+		t.Fatalf("divergences on agreement: %v", a.Divergences())
+	}
+	snaps := a.Snapshot("kv/s/")
+	if len(snaps) != 1 || snaps[0].LastSeq != 7 || len(snaps[0].Replicas) != 3 {
+		t.Fatalf("snapshot %+v, want one scope @seq 7 with 3 replicas", snaps)
+	}
+}
+
+func TestAuditorLocalizesDivergence(t *testing.T) {
+	h := NewHub(Options{Node: "test"})
+	a := h.Health()
+	h.Flight().Record("kv/s/1", "some earlier protocol event")
+
+	good := digestWith(200, 31, []uint64{10, 20, 30, 40}, 5)
+	bad := good
+	bad.Ranges = append([]uint64(nil), good.Ranges...)
+	bad.Ranges[2] ^= 0xff // corrupt key-range 2 on one replica
+	bad.Sum ^= 1
+
+	a.Report("kv/s/1", "node-0", good)
+	a.Report("kv/s/1", "node-1", bad)
+	if got := a.Rollup("kv/s/"); got != VerdictDiverged {
+		t.Fatalf("verdict = %q, want diverged", got)
+	}
+	divs := a.Divergences()
+	if len(divs) != 1 {
+		t.Fatalf("%d divergences, want 1", len(divs))
+	}
+	div := divs[0]
+	if div.Scope != "kv/s/1" || div.ID != 200 || div.Seq != 31 {
+		t.Fatalf("divergence %+v, want scope kv/s/1 id 200 seq 31", div)
+	}
+	if len(div.Ranges) != 1 || div.Ranges[0] != 2 {
+		t.Fatalf("localized ranges %v, want [2]", div.Ranges)
+	}
+	if len(div.Nodes) != 2 {
+		t.Fatalf("nodes %v, want both replicas named", div.Nodes)
+	}
+	if !strings.Contains(div.FlightDump, "some earlier protocol event") {
+		t.Fatal("divergence did not capture the flight recorder")
+	}
+
+	// The verdict is sticky: a later clean audit does not clear it — the
+	// state diverged at some seq and only an operator (Forget) resets it.
+	clean := digestWith(201, 33, []uint64{1, 1, 1, 1}, 9)
+	a.Report("kv/s/1", "node-0", clean)
+	a.Report("kv/s/1", "node-1", clean)
+	if got := a.Rollup("kv/s/"); got != VerdictDiverged {
+		t.Fatalf("verdict after clean audit = %q, want still diverged", got)
+	}
+	a.Forget("kv/s/")
+	if got := a.Rollup("kv/s/"); got != VerdictUnknown {
+		t.Fatalf("verdict after Forget = %q, want unknown", got)
+	}
+}
+
+func TestAuditorMetaMismatchMarksMinusOne(t *testing.T) {
+	h := NewHub(Options{Node: "test"})
+	a := h.Health()
+	good := digestWith(300, 5, []uint64{7, 7}, 100)
+	bad := good
+	bad.Meta = 101
+	bad.Sum ^= 2
+	a.Report("kv/m/0", "node-0", good)
+	a.Report("kv/m/0", "node-1", bad)
+	divs := a.Divergences()
+	if len(divs) != 1 || len(divs[0].Ranges) != 1 || divs[0].Ranges[0] != -1 {
+		t.Fatalf("divergence %+v, want meta marker [-1]", divs)
+	}
+}
+
+func TestAuditorStaleReplicaDegrades(t *testing.T) {
+	h := NewHub(Options{Node: "test"})
+	a := h.Health()
+	a.SetStaleAfter(5 * time.Millisecond)
+	d := digestWith(400, 9, []uint64{1}, 2)
+	a.Report("kv/d/0", "node-0", d)
+	a.Report("kv/d/0", "node-1", d)
+	if got := a.Rollup("kv/d/"); got != VerdictOK {
+		t.Fatalf("verdict = %q, want ok before staleness", got)
+	}
+	time.Sleep(15 * time.Millisecond)
+	a.Progress("kv/d/0", "node-0", 12) // node-1 stays silent past staleAfter
+	if got := a.Rollup("kv/d/"); got != VerdictDegraded {
+		t.Fatalf("verdict = %q, want degraded (node-1 stale)", got)
+	}
+	snaps := a.Snapshot("kv/d/")
+	staleSeen := false
+	for _, rep := range snaps[0].Replicas {
+		if rep.Node == "node-1" && rep.Stale {
+			staleSeen = true
+		}
+	}
+	if !staleSeen {
+		t.Fatalf("snapshot %+v does not mark node-1 stale", snaps)
+	}
+	// The silent replica reporting again recovers the verdict.
+	a.Progress("kv/d/0", "node-1", 12)
+	if got := a.Rollup("kv/d/"); got != VerdictOK {
+		t.Fatalf("verdict = %q, want ok after recovery", got)
+	}
+}
+
+func TestAuditorPrefixIsolation(t *testing.T) {
+	h := NewHub(Options{Node: "test"})
+	a := h.Health()
+	good := digestWith(500, 3, []uint64{1}, 1)
+	bad := good
+	bad.Meta, bad.Sum = 9, good.Sum^4
+	a.Report("kv/alpha/0", "node-0", good)
+	a.Report("kv/alpha/0", "node-1", bad)
+	a.Report("kv/beta/0", "node-0", good)
+	a.Report("kv/beta/0", "node-1", good)
+	if got := a.Rollup("kv/alpha/"); got != VerdictDiverged {
+		t.Fatalf("alpha verdict = %q, want diverged", got)
+	}
+	if got := a.Rollup("kv/beta/"); got != VerdictOK {
+		t.Fatalf("beta verdict = %q, want ok (isolated from alpha)", got)
+	}
+	if got := a.Rollup(""); got != VerdictDiverged {
+		t.Fatalf("global rollup = %q, want diverged", got)
+	}
+	if sum := a.Summary("kv/beta/"); strings.Contains(sum, "alpha") {
+		t.Fatalf("beta summary leaks alpha divergence: %q", sum)
+	}
+}
+
+func TestAuditorApplyLagGauge(t *testing.T) {
+	h := NewHub(Options{Node: "test"})
+	a := h.Health()
+	a.Progress("kv/l/0", "node-0", 100)
+	a.Progress("kv/l/0", "node-1", 60)
+	var lag uint64
+	for _, g := range h.Registry().Gauges() {
+		if g.Name == "amoeba_health_apply_lag" {
+			lag = g.Value
+		}
+	}
+	if lag != 40 {
+		t.Fatalf("apply-lag gauge = %d, want 40", lag)
+	}
+	a.Progress("kv/l/0", "node-1", 100)
+	for _, g := range h.Registry().Gauges() {
+		if g.Name == "amoeba_health_apply_lag" && g.Value != 0 {
+			t.Fatalf("apply-lag gauge = %d after catch-up, want 0", g.Value)
+		}
+	}
+}
+
+func TestAuditorNilSafe(t *testing.T) {
+	var a *Auditor
+	a.Report("s", "n", Digest{ID: 1})
+	a.Progress("s", "n", 1)
+	a.SetStaleAfter(time.Second)
+	a.Forget("")
+	if a.Rollup("") != VerdictUnknown {
+		t.Fatal("nil auditor rollup not unknown")
+	}
+	if a.Snapshot("") != nil || a.Divergences() != nil {
+		t.Fatal("nil auditor returned data")
+	}
+	if a.Summary("") == "" || a.Format("") == "" {
+		t.Fatal("nil auditor summary/format empty")
+	}
+	var h *Hub
+	if h.Health() != nil {
+		t.Fatal("nil hub vended a non-nil auditor")
+	}
+}

@@ -24,6 +24,7 @@ type Hub struct {
 	reg    *Registry
 	tracer *Tracer
 	flight *Recorder
+	health *Auditor
 }
 
 // Options configures a Hub. Zero values are sensible.
@@ -55,11 +56,23 @@ func NewHub(o Options) *Hub {
 	if o.FlightSize <= 0 {
 		o.FlightSize = 256
 	}
-	return &Hub{
+	h := &Hub{
 		reg:    newRegistry(o.Node),
 		tracer: newTracer(o.Node, o.TraceMod, o.TraceKeep),
 		flight: newRecorder(o.FlightSize),
 	}
+	h.health = newAuditor(h.reg, h.flight)
+	return h
+}
+
+// Health returns the hub's state auditor (nil on a nil hub). Replicas of a
+// scope report sequenced state digests and apply progress into it; it
+// compares digests across replicas and maintains the health verdict.
+func (h *Hub) Health() *Auditor {
+	if h == nil {
+		return nil
+	}
+	return h.health
 }
 
 // Registry returns the hub's metric registry (nil on a nil hub).

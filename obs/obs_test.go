@@ -242,3 +242,125 @@ func TestGaugeDeltas(t *testing.T) {
 		t.Fatalf("gauge = %d, want 3", v)
 	}
 }
+
+// TestHistogramQuantileEdges pins the quantile contract at the boundaries:
+// zero observations, a single sample (including a zero-valued one), and
+// values at the top of the range where the recorded max tightens the last
+// bucket's bound.
+func TestHistogramQuantileEdges(t *testing.T) {
+	empty := NewHistogram("empty").Snapshot()
+	for _, q := range []float64{0.001, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// A single zero-valued sample lands in bucket 0 (span [0,1]); every
+	// quantile answers that bucket's upper bound.
+	zero := NewHistogram("zero")
+	zero.ObserveValue(0)
+	zs := zero.Snapshot()
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := zs.Quantile(q); got != 1 {
+			t.Fatalf("single-zero Quantile(%v) = %d, want bucket-0 bound 1", q, got)
+		}
+	}
+
+	// A single mid-bucket sample: the bucket bound (8 for value 7) exceeds
+	// the recorded max, so the max is the tighter answer.
+	one := NewHistogram("one")
+	one.ObserveValue(7)
+	os := one.Snapshot()
+	for _, q := range []float64{0.001, 0.5, 1} {
+		if got := os.Quantile(q); got != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %d, want max 7", q, got)
+		}
+	}
+
+	// The largest representable value clamps into the last bucket and
+	// comes back out intact.
+	top := NewHistogram("top")
+	top.ObserveValue(^uint64(0))
+	ts := top.Snapshot()
+	if got := ts.Quantile(1); got != ^uint64(0) {
+		t.Fatalf("max-value Quantile(1) = %d, want MaxUint64", got)
+	}
+	if got := ts.Quantile(0.5); got != ^uint64(0) {
+		t.Fatalf("max-value Quantile(0.5) = %d, want MaxUint64 (only sample)", got)
+	}
+
+	// A vanishing quantile still ranks at least one observation: with
+	// samples in two buckets, q→0 answers the first bucket, q=1 the last.
+	two := NewHistogram("two")
+	two.ObserveValue(1)
+	two.ObserveValue(1000)
+	tw := two.Snapshot()
+	if got := tw.Quantile(0.0001); got != 1 {
+		t.Fatalf("tiny-q Quantile = %d, want first bucket bound 1", got)
+	}
+	if got := tw.Quantile(1); got != 1000 {
+		t.Fatalf("Quantile(1) = %d, want max 1000", got)
+	}
+}
+
+// TestMergeTracesSkewedClocks reassembles one operation's timeline from two
+// hubs whose wall clocks disagree. The merge orders by timestamp — with
+// skew, an event that causally followed can sort first — and the contract
+// is: the output is globally sorted by At, ties are stable in tracer
+// argument order, and no span is lost or duplicated.
+func TestMergeTracesSkewedClocks(t *testing.T) {
+	const id = 42
+	a := newTracer("node-a", 1, 16)
+	b := newTracer("node-b", 1, 16)
+	a.Add(id, "submitted")
+	b.Add(id, "sequenced")
+	a.Add(id, "delivered")
+
+	// Skew node-b three seconds into the future: its sequenced event now
+	// timestamps AFTER node-a's delivery even though it happened between
+	// the two.
+	base := time.Unix(1000, 0)
+	a.mu.Lock()
+	a.traces[id][0].At = base
+	a.traces[id][1].At = base.Add(2 * time.Millisecond)
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.traces[id][0].At = base.Add(3 * time.Second)
+	b.mu.Unlock()
+
+	merged := MergeTraces(id, a, b)
+	if len(merged) != 3 {
+		t.Fatalf("%d spans, want 3", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].At.Before(merged[i-1].At) {
+			t.Fatalf("merged spans not sorted at %d: %v then %v", i, merged[i-1].At, merged[i].At)
+		}
+	}
+	// The skewed node's span sorts last despite its causal position.
+	if merged[2].Node != "node-b" || merged[2].Event != "sequenced" {
+		t.Fatalf("last span = %s/%s, want skewed node-b/sequenced", merged[2].Node, merged[2].Event)
+	}
+
+	// Exact-tie timestamps: stable sort keeps tracer argument order, so
+	// reversing the arguments reverses the tied pair.
+	tie := base.Add(time.Hour)
+	a.mu.Lock()
+	a.traces[id] = []Span{{Node: "node-a", Event: "tied", At: tie}}
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.traces[id] = []Span{{Node: "node-b", Event: "tied", At: tie}}
+	b.mu.Unlock()
+	ab := MergeTraces(id, a, b)
+	ba := MergeTraces(id, b, a)
+	if ab[0].Node != "node-a" || ba[0].Node != "node-b" {
+		t.Fatalf("tie order ab=%s ba=%s, want stable argument order", ab[0].Node, ba[0].Node)
+	}
+
+	// FormatTrace offsets from the first (earliest) span even when a
+	// skewed clock produced it.
+	out := FormatTrace(id, ab)
+	if !strings.Contains(out, "+0") || !strings.Contains(out, "node-a") {
+		t.Fatalf("FormatTrace output missing zero offset or node: %q", out)
+	}
+}

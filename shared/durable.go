@@ -228,9 +228,18 @@ func Open(ctx context.Context, k *amoeba.Kernel, name string, sm StateMachine, o
 	if err != nil {
 		return nil, fmt.Errorf("shared: opening log for %q: %w", name, err)
 	}
-	recovered, err := log.Recover(
+	// A state machine that can digest itself gets verified recovery: each
+	// restored checkpoint's digest is recomputed and compared against the
+	// stamp, and a checkpoint that does not round-trip is refused in favour
+	// of an older one plus a longer replay.
+	var verify func(seq uint32, digest uint64) bool
+	if dg, ok := sm.(Digester); ok {
+		verify = func(seq uint32, digest uint64) bool { return dg.StateDigest() == digest }
+	}
+	recovered, err := log.RecoverVerified(
 		func(snap []byte, seq uint32) error { return sm.Restore(snap) },
 		func(e wal.Entry) error { sm.Apply(e.Payload); return nil },
+		verify,
 	)
 	if err != nil {
 		log.Close()
@@ -343,7 +352,11 @@ func createSeeded(ctx context.Context, k *amoeba.Kernel, name string, sm StateMa
 	r.durable = true
 	snap, err := sm.Snapshot()
 	if err == nil {
-		err = log.Checkpoint(recovered, snap)
+		var digest uint64
+		if r.digester != nil {
+			digest = r.digester.StateDigest()
+		}
+		err = log.CheckpointDigest(recovered, digest, snap)
 	}
 	if err != nil {
 		g.Close()

@@ -53,6 +53,19 @@ type SeqApplier interface {
 	ApplySeq(seq uint32, cmd []byte)
 }
 
+// Digester is an optional StateMachine extension: a state machine that can
+// fold its replicated state into one deterministic 64-bit digest. Durable
+// replicas stamp every WAL checkpoint with the digest, and cold-start
+// recovery verifies the restored state against the stamp — a checkpoint
+// whose bytes survived (CRC-clean) but whose state does not round-trip is
+// refused, falling back to the previous checkpoint and a longer replay (see
+// wal.Log.RecoverVerified). The digest must be a pure function of replicated
+// state only, so every replica of a group computes the same value at the
+// same position in the total order.
+type Digester interface {
+	StateDigest() uint64
+}
+
 // Errors returned by the package.
 var (
 	// ErrStopped reports use of a closed or expelled replica.
@@ -94,6 +107,7 @@ type Replica struct {
 
 	// Observability (all nil-safe no-ops when the group carries no hub).
 	seqApply   SeqApplier     // sm, when it implements SeqApplier
+	digester   Digester       // sm, when it implements Digester
 	applyH     *obs.Histogram // amoeba_replica_apply_ns (1-in-8 sampled)
 	applyCount uint64         // applies since start, for the sampling rule
 	flight     *obs.Recorder
@@ -175,7 +189,11 @@ func joinWithLog(ctx context.Context, k *amoeba.Kernel, name string, sm StateMac
 	r.lastApplied = snapSeq
 	r.members = first.Members
 	if log != nil {
-		if err := log.Reset(snapSeq, snapshot); err != nil {
+		var digest uint64
+		if r.digester != nil {
+			digest = r.digester.StateDigest()
+		}
+		if err := log.Reset(snapSeq, digest, snapshot); err != nil {
 			g.Close()
 			return nil, fmt.Errorf("shared: resetting log to transfer point: %w", err)
 		}
@@ -206,6 +224,7 @@ func newReplica(k *amoeba.Kernel, g *amoeba.Group, name string, sm StateMachine,
 		done:      make(chan struct{}),
 	}
 	r.seqApply, _ = sm.(SeqApplier)
+	r.digester, _ = sm.(Digester)
 	if hub != nil {
 		r.applyH = hub.Histogram("amoeba_replica_apply_ns")
 		r.flight = hub.Flight()
@@ -361,7 +380,7 @@ func (r *Replica) applyBurst(ms []amoeba.Message) {
 	for i := range ms {
 		r.applyLocked(ms[i])
 	}
-	log, seq, snap := r.prepareCheckpointLocked()
+	log, seq, digest, snap := r.prepareCheckpointLocked()
 	r.wakeLocked()
 	r.mu.Unlock()
 	if log == nil {
@@ -372,7 +391,7 @@ func (r *Replica) applyBurst(ms []amoeba.Message) {
 	// fsync every CheckpointEvery entries. The apply loop is the only
 	// appender, and it is here — nothing appends concurrently, so the
 	// checkpoint still covers exactly the entries journaled so far.
-	if err := log.Checkpoint(seq, snap); err != nil {
+	if err := log.CheckpointDigest(seq, digest, snap); err != nil {
 		r.mu.Lock()
 		// The log may have been retired (or swapped by Close) meanwhile;
 		// only degrade the one that failed.
@@ -384,19 +403,24 @@ func (r *Replica) applyBurst(ms []amoeba.Message) {
 }
 
 // prepareCheckpointLocked decides whether a checkpoint is due and, if so,
-// serialises the snapshot under the lock (the consistent read) and resets
-// the countdown, returning the log to checkpoint into. The disk write
-// itself happens at the caller, outside r.mu.
-func (r *Replica) prepareCheckpointLocked() (*wal.Log, uint32, []byte) {
+// serialises the snapshot — and its state digest, when the state machine is
+// a Digester — under the lock (the consistent read) and resets the
+// countdown, returning the log to checkpoint into. The disk write itself
+// happens at the caller, outside r.mu.
+func (r *Replica) prepareCheckpointLocked() (*wal.Log, uint32, uint64, []byte) {
 	if r.log == nil || r.sinceCkpt < r.dur.CheckpointEvery {
-		return nil, 0, nil
+		return nil, 0, 0, nil
 	}
 	snap, err := r.sm.Snapshot()
 	if err != nil {
-		return nil, 0, nil // not fatal: try again after the next burst
+		return nil, 0, 0, nil // not fatal: try again after the next burst
+	}
+	var digest uint64
+	if r.digester != nil {
+		digest = r.digester.StateDigest()
 	}
 	r.sinceCkpt = 0
-	return r.log, r.lastApplied, snap
+	return r.log, r.lastApplied, digest, snap
 }
 
 // applyLocked folds one delivery into the state machine; r.mu must be held.

@@ -166,6 +166,11 @@ type Stats struct {
 	// did not — a survivor that missed the cold-start election and joined
 	// later gave up that suffix.
 	ResetDiscarded uint64
+	// CheckpointsRejected counts digest-stamped checkpoints refused at
+	// recovery because the restored state's digest did not match the stamp
+	// (see RecoverVerified) — recovery fell back to an older checkpoint and
+	// a longer replay.
+	CheckpointsRejected uint64
 	// RecoveredEntries counts entries replayed by Recover (after the
 	// checkpoint, if any).
 	RecoveredEntries uint64
@@ -302,6 +307,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			{Name: "amoeba_wal_segments_removed_total", Value: s.SegmentsRemoved},
 			{Name: "amoeba_wal_reset_discarded_total", Value: s.ResetDiscarded},
 			{Name: "amoeba_wal_recovered_entries_total", Value: s.RecoveredEntries},
+			{Name: "amoeba_wal_checkpoints_rejected_total", Value: s.CheckpointsRejected},
 		}
 	})
 	names, err := os.ReadDir(dir)
@@ -323,7 +329,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	// corrupt checkpoint must not inflate lastSeq past what Recover can
 	// actually restore, or the first post-recovery append would be
 	// rejected as out of order.
-	if _, seq, ok := l.readBestCheckpoint(); ok {
+	if _, seq, _, ok := l.readBestCheckpoint(); ok {
 		l.ckptSeq, l.hasCkpt = seq, true
 	}
 	l.lastSeq = l.ckptSeq
@@ -609,23 +615,57 @@ func (l *Log) Append(entries []Entry) error {
 // crash — and at any callback error. It returns the highest sequence number
 // the log knows (checkpoint or entry), the caller's recovery baseline.
 func (l *Log) Recover(restore func(snapshot []byte, seq uint32) error, apply func(Entry) error) (uint32, error) {
+	return l.RecoverVerified(restore, apply, nil)
+}
+
+// RecoverVerified is Recover with checkpoint-digest verification: after a
+// digest-stamped checkpoint is restored, verify is called with the stamped
+// state digest. Returning false refuses the checkpoint — the file is deleted
+// and recovery falls back to the previous (older) checkpoint with a longer
+// entry replay, or, when no checkpoint survives, to a from-scratch replay.
+// Before a from-scratch replay forced by a refusal, restore is called one
+// final time with a nil snapshot and seq 0: the state machine must reset to
+// its zero state, discarding whatever the refused restore left behind.
+// Checkpoints stamped with digest 0 (the unstamped sentinel written by
+// Checkpoint) and a nil verify skip verification.
+func (l *Log) RecoverVerified(restore func(snapshot []byte, seq uint32) error, apply func(Entry) error, verify func(seq uint32, digest uint64) bool) (uint32, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
 	}
 	afterSeq := uint32(0)
-	if snap, seq, ok := l.readBestCheckpoint(); ok {
+	rejected := false
+	for {
+		snap, seq, digest, ok := l.readBestCheckpoint()
+		if !ok {
+			// No checkpoint survives (unreadable, corrupt, or refused ones
+			// were removed along the way).
+			l.ckptSeq = 0
+			l.hasCkpt = false
+			if rejected && restore != nil {
+				// A refused restore already mutated the state machine;
+				// clear it before the from-scratch replay.
+				if err := restore(nil, 0); err != nil {
+					return 0, err
+				}
+			}
+			break
+		}
 		if restore != nil {
 			if err := restore(snap, seq); err != nil {
 				return 0, err
 			}
 		}
+		if digest != 0 && verify != nil && !verify(seq, digest) {
+			rejected = true
+			l.stats.CheckpointsRejected++
+			l.flight.Recordf("wal", "checkpoint seq %d in %s refused: state digest mismatch, falling back", seq, l.dir)
+			_ = os.Remove(filepath.Join(l.dir, ckptName(seq)))
+			continue
+		}
 		afterSeq = seq
-	} else {
-		// Every checkpoint file was unreadable or corrupt (and removed).
-		l.ckptSeq = 0
-		l.hasCkpt = false
+		break
 	}
 	recovered := afterSeq
 	for _, seg := range l.segments {
@@ -662,15 +702,36 @@ func (l *Log) Recover(restore func(snapshot []byte, seq uint32) error, apply fun
 	if recovered > l.lastSeq {
 		l.lastSeq = recovered
 	}
+	if rejected && recovered < l.lastSeq {
+		// The refused checkpoint had inflated lastSeq past what the
+		// surviving history can actually reproduce; lower the append
+		// baseline to the recovery point or post-recovery appends would be
+		// refused as out of order.
+		l.lastSeq = recovered
+	}
 	return recovered, nil
 }
 
-// readBestCheckpoint returns the newest checkpoint whose CRC validates,
-// deleting ones that do not.
-func (l *Log) readBestCheckpoint() ([]byte, uint32, bool) {
+// ckptHeaderSize is the fixed prefix of a checkpoint file:
+//
+//	crc    u32   CRC32 (IEEE) of everything after it
+//	seq    u32   every entry with seq ≤ this is reflected
+//	digest u64   state digest at seq (0: unstamped)
+//	snapshot     the state machine's serialized state
+const ckptHeaderSize = 16
+
+// ckptRetain is how many checkpoints the log keeps: the newest plus the one
+// before it, so recovery that refuses the newest (digest mismatch) can fall
+// back to the previous one with a longer replay instead of losing the
+// covered prefix. Segments are only dead once the oldest retained checkpoint
+// covers them.
+const ckptRetain = 2
+
+// listCheckpoints returns the checkpoint seqs present on disk, newest first.
+func (l *Log) listCheckpoints() []uint32 {
 	names, err := os.ReadDir(l.dir)
 	if err != nil {
-		return nil, 0, false
+		return nil
 	}
 	var seqs []uint32
 	for _, de := range names {
@@ -679,10 +740,16 @@ func (l *Log) readBestCheckpoint() ([]byte, uint32, bool) {
 		}
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
-	for _, seq := range seqs {
+	return seqs
+}
+
+// readBestCheckpoint returns the newest checkpoint whose CRC validates —
+// with its stamped state digest — deleting ones that do not.
+func (l *Log) readBestCheckpoint() ([]byte, uint32, uint64, bool) {
+	for _, seq := range l.listCheckpoints() {
 		path := filepath.Join(l.dir, ckptName(seq))
 		buf, err := os.ReadFile(path)
-		if err != nil || len(buf) < 8 {
+		if err != nil || len(buf) < ckptHeaderSize {
 			_ = os.Remove(path)
 			continue
 		}
@@ -692,24 +759,33 @@ func (l *Log) readBestCheckpoint() ([]byte, uint32, bool) {
 			_ = os.Remove(path)
 			continue
 		}
+		digest := binary.BigEndian.Uint64(buf[8:])
 		l.ckptSeq = seq
-		return buf[8:], seq, true
+		return buf[ckptHeaderSize:], seq, digest, true
 	}
-	return nil, 0, false
+	return nil, 0, 0, false
 }
 
-// Checkpoint records a snapshot reflecting every entry with seq ≤ seq,
-// written atomically and fsynced, then deletes the segments the checkpoint
-// makes dead (those whose every entry it covers) and older checkpoints.
-// After a checkpoint, recovery restores the snapshot and replays only the
-// suffix beyond it.
+// Checkpoint records an unstamped snapshot reflecting every entry with
+// seq ≤ seq — CheckpointDigest with digest 0, for state machines that cannot
+// digest themselves.
 func (l *Log) Checkpoint(seq uint32, snapshot []byte) error {
+	return l.CheckpointDigest(seq, 0, snapshot)
+}
+
+// CheckpointDigest records a snapshot reflecting every entry with seq ≤ seq,
+// stamped with the state machine's digest at that seq, written atomically
+// and fsynced. It then prunes checkpoints beyond the retained pair and
+// deletes the segments the oldest retained checkpoint makes dead. After a
+// checkpoint, recovery restores the snapshot, verifies the digest (see
+// RecoverVerified), and replays only the suffix beyond it.
+func (l *Log) CheckpointDigest(seq uint32, digest uint64, snapshot []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.checkpointLocked(seq, snapshot)
+	return l.checkpointLocked(seq, digest, snapshot)
 }
 
-func (l *Log) checkpointLocked(seq uint32, snapshot []byte) error {
+func (l *Log) checkpointLocked(seq uint32, digest uint64, snapshot []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -718,9 +794,10 @@ func (l *Log) checkpointLocked(seq uint32, snapshot []byte) error {
 		// the clean kind: the previous checkpoint stays in force.
 		return fmt.Errorf("wal: writing checkpoint: %w", ErrDiskFull)
 	}
-	buf := make([]byte, 8+len(snapshot))
+	buf := make([]byte, ckptHeaderSize+len(snapshot))
 	binary.BigEndian.PutUint32(buf[4:], seq)
-	copy(buf[8:], snapshot)
+	binary.BigEndian.PutUint64(buf[8:], digest)
+	copy(buf[ckptHeaderSize:], snapshot)
 	binary.BigEndian.PutUint32(buf, crc32.ChecksumIEEE(buf[4:]))
 	final := filepath.Join(l.dir, ckptName(seq))
 	tmp := final + tmpSuffix
@@ -731,27 +808,28 @@ func (l *Log) checkpointLocked(seq uint32, snapshot []byte) error {
 		return fmt.Errorf("wal: installing checkpoint: %w", err)
 	}
 	syncDir(l.dir)
-	prevCkpt := l.ckptSeq
-	prevHad := l.hasCkpt
 	l.ckptSeq = seq
 	l.hasCkpt = true
 	if seq > l.lastSeq {
 		l.lastSeq = seq
 	}
 	l.stats.Checkpoints++
-	// Remove the superseded checkpoint.
-	if prevHad && prevCkpt != seq {
-		_ = os.Remove(filepath.Join(l.dir, ckptName(prevCkpt)))
+	// Prune to the retained pair: the new checkpoint plus its predecessor.
+	for i, old := range l.listCheckpoints() {
+		if i >= ckptRetain {
+			_ = os.Remove(filepath.Join(l.dir, ckptName(old)))
+		}
 	}
 	return l.dropDeadSegments()
 }
 
-// Reset replaces the log's history wholesale: a checkpoint at seq plus the
-// removal of every entry segment, dead or not. A replica that (re)joins a
-// running group installs the transferred snapshot with Reset — the transfer
-// is authoritative, and entries journaled on the replica's previous timeline
+// Reset replaces the log's history wholesale: a checkpoint at seq (stamped
+// with digest, 0 for unstamped) plus the removal of every entry segment and
+// prior checkpoint, dead or not. A replica that (re)joins a running group
+// installs the transferred snapshot with Reset — the transfer is
+// authoritative, and entries journaled on the replica's previous timeline
 // (before it crashed or was expelled) must not resurface in a later replay.
-func (l *Log) Reset(seq uint32, snapshot []byte) error {
+func (l *Log) Reset(seq uint32, digest uint64, snapshot []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -774,19 +852,31 @@ func (l *Log) Reset(seq uint32, snapshot []byte) error {
 	}
 	l.segments = nil
 	l.lastSeq = seq
-	if err := l.checkpointLocked(seq, snapshot); err != nil {
+	// Checkpoints from the discarded timeline must not survive as fallback
+	// candidates: the transfer is authoritative.
+	for _, old := range l.listCheckpoints() {
+		_ = os.Remove(filepath.Join(l.dir, ckptName(old)))
+	}
+	l.hasCkpt = false
+	if err := l.checkpointLocked(seq, digest, snapshot); err != nil {
 		return err
 	}
 	return l.rotate()
 }
 
 // dropDeadSegments deletes every sealed segment whose entries are all
-// covered by the current checkpoint. Segment k's entries are bounded above
-// by segment k+1's base, so the decision needs no scan.
+// covered by the oldest retained checkpoint — not just the newest, so a
+// recovery that refuses the newest checkpoint can still replay forward from
+// its predecessor. Segment k's entries are bounded above by segment k+1's
+// base, so the decision needs no scan.
 func (l *Log) dropDeadSegments() error {
+	cover := l.ckptSeq
+	if seqs := l.listCheckpoints(); len(seqs) > 0 && seqs[len(seqs)-1] < cover {
+		cover = seqs[len(seqs)-1]
+	}
 	keep := l.segments[:0]
 	for i, seg := range l.segments {
-		if i+1 < len(l.segments) && l.segments[i+1].base <= l.ckptSeq {
+		if i+1 < len(l.segments) && l.segments[i+1].base <= cover {
 			if err := os.Remove(seg.path); err != nil {
 				return fmt.Errorf("wal: removing dead segment: %w", err)
 			}

@@ -137,19 +137,33 @@ func TestCheckpointBoundsReplayAndTruncates(t *testing.T) {
 		t.Fatalf("replayed suffix %d..%d (%d entries), want 31..45",
 			entries[0].Seq, entries[len(entries)-1].Seq, len(entries))
 	}
-	// Only one checkpoint file survives.
+	// The newest checkpoint plus its predecessor survive (ckptRetain), so
+	// a digest-refused checkpoint has something to fall back to; a third
+	// checkpoint evicts the oldest.
 	if err := l2.Checkpoint(45, []byte("state@45")); err != nil {
 		t.Fatalf("Checkpoint: %v", err)
 	}
-	names, _ := os.ReadDir(dir)
-	ckpts := 0
-	for _, de := range names {
-		if strings.HasPrefix(de.Name(), ckptPrefix) {
-			ckpts++
+	countCkpts := func() int {
+		names, _ := os.ReadDir(dir)
+		n := 0
+		for _, de := range names {
+			if strings.HasPrefix(de.Name(), ckptPrefix) {
+				n++
+			}
 		}
+		return n
 	}
-	if ckpts != 1 {
-		t.Fatalf("%d checkpoint files, want 1", ckpts)
+	if got := countCkpts(); got != ckptRetain {
+		t.Fatalf("%d checkpoint files, want %d (newest + fallback)", got, ckptRetain)
+	}
+	if err := l2.Append([]Entry{entry(46)}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l2.Checkpoint(46, []byte("state@46")); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if got := countCkpts(); got != ckptRetain {
+		t.Fatalf("after third checkpoint: %d files, want %d", got, ckptRetain)
 	}
 }
 
@@ -304,7 +318,7 @@ func TestResetDropsOldTimeline(t *testing.T) {
 	}
 	// A rejoin installs a transferred snapshot at seq 12: entries 13..20 are
 	// from the dead timeline and must not survive.
-	if err := l.Reset(12, []byte("xfer@12")); err != nil {
+	if err := l.Reset(12, 0, []byte("xfer@12")); err != nil {
 		t.Fatalf("Reset: %v", err)
 	}
 	if got := l.Stats().ResetDiscarded; got != 8 {
