@@ -49,6 +49,19 @@
 //	                   the journaled portions — atomic multi-key commits
 //	                   and consistent snapshots (kv.Client.MGet) across
 //	                   shard groups, exactly-once under retry
+//	(read leases)      The paper's reads either ride the total order (one
+//	                   sequenced round per read) or accept unbounded
+//	                   staleness. GroupOptions.LeaseDur adds a third
+//	                   point: the sequencer piggybacks read leases on the
+//	                   sync ticks it already sends, write acceptance waits
+//	                   for every unexpired lease holder's stored-ack, and
+//	                   a failed-over sequencer fences new writes for a
+//	                   full lease term — so a lease-holding member reads
+//	                   its own replica linearizably with no protocol round
+//	                   at all (Group.Lease, shared.Replica.LeaseRead; the
+//	                   kv package serves Get from it, and kv.Client.
+//	                   StaleGet opts into bounded staleness via
+//	                   Group.FreshAt when no lease is held)
 //	(measurement)      The paper's evaluation decomposed protocol cost per
 //	                   stage (request → sequencer → multicast → delivery)
 //	                   with offline instrumentation. GroupOptions.Obs wires

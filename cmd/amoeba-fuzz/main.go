@@ -51,6 +51,7 @@ func main() {
 		keys     = flag.Int("keys", 4, "distinct contended keys")
 		accounts = flag.Int("accounts", 4, "bank accounts the transactional workload transfers between")
 		minSurv  = flag.Int("min-survivors", 0, "recovery quorum (0 = majority; 1 reproduces quorum-less split brain)")
+		leases   = flag.Bool("leases", false, "enable sequencer read leases: Gets ride the lease-serve path and the workload mixes in bounded-staleness StaleGets")
 		timebox  = flag.Duration("timebox", 0, "stop starting new seeds after this long (0 = run all)")
 		replay   = flag.String("replay", "", "replay one schedule line (seed=N events=[...]) instead of sweeping")
 		noShrink = flag.Bool("no-shrink", false, "skip shrinking failing schedules")
@@ -59,7 +60,7 @@ func main() {
 	flag.Parse()
 
 	cfg := fuzz.Config{Nodes: *nodes, Shards: *shards, Clients: *clients, Keys: *keys,
-		Accounts: *accounts, MinSurvivors: *minSurv}
+		Accounts: *accounts, MinSurvivors: *minSurv, Leases: *leases}
 	if *verbose {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
@@ -125,7 +126,7 @@ func main() {
 			fmt.Println("shrinking…")
 			shrunk := fuzz.Shrink(sched, func(s fuzz.Schedule) bool {
 				r := fuzz.Run(cfg, s)
-				return r.Err == nil && (!r.Check.Linearizable || !r.Atomic.Ok())
+				return r.Err == nil && (!r.Check.Linearizable || !r.Atomic.Ok() || !r.Stale.Ok())
 			})
 			fmt.Printf("MINIMAL REPLAY: %s\n", shrunk)
 		} else {

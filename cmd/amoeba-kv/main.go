@@ -12,8 +12,11 @@
 // over Amoeba RPC (misroutes answered by ForwardRequest; see STATS):
 //
 //	PUT <key> <value>            -> OK
-//	GET <key>                    -> VALUE <value> | NOTFOUND   (sequenced read)
+//	GET <key>                    -> VALUE <value> | NOTFOUND   (linearizable; served
+//	                                from a read lease with -leases, sequenced otherwise)
 //	LGET <key>                   -> VALUE <value> | NOTFOUND   (local read)
+//	SGET <key> <max-stale>       -> VALUE <value> stale-for=<d> | NOTFOUND stale-for=<d>
+//	                                (bounded-staleness read, e.g. SGET k 500ms)
 //	DEL <key>                    -> OK true|false              (existed?)
 //	CAS <key> <old|-> <new>      -> OK true|false              ("-" = expect absent)
 //	MGET <key> <key> ...         -> VALUE <k>=<v> ...
@@ -89,6 +92,7 @@ func main() {
 		duration     = flag.Duration("duration", 5*time.Second, "load duration")
 		valueSize    = flag.Int("value-size", 64, "load value size in bytes")
 		readFrac     = flag.Float64("read-fraction", 0.2, "fraction of load ops that are GETs")
+		leases       = flag.Bool("leases", false, "sequencer read leases: replicas serve linearizable GETs locally with no ordering round; enables SGET bounded-staleness reads")
 		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics (Prometheus text), /health, /flight, and /trace?id=N over HTTP on this address")
 		traceMod     = flag.Uint64("trace-mod", 1024, "trace every Nth command id (1 traces everything)")
 		auditEvery   = flag.Duration("audit", time.Second, "sequenced state-audit period (0 disables the self-audit driver)")
@@ -104,7 +108,7 @@ func main() {
 		if *serveAddr == "" {
 			*serveAddr = ":7070"
 		}
-		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay, *metricsAddr, *traceMod, *auditEvery))
+		os.Exit(serve(*serveAddr, *shards, *nodes, *resilience, *replication, *dataDir, *walSync, *walSyncDelay, *leases, *metricsAddr, *traceMod, *auditEvery))
 	}
 }
 
@@ -161,7 +165,7 @@ func newHub(node string, traceMod uint64, metricsAddr string) *obs.Hub {
 // serve boots the cluster — recovering it from the write-ahead logs when
 // -data-dir names an existing deployment — and answers line-protocol
 // connections forever.
-func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration, metricsAddr string, traceMod uint64, auditEvery time.Duration) int {
+func serve(addr string, shards, nodes, resilience, replication int, dataDir string, walSync bool, walSyncDelay time.Duration, leases bool, metricsAddr string, traceMod uint64, auditEvery time.Duration) int {
 	ctx := context.Background()
 	network := amoeba.NewMemoryNetwork()
 	defer network.Close()
@@ -178,7 +182,7 @@ func serve(addr string, shards, nodes, resilience, replication int, dataDir stri
 	}
 	opts := kv.Options{Shards: shards, Replication: replication,
 		DataDir: dataDir, WALSync: walSync, WALSyncDelay: walSyncDelay,
-		AuditEvery: auditEvery,
+		AuditEvery: auditEvery, Leases: leases,
 		Group: amoeba.GroupOptions{
 			Resilience:   resilience,
 			AutoReset:    true,
@@ -526,6 +530,22 @@ func dispatch(ctx context.Context, cl *kv.Client, s *kv.Store, services []*kv.Se
 		return multiline(hub.Health().Summary(""))
 	case "TOP":
 		return multiline(hub.Health().Summary("") + hub.Health().Format(""))
+	case "SGET":
+		if len(fields) != 3 {
+			return reply("ERR usage: SGET key max-staleness")
+		}
+		bound, err := time.ParseDuration(fields[2])
+		if err != nil || bound <= 0 {
+			return reply("ERR bad staleness bound %q", fields[2])
+		}
+		v, found, staleFor, err := cl.StaleGet(ctx, fields[1], bound)
+		if err != nil {
+			return reply("ERR %v", err)
+		}
+		if !found {
+			return reply("NOTFOUND stale-for=%s", staleFor.Round(time.Millisecond))
+		}
+		return reply("VALUE %s stale-for=%s", token(v), staleFor.Round(time.Millisecond))
 	case "LGET":
 		if len(fields) != 2 {
 			return reply("ERR usage: LGET key")
@@ -708,6 +728,9 @@ func runSelftest(nodes, resilience int, duration time.Duration, metricsAddr stri
 	if rc := runTxnSelftest(nodes, resilience, duration, hub); rc != 0 {
 		return rc
 	}
+	if rc := runLeaseSelftest(nodes, resilience, duration, hub); rc != 0 {
+		return rc
+	}
 	if rc := runHealthSelftest(nodes, resilience, hub); rc != 0 {
 		return rc
 	}
@@ -751,6 +774,15 @@ func checkMetrics(hub *obs.Hub) int {
 		"amoeba_kv_txn_total_ns",
 		"amoeba_kv_client_txn_committed_total",
 		"amoeba_kv_client_txn_conflict_retries_total",
+		// Read-lease tier (populated by the lease sweep).
+		"amoeba_kv_lease_reads_total",
+		"amoeba_kv_lease_fallbacks_total",
+		"amoeba_kv_stale_reads_total",
+		"amoeba_kv_stale_fallbacks_total",
+		"amoeba_kv_client_lease_reads_total",
+		"amoeba_kv_client_stale_reads_total",
+		"amoeba_core_lease_grants_total",
+		"amoeba_core_lease_renewals_total",
 		// Self-audit tier (populated by the health sweep).
 		"amoeba_health_reports_total",
 		"amoeba_health_audits_total",
@@ -1306,5 +1338,158 @@ func runTxnSelftest(nodes, resilience int, duration time.Duration, hub *obs.Hub)
 	}
 	fmt.Printf("  %d transfers committed (%d conflict aborts retried), sum conserved at %d, pinned-id retry answered the original commit\n",
 		commits.Load(), condFails.Load(), accounts*balance)
+	return 0
+}
+
+// runLeaseSelftest drives the read-lease paths: a leased cluster under a
+// read-heavy mix where every write is immediately read back through the
+// lease-serve path (write gating makes that linearizable — a stale serve
+// would return the older value), plus bounded-staleness StaleGets whose
+// reported staleness must honor the requested bound. The sweep fails if the
+// lease path never actually serves — silent fallback to sequenced reads
+// would pass every correctness check while voiding the optimization.
+func runLeaseSelftest(nodes, resilience int, duration time.Duration, hub *obs.Hub) int {
+	fmt.Println("lease sweep (lease-served reads + read-your-writes + bounded-staleness gets):")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if nodes < 2 {
+		nodes = 2
+	}
+	network := amoeba.NewMemoryNetwork()
+	defer network.Close()
+	kernels := make([]*amoeba.Kernel, nodes)
+	for i := range kernels {
+		k, err := network.NewKernel(fmt.Sprintf("lease-node-%d", i))
+		if err != nil {
+			log.Printf("amoeba-kv: selftest lease: %v", err)
+			return 1
+		}
+		kernels[i] = k
+	}
+	stores, err := kv.Bootstrap(ctx, kernels, "selftest-lease", kv.Options{
+		Shards: 4,
+		Leases: true,
+		Group: amoeba.GroupOptions{
+			Resilience:   resilience,
+			AutoReset:    true,
+			MinSurvivors: 1,
+			Obs:          hub,
+		},
+	})
+	if err != nil {
+		log.Printf("amoeba-kv: selftest lease boot: %v", err)
+		return 1
+	}
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	// Leases ride sync ticks; give every shard time to arm before timing
+	// the mix (reads before that fall back to the sequenced path, which is
+	// correct but not what this sweep exists to exercise).
+	seed := stores[0].NewClient()
+	for i := 0; i < 16; i++ {
+		if err := seed.Put(ctx, fmt.Sprintf("lease-key-%d", i), []byte("0")); err != nil {
+			seed.Close()
+			log.Printf("amoeba-kv: selftest lease seed: %v", err)
+			return 1
+		}
+	}
+	armed := time.Now().Add(10 * time.Second)
+	for {
+		for i := 0; i < 16; i++ {
+			if _, _, err := seed.Get(ctx, fmt.Sprintf("lease-key-%d", i)); err != nil {
+				seed.Close()
+				log.Printf("amoeba-kv: selftest lease probe: %v", err)
+				return 1
+			}
+		}
+		if leased, _, _, _ := stores[0].LeaseStats(); leased > 0 {
+			break
+		}
+		if time.Now().After(armed) {
+			seed.Close()
+			log.Printf("amoeba-kv: selftest lease: leases never armed")
+			return 1
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	seed.Close()
+
+	var (
+		wg     sync.WaitGroup
+		failed atomic.Bool
+		reads  atomic.Uint64
+	)
+	deadline := time.Now().Add(duration)
+	for w := 0; w < 2*nodes; w++ {
+		w := w
+		cl := stores[w%nodes].NewClient()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cl.Close()
+			own := fmt.Sprintf("lease-own-%d", w)
+			for i := 0; time.Now().Before(deadline); i++ {
+				if i%20 == 19 {
+					// Write, then read-your-write through the lease path:
+					// write gating means the read MUST observe it.
+					want := strconv.Itoa(i)
+					if err := cl.Put(ctx, own, []byte(want)); err != nil {
+						log.Printf("amoeba-kv: selftest lease put: %v", err)
+						failed.Store(true)
+						return
+					}
+					got, _, err := cl.Get(ctx, own)
+					if err != nil || string(got) != want {
+						log.Printf("amoeba-kv: selftest lease: read-your-write %s = %q %v, want %q", own, got, err, want)
+						failed.Store(true)
+						return
+					}
+				} else if i%7 == 3 {
+					const bound = time.Second
+					_, _, staleFor, err := cl.StaleGet(ctx, fmt.Sprintf("lease-key-%d", i%16), bound)
+					if err != nil {
+						log.Printf("amoeba-kv: selftest lease staleget: %v", err)
+						failed.Store(true)
+						return
+					}
+					if staleFor > bound {
+						log.Printf("amoeba-kv: selftest lease: StaleGet reported %v staleness over the %v bound", staleFor, bound)
+						failed.Store(true)
+						return
+					}
+				} else {
+					if _, _, err := cl.Get(ctx, fmt.Sprintf("lease-key-%d", i%16)); err != nil {
+						log.Printf("amoeba-kv: selftest lease get: %v", err)
+						failed.Store(true)
+						return
+					}
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return 1
+	}
+	var leased, fallbacks, stale uint64
+	for _, s := range stores {
+		l, f, st, _ := s.LeaseStats()
+		leased, fallbacks, stale = leased+l, fallbacks+f, stale+st
+	}
+	if leased == 0 {
+		log.Printf("amoeba-kv: selftest lease: no read was served from a lease — the path went unexercised")
+		return 1
+	}
+	if stale == 0 {
+		log.Printf("amoeba-kv: selftest lease: no bounded-staleness read was served")
+		return 1
+	}
+	fmt.Printf("  %d ops: %d lease-served reads (%d fallbacks), %d stale-served, read-your-writes held\n",
+		reads.Load(), leased, fallbacks, stale)
 	return 0
 }

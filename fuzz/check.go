@@ -89,6 +89,11 @@ func Check(events []kv.HistoryEvent, budget time.Duration) CheckResult {
 		if e.Op == kv.OpGet && e.Failed() {
 			continue // observed nothing; constrains nothing
 		}
+		if e.Op == kv.OpStaleGet {
+			// Bounded-staleness reads opt out of linearizability by
+			// definition; CheckStale holds them to their own bound.
+			continue
+		}
 		byKey[e.Key] = append(byKey[e.Key], e)
 		ops++
 	}
@@ -153,6 +158,114 @@ func decompose(events []kv.HistoryEvent) []kv.HistoryEvent {
 		}
 	}
 	return out
+}
+
+// StaleResult is the bounded-staleness verdict over a history's OpStaleGet
+// reads.
+type StaleResult struct {
+	// Bounded reports that every examined stale read observed a value that
+	// was plausibly the key's value at some instant no earlier than its
+	// bound (plus slack) before the invocation.
+	Bounded bool
+	// Violation describes the first read that observed a value provably
+	// older than its bound, or a value no write produced (empty if none).
+	Violation string
+	// Reads counts the successful stale reads examined.
+	Reads int
+}
+
+// Ok reports a clean verdict.
+func (r StaleResult) Ok() bool { return r.Bounded }
+
+func (r StaleResult) String() string {
+	if !r.Bounded {
+		return "STALE BOUND VIOLATED: " + r.Violation
+	}
+	return fmt.Sprintf("stale bound held (%d stale reads)", r.Reads)
+}
+
+// CheckStale verifies every OpStaleGet against its bound: the observed value
+// must have been the key's value at some instant t in the window
+// [Invoke − Bound − slack, Return]. With (near-)unique write values the test
+// is exact: the value's producing write w must have invoked by the window's
+// end, and no later write (one invoked after w returned) may have completed
+// before t — a completed successor proves the value was already replaced.
+// Values produced by failed writes pass (their landing time is unknowable),
+// and absence observations are not checked (absence has no producing write
+// to date). slack absorbs the grant/tick granularity the server's
+// conservative freshness accounting already includes.
+func CheckStale(events []kv.HistoryEvent, slack time.Duration) StaleResult {
+	flat := decompose(events)
+	// Per-key writes: value producers and overwrite refuters.
+	type write struct {
+		val            []byte
+		invoke, ret    int64
+		failed, erases bool
+	}
+	writes := make(map[string][]write)
+	for _, e := range flat {
+		switch e.Op {
+		case kv.OpPut:
+			writes[e.Key] = append(writes[e.Key], write{val: e.Val, invoke: e.Invoke, ret: e.Return, failed: e.Failed()})
+		case kv.OpCAS:
+			if e.Failed() || e.Found { // a known-failed compare wrote nothing
+				writes[e.Key] = append(writes[e.Key], write{val: e.Val, invoke: e.Invoke, ret: e.Return, failed: e.Failed()})
+			}
+		case kv.OpDelete:
+			writes[e.Key] = append(writes[e.Key], write{invoke: e.Invoke, ret: e.Return, failed: e.Failed(), erases: true})
+		}
+	}
+	res := StaleResult{Bounded: true}
+	for _, e := range events {
+		if e.Op != kv.OpStaleGet || e.Failed() || !e.Found {
+			continue
+		}
+		res.Reads++
+		t0 := e.Invoke - int64(e.Bound+slack)
+		plausible := false
+		sawProducer := false
+		for _, w := range writes[e.Key] {
+			if w.erases || string(w.val) != string(e.Val) {
+				continue
+			}
+			sawProducer = true
+			if w.failed {
+				// The write's landing time is unknown: it may have applied
+				// moments before the read. Cannot refute.
+				plausible = true
+				break
+			}
+			if w.invoke > e.Return {
+				continue // value from the future: not this producer
+			}
+			t := t0
+			if w.invoke > t {
+				t = w.invoke // value fresh as of its own write: within bound
+			}
+			replaced := false
+			for _, w2 := range writes[e.Key] {
+				if !w2.failed && w2.invoke >= w.ret && w2.ret <= t {
+					replaced = true // a successor completed before t
+					break
+				}
+			}
+			if !replaced {
+				plausible = true
+				break
+			}
+		}
+		if !plausible {
+			res.Bounded = false
+			what := "provably replaced before the bound window"
+			if !sawProducer {
+				what = "a value no write produced"
+			}
+			res.Violation = fmt.Sprintf("client %d staleget %q observed %q (bound %s): %s",
+				e.Client, e.Key, e.Val, e.Bound, what)
+			return res
+		}
+	}
+	return res
 }
 
 // BankSpec names the bank-account keys the workload maintains by balance-

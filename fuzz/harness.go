@@ -62,6 +62,17 @@ type Config struct {
 	// DataDir hosts the nodes' write-ahead logs. Empty (the default)
 	// uses a fresh temp directory, removed when the run ends.
 	DataDir string
+	// Leases enables sequencer read leases on the cluster: plain Gets ride
+	// the lease-serve path wherever a lease is held (recorded and checked
+	// as ordinary linearizable reads), and the workload mixes in opt-in
+	// StaleGet reads, each held to the bounded-staleness check.
+	Leases bool
+	// PlantStaleServe corrupts the recorded history before checking: one
+	// successful bounded-staleness read is rewritten to observe a value
+	// provably replaced before its bound window (or, when the history has
+	// no such candidate, a value no write produced). The run's stale-bound
+	// verdict MUST fail — the self-test that keeps CheckStale honest.
+	PlantStaleServe bool
 	// PlantStaleRead corrupts the recorded history before checking: one
 	// successful read is rewritten to observe a value no write ever
 	// produced. The run's verdict MUST be non-linearizable — the
@@ -154,12 +165,20 @@ type Result struct {
 	// Atomic is the multi-key atomicity verdict: no torn transactions, and
 	// every full bank snapshot sums to the seeded total.
 	Atomic AtomicResult
+	// Stale is the bounded-staleness verdict over the run's StaleGet reads
+	// (trivially clean when the workload recorded none).
+	Stale StaleResult
 	// Ops counts recorded history events; Failed counts the subset whose
 	// outcome is unknown (errored or timed out).
 	Ops    int
 	Failed int
 	// Applied counts schedule events that fired.
 	Applied int
+	// LeaseReads and StaleReads count the reads the cluster's stores served
+	// from a lease / within a staleness bound during the run — proof the
+	// lease paths were actually in play, not silently falling back.
+	LeaseReads uint64
+	StaleReads uint64
 	// Err reports a harness-level failure (bootstrap or restart machinery
 	// broke) — distinct from a checker verdict.
 	Err error
@@ -179,7 +198,7 @@ type Result struct {
 // Ok reports a fully clean run: harness intact, history linearizable, every
 // multi-key claim atomic, and no replica-state divergence.
 func (r Result) Ok() bool {
-	return r.Err == nil && r.Check.Linearizable && r.Atomic.Ok() && len(r.Divergences) == 0
+	return r.Err == nil && r.Check.Linearizable && r.Atomic.Ok() && r.Stale.Ok() && len(r.Divergences) == 0
 }
 
 // String renders the result as the one-line report the CLI prints.
@@ -194,6 +213,10 @@ func (r Result) String() string {
 	if !r.Atomic.Ok() {
 		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
 			r.Atomic, r.Ops, r.Failed, r.Schedule)
+	}
+	if !r.Stale.Ok() {
+		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
+			r.Stale, r.Ops, r.Failed, r.Schedule)
 	}
 	if !r.Check.Linearizable {
 		return fmt.Sprintf("FAIL: %s over %d ops (%d unknown) [replay: %s]",
@@ -516,6 +539,7 @@ func Run(cfg Config, sched Schedule) Result {
 	opts := kv.Options{
 		Shards:          cfg.Shards,
 		Nodes:           cfg.Nodes,
+		Leases:          cfg.Leases,
 		DataDir:         dataDir,
 		CheckpointEvery: 32, // small cadence: restarts exercise snapshot + suffix replay
 		WALFaultHook:    walCtl.hook,
@@ -628,11 +652,21 @@ func Run(cfg Config, sched Schedule) Result {
 	cancelWL()
 	wl.Wait()
 	cancelRun()
+	for n := 0; n < cfg.Nodes; n++ {
+		if s := cl.live(n); s != nil {
+			leased, _, stale, _ := s.LeaseStats()
+			res.LeaseReads += leased
+			res.StaleReads += stale
+		}
+	}
 	cl.closeAll()
 
 	events := hist.Events()
 	if cfg.PlantStaleRead {
 		events = plantStaleRead(events)
+	}
+	if cfg.PlantStaleServe {
+		events = plantStaleServe(events)
 	}
 	if cfg.PlantLostWrite {
 		events = plantLostWrite(events)
@@ -652,6 +686,10 @@ func Run(cfg Config, sched Schedule) Result {
 	}
 	res.Atomic = CheckAtomic(events, spec)
 	res.Check = Check(events, cfg.CheckBudget)
+	res.Stale = CheckStale(events, fuzzStaleSlack)
+	if cfg.PlantStaleServe && res.Stale.Ok() && res.Err == nil {
+		res.Err = fmt.Errorf("fuzz: planted stale serve escaped the bound check (%d stale reads)", res.Stale.Reads)
+	}
 	res.Divergences = hub.Health().Divergences()
 	for _, c := range hub.Registry().Counters() {
 		if c.Name == "amoeba_health_audits_total" {
@@ -718,7 +756,13 @@ func runClient(ctx context.Context, cfg Config, cl *cluster, hist *kv.History, s
 		case r < 25:
 			_ = rc.Put(opCtx, key, val)
 		case r < 50:
-			_, _, _ = rc.Get(opCtx, key)
+			if cfg.Leases && r >= 42 {
+				// Opt-in bounded-staleness read: held to CheckStale, not
+				// the linearizability search.
+				_, _, _, _ = rc.StaleGet(opCtx, key, fuzzStaleBound)
+			} else {
+				_, _, _ = rc.Get(opCtx, key)
+			}
 		case r < 62:
 			// CAS against the last value observed by a quick read —
 			// contended enough to exercise both outcomes.
@@ -779,6 +823,49 @@ func runClient(ctx context.Context, cfg Config, cl *cluster, hist *kv.History, s
 		}
 		cancel()
 	}
+}
+
+// fuzzStaleBound is the staleness budget the workload's StaleGet reads
+// request; reads the server cannot bound that tightly fall back to the
+// sequenced path (still recorded as stale events, trivially within bound).
+const fuzzStaleBound = 500 * time.Millisecond
+
+// fuzzStaleSlack pads the bound during checking: the server's freshness
+// accounting is tick-granular and strictly conservative, so a legitimate
+// serve is always well inside bound+slack.
+const fuzzStaleSlack = 250 * time.Millisecond
+
+// plantStaleServe corrupts the history for checker self-validation: the last
+// successful bounded-staleness read is rewritten to observe a value that was
+// provably replaced before its bound window opened — the exact over-stale
+// serve CheckStale exists to refute. When the history offers no replaced
+// value old enough, the read observes a value no write produced, which the
+// checker must flag just the same.
+func plantStaleServe(events []kv.HistoryEvent) []kv.HistoryEvent {
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Op != kv.OpStaleGet || e.Failed() || !e.Found {
+			continue
+		}
+		t0 := e.Invoke - int64(e.Bound+fuzzStaleSlack)
+		// An old value of this key: a successful put whose successor (a
+		// later successful put) completed before the read's bound window.
+		for _, w := range events {
+			if w.Op != kv.OpPut || w.Failed() || w.Key != e.Key {
+				continue
+			}
+			for _, w2 := range events {
+				if w2.Op == kv.OpPut && !w2.Failed() && w2.Key == e.Key &&
+					w2.Invoke >= w.Return && w2.Return <= t0 {
+					events[i].Val = append([]byte(nil), w.Val...)
+					return events
+				}
+			}
+		}
+		events[i].Val = []byte("__planted-stale-serve__")
+		return events
+	}
+	return events
 }
 
 // plantStaleRead corrupts the history for checker self-validation: the last

@@ -245,6 +245,49 @@ func (g *Group) Info() GroupInfo {
 	}
 }
 
+// LeaseInfo is a snapshot of this member's read-lease state (see
+// GroupOptions.LeaseDur).
+type LeaseInfo struct {
+	// Enabled reports whether the group runs with read leases.
+	Enabled bool
+	// Held reports whether a local linearizable read is permitted right
+	// now. Validity is time-bounded: callers must re-check Held after
+	// reading local state and discard the result if it lapsed.
+	Held bool
+	// Remaining is the time left on the held lease.
+	Remaining time.Duration
+	// Watermark is the sequence number local state must have applied
+	// through before a lease read may serve: every write completed before
+	// this snapshot has a seqno ≤ Watermark.
+	Watermark uint32
+	// Incarnation is the view incarnation the lease belongs to.
+	Incarnation uint32
+}
+
+// Lease returns the member's read-lease snapshot. With leases enabled
+// (GroupOptions.LeaseDur > 0), a member for which Held is true may serve a
+// linearizable read from state that has applied deliveries through Watermark
+// — provided Held is still true when the read finishes.
+func (g *Group) Lease() LeaseInfo {
+	li := g.ep.Lease()
+	return LeaseInfo{
+		Enabled:     li.Enabled,
+		Held:        li.Held,
+		Remaining:   li.Remaining,
+		Watermark:   li.Watermark,
+		Incarnation: li.Incarnation,
+	}
+}
+
+// FreshAt bounds the staleness of local state that has applied deliveries
+// through seq `applied`: every write completed more than the returned
+// duration ago (plus one network transit) is reflected in that state.
+// ok=false means no bound is known and a bounded-staleness read must fall
+// back to a linearizable path.
+func (g *Group) FreshAt(applied uint32) (time.Duration, bool) {
+	return g.ep.FreshAt(applied)
+}
+
 // Close abandons the membership without protocol interaction — to the rest
 // of the group, this member has crashed. Prefer Leave for orderly exits.
 func (g *Group) Close() {
@@ -397,6 +440,9 @@ func (g *Group) registerStatsSource(hub *obs.Hub) {
 			{Name: "amoeba_core_lost_gaps_total", Value: s.LostGaps},
 			{Name: "amoeba_core_resets_total", Value: s.Resets},
 			{Name: "amoeba_core_dropped_full_total", Value: s.DroppedFull},
+			{Name: "amoeba_core_lease_grants_total", Value: s.LeaseGrants},
+			{Name: "amoeba_core_lease_renewals_total", Value: s.LeaseRenewals},
+			{Name: "amoeba_core_lease_fences_total", Value: s.LeaseFences},
 		}
 	})
 }

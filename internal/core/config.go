@@ -226,6 +226,23 @@ type Config struct {
 	// Default 1.
 	MinSurvivors int
 
+	// LeaseDur > 0 enables sequencer-granted read leases: grants ride the
+	// sync ticks, every message takes the tentative/accept path, and
+	// acceptance waits for every live lease holder's stored-ack — so a
+	// holder with a valid lease serves linearizable reads from local state
+	// (see lease.go and Endpoint.Lease). Failover pauses the group for up
+	// to LeaseDur+LeaseGuard while old grants expire, so keep LeaseDur
+	// moderate (≥ 8×SyncInterval recommended for renewal headroom, and as
+	// small as the availability budget allows). Zero (the default)
+	// disables leases entirely.
+	LeaseDur time.Duration
+	// LeaseGuard is the lease safety margin: holders deduct it from the
+	// granted duration, granters add it to their own bookkeeping, and it
+	// bounds the silence window after which granting is suspended. It
+	// absorbs grant transit delay and timer skew between endpoints.
+	// Default max(2.5×SyncInterval, LeaseDur/8), capped at LeaseDur/2.
+	LeaseGuard time.Duration
+
 	// OnDeliver receives ordered messages. Called strictly in Seq order,
 	// never concurrently, and never while internal locks are held (the
 	// handler may call back into the endpoint).
@@ -284,5 +301,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.MinSurvivors <= 0 {
 		c.MinSurvivors = 1
+	}
+	if c.LeaseDur > 0 && c.LeaseGuard <= 0 {
+		g := 5 * c.SyncInterval / 2
+		if g < c.LeaseDur/8 {
+			g = c.LeaseDur / 8
+		}
+		if g > c.LeaseDur/2 {
+			g = c.LeaseDur / 2
+		}
+		c.LeaseGuard = g
 	}
 }

@@ -104,6 +104,11 @@ type Stats struct {
 	OrderedBatches uint64 // multi-message batch entries ordered
 	BatchedMsgs    uint64 // messages that travelled inside those batches
 	MaxBatchMsgs   uint64 // largest batch ordered
+
+	// Read leases (Config.LeaseDur > 0; see lease.go).
+	LeaseGrants   uint64 // member-grants issued (sequencer side)
+	LeaseRenewals uint64 // grants received for self (holder side)
+	LeaseFences   uint64 // failover fences armed
 }
 
 // sendOp is one queued ordering request: one or more application payloads
@@ -190,6 +195,18 @@ type Endpoint struct {
 	leavers         map[MemberID]uint32 // departed members still owed retransmissions, by leave seqno
 	joinAcks        map[flip.Address]joinAck
 	pendingJoinAcks map[uint32]flip.Address // join acks gated on resilience acceptance
+
+	// Read leases (cfg.LeaseDur > 0; see lease.go).
+	leases       map[MemberID]time.Duration // granter-side conservative expiries
+	lastHeard    map[MemberID]time.Duration // member liveness for the silence rule
+	leaseTickSeq uint32                     // watermark announced on the previous tick
+	leaseUntil   time.Duration              // holder-side lease validity end
+	leaseInc     uint32                     // incarnation the held lease was granted in
+	leaseFence   time.Duration              // failover fence end
+	fenced       bool                       // fence pending: no accepts/deliveries/completions
+	fencedDones  [][]func(error)            // send completions awaiting the fence
+	fenceTimer   sim.Timer
+	fresh        []freshMark // bounded-staleness anchors from sync ticks
 
 	// Leaving.
 	leaveDone []func(error)
@@ -471,9 +488,11 @@ func (ep *Endpoint) queueSendLocked(payload []byte, done func(error)) error {
 // resolveMethod picks PB or BB for a payload. Resilience forces PB: the
 // tentative/accept exchange is defined over the sequencer-relayed path
 // (paper §3.1 describes it for PB; the BB variant is noted as possible but
-// Amoeba used PB, as do we).
+// Amoeba used PB, as do we). Leases force PB for the same reason — every
+// message must take the tentative path so acceptance can gate on lease
+// holders' stored-acks.
 func (ep *Endpoint) resolveMethod(size int) Method {
-	if ep.cfg.Resilience > 0 {
+	if ep.cfg.Resilience > 0 || ep.cfg.leasesOn() {
 		return MethodPB
 	}
 	switch ep.cfg.Method {
@@ -565,6 +584,7 @@ func (ep *Endpoint) Close() {
 	ep.closed = true
 	ep.st = stDead
 	ep.stopTimersLocked()
+	ep.flushFencedDonesLocked(nil) // these sends completed; only the ack was fenced
 	ep.failSendQLocked(ErrClosed)
 	for _, d := range ep.joinDone {
 		d := d
@@ -587,12 +607,12 @@ func (ep *Endpoint) Close() {
 
 func (ep *Endpoint) stopTimersLocked() {
 	for _, t := range []sim.Timer{ep.nakTimer, ep.sendTimer, ep.syncTimer,
-		ep.tentTimer, ep.joinTimer} {
+		ep.tentTimer, ep.joinTimer, ep.fenceTimer} {
 		if t != nil {
 			t.Stop()
 		}
 	}
-	ep.nakTimer, ep.sendTimer, ep.syncTimer, ep.tentTimer, ep.joinTimer = nil, nil, nil, nil, nil
+	ep.nakTimer, ep.sendTimer, ep.syncTimer, ep.tentTimer, ep.joinTimer, ep.fenceTimer = nil, nil, nil, nil, nil, nil
 	for _, pr := range ep.statusProbe {
 		if pr.timer != nil {
 			pr.timer.Stop()

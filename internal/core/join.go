@@ -81,9 +81,13 @@ func (ep *Endpoint) handleJoinReq(p packet, from flip.Address) {
 		return
 	}
 	ep.lastRecv[id] = joinSeq
+	ep.lastHeardSetLocked(id)
 	ep.stashJoinAckLocked(from, joinSeq, viewBytes)
-	if ep.cfg.Resilience > 0 {
-		// Ack the joiner only once the join survives r crashes; see
+	if ep.cfg.Resilience > 0 || ep.cfg.leasesOn() {
+		// Ack the joiner only once the join survives r crashes — and,
+		// with leases, only once the join clears the lease/fence
+		// acceptance gate, so a joiner cannot deliver entries that are
+		// invisible to a still-live old-regime lease holder; see
 		// maybeAcceptLocked → sendPendingJoinAckLocked.
 		if ep.pendingJoinAcks == nil {
 			ep.pendingJoinAcks = make(map[uint32]flip.Address)
@@ -316,6 +320,8 @@ func (ep *Endpoint) leftLocked() {
 	}
 	ep.st = stDead
 	ep.stopTimersLocked()
+	ep.leaseDropLocked()
+	ep.flushFencedDonesLocked(nil)
 	ep.failSendQLocked(ErrNotMember)
 	ep.failLeaveLocked(nil)
 }
@@ -349,6 +355,11 @@ func (ep *Endpoint) adoptNewSequencerLocked(successor MemberID) {
 		ep.nakTimer.Stop()
 		ep.nakTimer = nil
 	}
+	// The old sequencer's grants survive its departure (incarnation is
+	// unchanged), and we cannot know which holders it considered live:
+	// fence until they have all expired, then grant afresh.
+	ep.armLeaseFenceLocked()
+	ep.leaseSeedHeardLocked()
 	ep.armSyncLocked()
 	// In-flight sends of our own are now sequenced locally; resend the
 	// window in FIFO order (the pump stays suppressed meanwhile, so a

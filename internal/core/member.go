@@ -208,6 +208,14 @@ func (ep *Endpoint) retrySendLocked() {
 	if !op.active {
 		return
 	}
+	if ep.fenced {
+		// The lease fence stalls acceptance for up to LeaseDur+LeaseGuard,
+		// far longer than the retry budget; counting retries here would
+		// turn every failover into a spurious second recovery. Keep the
+		// timer ticking without consuming the budget.
+		ep.armSendRetryLocked()
+		return
+	}
 	op.retries++
 	ep.stats.RequestRetries++
 	if op.retries > ep.cfg.MaxRetries {
@@ -268,11 +276,19 @@ func (ep *Endpoint) finishSendLocked(op *sendOp, err error) {
 		ep.stats.Sent += uint64(len(op.payloads))
 	}
 	dones := op.dones
-	ep.enqueue(func() {
-		for _, d := range dones {
-			d(err)
-		}
-	})
+	if err == nil && ep.fenced {
+		// A send completing during the lease fence was anointed by
+		// recovery but is not yet visible anywhere; reporting success now
+		// would let the sender read-back through a stale lease holder and
+		// miss its own write. Park the callbacks until the fence lifts.
+		ep.fencedDones = append(ep.fencedDones, dones)
+	} else {
+		ep.enqueue(func() {
+			for _, d := range dones {
+				d(err)
+			}
+		})
+	}
 	for _, o := range ep.sendQ {
 		if o.active {
 			ep.armSendRetryLocked()
@@ -526,9 +542,12 @@ func (ep *Endpoint) handleTentative(p packet) {
 	// let the send complete and then be truncated by the very recovery
 	// that must preserve it. A gap defers the ack; the NAK machinery fills
 	// the hole and the sequencer's tentative retry collects the ack on the
-	// next round.
+	// next round. With leases enabled every member acks: acceptance gates
+	// on lease holders' stored-acks, and grants churn too fast for a
+	// static ack-duty subset to cover them.
 	if e, stored := ep.hist.get(p.seq); stored &&
-		ep.hist.contiguousTop() >= e.lastSeq() && ep.ackDutyLocked(int(p.aux)) {
+		ep.hist.contiguousTop() >= e.lastSeq() &&
+		(ep.ackDutyLocked(int(p.aux)) || ep.cfg.leasesOn()) {
 		ep.stats.AcksSent++
 		ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptAck, seq: p.seq})
 	}
@@ -570,14 +589,24 @@ func (ep *Endpoint) handleLost(p packet) {
 }
 
 // handleSync folds a watermark broadcast: learn about trailing messages and
-// prune local history. aux2 = 1 demands an explicit status reply.
+// prune local history. aux2 = 1 demands an explicit status reply. With
+// leases enabled, periodic ticks also carry grant lists (adopted here), feed
+// the bounded-staleness anchors, and are answered unconditionally — the
+// reply is the lease heartbeat that keeps this member inside the sequencer's
+// silence window.
 func (ep *Endpoint) handleSync(p packet) {
 	if !ep.currentViewLocked(p) {
 		return
 	}
 	ep.noteSyncLocked(p.seq, p.aux)
-	if p.aux2 == 1 && !ep.isSeq {
-		ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptStatus})
+	if !ep.isSeq {
+		ep.recordFreshLocked(p.seq)
+		if ep.cfg.leasesOn() {
+			ep.adoptLeaseGrantLocked(p)
+			ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptStatus})
+		} else if p.aux2 == 1 {
+			ep.sendPkt(ep.view.sequencerAddr(), packet{typ: ptStatus})
+		}
 	}
 	ep.checkGapLocked()
 }
@@ -631,6 +660,8 @@ func (ep *Endpoint) expelledLocked() {
 	ep.st = stDead
 	ep.cfg.Obs.Flight.Recordf(ep.cfg.Obs.Tag, "expelled from group (member %d, incarnation %d)", ep.self, ep.view.incarnation)
 	ep.stopTimersLocked()
+	ep.leaseDropLocked()
+	ep.flushFencedDonesLocked(nil)
 	ep.deliverLocked(Delivery{Kind: KindExpelled, Sender: ep.self, SenderAddr: ep.cfg.Self})
 	ep.failSendQLocked(ErrNotMember)
 	for _, d := range ep.leaveDone {
@@ -771,6 +802,13 @@ func (ep *Endpoint) fireNakLocked() {
 // Batch entries deliver as their constituent KindData messages, one per
 // seqno.
 func (ep *Endpoint) deliverReadyLocked() {
+	if ep.fenced {
+		// Failover fence: nothing becomes visible until every lease of
+		// the previous regime has expired — a partitioned old holder
+		// could otherwise serve reads missing state another member has
+		// already exposed. Lifting the fence re-runs delivery.
+		return
+	}
 	for {
 		e, ok := ep.hist.get(ep.nextDeliver)
 		if !ok || e.tentative {

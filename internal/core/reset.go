@@ -142,6 +142,10 @@ func (ep *Endpoint) freezeLocked() {
 	}
 	ep.nakTimer, ep.sendTimer, ep.syncTimer, ep.tentTimer = nil, nil, nil, nil
 	ep.nakBackoff = 0
+	// A frozen member must not serve lease reads: its silence is what lets
+	// a deposed sequencer's granting stop (lease.go rule 2), and silence
+	// only helps if we also stop honouring the lease we hold.
+	ep.leaseDropLocked()
 	for _, pr := range ep.statusProbe {
 		if pr.timer != nil {
 			pr.timer.Stop()
@@ -255,6 +259,10 @@ func (ep *Endpoint) finishRecoveryLocked(rec *recovery) {
 	if ep.maxSeen > rec.target {
 		ep.maxSeen = rec.target
 	}
+	// Fence before anointing: anointment completes sends whose entries an
+	// old-regime lease holder may not have stored; their callbacks (and
+	// all delivery/acceptance) wait until every old grant has expired.
+	ep.armLeaseFenceLocked()
 	// Surviving tentative messages are anointed: they were ordered, the
 	// survivors agree on them, and keeping them preserves total order.
 	for s := ep.hist.floor + 1; s <= rec.target; s++ {
@@ -287,6 +295,7 @@ func (ep *Endpoint) finishRecoveryLocked(rec *recovery) {
 	ep.leavers = nil
 	ep.leaveSeq = 0
 	ep.rebuildDedupLocked()
+	ep.leaseSeedHeardLocked()
 
 	rec.resultAcks = map[flip.Address]bool{ep.cfg.Self: true}
 	ep.sendResultLocked(rec, viewBytes)
@@ -495,6 +504,11 @@ func (ep *Endpoint) handleResetResult(p packet, from flip.Address) {
 	rec := ep.rec
 	rec.stopTimersLocked()
 	ep.rec = nil
+	// Same fence as the coordinator's (finishRecoveryLocked): the
+	// anointment below makes previously-tentative entries deliverable, and
+	// nothing anointed may become visible here while an old-regime lease
+	// holder could still serve reads that lack it.
+	ep.armLeaseFenceLocked()
 
 	if _, ok := v.findAddr(ep.cfg.Self); !ok {
 		// Voted but excluded: treated as dead; the application learns

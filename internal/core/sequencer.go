@@ -151,7 +151,10 @@ func (ep *Endpoint) orderLocked(kind MsgKind, sender MemberID, localID uint32, p
 		ep.maxSeen = e.lastSeq()
 	}
 
-	if ep.cfg.Resilience > 0 {
+	if ep.cfg.Resilience > 0 || ep.cfg.leasesOn() {
+		// Leases route even r=0 messages through the tentative path:
+		// acceptance is the sequencer's decision, which is what lets it
+		// wait for lease holders' stored-acks before a send completes.
 		e.tentative = true
 		e.acked = make(map[MemberID]bool)
 		if timed {
@@ -298,6 +301,13 @@ func (ep *Endpoint) maybeAcceptLocked(e *entry) {
 			return // accepted later, cumulatively, once its turn comes
 		}
 	}
+	if !ep.leaseAcceptGateLocked(e) {
+		// A live lease holder has not stored it yet (or the failover
+		// fence is pending). The tentative retry timer re-evaluates:
+		// lease expiry, not just a new ack, can open this gate.
+		ep.armTentativeRetryLocked()
+		return
+	}
 	for e != nil {
 		e.tentative = false
 		if e.orderedAt != 0 {
@@ -331,7 +341,8 @@ func (ep *Endpoint) maybeAcceptLocked(e *entry) {
 			}
 			s = en.lastSeq()
 		}
-		if next == nil || next.acks < ep.requiredAcksLocked(next) {
+		if next == nil || next.acks < ep.requiredAcksLocked(next) ||
+			!ep.leaseAcceptGateLocked(next) {
 			break
 		}
 		e = next
@@ -369,6 +380,10 @@ func (ep *Endpoint) armTentativeRetryLocked() {
 		}
 		if oldest != nil {
 			ep.noteTentativeStallLocked(oldest)
+			// Time alone can open the lease gate (a dead holder's
+			// lease expiring, the failover fence lifting): re-try
+			// acceptance of the oldest tentative each round.
+			ep.maybeAcceptLocked(oldest)
 			ep.armTentativeRetryLocked()
 		} else {
 			ep.tentStallSeq, ep.tentStallRounds = 0, 0
@@ -457,6 +472,9 @@ func (ep *Endpoint) noteLastRecvLocked(m MemberID, last uint32) {
 	leaveSeq, isLeaver := ep.leavers[m]
 	if !isMember && !isLeaver {
 		return
+	}
+	if isMember {
+		ep.lastHeardSetLocked(m) // lease silence rule: the member is alive
 	}
 	if last > ep.lastRecv[m] {
 		ep.lastRecv[m] = last
@@ -584,7 +602,11 @@ func (ep *Endpoint) armSyncLocked() {
 			return
 		}
 		ep.tryPruneLocked()
-		ep.multicastPkt(packet{typ: ptSync, seq: ep.globalSeq, aux: ep.hist.floor})
+		var grants []byte
+		if ep.cfg.leasesOn() {
+			grants = ep.leaseTickLocked()
+		}
+		ep.multicastPkt(packet{typ: ptSync, seq: ep.globalSeq, aux: ep.hist.floor, payload: grants})
 		ep.probeIdleLaggardsLocked()
 		ep.armSyncLocked()
 	})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"amoeba/internal/core"
 	"amoeba/internal/flip"
@@ -142,6 +143,22 @@ type GroupOptions struct {
 	// ReceiveBuffer bounds messages queued for Receive before Send-side
 	// backpressure (default 1024).
 	ReceiveBuffer int
+	// LeaseDur, when > 0, enables sequencer-granted read leases: grants
+	// ride the periodic sync ticks and a member holding an unexpired lease
+	// serves linearizable reads from local state (Group.Lease). The price
+	// is on the write path — every send takes the tentative/accept path
+	// and acceptance waits for each live lease holder's stored-ack — and
+	// on failover, which pauses the group for up to LeaseDur+LeaseGuard
+	// while old grants expire. Keep it ≥ 8×SyncInterval for renewal
+	// headroom. Zero (the default) disables leases.
+	LeaseDur time.Duration
+	// LeaseGuard is the lease safety margin absorbing grant transit and
+	// timer skew. Default max(2.5×SyncInterval, LeaseDur/8), capped at
+	// LeaseDur/2.
+	LeaseGuard time.Duration
+	// SyncInterval is the sequencer's watermark/lease-renewal tick period
+	// (default 500ms; lease deployments typically lower it).
+	SyncInterval time.Duration
 	// Obs, when non-nil, wires the group's pipeline into the node's
 	// observability hub: sequencer stage-latency histograms, delivery-queue
 	// wait times, queue-depth gauges, and the flight recorder. Nil (the
@@ -163,6 +180,9 @@ func (o GroupOptions) coreConfig() core.Config {
 		FirstSeq:     o.FirstSeq,
 		AutoReset:    o.AutoReset,
 		MinSurvivors: o.MinSurvivors,
+		LeaseDur:     o.LeaseDur,
+		LeaseGuard:   o.LeaseGuard,
+		SyncInterval: o.SyncInterval,
 	}
 }
 

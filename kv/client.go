@@ -68,13 +68,30 @@ type Client struct {
 	rt    Routing
 	cring *ring // nil: no ring knowledge, everything goes via entry
 
-	rpcMu  sync.Mutex
-	rpccl  *amoeba.RPCClient
-	closed bool
+	// The RPC connection pool, one client per shard (key -1: the entry
+	// path). Per-shard pooling keeps a slow shard's in-flight calls from
+	// head-of-line blocking reads bound for its siblings, which is what
+	// lets a fleet-shaped reader drive every shard's lease holders at once.
+	rpcMu   sync.Mutex
+	rpcPool map[int]*amoeba.RPCClient
+	closed  bool
+
+	// Topology learned from v4 responses (bound clients read the store's
+	// options instead): node count and replication factor, which combined
+	// with the placement rule name the nodes hosting each shard — the
+	// targets lease-read distribution rotates over.
+	topoNodes atomic.Int64
+	topoRepl  atomic.Int64
+	readSeq   atomic.Uint64 // lease-read rotation cursor
 
 	localOps  atomic.Uint64
 	remoteOps atomic.Uint64
 	rtUpdates atomic.Uint64
+	// Read-path counters: reads served under a lease or at bounded
+	// staleness (locally or reported by a remote ReadPath), and reads that
+	// fell back to the sequenced marker.
+	leaseReads atomic.Uint64
+	staleReads atomic.Uint64
 
 	// Observability (nil = no-op): submit→reply latency split by access
 	// path, plus the op tracer keyed by command ids.
@@ -108,6 +125,8 @@ func (c *Client) wireObs(hub *obs.Hub) {
 				{Name: "amoeba_kv_client_local_ops_total", Value: c.localOps.Load()},
 				{Name: "amoeba_kv_client_remote_ops_total", Value: c.remoteOps.Load()},
 				{Name: "amoeba_kv_client_routing_updates_total", Value: c.rtUpdates.Load()},
+				{Name: "amoeba_kv_client_lease_reads_total", Value: c.leaseReads.Load()},
+				{Name: "amoeba_kv_client_stale_reads_total", Value: c.staleReads.Load()},
 				{Name: "amoeba_kv_client_txn_committed_total", Value: c.txnCommitted.Load()},
 				{Name: "amoeba_kv_client_txn_aborted_total", Value: c.txnAborted.Load()},
 				{Name: "amoeba_kv_client_txn_conflict_retries_total", Value: c.txnConflicts.Load()},
@@ -127,6 +146,12 @@ type ClientStats struct {
 	// RoutingUpdates counts routing tables adopted from responses (a
 	// server at a different epoch taught the client the new table).
 	RoutingUpdates uint64
+	// LeaseReads counts reads served from a replica's state under a read
+	// lease (locally or remotely) instead of a sequenced marker.
+	LeaseReads uint64
+	// StaleReads counts reads served at a bounded staleness (StaleGet's
+	// fast path).
+	StaleReads uint64
 }
 
 // Stats returns a snapshot of the client's access-path counters.
@@ -135,6 +160,8 @@ func (c *Client) Stats() ClientStats {
 		LocalOps:       c.localOps.Load(),
 		RemoteOps:      c.remoteOps.Load(),
 		RoutingUpdates: c.rtUpdates.Load(),
+		LeaseReads:     c.leaseReads.Load(),
+		StaleReads:     c.staleReads.Load(),
 	}
 }
 
@@ -150,6 +177,8 @@ func (s *Store) NewClient() *Client {
 		cluster: s.name,
 		nonce:   clientNonce(),
 	}
+	c.topoNodes.Store(int64(s.opts.Nodes))
+	c.topoRepl.Store(int64(s.opts.Replication))
 	c.wireObs(s.opts.Group.Obs)
 	return c
 }
@@ -272,9 +301,9 @@ func (c *Client) Close() {
 	c.rpcMu.Lock()
 	defer c.rpcMu.Unlock()
 	c.closed = true
-	if c.rpccl != nil {
-		c.rpccl.Close()
-		c.rpccl = nil
+	for shard, cl := range c.rpcPool {
+		cl.Close()
+		delete(c.rpcPool, shard)
 	}
 	if c.obsUnreg != nil {
 		c.obsUnreg()
@@ -282,21 +311,29 @@ func (c *Client) Close() {
 	}
 }
 
-// rpcClient lazily creates the shared RPC client.
-func (c *Client) rpcClient() (*amoeba.RPCClient, error) {
+// rpcClient returns shard's pooled RPC client, creating it on first use
+// (shard -1: the entry path's connection).
+func (c *Client) rpcClient(shard int) (*amoeba.RPCClient, error) {
+	if shard < 0 {
+		shard = -1
+	}
 	c.rpcMu.Lock()
 	defer c.rpcMu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("kv: client closed")
 	}
-	if c.rpccl == nil {
-		cl, err := c.kernel.NewRPCClient()
-		if err != nil {
-			return nil, fmt.Errorf("kv: creating RPC client: %w", err)
-		}
-		c.rpccl = cl
+	if c.rpcPool == nil {
+		c.rpcPool = make(map[int]*amoeba.RPCClient)
 	}
-	return c.rpccl, nil
+	if cl, ok := c.rpcPool[shard]; ok {
+		return cl, nil
+	}
+	cl, err := c.kernel.NewRPCClient()
+	if err != nil {
+		return nil, fmt.Errorf("kv: creating RPC client: %w", err)
+	}
+	c.rpcPool[shard] = cl
+	return cl, nil
 }
 
 // sleepCtx pauses between retries of operations held by a frozen range.
@@ -344,6 +381,13 @@ func (c *Client) Do(ctx context.Context, caller *Request) (*Response, error) {
 		}
 		if req.ID == 0 {
 			req.ID = c.nextID()
+		}
+		// Invite lease serving: a bound client knows whether its store
+		// grants leases; a Dial'd client cannot know, and the flag is free
+		// when the server holds none. Not combined with stale reads — the
+		// staleness bound is the weaker, cheaper contract.
+		if req.Flags&flagStaleRead == 0 && (c.s == nil || c.s.leasesOn()) {
+			req.Flags |= flagLeaseRead
 		}
 		c.tracer.Addf(req.ID, "submitted op=get keys=%d", len(req.Keys))
 		for {
@@ -438,6 +482,7 @@ func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
 		wg    sync.WaitGroup
 		mu    sync.Mutex
 		first error
+		paths []byte
 	)
 	for s, idx := range byShard {
 		s, idx := s, idx
@@ -447,8 +492,9 @@ func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
 		}
 		// Sub-reads take fresh ids: reads are idempotent, and a node
 		// re-splitting a forwarded multi-shard read must be free to do
-		// the same.
-		sub := &Request{Op: ReqGet, ID: c.nextID(), Budget: req.Budget, Epoch: rt.Epoch, Keys: keys}
+		// the same. Flags and the staleness bound travel with each part.
+		sub := &Request{Op: ReqGet, Flags: req.Flags, ID: c.nextID(), Budget: req.Budget,
+			Epoch: rt.Epoch, MaxStale: req.MaxStale, Keys: keys}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -467,13 +513,38 @@ func (c *Client) doGet(ctx context.Context, req *Request) (*Response, error) {
 				out.Values[i] = resp.Values[j]
 				out.Found[i] = resp.Found[j]
 			}
+			paths = append(paths, resp.ReadPath)
+			if resp.StaleFor > out.StaleFor {
+				out.StaleFor = resp.StaleFor
+			}
 		}()
 	}
 	wg.Wait()
 	if first != nil {
 		return nil, first
 	}
+	out.ReadPath = mergeReadPaths(paths)
 	return out, nil
+}
+
+// mergeReadPaths folds per-shard read paths into one report: any stale part
+// makes the whole answer stale; all-lease stays lease; anything mixed with a
+// sequenced part reports sequenced (the strongest contract all parts met is
+// still linearizable either way).
+func mergeReadPaths(paths []byte) byte {
+	if len(paths) == 0 {
+		return ReadSequenced
+	}
+	merged := paths[0]
+	for _, p := range paths[1:] {
+		switch {
+		case p == ReadStale || merged == ReadStale:
+			return ReadStale
+		case p != merged:
+			merged = ReadSequenced
+		}
+	}
+	return merged
 }
 
 // doBatchPut executes a bulk write, splitting multi-shard pair sets. Per-pair
@@ -552,6 +623,11 @@ func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Respons
 			}
 			return c.remoteCall(ctx, shard, req)
 		}
+		if req.Op == ReqGet {
+			if resp, ok := c.localFastRead(shard, req); ok {
+				return resp, nil
+			}
+		}
 		c.localOps.Add(1)
 		_, rt := c.routingRing()
 		req.Epoch = rt.Epoch
@@ -577,6 +653,43 @@ func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Respons
 	}
 }
 
+// localFastRead tries the read shortcuts against this node's replica of
+// shard: a bounded-stale read when the request permits one, then a
+// lease-covered linearizable read. False means no shortcut applies — the
+// replica holds no valid lease (or freshness bound), or a key is frozen or
+// locked — and the caller runs the sequenced read marker as before.
+func (c *Client) localFastRead(shard int, req *Request) (*Response, bool) {
+	var t0 time.Time
+	if c.localH != nil {
+		t0 = time.Now()
+	}
+	if req.Flags&flagStaleRead != 0 && req.MaxStale > 0 {
+		if resp, ok := c.s.staleGet(shard, req.Keys, req.MaxStale); ok {
+			c.localOps.Add(1)
+			c.staleReads.Add(1)
+			if c.localH != nil {
+				c.localH.Observe(time.Since(t0))
+			}
+			c.tracer.Addf(req.ID, "served locally at staleness ≤%v", resp.StaleFor)
+			return resp, true
+		}
+	}
+	// A lease read trivially satisfies a staleness bound (it is current),
+	// so stale requests may ride it too when the bound path fails.
+	if req.Flags&(flagLeaseRead|flagStaleRead) != 0 && c.s.leasesOn() {
+		if resp, ok := c.s.leaseGet(shard, req.Keys); ok {
+			c.localOps.Add(1)
+			c.leaseReads.Add(1)
+			if c.localH != nil {
+				c.localH.Observe(time.Since(t0))
+			}
+			c.tracer.Add(req.ID, "served locally under lease")
+			return resp, true
+		}
+	}
+	return nil, false
+}
+
 // remoteCall sends a request over RPC, retrying across targets while the
 // context allows: the shard's well-known address first (when the routing is
 // known), then the entry node, then the store-wide anycast entry. Timeouts
@@ -586,11 +699,15 @@ func (c *Client) doShard(ctx context.Context, shard int, req *Request) (*Respons
 // node at a different routing epoch carries the new table, which the client
 // adopts before any further routing.
 func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Response, error) {
-	cl, err := c.rpcClient()
+	cl, err := c.rpcClient(shard)
 	if err != nil {
 		return nil, err
 	}
 	var targets []amoeba.Addr
+	holder := c.readTarget(shard, req)
+	if holder != 0 {
+		targets = append(targets, holder)
+	}
 	if shard >= 0 {
 		targets = append(targets, ShardAddr(c.cluster, shard))
 	}
@@ -624,9 +741,11 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 		}
 		target := targets[try%len(targets)]
 		c.remoteOps.Add(1)
-		// Direct = the shard's own well-known address (one hop); anything
-		// else enters through a proxy node that may forward.
-		direct := shard >= 0 && target == ShardAddr(c.cluster, shard)
+		// Direct = the shard's own well-known address or a steered lease
+		// holder (one hop); anything else enters through a proxy node that
+		// may forward.
+		direct := shard >= 0 && target == ShardAddr(c.cluster, shard) ||
+			holder != 0 && target == holder
 		pathH := c.fwdH
 		if direct {
 			pathH = c.directH
@@ -658,8 +777,20 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 		if resp.Routing != nil {
 			c.adoptRouting(*resp.Routing)
 		}
+		if resp.Nodes > 0 {
+			// Learn the topology: with it, subsequent lease reads steer
+			// straight at the nodes hosting each shard.
+			c.topoNodes.Store(int64(resp.Nodes))
+			c.topoRepl.Store(int64(resp.Replication))
+		}
 		if resp.Err != "" {
 			return nil, fmt.Errorf("kv: remote: %s", resp.Err)
+		}
+		switch resp.ReadPath {
+		case ReadLease:
+			c.leaseReads.Add(1)
+		case ReadStale:
+			c.staleReads.Add(1)
 		}
 		// Trust nothing about arity: well-known addresses are reachable by
 		// any process on the network, and a short reply must surface as an
@@ -670,6 +801,33 @@ func (c *Client) remoteCall(ctx context.Context, shard int, req *Request) (*Resp
 		return resp, nil
 	}
 	return nil, c.remoteErr(shard, lastErr)
+}
+
+// readTarget picks the node a flagged read should try first: one of the
+// nodes hosting shard under the placement rule, rotated per read so a fleet
+// of clients spreads its reads across every replica lease holder instead of
+// converging on the shard's well-known address (whichever single host the
+// RPC layer last located). Zero when steering does not apply — a write, an
+// unflagged read, or topology not yet learned from a response.
+func (c *Client) readTarget(shard int, req *Request) amoeba.Addr {
+	if shard < 0 || req.Op != ReqGet || req.Flags&(flagLeaseRead|flagStaleRead) == 0 {
+		return 0
+	}
+	nodes := int(c.topoNodes.Load())
+	if nodes <= 1 {
+		return 0
+	}
+	repl := int(c.topoRepl.Load())
+	hosts := make([]int, 0, nodes)
+	for j := 0; j < nodes; j++ {
+		if hostsShard(shard, j, nodes, repl) {
+			hosts = append(hosts, j)
+		}
+	}
+	if len(hosts) == 0 {
+		return 0
+	}
+	return NodeAddr(c.cluster, hosts[c.readSeq.Add(1)%uint64(len(hosts))])
 }
 
 func (c *Client) remoteErr(shard int, err error) error {
@@ -745,6 +903,26 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, bool, error) {
 		return nil, false, err
 	}
 	return resp.Values[0], resp.Found[0], nil
+}
+
+// StaleGet reads key accepting results up to maxStale behind the total
+// order — the opt-in follower read. Any replica that has heard a recent
+// sequencer tick serves it from local state with no group send, so it is the
+// read that survives lease churn and scales with the replica count. The
+// returned staleness is the proven bound the serving state satisfied (zero
+// when the read was served fresh — under a lease or by the sequenced marker,
+// the fallback when no replica can prove the bound). maxStale <= 0 degrades
+// to a plain linearizable Get.
+func (c *Client) StaleGet(ctx context.Context, key string, maxStale time.Duration) ([]byte, bool, time.Duration, error) {
+	if maxStale <= 0 {
+		v, found, err := c.Get(ctx, key)
+		return v, found, 0, err
+	}
+	resp, err := c.Do(ctx, &Request{Op: ReqGet, Flags: flagStaleRead, MaxStale: maxStale, Keys: []string{key}})
+	if err != nil {
+		return nil, false, 0, err
+	}
+	return resp.Values[0], resp.Found[0], resp.StaleFor, nil
 }
 
 // copyVal detaches a value from the state machine's storage: callers own

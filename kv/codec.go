@@ -341,8 +341,12 @@ func encodeTxnResolve(id, txnID uint64, commit bool, homeKey string, allKeys []s
 
 // ProtoVersion is the access-protocol version this build speaks. Version 2
 // added the routing epoch to requests and the routing table to responses;
-// version 3 added the transaction ops and the txn outcome byte on responses.
-const ProtoVersion = 3
+// version 3 added the transaction ops and the txn outcome byte on responses;
+// version 4 added the read-path flags (lease and bounded-staleness reads), a
+// max-staleness bound on ReqGet, and the read-path and topology fields on
+// responses (which path served the read, how stale it may be, and the node
+// count and replication factor a fleet-shaped client steers reads with).
+const ProtoVersion = 4
 
 // Request ops.
 const (
@@ -378,6 +382,29 @@ const (
 	// hop. A service must answer it — serve or fail — never forward
 	// again: the loop bound should two nodes' rings ever disagree.
 	flagForwarded byte = 1 << 0
+	// flagLeaseRead invites the serving node to answer a ReqGet from local
+	// state under its read lease instead of sequencing the read. The server
+	// falls back to the sequenced path when it holds no valid lease (or any
+	// key is frozen or locked), so the flag never weakens the result: either
+	// way the read is linearizable.
+	flagLeaseRead byte = 1 << 1
+	// flagStaleRead permits a ReqGet to be served from any replica's local
+	// state provided its staleness bound is within the request's MaxStale —
+	// the follower-read path. Without a bound in budget the server falls
+	// back to the sequenced path.
+	flagStaleRead byte = 1 << 2
+)
+
+// Read paths a ReqGet response reports (Response.ReadPath).
+const (
+	// ReadSequenced: the read travelled the shard's total order.
+	ReadSequenced byte = iota
+	// ReadLease: served from local state under a valid read lease
+	// (linearizable without sequencing).
+	ReadLease
+	// ReadStale: served from local state at a bounded staleness
+	// (Response.StaleFor).
+	ReadStale
 )
 
 var (
@@ -402,6 +429,9 @@ type Request struct {
 	// with (0: no routing knowledge). A service whose table differs
 	// answers with its own table attached, so stale clients converge.
 	Epoch uint64
+	// MaxStale bounds how stale a flagStaleRead ReqGet may be served
+	// (zero: no stale serving). Ignored without the flag.
+	MaxStale time.Duration
 
 	Keys          []string // ReqGet; txn ops: the read set (local subset for ReqTxnPrepare)
 	Key           string   // ReqPut, ReqDelete, ReqCAS; ReqTxnResolve: representative routing key
@@ -435,6 +465,8 @@ func EncodeRequest(r *Request) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, r.ID)
 	switch r.Op {
 	case ReqGet:
+		// v4: the staleness bound precedes the keys (always present).
+		dst = binary.AppendUvarint(dst, uint64(r.MaxStale/time.Millisecond))
 		dst = binary.AppendUvarint(dst, uint64(len(r.Keys)))
 		for _, k := range r.Keys {
 			dst = appendBytes(dst, []byte(k))
@@ -516,6 +548,12 @@ func DecodeRequest(b []byte) (*Request, error) {
 	var err error
 	switch r.Op {
 	case ReqGet:
+		stale, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return nil, errBadRequest
+		}
+		r.MaxStale = time.Duration(stale) * time.Millisecond
+		rest = rest[w:]
 		n, w := binary.Uvarint(rest)
 		if w <= 0 || n == 0 || n > uint64(len(rest)) {
 			return nil, errBadRequest
@@ -664,6 +702,19 @@ type Response struct {
 	// CondFailed reports a prepare whose conditions did not hold; the
 	// transaction aborts without retry, like a failed CAS.
 	CondFailed bool
+	// ReadPath reports which path served a ReqGet (ReadSequenced,
+	// ReadLease, ReadStale); zero for non-read ops.
+	ReadPath byte
+	// StaleFor is the staleness bound of a ReadStale answer (how far
+	// behind the total order the serving state may have been); zero
+	// otherwise.
+	StaleFor time.Duration
+	// Nodes and Replication describe the serving store's topology (node
+	// count and replicas per shard). A fleet-shaped client combines them
+	// with the routing table to steer reads at the replicas hosting each
+	// shard. Zero: not reported.
+	Nodes       int
+	Replication int
 	// Err is a non-empty error description; all other fields are zero.
 	Err string
 }
@@ -691,6 +742,12 @@ func EncodeResponse(r *Response) []byte {
 		txn |= 1 << 3
 	}
 	dst = append(dst, txn)
+	// Read-path and topology fields (v4). Always present; zero when the
+	// response is not a read or the server does not report topology.
+	dst = append(dst, r.ReadPath)
+	dst = binary.AppendUvarint(dst, uint64(r.StaleFor/time.Millisecond))
+	dst = binary.AppendUvarint(dst, uint64(r.Nodes))
+	dst = binary.AppendUvarint(dst, uint64(r.Replication))
 	if r.Routing != nil {
 		dst = append(dst, 1)
 		dst = appendRouting(dst, *r.Routing)
@@ -738,8 +795,31 @@ func DecodeResponse(b []byte) (*Response, error) {
 		r.TxnState = rest[1] & 3
 		r.Conflict = rest[1]&(1<<2) != 0
 		r.CondFailed = rest[1]&(1<<3) != 0
-		hasRouting := rest[2] != 0
+		r.ReadPath = rest[2]
 		rest = rest[3:]
+		stale, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return nil, errBadRequest
+		}
+		r.StaleFor = time.Duration(stale) * time.Millisecond
+		rest = rest[w:]
+		nodes, w := binary.Uvarint(rest)
+		if w <= 0 || nodes > 1<<20 {
+			return nil, errBadRequest
+		}
+		r.Nodes = int(nodes)
+		rest = rest[w:]
+		repl, w := binary.Uvarint(rest)
+		if w <= 0 || repl > 1<<20 {
+			return nil, errBadRequest
+		}
+		r.Replication = int(repl)
+		rest = rest[w:]
+		if len(rest) < 1 {
+			return nil, errBadRequest
+		}
+		hasRouting := rest[0] != 0
+		rest = rest[1:]
 		if hasRouting {
 			rt, tail, err := takeRouting(rest)
 			if err != nil {

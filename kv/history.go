@@ -30,6 +30,12 @@ const (
 	// promises a cross-shard snapshot, so the history claims one and the
 	// checker holds it to that.
 	OpTxn
+	// OpStaleGet is an opt-in bounded-staleness read (Client.StaleGet): the
+	// observed value need not be current, but must have been the key's
+	// value no earlier than Bound before the invocation. It is excluded
+	// from the linearizability search and held to its own bounded-staleness
+	// check instead.
+	OpStaleGet
 )
 
 // String names an op for schedule dumps and checker diagnostics.
@@ -45,6 +51,8 @@ func (o HistoryOp) String() string {
 		return "cas"
 	case OpTxn:
 		return "txn"
+	case OpStaleGet:
+		return "staleget"
 	}
 	return "?"
 }
@@ -80,6 +88,11 @@ type HistoryEvent struct {
 	ReadFound []bool
 	Writes    []TxnWrite
 	Committed bool
+	// Bound is an OpStaleGet's requested staleness bound, and StaleFor the
+	// bound the server actually reported for the served value (0 when the
+	// read fell back to the sequenced path).
+	Bound    time.Duration
+	StaleFor time.Duration
 	// Invoke and Return bound the operation in nanoseconds since the
 	// history's epoch. Return < 0 marks an operation that never returned
 	// (client still blocked when the run ended) — linearizable anywhere
@@ -165,6 +178,18 @@ func (r *RecordingClient) Get(ctx context.Context, key string) ([]byte, bool, er
 	e.Val, e.Found = copyVal(val), found
 	r.finish(e, err)
 	return val, found, err
+}
+
+// StaleGet performs the opt-in bounded-staleness read, recording the
+// observed value together with the requested bound and the server-reported
+// staleness — the claims the fuzz harness's bounded-staleness check holds
+// the read to.
+func (r *RecordingClient) StaleGet(ctx context.Context, key string, maxStale time.Duration) ([]byte, bool, time.Duration, error) {
+	e := HistoryEvent{Client: r.id, Op: OpStaleGet, Key: key, Bound: maxStale, Invoke: r.h.now()}
+	val, found, staleFor, err := r.c.StaleGet(ctx, key, maxStale)
+	e.Val, e.Found, e.StaleFor = copyVal(val), found, staleFor
+	r.finish(e, err)
+	return val, found, staleFor, err
 }
 
 // Put stores key = val, recording the write.

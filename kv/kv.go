@@ -124,6 +124,16 @@ type Options struct {
 	// works, and replicas still report digests for audits other nodes
 	// submit.
 	AuditEvery time.Duration
+	// Leases enables sequencer-granted read leases on every shard group:
+	// replicas holding a valid lease serve Get/MGet from local state —
+	// linearizable without a group send — and every replica answers
+	// Client.StaleGet at a bounded staleness. The price is on the write
+	// path (acceptance waits for each live lease holder's stored-ack) and
+	// on failover (the group pauses while old grants expire); see
+	// amoeba.GroupOptions.LeaseDur. Defaults Group.LeaseDur to 2s and
+	// Group.SyncInterval to 250ms when they are unset; setting
+	// Group.LeaseDur directly works too.
+	Leases bool
 	// Group configures every shard group (resilience, method, history —
 	// see amoeba.GroupOptions).
 	Group amoeba.GroupOptions
@@ -141,6 +151,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TxnRecoveryAfter <= 0 {
 		o.TxnRecoveryAfter = 3 * time.Second
+	}
+	if o.Leases && o.Group.LeaseDur <= 0 {
+		o.Group.LeaseDur = 2 * time.Second
+	}
+	if o.Group.LeaseDur > 0 {
+		o.Leases = true
+		if o.Group.SyncInterval <= 0 {
+			// The default 500ms tick would leave little renewal headroom
+			// under a 2s lease; grant on a tighter cadence.
+			o.Group.SyncInterval = 250 * time.Millisecond
+		}
 	}
 	return o
 }
@@ -220,6 +241,15 @@ type Store struct {
 	shards []*shared.Replica // index = shard id; grows on split
 	closed bool
 
+	// Read-path counters: how many reads each shortcut served and how many
+	// fell back to the sequenced read marker. Exported as the
+	// amoeba_kv_lease_* metric families.
+	leaseServed   atomic.Uint64
+	leaseFallback atomic.Uint64
+	staleServed   atomic.Uint64
+	staleFallback atomic.Uint64
+	obsUnreg      func()
+
 	ensureCh   chan struct{}
 	healCtx    context.Context
 	healCancel context.CancelFunc
@@ -229,7 +259,7 @@ type Store struct {
 func newStore(name string, k *amoeba.Kernel, opts Options) *Store {
 	ctx, cancel := context.WithCancel(context.Background())
 	rt := Routing{Epoch: 0, Shards: opts.Shards, VNodes: opts.VirtualNodes}
-	return &Store{
+	s := &Store{
 		name:         name,
 		opts:         opts,
 		kernel:       k,
@@ -243,6 +273,15 @@ func newStore(name string, k *amoeba.Kernel, opts Options) *Store {
 		healCtx:      ctx,
 		healCancel:   cancel,
 	}
+	s.obsUnreg = opts.Group.Obs.Registry().RegisterSource(func() []obs.Sample {
+		return []obs.Sample{
+			{Name: "amoeba_kv_lease_reads_total", Value: s.leaseServed.Load()},
+			{Name: "amoeba_kv_lease_fallbacks_total", Value: s.leaseFallback.Load()},
+			{Name: "amoeba_kv_stale_reads_total", Value: s.staleServed.Load()},
+			{Name: "amoeba_kv_stale_fallbacks_total", Value: s.staleFallback.Load()},
+		}
+	})
+	return s
 }
 
 // newShardSM builds shard i's state machine, wired to report routing changes
@@ -890,6 +929,7 @@ func (s *Store) abandon() {
 	s.closed = true
 	s.mu.Unlock()
 	s.healCancel()
+	s.obsUnreg()
 	var wg sync.WaitGroup
 	for _, r := range s.snapshotShards() {
 		if r == nil {
@@ -956,6 +996,88 @@ func (s *Store) Replica(i int) *shared.Replica {
 	return s.shards[i]
 }
 
+// leasesOn reports whether this store's shard groups grant read leases.
+func (s *Store) leasesOn() bool { return s.opts.Group.LeaseDur > 0 }
+
+// LeaseStats reports the store's read-path counters: reads served under a
+// lease, lease attempts that fell back to the sequenced marker, bounded-stale
+// reads served, and stale attempts that fell back.
+func (s *Store) LeaseStats() (leased, leaseFallback, stale, staleFallback uint64) {
+	return s.leaseServed.Load(), s.leaseFallback.Load(), s.staleServed.Load(), s.staleFallback.Load()
+}
+
+// leaseGet answers a single-shard multi-key read from shard's local replica
+// under its read lease — linearizable with no group send. It fails (false)
+// when the replica is absent or holds no valid lease, or when any requested
+// key is frozen by a live handoff or locked by a prepared transaction; the
+// caller then falls back to the sequenced read marker, whose Moved/locked
+// handling is the one retry loop. Safe across a live reshard: the lease
+// watermark covers every completed write, and a completed migrate-begin is
+// itself lease-gated, so any key moving away is already frozen (serves()
+// false) in the state a valid lease exposes.
+func (s *Store) leaseGet(shard int, keys []string) (*Response, bool) {
+	r := s.Replica(shard)
+	if r == nil {
+		return nil, false
+	}
+	resp := &Response{OK: true, ReadPath: ReadLease,
+		Values: make([][]byte, len(keys)), Found: make([]bool, len(keys))}
+	served := true
+	ok := r.LeaseRead(func(sm shared.StateMachine) {
+		m := sm.(*mapSM)
+		for i, k := range keys {
+			if !m.serves(k) || m.locked(k) {
+				served = false
+				return
+			}
+			if v, found := m.items[k]; found {
+				resp.Values[i] = append([]byte(nil), v...)
+				resp.Found[i] = true
+			}
+		}
+	})
+	if !ok || !served {
+		s.leaseFallback.Add(1)
+		return nil, false
+	}
+	s.leaseServed.Add(1)
+	return resp, true
+}
+
+// staleGet answers a single-shard multi-key read from shard's local replica
+// at a bounded staleness (no lease required — the follower-read path). The
+// bound covers the total order, not the handoff freeze, so frozen or locked
+// keys fall back like leaseGet's.
+func (s *Store) staleGet(shard int, keys []string, maxStale time.Duration) (*Response, bool) {
+	r := s.Replica(shard)
+	if r == nil || maxStale <= 0 {
+		return nil, false
+	}
+	resp := &Response{OK: true, ReadPath: ReadStale,
+		Values: make([][]byte, len(keys)), Found: make([]bool, len(keys))}
+	served := true
+	bound, ok := r.StaleRead(maxStale, func(sm shared.StateMachine) {
+		m := sm.(*mapSM)
+		for i, k := range keys {
+			if !m.serves(k) || m.locked(k) {
+				served = false
+				return
+			}
+			if v, found := m.items[k]; found {
+				resp.Values[i] = append([]byte(nil), v...)
+				resp.Found[i] = true
+			}
+		}
+	})
+	if !ok || !served {
+		s.staleFallback.Add(1)
+		return nil, false
+	}
+	resp.StaleFor = bound
+	s.staleServed.Add(1)
+	return resp, true
+}
+
 // isClosed reports whether Close or Leave has begun.
 func (s *Store) isClosed() bool {
 	s.mu.RLock()
@@ -1009,6 +1131,7 @@ func (s *Store) Close() {
 	shards := append([]*shared.Replica(nil), s.shards...)
 	s.mu.Unlock()
 	s.healCancel()
+	s.obsUnreg()
 	var wg sync.WaitGroup
 	for _, r := range shards {
 		if r == nil {
@@ -1036,6 +1159,7 @@ func (s *Store) Leave(ctx context.Context) error {
 	shards := append([]*shared.Replica(nil), s.shards...)
 	s.mu.Unlock()
 	s.healCancel()
+	s.obsUnreg()
 	s.healWG.Wait()
 	var firstErr error
 	for _, r := range shards {

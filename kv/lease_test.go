@@ -1,0 +1,177 @@
+package kv
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"amoeba"
+)
+
+// TestLeaseReadsSafeAcrossReshard runs lease-served reads concurrently with
+// single-writer counters while the store splits 4→8 shards live. Safety
+// condition: a read of key k started after the writer's i-th Put completed
+// must return at least i — a lease read serving a frozen or migrated key
+// from local state (instead of dropping to the sequenced fallback) would
+// violate it. The test also requires the lease path to have actually served
+// before AND after the handoff, so it proves leases re-establish on the new
+// shard groups rather than just silently falling back forever.
+func TestLeaseReadsSafeAcrossReshard(t *testing.T) {
+	ctx := ctxT(t, 120*time.Second)
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+	stores := newCluster(t, ctx, net, "leaseshard", 3, Options{Shards: 4, Leases: true})
+	defer func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}()
+
+	const nKeys = 12
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("lr-%04d", i)
+	}
+	seed := stores[0].NewClient()
+	for _, k := range keys {
+		if err := seed.Put(ctx, k, []byte("0")); err != nil {
+			t.Fatalf("seeding %q: %v", k, err)
+		}
+	}
+	seed.Close()
+
+	// Wait until every shard serves lease reads (grants ride sync ticks).
+	deadline := time.Now().Add(15 * time.Second)
+	for shard := 0; shard < 4; shard++ {
+		k := ""
+		for _, cand := range keys {
+			if stores[0].ShardFor(cand) == shard {
+				k = cand
+				break
+			}
+		}
+		if k == "" {
+			continue // no test key on this shard; fine
+		}
+		for {
+			if _, ok := stores[0].leaseGet(shard, []string{k}); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("shard %d: lease never established", shard)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		stop      atomic.Bool
+		failure   atomic.Value // first violation message
+		lastAcked [nKeys]atomic.Int64
+		readOps   atomic.Uint64
+	)
+	fail := func(msg string) {
+		failure.CompareAndSwap(nil, msg)
+		stop.Store(true)
+	}
+
+	// One single-writer goroutine bumping every key's counter in turn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := stores[0].NewClient()
+		defer cl.Close()
+		for i := int64(1); !stop.Load(); i++ {
+			ki := int(i) % nKeys
+			if err := cl.Put(ctx, keys[ki], []byte(strconv.FormatInt(i, 10))); err != nil {
+				fail(fmt.Sprintf("Put %q: %v", keys[ki], err))
+				return
+			}
+			lastAcked[ki].Store(i)
+		}
+	}()
+
+	// Lease readers on the other nodes: each read must observe at least the
+	// writer's last completed value for its key.
+	for n := 1; n < len(stores); n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := stores[n].NewClient()
+			defer cl.Close()
+			for i := 0; !stop.Load(); i++ {
+				ki := i % nKeys
+				floor := lastAcked[ki].Load()
+				got, ok, err := cl.Get(ctx, keys[ki])
+				if err != nil {
+					fail(fmt.Sprintf("node %d Get %q: %v", n, keys[ki], err))
+					return
+				}
+				if !ok {
+					fail(fmt.Sprintf("node %d: key %q vanished", n, keys[ki]))
+					return
+				}
+				v, err := strconv.ParseInt(string(got), 10, 64)
+				if err != nil {
+					fail(fmt.Sprintf("node %d: key %q holds %q", n, keys[ki], got))
+					return
+				}
+				if v < floor {
+					fail(fmt.Sprintf("node %d: STALE lease read of %q: got %d, writer had completed %d",
+						n, keys[ki], v, floor))
+					return
+				}
+				readOps.Add(1)
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond) // load under the old table
+	leasedBefore, _, _, _ := stores[1].LeaseStats()
+	if leasedBefore == 0 {
+		t.Log("warning: no lease reads before the reshard yet")
+	}
+	if err := stores[1].Resharding(ctx, 8); err != nil {
+		stop.Store(true)
+		wg.Wait()
+		t.Fatalf("Resharding(8): %v", err)
+	}
+	waitShards(t, stores[1], 8, 20*time.Second)
+
+	// Keep load running on the new table until the lease path demonstrably
+	// serves again (leases re-arm on the post-flip shard groups).
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		leased, _, _, _ := stores[1].LeaseStats()
+		if leased > leasedBefore || failure.Load() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("lease reads never resumed after the reshard (still %d)", leased)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if msg := failure.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if readOps.Load() == 0 {
+		t.Fatal("readers performed no reads; the lease path was not exercised")
+	}
+	leased, fallbacks, _, _ := stores[1].LeaseStats()
+	leased2, fallbacks2, _, _ := stores[2].LeaseStats()
+	t.Logf("%d reads total; node1 lease stats: %d leased / %d fallbacks; node2: %d / %d",
+		readOps.Load(), leased, fallbacks, leased2, fallbacks2)
+	if leased+leased2 == 0 {
+		t.Fatal("no reads were served from a lease")
+	}
+}

@@ -1,0 +1,232 @@
+package kv
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"amoeba"
+)
+
+// This file measures what read leases buy: per-shard throughput of a 95/5
+// read-heavy mix over the three read paths —
+//
+//	sequenced  every Get runs a read marker through the total order
+//	leased     Gets served from the local replica under a valid lease
+//	stale      opt-in bounded-staleness Gets (Client.StaleGet)
+//
+// The sequenced baseline runs on a leases-off cluster and the other two on a
+// leases-on cluster, so the comparison is honest about the lease tax on the
+// mix's writes (acceptance waits for lease holders' stored-acks). Like the
+// other live-fabric benches, absolute numbers vary by host; the RATIOS are
+// the measurement. cmd/amoeba-bench renders it as the "reads" experiment and
+// CI commits it as BENCH_reads.json.
+
+// ReadShardResult is one shard's throughput over the three paths.
+type ReadShardResult struct {
+	Shard        int     `json:"shard"`
+	SequencedOps float64 `json:"sequenced_ops_per_sec"`
+	LeasedOps    float64 `json:"leased_ops_per_sec"`
+	StaleOps     float64 `json:"stale_ops_per_sec"`
+	LeasedX      float64 `json:"leased_speedup"`
+	StaleX       float64 `json:"stale_speedup"`
+}
+
+// ReadsReport is the whole experiment in machine-readable form for
+// BENCH_reads.json.
+type ReadsReport struct {
+	Mix        string            `json:"mix"`
+	Nodes      int               `json:"nodes"`
+	Shards     []ReadShardResult `json:"shards"`
+	MinLeasedX float64           `json:"min_leased_speedup"`
+	LeaseReads uint64            `json:"lease_reads_served"`
+	StaleReads uint64            `json:"stale_reads_served"`
+}
+
+const (
+	readsBenchNodes  = 3
+	readsBenchShards = 4
+	readsMixDur      = 250 * time.Millisecond
+	readsKeysPerShrd = 16
+)
+
+// readsMix drives the 95/5 mix against one shard's keys for readsMixDur and
+// reports ops/sec: every 20th operation is a Put, the rest are reads through
+// the supplied path.
+func readsMix(ctx context.Context, cl *Client, keys []string, read func(key string) error) (float64, error) {
+	val := []byte("mix-value")
+	op := func(i int) error {
+		k := keys[i%len(keys)]
+		if i%20 == 19 {
+			return cl.Put(ctx, k, val)
+		}
+		return read(k)
+	}
+	for i := 0; i < 40; i++ { // warm routes, locates, lease counters
+		if err := op(i); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	deadline := start.Add(readsMixDur)
+	ops := 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		if err := op(i); err != nil {
+			return 0, err
+		}
+		ops++
+	}
+	return float64(ops) / time.Since(start).Seconds(), nil
+}
+
+// readsCluster builds one fully-replicated cluster for the experiment and
+// returns its stores, a bound client on node 0, per-shard key sets, and a
+// teardown closure.
+func readsCluster(ctx context.Context, net *amoeba.MemoryNetwork, name string, leases bool) (
+	stores []*Store, cl *Client, keys map[int][]string, down func(), err error) {
+	kernels := make([]*amoeba.Kernel, readsBenchNodes)
+	for i := range kernels {
+		if kernels[i], err = net.NewKernel(fmt.Sprintf("%s-node-%d", name, i)); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	stores, err = Bootstrap(ctx, kernels, name, Options{Shards: readsBenchShards, Leases: leases})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	cl = stores[0].NewClient()
+	down = func() {
+		cl.Close()
+		for _, s := range stores {
+			s.Close()
+		}
+	}
+	keys = make(map[int][]string, readsBenchShards)
+	for i := 0; len(keys[readsBenchShards-1]) < readsKeysPerShrd; i++ {
+		k := fmt.Sprintf("reads-%d", i)
+		s := stores[0].ShardFor(k)
+		if len(keys[s]) < readsKeysPerShrd {
+			keys[s] = append(keys[s], k)
+		}
+	}
+	for _, ks := range keys {
+		for _, k := range ks {
+			if err := cl.Put(ctx, k, []byte("seed")); err != nil {
+				down()
+				return nil, nil, nil, nil, err
+			}
+		}
+	}
+	return stores, cl, keys, down, nil
+}
+
+// MeasureReads runs the experiment: a leases-off cluster for the sequenced
+// baseline, a leases-on cluster for the leased and stale paths, the same
+// 95/5 mix per shard on each. It fails if any shard's leased path beats the
+// sequenced baseline by less than 5x, or if the leased/stale paths did not
+// actually serve from leases.
+func MeasureReads() (*ReadsReport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	net := amoeba.NewMemoryNetwork()
+	defer net.Close()
+
+	_, seqCl, seqKeys, seqDown, err := readsCluster(ctx, net, "reads-seq", false)
+	if err != nil {
+		return nil, fmt.Errorf("sequenced cluster: %w", err)
+	}
+	defer seqDown()
+	leaseStores, leaseCl, leaseKeys, leaseDown, err := readsCluster(ctx, net, "reads-lease", true)
+	if err != nil {
+		return nil, fmt.Errorf("leased cluster: %w", err)
+	}
+	defer leaseDown()
+
+	// Leases establish on sync ticks; wait until every shard serves one.
+	deadline := time.Now().Add(15 * time.Second)
+	for shard := 0; shard < readsBenchShards; shard++ {
+		for {
+			if _, ok := leaseStores[0].leaseGet(shard, leaseKeys[shard][:1]); ok {
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("shard %d: lease never established", shard)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	plainGet := func(cl *Client) func(string) error {
+		return func(k string) error {
+			_, ok, err := cl.Get(ctx, k)
+			if err == nil && !ok {
+				err = fmt.Errorf("key %q vanished", k)
+			}
+			return err
+		}
+	}
+	staleGet := func(k string) error {
+		_, ok, _, err := leaseCl.StaleGet(ctx, k, time.Second)
+		if err == nil && !ok {
+			err = fmt.Errorf("key %q vanished", k)
+		}
+		return err
+	}
+
+	rep := &ReadsReport{
+		Mix:        "95% Get / 5% Put, single client, fully replicated",
+		Nodes:      readsBenchNodes,
+		MinLeasedX: -1,
+	}
+	for shard := 0; shard < readsBenchShards; shard++ {
+		seqOps, err := readsMix(ctx, seqCl, seqKeys[shard], plainGet(seqCl))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d sequenced: %w", shard, err)
+		}
+		leasedOps, err := readsMix(ctx, leaseCl, leaseKeys[shard], plainGet(leaseCl))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d leased: %w", shard, err)
+		}
+		staleOps, err := readsMix(ctx, leaseCl, leaseKeys[shard], staleGet)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d stale: %w", shard, err)
+		}
+		r := ReadShardResult{
+			Shard: shard, SequencedOps: seqOps, LeasedOps: leasedOps, StaleOps: staleOps,
+			LeasedX: leasedOps / seqOps, StaleX: staleOps / seqOps,
+		}
+		if rep.MinLeasedX < 0 || r.LeasedX < rep.MinLeasedX {
+			rep.MinLeasedX = r.LeasedX
+		}
+		rep.Shards = append(rep.Shards, r)
+	}
+	leased, _, stale, _ := leaseStores[0].LeaseStats()
+	rep.LeaseReads, rep.StaleReads = leased, stale
+	if leased == 0 {
+		return nil, fmt.Errorf("leased path never served from a lease")
+	}
+	if stale == 0 {
+		return nil, fmt.Errorf("stale path never served a bounded-staleness read")
+	}
+	if rep.MinLeasedX < 5 {
+		return nil, fmt.Errorf("leased speedup %.1fx below the 5x bar", rep.MinLeasedX)
+	}
+	return rep, nil
+}
+
+// ReadsJSON renders the comparison for BENCH_reads.json.
+func ReadsJSON(rep *ReadsReport) ([]byte, error) {
+	out := struct {
+		Experiment string       `json:"experiment"`
+		Unit       string       `json:"unit"`
+		Note       string       `json:"note"`
+		Report     *ReadsReport `json:"report"`
+	}{
+		Experiment: "reads",
+		Unit:       "mixed ops/sec per shard, live in-memory fabric (host-dependent; compare ratios)",
+		Note:       "sequenced = read marker on the total order (leases off); leased = local replica reads under a sequencer lease; stale = Client.StaleGet with a 1s bound",
+		Report:     rep,
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -260,11 +260,14 @@ func (svc *Service) handle(raw []byte) (reply []byte, forward amoeba.Addr) {
 	}
 	// attach teaches the requester this node's table whenever the epochs
 	// disagreed (re-read at answer time: the handoff may have flipped the
-	// epoch while the request executed).
+	// epoch while the request executed), and always carries the node/replica
+	// topology so fleet clients can steer flagged reads at lease holders.
 	attach := func(resp *Response) []byte {
 		if now := svc.store.Routing(); req.Epoch != now.Epoch {
 			resp.Routing = &now
 		}
+		resp.Nodes = svc.store.opts.Nodes
+		resp.Replication = svc.store.opts.Replication
 		return EncodeResponse(resp)
 	}
 	shards := svc.shardsOf(req)

@@ -213,18 +213,20 @@ func (c *Client) txnAttempt(ctx context.Context, txnID uint64, allKeys []string,
 	switch {
 	case prep.TxnState == txnStateCommitted:
 		// A prior drive of this same attempt already committed (we are a
-		// retried request): make sure the echo finished and re-answer.
-		if err := c.txnResolveEcho(ctx, txnID, true, homeKey, allKeys); err != nil {
+		// retried request): make sure the echo finished and re-answer. A
+		// commit decision exists only via a sequenced resolve at the home,
+		// so the home portion is already resolved.
+		if err := c.txnResolveEcho(ctx, txnID, true, homeKey, allKeys, true); err != nil {
 			return nil, false, err
 		}
 		return mkResult(true), false, nil
 	case prep.Conflict || prep.TxnState == txnStateAborted:
 		// Lost a key to another live transaction, or recovery already
 		// aborted this attempt: release whatever we locked, try afresh.
-		c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys)
+		c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys, false)
 		return nil, true, nil
 	case prep.CondFailed:
-		c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys)
+		c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys, false)
 		return &TxnResult{CondFailed: true}, false, nil
 	}
 
@@ -232,7 +234,7 @@ func (c *Client) txnAttempt(ctx context.Context, txnID uint64, allKeys []string,
 	// values are a consistent snapshot (every key was locked when the last
 	// prepare sequenced); the locks just need releasing.
 	if len(req.Writes) == 0 {
-		if err := c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys); err != nil {
+		if err := c.txnResolveEcho(ctx, txnID, false, homeKey, allKeys, false); err != nil {
 			return nil, false, err
 		}
 		return mkResult(true), false, nil
@@ -255,8 +257,9 @@ func (c *Client) txnAttempt(ctx context.Context, txnID uint64, allKeys []string,
 	committed := home.TxnState == txnStateCommitted
 	c.tracer.Addf(txnID, "txn home decided: committed=%v", committed)
 
-	// Phase 3: echo the decision to every participant.
-	if err := c.txnResolveEcho(ctx, txnID, committed, homeKey, allKeys); err != nil {
+	// Phase 3: echo the decision to every participant except the home —
+	// phase 2's resolve already settled the home shard's whole portion.
+	if err := c.txnResolveEcho(ctx, txnID, committed, homeKey, allKeys, true); err != nil {
 		return nil, false, err
 	}
 	if c.txnResH != nil {
@@ -272,7 +275,16 @@ func (c *Client) txnAttempt(ctx context.Context, txnID uint64, allKeys []string,
 // transaction's keys: one resolve per shard group, in parallel, repeated
 // until a full round completes at a stable routing epoch (a reshard mid-echo
 // can split a group across new shards — the repeat covers the splinters).
-func (c *Client) txnResolveEcho(ctx context.Context, txnID uint64, commit bool, homeKey string, allKeys []string) error {
+//
+// homeDone says the home shard's portion was already resolved by the caller
+// (phase 2's commit point, or recovery's arbitration), so the first round
+// skips the home key's group instead of re-resolving it — on the common
+// two-shard transaction that halves the echo. The skip applies only to the
+// first round: a repeat round means the epoch flipped mid-echo, and after a
+// reshard the home key's group may hold migrated-in keys whose portions the
+// phase-2 resolve never saw, so repeats cover every group (resolves
+// re-answer idempotently).
+func (c *Client) txnResolveEcho(ctx context.Context, txnID uint64, commit bool, homeKey string, allKeys []string, homeDone bool) error {
 	for {
 		r, rt := c.routingRing()
 		if r == nil {
@@ -282,6 +294,18 @@ func (c *Client) txnResolveEcho(ctx context.Context, txnID uint64, commit bool, 
 		for _, k := range allKeys {
 			s := r.shard(k)
 			groups[s] = append(groups[s], k)
+		}
+		if homeDone {
+			homeDone = false
+			delete(groups, r.shard(homeKey))
+			if len(groups) == 0 {
+				// Single-shard transaction: phase 2 resolved everything.
+				if _, rt2 := c.routingRing(); rt2.Epoch == rt.Epoch {
+					return nil
+				}
+				continue
+			}
+			c.tracer.Addf(txnID, "txn echo: home shard skipped (already resolved)")
 		}
 		var (
 			wg    sync.WaitGroup
@@ -470,7 +494,7 @@ func (c *Client) recoverTxn(ctx context.Context, p *txnPortion) error {
 	}
 	commit := resp.TxnState == txnStateCommitted
 	c.tracer.Addf(p.TxnID, "txn recovery: home arbitrated committed=%v", commit)
-	return c.txnResolveEcho(ctx, p.TxnID, commit, p.HomeKey, p.AllKeys)
+	return c.txnResolveEcho(ctx, p.TxnID, commit, p.HomeKey, p.AllKeys, true)
 }
 
 // inDoubtTxns lists prepared portions held by this node's replicas whose

@@ -510,6 +510,66 @@ func (r *Replica) Read(fn func(sm StateMachine)) {
 	fn(r.sm)
 }
 
+// Lease returns the replica's read-lease snapshot (see
+// amoeba.GroupOptions.LeaseDur).
+func (r *Replica) Lease() amoeba.LeaseInfo { return r.group.Lease() }
+
+// LeaseRead runs fn with consistent access to the state machine if — and only
+// if — a linearizable local read is permitted right now: the replica holds a
+// valid read lease and has applied every delivery through the lease
+// watermark. It reports whether fn ran; on false the caller must fall back to
+// an ordered read (Submit a read marker, or route to another replica).
+//
+// Linearizability argument: the read's linearization point is the Lease()
+// snapshot. At that instant the lease was valid, so (write gating) every
+// write completed before it was stored here — and stored entries are below
+// the watermark, which the state was verified to have applied through.
+// Anything newer the read happens to observe was already accepted by the
+// sequencer, i.e. its effect point precedes the observation.
+func (r *Replica) LeaseRead(fn func(sm StateMachine)) bool {
+	li := r.group.Lease()
+	if !li.Held {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped || r.lastApplied < li.Watermark {
+		return false
+	}
+	fn(r.sm)
+	return true
+}
+
+// StaleRead runs fn against local state if its staleness is provably within
+// maxStale: every write completed more than the returned bound ago (plus one
+// network transit) is reflected in what fn observes. It reports the bound and
+// whether fn ran; on false the caller falls back to a linearizable path.
+// Unlike LeaseRead this needs no lease — any replica that has heard a recent
+// sequencer tick can serve — so it is the read path that survives lease
+// churn, at the price of bounded (not zero) staleness.
+func (r *Replica) StaleRead(maxStale time.Duration, fn func(sm StateMachine)) (time.Duration, bool) {
+	r.mu.Lock()
+	applied := r.lastApplied
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return 0, false
+	}
+	bound, ok := r.group.FreshAt(applied)
+	if !ok || bound > maxStale {
+		return bound, false
+	}
+	// State only advances between the bound computation and the read, so
+	// fn observes something at least as fresh as the bound promises.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return bound, false
+	}
+	fn(r.sm)
+	return bound, true
+}
+
 // Wait blocks until pred (evaluated with the same exclusive access as Read)
 // returns true, rechecking after every applied command. It returns ErrStopped
 // if the replica stops first, or ctx.Err() on cancellation. Use it to wait
